@@ -1,0 +1,147 @@
+// Figure 5(a): effect of batch processing (§6.1).
+//
+// 10^5-tuple stream of uniform integers in [0, 10^4); every continuous
+// query selects a random range of 0.1% selectivity; separate-baskets
+// strategy. We sweep the batch size T (the factories' firing threshold)
+// and measure average latency per tuple = time waiting for the batch to
+// fill (at the sensor's arrival rate) + time for the batch to pass through
+// all queries.
+//
+// Expected shape (paper): latency falls by ~3 orders of magnitude from
+// T = 1 to the sweet spot, flattens, then degrades for very large T where
+// the accumulation delay dominates — worst for the most queries.
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "core/strategy.h"
+#include "util/clock.h"
+#include "util/random.h"
+
+namespace datacell {
+namespace {
+
+using core::BuildSeparateBaskets;
+using core::ContinuousQuery;
+using core::QueryNetwork;
+using core::Scheduler;
+
+// Sensor arrival model: one tuple per microsecond.
+constexpr double kInterarrivalUs = 1.0;
+
+Schema StreamSchema() {
+  return Schema({{"tag", DataType::kTimestamp}, {"payload", DataType::kInt64}});
+}
+
+std::vector<ContinuousQuery> MakeQueries(int count, Random* rng) {
+  std::vector<ContinuousQuery> queries;
+  queries.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    const int64_t lo = static_cast<int64_t>(rng->Uniform(10'000 - 10));
+    ExprPtr pred = Expr::Bin(
+        BinaryOp::kAnd,
+        Expr::Bin(BinaryOp::kGe, Expr::Col("payload"), Expr::Lit(lo)),
+        Expr::Bin(BinaryOp::kLt, Expr::Col("payload"), Expr::Lit(lo + 10)));
+    queries.push_back({"q" + std::to_string(i), pred});
+  }
+  return queries;
+}
+
+Table MakeTuples(size_t n, Random* rng) {
+  Table t(StreamSchema());
+  for (size_t i = 0; i < n; ++i) {
+    t.column(0).AppendInt(static_cast<int64_t>(i));
+    t.column(1).AppendInt(static_cast<int64_t>(rng->Uniform(10'000)));
+  }
+  return t;
+}
+
+// Returns average latency per tuple in microseconds.
+//
+// Latency model (the paper's L(t) = D(t) - C(t)): tuple i is created at
+// C_i = i * interarrival. A batch becomes eligible when its last tuple has
+// arrived; the engine processes batches serially, so batch processing
+// starts at max(arrival of last tuple, engine free time) and takes the
+// measured wall time P. Every tuple of the batch is delivered at start+P.
+// With T = 1 the per-call overhead exceeds the interarrival time and the
+// backlog (queueing delay) dominates — exactly why the paper's
+// tuple-at-a-time latency is orders of magnitude worse than batched.
+Result<double> RunOne(int num_queries, size_t batch_size, size_t total_tuples) {
+  SimulatedClock clock(0);
+  Random rng(4242 + static_cast<uint64_t>(num_queries));
+  ASSIGN_OR_RETURN(QueryNetwork net,
+                   BuildSeparateBaskets(StreamSchema(),
+                                        MakeQueries(num_queries, &rng),
+                                        batch_size));
+  Scheduler sched(&clock);
+  net.RegisterAll(&sched);
+  SystemClock* wall = SystemClock::Get();
+
+  double latency_sum_us = 0;
+  double engine_free_us = 0;
+  size_t delivered = 0;
+  Random data_rng(7);
+  while (delivered < total_tuples) {
+    const size_t n = std::min(batch_size, total_tuples - delivered);
+    Table batch = MakeTuples(n, &data_rng);
+    const double first_arrival = kInterarrivalUs * static_cast<double>(delivered);
+    const double last_arrival =
+        kInterarrivalUs * static_cast<double>(delivered + n - 1);
+    const Micros t0 = wall->Now();
+    ASSIGN_OR_RETURN(size_t acc, net.receptor->Deliver(batch, clock.Now()));
+    (void)acc;
+    ASSIGN_OR_RETURN(size_t rounds, sched.RunUntilQuiescent());
+    (void)rounds;
+    const double proc_us = static_cast<double>(wall->Now() - t0);
+    const double start = std::max(last_arrival, engine_free_us);
+    const double done = start + proc_us;
+    engine_free_us = done;
+    // sum over tuples j of (done - C_j).
+    latency_sum_us += static_cast<double>(n) * done -
+                      (first_arrival + last_arrival) * static_cast<double>(n) / 2.0;
+    delivered += n;
+    // Keep the output baskets from growing across iterations.
+    for (const core::BasketPtr& out : net.outputs) out->Clear();
+  }
+  return latency_sum_us / static_cast<double>(total_tuples);
+}
+
+}  // namespace
+}  // namespace datacell
+
+int main() {
+  const bool quick = std::getenv("DATACELL_QUICK") != nullptr;
+  std::printf("=== Figure 5(a): effect of batch processing ===\n");
+  std::printf("separate baskets; 0.1%% selectivity range queries; arrival "
+              "rate 1 tuple/us\n\n");
+  std::printf("%10s %10s %14s %20s\n", "batch T", "queries", "tuples",
+              "latency/tuple(us)");
+  const std::vector<size_t> batches = {1, 10, 100, 1'000, 10'000, 100'000};
+  const std::vector<int> query_counts = quick ? std::vector<int>{10, 100}
+                                              : std::vector<int>{10, 100, 1000};
+  for (int q : query_counts) {
+    for (size_t t : batches) {
+      // Few tuples suffice for small batches (latency is per tuple; in the
+      // unstable T=1 regime the backlog already explodes within a few
+      // thousand tuples); large batches need several full windows.
+      size_t total = std::max<size_t>(t * 10, 5000);
+      total = std::min<size_t>(total, 100'000);
+      if (quick) total = std::min<size_t>(total, 20'000);
+      if (t == 1 && q >= 1000) total = 3000;  // keep T=1,q=1000 tractable
+      auto latency = datacell::RunOne(q, t, total);
+      if (!latency.ok()) {
+        std::fprintf(stderr, "run failed: %s\n",
+                     latency.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("%10zu %10d %14zu %20.1f\n", t, q, total, *latency);
+    }
+    std::printf("\n");
+  }
+  std::printf("shape check (paper): latency drops ~3 orders of magnitude "
+              "from T=1 to the sweet spot, then stops improving or degrades "
+              "as the batch-fill delay dominates.\n");
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Linear Road (§6.2): Figures 7, 8 and 9.
+//
+//  Fig 7: cumulative input volume and per-collection processing load over
+//         the 3-hour run.
+//  Fig 8: input arrival rate over time for two scale factors.
+//  Fig 9: Q7 (toll/accident alerts, the heavyweight output collection)
+//         average response time per window of input tuples, two SFs.
+//
+// The official generator scales SF 1 to ~1.2e7 tuples with an arrival ramp
+// ending around 1700 tuples/s; our synthetic generator reproduces the ramp
+// shape and scale-factor proportionality. The full-network runs default to
+// a reduced scale factor so the harness finishes on a laptop-class, single
+// core machine (override with DATACELL_LROAD_SF / DATACELL_LROAD_SF2);
+// shapes — load growth over time, Q7 dominating, deadlines met — are
+// preserved. See EXPERIMENTS.md.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "lroad/driver.h"
+#include "lroad/generator.h"
+#include "lroad/validator.h"
+
+namespace datacell::lroad {
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+void PrintFig8(double sf) {
+  Generator::Options o;
+  o.scale_factor = sf;
+  Generator g(o);
+  std::printf("\n--- Figure 8: arrival rate, scale factor %.2f ---\n", sf);
+  std::printf("%12s %16s %16s\n", "minute", "tuples/sec", "cumulative");
+  uint64_t last_total = 0;
+  while (!g.Done()) {
+    Table batch = g.NextSecond();
+    (void)batch;
+    if (g.now() % 600 == 0) {
+      const uint64_t total = g.tuples_generated();
+      std::printf("%12lld %16.1f %16llu\n",
+                  static_cast<long long>(g.now() / 60),
+                  static_cast<double>(total - last_total) / 600.0,
+                  static_cast<unsigned long long>(total));
+      last_total = total;
+    }
+  }
+  std::printf("total tuples at SF %.2f: %llu\n", sf,
+              static_cast<unsigned long long>(g.tuples_generated()));
+}
+
+int RunFull(double sf, bool print_fig7) {
+  Driver::Options opts;
+  opts.generator.scale_factor = sf;
+  opts.generator.seed = 5;
+  opts.sample_every_sec = 600;  // 10-minute windows for the printed series
+  opts.q7_window_tuples = static_cast<uint64_t>(100'000 * sf);
+  if (opts.q7_window_tuples < 5'000) opts.q7_window_tuples = 5'000;
+
+  std::printf("\n--- full run, scale factor %.2f (3 simulated hours) ---\n",
+              sf);
+  auto report = Driver::Run(opts, nullptr);
+  if (!report.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+
+  if (print_fig7) {
+    std::printf("\n--- Figure 7(a): tuples entered ---\n");
+    std::printf("%10s %16s\n", "minute", "cumulative");
+    for (const auto& [sec, total] : report->cumulative_tuples) {
+      std::printf("%10lld %16llu\n", static_cast<long long>(sec / 60),
+                  static_cast<unsigned long long>(total));
+    }
+    static const char* kNames[7] = {
+        "Q1 accidents",         "Q2 statistics",    "Q3 update-statistics",
+        "Q4 filter-by-type",    "Q5 daily-expend.", "Q6 account-balance",
+        "Q7 toll/acc alerts"};
+    for (size_t c : {3, 0, 1, 2, 6, 5, 4}) {
+      std::printf("\n--- Figure 7: %s load (per 10-min window) ---\n",
+                  kNames[c]);
+      std::printf("%10s %12s %12s %12s\n", "minute", "avg(ms)", "max(ms)",
+                  "firings");
+      for (const Driver::LoadSample& s : report->collection_load[c]) {
+        std::printf("%10lld %12.3f %12.3f %12llu\n",
+                    static_cast<long long>(s.sim_sec / 60), s.avg_ms, s.max_ms,
+                    static_cast<unsigned long long>(s.firings));
+      }
+    }
+  }
+
+  std::printf("\n--- Figure 9: Q7 average response time, SF %.2f ---\n", sf);
+  std::printf("%16s %16s\n", "tuples seen", "avg resp (ms)");
+  for (const auto& [tuples, ms] : report->q7_response) {
+    std::printf("%16llu %16.3f\n", static_cast<unsigned long long>(tuples), ms);
+  }
+
+  std::printf("\nsummary SF %.2f: tuples=%llu tolls=%llu (nonzero %llu) "
+              "acc_alerts=%llu balances=%llu expenditures=%llu\n",
+              sf, static_cast<unsigned long long>(report->total_tuples),
+              static_cast<unsigned long long>(report->toll_notifications),
+              static_cast<unsigned long long>(report->tolls_nonzero),
+              static_cast<unsigned long long>(report->accident_alerts),
+              static_cast<unsigned long long>(report->balance_answers),
+              static_cast<unsigned long long>(report->expenditure_answers));
+  std::printf("deadline check: max batch wall %.1f ms (limit 5000 ms), "
+              "violations=%llu\n",
+              report->max_batch_wall_ms,
+              static_cast<unsigned long long>(report->deadline_violations));
+
+  ValidationReport v = Validate(*report);
+  std::printf("validation: %s — accidents %zu/%zu detected, tolls=%zu "
+              "balances=%zu expenditures=%zu checks\n",
+              v.ok() ? "PASS" : "FAIL", v.detected_accidents,
+              v.detectable_accidents, v.tolls_checked, v.balances_checked,
+              v.expenditures_checked);
+  if (!v.ok()) {
+    for (size_t i = 0; i < std::min<size_t>(v.errors.size(), 5); ++i) {
+      std::printf("  error: %s\n", v.errors[i].c_str());
+    }
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace datacell::lroad
+
+int main(int argc, char** argv) {
+  using datacell::lroad::EnvDouble;
+  const bool arrival_only =
+      argc > 1 && std::string(argv[1]) == "--arrival-only";
+
+  std::printf("=== Linear Road benchmark (§6.2) ===\n");
+
+  // Figure 8 — generator-only, full paper scale factors.
+  datacell::lroad::PrintFig8(0.5);
+  datacell::lroad::PrintFig8(1.0);
+  if (arrival_only) return 0;
+
+  // Figures 7 and 9 — full network runs at two scale factors.
+  const double sf = EnvDouble("DATACELL_LROAD_SF", 0.25);
+  const double sf2 = EnvDouble("DATACELL_LROAD_SF2", sf / 2);
+  int rc = datacell::lroad::RunFull(sf2, /*print_fig7=*/false);
+  if (rc != 0) return rc;
+  return datacell::lroad::RunFull(sf, /*print_fig7=*/true);
+}

@@ -1,0 +1,171 @@
+// An interactive DataCell SQL shell.
+//
+//   build/examples/datacell_shell [data_dir]
+//
+// Reads ';'-terminated statements from stdin and executes them against an
+// in-process engine (works both interactively and piped). Statements
+// containing basket expressions can be registered as continuous queries
+// with `\register <name> <stmt>;`. With a data_dir argument, catalog
+// tables are loaded on startup and saved on exit.
+//
+// Meta commands:
+//   \baskets            list baskets (with sizes)
+//   \tables             list catalog tables
+//   \run                drive the scheduler until quiescent
+//   \register NAME STMT register STMT as continuous query NAME
+//   \save / \q          persist (if data_dir given) / quit
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/engine.h"
+#include "sql/session.h"
+#include "storage/persist.h"
+#include "util/clock.h"
+#include "util/strings.h"
+
+namespace {
+
+using datacell::Status;
+using datacell::Table;
+
+void PrintStatus(const Status& st) {
+  if (!st.ok()) std::printf("error: %s\n", st.ToString().c_str());
+}
+
+// Reads one ';'-terminated chunk (or EOF); returns false at EOF with no
+// content. Respects quotes so string literals may contain ';'. Meta
+// commands (first non-blank char '\') are line-terminated instead.
+bool ReadStatement(std::istream& in, std::string* out) {
+  out->clear();
+  bool in_string = false;
+  bool saw_content = false;
+  bool is_meta = false;
+  char c;
+  while (in.get(c)) {
+    if (!saw_content && !std::isspace(static_cast<unsigned char>(c))) {
+      saw_content = true;
+      is_meta = (c == '\\');
+    }
+    if (is_meta) {
+      if (c == '\n') return true;
+      out->push_back(c);
+      continue;
+    }
+    if (c == '\'') in_string = !in_string;
+    if (c == ';' && !in_string) return true;
+    out->push_back(c);
+  }
+  return !datacell::TrimWhitespace(*out).empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  datacell::SystemClock* clock = datacell::SystemClock::Get();
+  datacell::core::Engine engine(clock);
+  datacell::sql::Session session(&engine);
+  const std::string data_dir = argc > 1 ? argv[1] : "";
+
+  if (!data_dir.empty()) {
+    Status st = datacell::storage::LoadCatalog(&engine.catalog(), data_dir);
+    if (st.ok()) {
+      std::printf("loaded %zu table(s) from %s\n",
+                  engine.catalog().ListTables().size(), data_dir.c_str());
+    } else if (st.code() != datacell::StatusCode::kNotFound) {
+      PrintStatus(st);
+    }
+  }
+  const bool tty = isatty(fileno(stdin));
+  if (tty) {
+    std::printf("DataCell shell — statements end with ';', \\q quits.\n");
+  }
+
+  std::string stmt;
+  while (true) {
+    if (tty) {
+      std::printf("datacell> ");
+      std::fflush(stdout);
+    }
+    if (!ReadStatement(std::cin, &stmt)) break;
+    std::string text(datacell::TrimWhitespace(stmt));
+    if (text.empty()) continue;
+
+    if (text[0] == '\\') {
+      if (text == "\\q" || text == "\\quit") break;
+      if (text == "\\baskets") {
+        for (const std::string& name : engine.ListBaskets()) {
+          auto b = engine.GetBasket(name);
+          std::printf("  %-24s %zu tuple(s)\n", name.c_str(),
+                      b.ok() ? (*b)->size() : 0);
+        }
+        continue;
+      }
+      if (text == "\\tables") {
+        for (const std::string& name : engine.catalog().ListTables()) {
+          auto t = engine.catalog().GetTable(name);
+          std::printf("  %-24s %zu row(s)\n", name.c_str(),
+                      t.ok() ? (*t)->num_rows() : 0);
+        }
+        continue;
+      }
+      if (text == "\\run") {
+        auto rounds = engine.scheduler().RunUntilQuiescent();
+        if (rounds.ok()) {
+          std::printf("scheduler: %zu productive round(s)\n", *rounds);
+        } else {
+          PrintStatus(rounds.status());
+        }
+        continue;
+      }
+      if (text.rfind("\\register ", 0) == 0) {
+        const std::string rest(
+            datacell::TrimWhitespace(text.substr(sizeof("\\register ") - 1)));
+        const size_t space = rest.find(' ');
+        if (space == std::string::npos) {
+          std::printf("usage: \\register NAME STATEMENT;\n");
+          continue;
+        }
+        auto f = session.RegisterContinuousQuery(rest.substr(0, space),
+                                                 rest.substr(space + 1));
+        if (f.ok()) {
+          std::printf("registered continuous query '%s'\n",
+                      (*f)->name().c_str());
+        } else {
+          PrintStatus(f.status());
+        }
+        continue;
+      }
+      if (text == "\\save") {
+        if (data_dir.empty()) {
+          std::printf("no data_dir given on the command line\n");
+        } else {
+          PrintStatus(datacell::storage::SaveCatalog(engine.catalog(), data_dir));
+        }
+        continue;
+      }
+      std::printf("unknown command: %s\n", text.c_str());
+      continue;
+    }
+
+    auto result = session.Execute(text);
+    if (!result.ok()) {
+      PrintStatus(result.status());
+      continue;
+    }
+    if (result->num_columns() > 0) {
+      std::printf("%s", result->ToString(40).c_str());
+    } else {
+      std::printf("ok\n");
+    }
+    // Statements may have fed continuous queries: let them fire.
+    auto rounds = engine.scheduler().RunUntilQuiescent();
+    if (!rounds.ok()) PrintStatus(rounds.status());
+  }
+
+  if (!data_dir.empty()) {
+    PrintStatus(datacell::storage::SaveCatalog(engine.catalog(), data_dir));
+  }
+  return 0;
+}

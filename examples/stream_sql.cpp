@@ -1,0 +1,85 @@
+// Tour of the §5 stream-language features: predicate windows, top-n
+// windows, two-basket merge with delete-on-match, and time-based garbage
+// collection — each as a DataCell SQL statement.
+//
+//   build/examples/stream_sql
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "sql/session.h"
+#include "util/clock.h"
+
+using datacell::kMicrosPerSecond;
+using datacell::SimulatedClock;
+
+namespace {
+
+datacell::sql::Session* g_session = nullptr;
+
+void Run(const char* label, const std::string& sql) {
+  std::printf("\n-- %s\n   %s\n", label, sql.c_str());
+  auto r = g_session->Execute(sql);
+  if (!r.ok()) {
+    std::fprintf(stderr, "   error: %s\n", r.status().ToString().c_str());
+    std::exit(1);
+  }
+  if (r->num_columns() > 0) std::printf("%s", r->ToString(10).c_str());
+}
+
+}  // namespace
+
+int main() {
+  SimulatedClock clock(0);
+  datacell::core::Engine engine(&clock);
+  datacell::sql::Session session(&engine);
+  g_session = &session;
+
+  // --- Predicate window (the paper's q2) ----------------------------------
+  Run("setup", "create basket r (a int, b int)");
+  Run("fill the stream",
+      "insert into r values (1,1), (5,1), (9,99), (7,2), (2,50)");
+  Run("predicate window: only b<10 tuples are referenced (and consumed)",
+      "select * from [select * from r where r.b < 10] as s where s.a > 4");
+  Run("the b=99 and b=50 tuples are still waiting", "select * from r");
+
+  // --- Fixed-size window: top n + order by --------------------------------
+  Run("outlier stream", "create basket x (tag int, payload int)");
+  Run("fill 6 events",
+      "insert into x values (6,10), (5,200), (4,30), (3,400), (2,50), (1,600)");
+  Run("top-3-by-tag window, outliers only",
+      "select b.tag, b.payload from [select top 3 from x order by tag] as b "
+      "where b.payload > 100");
+  Run("three tuples remain for the next window", "select count(*) n from x");
+
+  // --- Merge (gather) over two streams -------------------------------------
+  Run("two tagged streams",
+      "create basket left_events (id int, v int);"
+      "create basket right_events (id int, w int);"
+      "insert into left_events values (1, 10), (2, 20), (3, 30);"
+      "insert into right_events values (2, 222), (9, 999)");
+  Run("merge on id: matched pairs are consumed from both baskets",
+      "select * from [select * from left_events, right_events "
+      "where left_events.id = right_events.id] as m");
+  Run("unmatched residue waits for delayed arrivals",
+      "select count(*) n from left_events");
+  Run("a late arrival completes another pair",
+      "insert into right_events values (3, 333);"
+      "select * from [select * from left_events, right_events "
+      "where left_events.id = right_events.id] as m");
+
+  // --- Garbage collection with a time-out predicate ------------------------
+  clock.SetTime(7200 * kMicrosPerSecond);  // t = 2 h
+  Run("timestamped stream with one stale tuple",
+      "create basket y (tag timestamp, payload int);"
+      "create table trash (tag timestamp, payload int);"
+      "insert into y values (0, 1), (7100000000, 2)");
+  Run("expire everything older than one hour",
+      "insert into trash [select all from y where y.tag < now() - "
+      "interval 1 hour]");
+  Run("trash holds the stale tuple", "select count(*) n from trash");
+  Run("the fresh tuple survived", "select payload from y");
+
+  std::printf("\ndone.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "column/catalog.h"
+
+namespace datacell {
+
+Result<std::shared_ptr<Table>> Catalog::CreateTable(const std::string& name,
+                                                    Schema schema) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  auto table = std::make_shared<Table>(std::move(schema));
+  tables_[name] = table;
+  return table;
+}
+
+Result<std::shared_ptr<Table>> Catalog::GetTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.count(name) > 0;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::ListTables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace datacell

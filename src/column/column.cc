@@ -1,0 +1,226 @@
+#include "column/column.h"
+
+#include "util/logging.h"
+
+namespace datacell {
+
+namespace {
+
+bool PhysicalIsInt(DataType t) {
+  return t == DataType::kInt64 || t == DataType::kTimestamp;
+}
+
+}  // namespace
+
+Column::Column(DataType type) : type_(type) {
+  switch (type) {
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      data_ = std::vector<int64_t>();
+      break;
+    case DataType::kDouble:
+      data_ = std::vector<double>();
+      break;
+    case DataType::kBool:
+      data_ = std::vector<uint8_t>();
+      break;
+    case DataType::kString:
+      data_ = std::vector<std::string>();
+      break;
+  }
+}
+
+size_t Column::size() const {
+  return std::visit([](const auto& v) { return v.size(); }, data_);
+}
+
+void Column::EnsureValidity() {
+  if (valid_.empty()) valid_.assign(size(), 1);
+}
+
+void Column::AppendInt(int64_t v) {
+  DC_DCHECK(PhysicalIsInt(type_));
+  ints().push_back(v);
+  if (!valid_.empty()) valid_.push_back(1);
+}
+
+void Column::AppendDouble(double v) {
+  DC_DCHECK(type_ == DataType::kDouble);
+  doubles().push_back(v);
+  if (!valid_.empty()) valid_.push_back(1);
+}
+
+void Column::AppendBool(bool v) {
+  DC_DCHECK(type_ == DataType::kBool);
+  bools().push_back(v ? 1 : 0);
+  if (!valid_.empty()) valid_.push_back(1);
+}
+
+void Column::AppendString(std::string v) {
+  DC_DCHECK(type_ == DataType::kString);
+  strings().push_back(std::move(v));
+  if (!valid_.empty()) valid_.push_back(1);
+}
+
+void Column::AppendNull() {
+  EnsureValidity();
+  std::visit([](auto& v) { v.emplace_back(); }, data_);
+  valid_.push_back(0);
+}
+
+Status Column::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return Status::OK();
+  }
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      if (!v.is_int()) break;
+      AppendInt(v.int_value());
+      return Status::OK();
+    case DataType::kDouble:
+      if (v.is_double()) {
+        AppendDouble(v.double_value());
+        return Status::OK();
+      }
+      if (v.is_int()) {
+        AppendDouble(static_cast<double>(v.int_value()));
+        return Status::OK();
+      }
+      break;
+    case DataType::kBool:
+      if (!v.is_bool()) break;
+      AppendBool(v.bool_value());
+      return Status::OK();
+    case DataType::kString:
+      if (!v.is_string()) break;
+      AppendString(v.string_value());
+      return Status::OK();
+  }
+  return Status::TypeMismatch("cannot append " + v.ToString() +
+                              " to column of type " + DataTypeName(type_));
+}
+
+Status Column::AppendColumn(const Column& other) {
+  if (other.type_ != type_) {
+    return Status::TypeMismatch(std::string("append type mismatch: ") +
+                                DataTypeName(other.type_) + " vs " +
+                                DataTypeName(type_));
+  }
+  const size_t old_size = size();
+  std::visit(
+      [&other](auto& dst) {
+        using Vec = std::decay_t<decltype(dst)>;
+        const Vec& src = std::get<Vec>(other.data_);
+        dst.insert(dst.end(), src.begin(), src.end());
+      },
+      data_);
+  if (other.has_nulls()) {
+    if (valid_.empty()) {
+      valid_.assign(old_size, 1);
+    }
+    valid_.insert(valid_.end(), other.valid_.begin(), other.valid_.end());
+  } else if (!valid_.empty()) {
+    valid_.insert(valid_.end(), other.size(), 1);
+  }
+  return Status::OK();
+}
+
+Status Column::AppendColumnRows(const Column& other, const SelVector& sel) {
+  if (other.type_ != type_) {
+    return Status::TypeMismatch(std::string("append type mismatch: ") +
+                                DataTypeName(other.type_) + " vs " +
+                                DataTypeName(type_));
+  }
+  const size_t old_size = size();
+  std::visit(
+      [&](auto& dst) {
+        using Vec = std::decay_t<decltype(dst)>;
+        const Vec& src = std::get<Vec>(other.data_);
+        dst.reserve(dst.size() + sel.size());
+        for (uint32_t r : sel) dst.push_back(src[r]);
+      },
+      data_);
+  if (other.has_nulls()) {
+    if (valid_.empty()) valid_.assign(old_size, 1);
+    for (uint32_t r : sel) valid_.push_back(other.valid_[r]);
+  } else if (!valid_.empty()) {
+    valid_.insert(valid_.end(), sel.size(), 1);
+  }
+  return Status::OK();
+}
+
+Value Column::GetValue(size_t i) const {
+  DC_DCHECK(i < size());
+  if (!IsValid(i)) return Value::Null();
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      return Value(ints()[i]);
+    case DataType::kDouble:
+      return Value(doubles()[i]);
+    case DataType::kBool:
+      return Value(bools()[i] != 0);
+    case DataType::kString:
+      return Value(strings()[i]);
+  }
+  return Value::Null();
+}
+
+Column Column::Take(const SelVector& sel) const {
+  Column out(type_);
+  Status st = out.AppendColumnRows(*this, sel);
+  DC_DCHECK(st.ok());
+  return out;
+}
+
+template <typename Vec>
+void Column::EraseRowsIn(Vec& v, const SelVector& sorted_sel) {
+  if (sorted_sel.empty()) return;
+  // Single-pass shift: walk the survivors over the holes.
+  size_t write = sorted_sel[0];
+  size_t del_idx = 0;
+  for (size_t read = sorted_sel[0]; read < v.size(); ++read) {
+    if (del_idx < sorted_sel.size() && sorted_sel[del_idx] == read) {
+      ++del_idx;
+      continue;
+    }
+    v[write++] = std::move(v[read]);
+  }
+  v.resize(write);
+}
+
+template <typename Vec>
+void Column::KeepRowsIn(Vec& v, const SelVector& sorted_sel) {
+  size_t write = 0;
+  for (uint32_t r : sorted_sel) {
+    // Guard against self-move: for a kept prefix write == r, and
+    // move-assigning a std::string onto itself may clear it.
+    if (write != r) v[write] = std::move(v[r]);
+    ++write;
+  }
+  v.resize(write);
+}
+
+void Column::EraseRows(const SelVector& sorted_sel) {
+  if (sorted_sel.empty()) return;
+  std::visit([&](auto& v) { EraseRowsIn(v, sorted_sel); }, data_);
+  if (!valid_.empty()) EraseRowsIn(valid_, sorted_sel);
+}
+
+void Column::KeepRows(const SelVector& sorted_sel) {
+  std::visit([&](auto& v) { KeepRowsIn(v, sorted_sel); }, data_);
+  if (!valid_.empty()) KeepRowsIn(valid_, sorted_sel);
+}
+
+void Column::Clear() {
+  std::visit([](auto& v) { v.clear(); }, data_);
+  valid_.clear();
+}
+
+std::string Column::ValueToString(size_t i) const {
+  return GetValue(i).ToString();
+}
+
+}  // namespace datacell

@@ -1,0 +1,120 @@
+#ifndef DATACELL_COLUMN_COLUMN_H_
+#define DATACELL_COLUMN_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "column/type.h"
+#include "column/value.h"
+#include "util/status.h"
+
+namespace datacell {
+
+/// A list of row positions, sorted ascending unless stated otherwise.
+/// Operators communicate intermediate results as selection vectors over
+/// their input to avoid materializing columns (MonetDB-style candidate
+/// lists).
+using SelVector = std::vector<uint32_t>;
+
+/// A single typed column — the DataCell analogue of a MonetDB BAT tail.
+///
+/// Row identity is positional: the i-th entries of all columns of a table
+/// form tuple i (the paper's tuple-order alignment). The head/key column of
+/// a BAT is therefore virtual, exactly as in MonetDB.
+///
+/// Nulls are tracked in an optional validity vector that is only
+/// materialized once the first null is appended.
+class Column {
+ public:
+  explicit Column(DataType type);
+
+  DataType type() const { return type_; }
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  /// Direct typed access to the backing vector. The alternative must match
+  /// the column's physical type (int64 for kInt64/kTimestamp, uint8_t for
+  /// kBool). Used by operators for vector-at-a-time processing.
+  std::vector<int64_t>& ints() { return std::get<std::vector<int64_t>>(data_); }
+  const std::vector<int64_t>& ints() const {
+    return std::get<std::vector<int64_t>>(data_);
+  }
+  std::vector<double>& doubles() { return std::get<std::vector<double>>(data_); }
+  const std::vector<double>& doubles() const {
+    return std::get<std::vector<double>>(data_);
+  }
+  std::vector<uint8_t>& bools() { return std::get<std::vector<uint8_t>>(data_); }
+  const std::vector<uint8_t>& bools() const {
+    return std::get<std::vector<uint8_t>>(data_);
+  }
+  std::vector<std::string>& strings() {
+    return std::get<std::vector<std::string>>(data_);
+  }
+  const std::vector<std::string>& strings() const {
+    return std::get<std::vector<std::string>>(data_);
+  }
+
+  /// True if any row is null.
+  bool has_nulls() const { return !valid_.empty(); }
+  /// Validity of row i (true = non-null).
+  bool IsValid(size_t i) const { return valid_.empty() || valid_[i] != 0; }
+
+  /// Typed appends (hot path, no Value boxing). The value slot appended for
+  /// AppendNull holds a zero/empty placeholder.
+  void AppendInt(int64_t v);
+  void AppendDouble(double v);
+  void AppendBool(bool v);
+  void AppendString(std::string v);
+  void AppendNull();
+
+  /// Checked append from a boxed Value (boundary path). Numeric widening
+  /// int->double is applied; anything else mismatched is an error.
+  Status AppendValue(const Value& v);
+
+  /// Appends all rows of `other` (same type required).
+  Status AppendColumn(const Column& other);
+  /// Appends the selected rows of `other`.
+  Status AppendColumnRows(const Column& other, const SelVector& sel);
+
+  /// Boxed read of row i.
+  Value GetValue(size_t i) const;
+
+  /// New column with only the selected rows.
+  Column Take(const SelVector& sel) const;
+
+  /// Removes the rows in `sorted_sel` (ascending, unique) by shifting the
+  /// survivors down in a single pass — the paper's custom "delete a set of
+  /// tuples in one go" kernel operator (§6.2).
+  void EraseRows(const SelVector& sorted_sel);
+
+  /// Keeps only the rows in `sorted_sel` (ascending, unique), compacting in
+  /// place; complement of EraseRows.
+  void KeepRows(const SelVector& sorted_sel);
+
+  /// Drops all rows.
+  void Clear();
+
+  /// Rendering of row i for the codec and debugging.
+  std::string ValueToString(size_t i) const;
+
+ private:
+  template <typename Vec>
+  static void EraseRowsIn(Vec& v, const SelVector& sorted_sel);
+  template <typename Vec>
+  static void KeepRowsIn(Vec& v, const SelVector& sorted_sel);
+
+  // Lazily materializes the validity vector (all rows currently valid).
+  void EnsureValidity();
+
+  DataType type_;
+  std::variant<std::vector<int64_t>, std::vector<double>,
+               std::vector<uint8_t>, std::vector<std::string>>
+      data_;
+  std::vector<uint8_t> valid_;  // empty = all valid
+};
+
+}  // namespace datacell
+
+#endif  // DATACELL_COLUMN_COLUMN_H_

@@ -1,0 +1,77 @@
+#ifndef DATACELL_COLUMN_TABLE_H_
+#define DATACELL_COLUMN_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "column/column.h"
+#include "column/type.h"
+#include "column/value.h"
+#include "util/status.h"
+
+namespace datacell {
+
+/// A relational table: a schema plus one length-aligned Column per field.
+///
+/// Tables are value types used both for persistent relations (via Catalog)
+/// and for intermediate operator results. Baskets (core/basket.h) wrap a
+/// Table and add the stream-specific semantics.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
+  bool empty() const { return num_rows() == 0; }
+
+  Column& column(size_t i) { return columns_[i]; }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Column index by field name, or error.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+  /// Column pointer by field name, or error. The pointer is invalidated by
+  /// structural changes (appends of new columns), not by row appends.
+  Result<const Column*> GetColumn(const std::string& name) const;
+  Result<Column*> GetMutableColumn(const std::string& name);
+
+  /// Appends one tuple; arity and types must match the schema.
+  Status AppendRow(const Row& row);
+  /// Appends all rows of `other`; schemas must be type-compatible
+  /// (same column count and types; names are not required to match, as
+  /// operator outputs are matched positionally).
+  Status AppendTable(const Table& other);
+  /// Appends the selected rows of `other`.
+  Status AppendTableRows(const Table& other, const SelVector& sel);
+
+  /// Boxed read of one tuple.
+  Row GetRow(size_t i) const;
+
+  /// New table with only the selected rows (any order, duplicates allowed).
+  Table Take(const SelVector& sel) const;
+
+  /// Removes the given rows (ascending, unique) from every column in one
+  /// shifting pass.
+  Status EraseRows(const SelVector& sorted_sel);
+  /// Keeps only the given rows (ascending, unique).
+  Status KeepRows(const SelVector& sorted_sel);
+
+  /// Drops all rows, keeping the schema.
+  void Clear();
+
+  /// Tabular rendering of up to `max_rows` rows, for debugging and the
+  /// examples.
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  // Validates that sel is strictly ascending and in range.
+  Status CheckSortedSelection(const SelVector& sel) const;
+
+  Schema schema_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace datacell
+
+#endif  // DATACELL_COLUMN_TABLE_H_

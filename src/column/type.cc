@@ -1,0 +1,66 @@
+#include "column/type.h"
+
+#include "util/strings.h"
+
+namespace datacell {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "int";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kBool:
+      return "bool";
+    case DataType::kString:
+      return "string";
+    case DataType::kTimestamp:
+      return "timestamp";
+  }
+  return "?";
+}
+
+Result<DataType> DataTypeFromName(const std::string& name) {
+  std::string n = ToLower(name);
+  if (n == "int" || n == "integer" || n == "bigint" || n == "smallint") {
+    return DataType::kInt64;
+  }
+  if (n == "double" || n == "float" || n == "real" || n == "decimal") {
+    return DataType::kDouble;
+  }
+  if (n == "bool" || n == "boolean") return DataType::kBool;
+  if (n == "string" || n == "varchar" || n == "text" || n == "char") {
+    return DataType::kString;
+  }
+  if (n == "timestamp") return DataType::kTimestamp;
+  return Status::ParseError("unknown type name: " + name);
+}
+
+int Schema::FindField(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Schema::AddField(Field field) {
+  if (FindField(field.name) >= 0) {
+    return Status::AlreadyExists("duplicate field name: " + field.name);
+  }
+  fields_.push_back(std::move(field));
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += " ";
+    out += DataTypeName(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace datacell

@@ -1,0 +1,80 @@
+#ifndef DATACELL_COLUMN_TYPE_H_
+#define DATACELL_COLUMN_TYPE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace datacell {
+
+/// Logical column types supported by the kernel.
+///
+/// kTimestamp is physically an int64 (microseconds, see util/clock.h) but
+/// kept logically distinct so the SQL layer can type-check time expressions
+/// and the codec can format it.
+enum class DataType : uint8_t {
+  kInt64 = 0,
+  kDouble,
+  kBool,
+  kString,
+  kTimestamp,
+};
+
+/// "int", "double", "bool", "string", "timestamp".
+const char* DataTypeName(DataType type);
+
+/// Inverse of DataTypeName (case-insensitive); also accepts SQL synonyms
+/// (integer, bigint, float, real, varchar, text).
+Result<DataType> DataTypeFromName(const std::string& name);
+
+/// True if the physical representation is int64 (kInt64, kTimestamp).
+inline bool IsIntegerPhysical(DataType t) {
+  return t == DataType::kInt64 || t == DataType::kTimestamp;
+}
+
+/// True for types usable in arithmetic (+,-,*,/).
+inline bool IsNumeric(DataType t) {
+  return t == DataType::kInt64 || t == DataType::kDouble ||
+         t == DataType::kTimestamp;
+}
+
+/// A named, typed column slot in a schema.
+struct Field {
+  std::string name;
+  DataType type;
+
+  bool operator==(const Field& other) const = default;
+};
+
+/// An ordered list of fields with by-name lookup.
+///
+/// Schemas are value types; copying one is cheap relative to table data.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field with this name, or -1.
+  int FindField(const std::string& name) const;
+
+  /// Appends a field; duplicate names are rejected.
+  Status AddField(Field field);
+
+  /// "(a int, b double)" — for error messages and tooling.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const { return fields_ == other.fields_; }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace datacell
+
+#endif  // DATACELL_COLUMN_TYPE_H_

@@ -1,0 +1,70 @@
+#ifndef DATACELL_COLUMN_VALUE_H_
+#define DATACELL_COLUMN_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "column/type.h"
+#include "util/status.h"
+
+namespace datacell {
+
+/// A scalar value: null, int64/timestamp, double, bool, or string.
+///
+/// Value is the boundary representation — literals in expressions, rows in
+/// the textual codec, test fixtures. Bulk processing never goes through
+/// Value; operators work on whole columns.
+class Value {
+ public:
+  /// Null value.
+  Value() : data_(std::monostate{}) {}
+  Value(int64_t v) : data_(v) {}             // NOLINT(runtime/explicit)
+  Value(int v) : data_(int64_t{v}) {}        // NOLINT(runtime/explicit)
+  Value(double v) : data_(v) {}              // NOLINT(runtime/explicit)
+  Value(bool v) : data_(v) {}                // NOLINT(runtime/explicit)
+  Value(std::string v) : data_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : data_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+
+  /// Typed accessors; must match the held alternative.
+  int64_t int_value() const { return std::get<int64_t>(data_); }
+  double double_value() const { return std::get<double>(data_); }
+  bool bool_value() const { return std::get<bool>(data_); }
+  const std::string& string_value() const { return std::get<std::string>(data_); }
+
+  /// Numeric value widened to double (int or double); null/bool/string error.
+  Result<double> AsDouble() const;
+
+  /// Coerces to the given column type (int<->double widening/narrowing,
+  /// timestamp<->int). Strings are never implicitly converted.
+  Result<Value> CastTo(DataType type) const;
+
+  /// True if this value can be stored in a column of `type` without cast.
+  bool MatchesType(DataType type) const;
+
+  /// SQL-ish rendering: NULL, 42, 3.5, true, 'text'.
+  std::string ToString() const;
+
+  /// Deep equality (null == null is true here; SQL three-valued logic lives in
+  /// the expression evaluator, not in Value).
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+
+ private:
+  std::variant<std::monostate, int64_t, double, bool, std::string> data_;
+};
+
+/// One relational tuple at the Value-level boundary.
+using Row = std::vector<Value>;
+
+}  // namespace datacell
+
+#endif  // DATACELL_COLUMN_VALUE_H_

@@ -1,0 +1,148 @@
+#include "core/basket.h"
+
+#include "util/logging.h"
+
+namespace datacell::core {
+
+Basket::Basket(std::string name, const Schema& schema, bool add_arrival_ts)
+    : name_(std::move(name)), schema_(schema), data_() {
+  if (add_arrival_ts && schema_.FindField(kArrivalColumn) < 0) {
+    Status st = schema_.AddField({kArrivalColumn, DataType::kTimestamp});
+    DC_CHECK(st.ok());
+    has_arrival_ = true;
+  } else {
+    has_arrival_ = schema_.FindField(kArrivalColumn) >= 0;
+  }
+  data_ = Table(schema_);
+}
+
+void Basket::AddConstraint(ExprPtr predicate) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  constraints_.push_back(std::move(predicate));
+}
+
+Result<SelVector> Basket::ApplyConstraints(const Table& tuples) const {
+  SelVector sel(tuples.num_rows());
+  for (size_t i = 0; i < sel.size(); ++i) sel[i] = static_cast<uint32_t>(i);
+  EvalContext ctx;
+  for (const ExprPtr& c : constraints_) {
+    ASSIGN_OR_RETURN(sel, EvalPredicateOn(tuples, *c, sel, ctx));
+  }
+  return sel;
+}
+
+Result<size_t> Basket::Append(const Table& tuples, Micros now) {
+  if (!enabled_.load()) {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    stats_.dropped += tuples.num_rows();
+    return size_t{0};
+  }
+  // Widen to the full schema by stamping the arrival column.
+  if (!has_arrival_) return AppendAligned(tuples, now);
+  if (tuples.num_columns() + 1 != data_.num_columns()) {
+    return Status::TypeMismatch("basket '" + name_ + "' expects " +
+                                std::to_string(data_.num_columns() - 1) +
+                                " user columns, got " +
+                                std::to_string(tuples.num_columns()));
+  }
+  Table widened(schema_);
+  for (size_t c = 0; c < tuples.num_columns(); ++c) {
+    RETURN_NOT_OK(widened.column(c).AppendColumn(tuples.column(c)));
+  }
+  Column& ts = widened.column(widened.num_columns() - 1);
+  for (size_t i = 0; i < tuples.num_rows(); ++i) ts.AppendInt(now);
+  return AppendAligned(widened, now);
+}
+
+Result<size_t> Basket::AppendAligned(const Table& tuples, Micros now) {
+  (void)now;
+  if (!enabled_.load()) {
+    std::lock_guard<std::recursive_mutex> lock(mu_);
+    stats_.dropped += tuples.num_rows();
+    return size_t{0};
+  }
+  if (tuples.num_columns() != data_.num_columns()) {
+    return Status::TypeMismatch("aligned append arity mismatch on basket '" +
+                                name_ + "'");
+  }
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (constraints_.empty()) {
+    RETURN_NOT_OK(data_.AppendTable(tuples));
+    stats_.appended += tuples.num_rows();
+    return tuples.num_rows();
+  }
+  ASSIGN_OR_RETURN(SelVector keep, ApplyConstraints(tuples));
+  RETURN_NOT_OK(data_.AppendTableRows(tuples, keep));
+  stats_.appended += keep.size();
+  stats_.dropped += tuples.num_rows() - keep.size();
+  return keep.size();
+}
+
+Status Basket::AppendRow(const Row& row, Micros now) {
+  Table t(Schema(std::vector<Field>(
+      schema_.fields().begin(),
+      schema_.fields().end() - (has_arrival_ ? 1 : 0))));
+  RETURN_NOT_OK(t.AppendRow(row));
+  ASSIGN_OR_RETURN(size_t n, Append(t, now));
+  (void)n;
+  return Status::OK();
+}
+
+size_t Basket::size() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return data_.num_rows();
+}
+
+Table Basket::Peek() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return data_;
+}
+
+Table Basket::PeekRows(const SelVector& sel) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return data_.Take(sel);
+}
+
+Table Basket::TakeAll() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  Table out = std::move(data_);
+  data_ = Table(schema_);
+  stats_.consumed += out.num_rows();
+  return out;
+}
+
+Result<Table> Basket::TakeRows(const SelVector& sorted_sel) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  Table out = data_.Take(sorted_sel);
+  RETURN_NOT_OK(data_.EraseRows(sorted_sel));
+  stats_.consumed += sorted_sel.size();
+  return out;
+}
+
+Status Basket::EraseRows(const SelVector& sorted_sel) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RETURN_NOT_OK(data_.EraseRows(sorted_sel));
+  stats_.consumed += sorted_sel.size();
+  return Status::OK();
+}
+
+Status Basket::ErasePrefix(size_t n) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  n = std::min(n, data_.num_rows());
+  SelVector sel(n);
+  for (size_t i = 0; i < n; ++i) sel[i] = static_cast<uint32_t>(i);
+  return EraseRows(sel);
+}
+
+void Basket::Clear() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  stats_.consumed += data_.num_rows();
+  data_.Clear();
+}
+
+Basket::Stats Basket::stats() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace datacell::core

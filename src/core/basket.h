@@ -1,0 +1,137 @@
+#ifndef DATACELL_CORE_BASKET_H_
+#define DATACELL_CORE_BASKET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "column/table.h"
+#include "expr/eval.h"
+#include "expr/expr.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace datacell::core {
+
+/// Name of the implicit arrival-timestamp column every basket carries
+/// (the paper: "for each relational table there exists an extra column, the
+/// timestamp column, that ... reflects the time that this tuple entered the
+/// system").
+inline constexpr const char* kArrivalColumn = "dc_arrival";
+
+/// The key DataCell data structure: a temporary main-memory table holding a
+/// portion of a stream (§3.2).
+///
+/// Differences from a plain Table, per the paper:
+///  * Integrity: tuples violating a constraint are silently dropped, acting
+///    as a silent filter.
+///  * ACID: contents are session-scoped and non-durable; concurrent access
+///    is regulated with a lock.
+///  * Control: a basket can be disabled, blocking the stream (appends are
+///    rejected) until re-enabled.
+///  * Consumption: tuples are removed once consumed by all relevant
+///    continuous queries; there is no a-priori arrival order requirement.
+///
+/// All public methods are internally synchronized via a recursive mutex, so
+/// multi-step factory sequences can additionally hold AcquireLock() across
+/// statements (mirroring Algorithm 1's basket.lock/unlock) while still
+/// calling the public API.
+class Basket {
+ public:
+  struct Stats {
+    uint64_t appended = 0;  // tuples accepted
+    uint64_t dropped = 0;   // tuples silently dropped by constraints/disable
+    uint64_t consumed = 0;  // tuples removed by queries
+  };
+
+  /// Creates a basket over `schema`. When `add_arrival_ts` is set (the
+  /// default) a kArrivalColumn timestamp field is appended to the schema
+  /// and stamped on every accepted tuple.
+  Basket(std::string name, const Schema& schema, bool add_arrival_ts = true);
+
+  Basket(const Basket&) = delete;
+  Basket& operator=(const Basket&) = delete;
+
+  const std::string& name() const { return name_; }
+  /// Full schema, including the arrival column when present.
+  const Schema& schema() const { return schema_; }
+  bool has_arrival_column() const { return has_arrival_; }
+
+  /// --- Flow control -------------------------------------------------------
+  void Enable() { enabled_.store(true); }
+  void Disable() { enabled_.store(false); }
+  bool enabled() const { return enabled_.load(); }
+
+  /// --- Integrity ----------------------------------------------------------
+  /// Adds a constraint predicate over the basket schema. Tuples violating
+  /// any constraint are silently dropped on append.
+  void AddConstraint(ExprPtr predicate);
+
+  /// --- Producer side ------------------------------------------------------
+  /// Appends user tuples (without the arrival column), stamping arrival time
+  /// `now` and filtering through the constraints. Returns the number of
+  /// tuples accepted. If the basket is disabled all tuples are dropped.
+  Result<size_t> Append(const Table& tuples, Micros now);
+  /// Appends tuples that already carry the full basket schema (used when
+  /// forwarding between baskets); constraints still apply.
+  Result<size_t> AppendAligned(const Table& tuples, Micros now);
+  /// Single-row convenience (boundary paths only).
+  Status AppendRow(const Row& row, Micros now);
+
+  /// --- Consumer side ------------------------------------------------------
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  /// Copy of the current contents (kConsumeNone reads).
+  Table Peek() const;
+  /// Copy of selected rows without consuming.
+  Table PeekRows(const SelVector& sel) const;
+
+  /// Moves the entire contents out (Algorithm 1's select-then-empty).
+  Table TakeAll();
+  /// Removes and returns exactly the given rows (ascending, unique).
+  Result<Table> TakeRows(const SelVector& sorted_sel);
+  /// Removes (without returning) the given rows.
+  Status EraseRows(const SelVector& sorted_sel);
+  /// Removes the first n tuples (shared-baskets unlocker step).
+  Status ErasePrefix(size_t n);
+  /// Drops everything.
+  void Clear();
+
+  /// Direct access to the backing table for operator evaluation. Callers
+  /// that need multi-step atomicity must hold AcquireLock() for the whole
+  /// sequence.
+  const Table& contents() const { return data_; }
+  Table* mutable_contents() { return &data_; }
+
+  /// Explicit lock spanning several operations (factory firing).
+  std::unique_lock<std::recursive_mutex> AcquireLock() const {
+    return std::unique_lock<std::recursive_mutex>(mu_);
+  }
+
+  Stats stats() const;
+
+ private:
+  // Filters `tuples` (full schema) through constraints; returns accepted
+  // row positions. Caller holds mu_.
+  Result<SelVector> ApplyConstraints(const Table& tuples) const;
+
+  const std::string name_;
+  Schema schema_;
+  bool has_arrival_ = false;
+  std::atomic<bool> enabled_{true};
+
+  mutable std::recursive_mutex mu_;
+  Table data_;
+  std::vector<ExprPtr> constraints_;
+  Stats stats_;
+};
+
+using BasketPtr = std::shared_ptr<Basket>;
+
+}  // namespace datacell::core
+
+#endif  // DATACELL_CORE_BASKET_H_

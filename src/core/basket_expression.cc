@@ -1,0 +1,80 @@
+#include "core/basket_expression.h"
+
+#include <algorithm>
+
+#include "expr/eval.h"
+#include "util/logging.h"
+
+namespace datacell::core {
+
+Result<Table> BasketExpression::Evaluate(const EvalContext& ctx) const {
+  auto lock = source_->AcquireLock();
+  const Table& data = source_->contents();
+
+  // 1. Window predicate.
+  SelVector window;
+  if (predicate_ != nullptr) {
+    ASSIGN_OR_RETURN(window, EvalPredicate(data, *predicate_, ctx));
+  } else {
+    window.resize(data.num_rows());
+    for (size_t i = 0; i < window.size(); ++i) {
+      window[i] = static_cast<uint32_t>(i);
+    }
+  }
+
+  // 2. order by / top n over the window.
+  SelVector selected = window;
+  if (!order_by_.empty() || top_n_.has_value()) {
+    Table window_tab = data.Take(window);
+    if (top_n_.has_value()) {
+      // A `top n` window is exact: wait until it can be filled.
+      if (window_tab.num_rows() < *top_n_) {
+        return Table(data.schema());
+      }
+      ASSIGN_OR_RETURN(SelVector local,
+                       ops::TopNIndices(window_tab, order_by_, *top_n_, ctx));
+      selected.clear();
+      selected.reserve(local.size());
+      for (uint32_t l : local) selected.push_back(window[l]);
+    } else {
+      ASSIGN_OR_RETURN(SelVector local,
+                       ops::SortIndices(window_tab, order_by_, ctx));
+      selected.clear();
+      selected.reserve(local.size());
+      for (uint32_t l : local) selected.push_back(window[l]);
+    }
+  }
+
+  // 3. Materialize the result before mutating the basket.
+  Table result = data.Take(selected);
+
+  // 4. Consumption side effect.
+  switch (consume_) {
+    case ConsumePolicy::kNone:
+      break;
+    case ConsumePolicy::kBatch:
+      source_->Clear();
+      break;
+    case ConsumePolicy::kMatched: {
+      SelVector to_erase = selected;
+      std::sort(to_erase.begin(), to_erase.end());
+      to_erase.erase(std::unique(to_erase.begin(), to_erase.end()),
+                     to_erase.end());
+      RETURN_NOT_OK(source_->EraseRows(to_erase));
+      break;
+    }
+    case ConsumePolicy::kExpired: {
+      if (expire_predicate_ == nullptr) {
+        return Status::InvalidArgument(
+            "kExpired consume policy requires an expire predicate");
+      }
+      ASSIGN_OR_RETURN(SelVector expired,
+                       EvalPredicate(data, *expire_predicate_, ctx));
+      RETURN_NOT_OK(source_->EraseRows(expired));
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace datacell::core

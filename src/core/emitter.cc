@@ -1,0 +1,25 @@
+#include "core/receptor.h"
+
+namespace datacell::core {
+
+bool Emitter::CanFire(Micros) const {
+  for (const BasketPtr& b : inputs_) {
+    if (!b->empty()) return true;
+  }
+  return false;
+}
+
+Result<bool> Emitter::Fire(Micros) {
+  bool moved = false;
+  for (const BasketPtr& b : inputs_) {
+    if (b->empty()) continue;
+    Table batch = b->TakeAll();
+    if (batch.num_rows() == 0) continue;
+    emitted_ += batch.num_rows();
+    RETURN_NOT_OK(sink_(batch));
+    moved = true;
+  }
+  return moved;
+}
+
+}  // namespace datacell::core

@@ -1,0 +1,74 @@
+#include "core/engine.h"
+
+namespace datacell::core {
+
+Result<BasketPtr> Engine::CreateBasket(const std::string& name,
+                                       const Schema& schema,
+                                       bool add_arrival_ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (baskets_.count(name) > 0) {
+    return Status::AlreadyExists("basket '" + name + "' already exists");
+  }
+  if (catalog_.HasTable(name)) {
+    return Status::AlreadyExists("a table named '" + name + "' exists");
+  }
+  auto basket = std::make_shared<Basket>(name, schema, add_arrival_ts);
+  baskets_[name] = basket;
+  return basket;
+}
+
+Result<BasketPtr> Engine::GetBasket(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = baskets_.find(name);
+  if (it == baskets_.end()) {
+    return Status::NotFound("no basket named '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Engine::HasBasket(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return baskets_.count(name) > 0;
+}
+
+Status Engine::DropBasket(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (baskets_.erase(name) == 0) {
+    return Status::NotFound("no basket named '" + name + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Engine::ListBaskets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(baskets_.size());
+  for (const auto& [name, _] : baskets_) names.push_back(name);
+  return names;
+}
+
+void Engine::SetVariable(const std::string& name, Value value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  variables_[name] = std::move(value);
+}
+
+Result<Value> Engine::GetVariable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = variables_.find(name);
+  if (it == variables_.end()) {
+    return Status::NotFound("no variable named '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Engine::HasVariable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return variables_.count(name) > 0;
+}
+
+std::map<std::string, Value> Engine::VariablesSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return variables_;
+}
+
+}  // namespace datacell::core

@@ -1,0 +1,70 @@
+#ifndef DATACELL_CORE_ENGINE_H_
+#define DATACELL_CORE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "column/catalog.h"
+#include "core/basket.h"
+#include "core/scheduler.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace datacell::core {
+
+/// The DataCell engine: the top-level object bundling the catalog of
+/// persistent tables (the DBMS side), the registry of baskets (the stream
+/// side), the Petri-net scheduler, the clock, and session variables.
+///
+/// The SQL session (sql/session.h) and the examples operate through this
+/// facade; the lower-level pieces remain usable on their own.
+class Engine {
+ public:
+  /// The engine does not own the clock (tests share a SimulatedClock).
+  explicit Engine(Clock* clock)
+      : clock_(clock), scheduler_(std::make_unique<Scheduler>(clock)) {}
+
+  Clock* clock() const { return clock_; }
+  Micros Now() const { return clock_->Now(); }
+
+  Catalog& catalog() { return catalog_; }
+  Scheduler& scheduler() { return *scheduler_; }
+
+  /// --- Baskets ------------------------------------------------------------
+  Result<BasketPtr> CreateBasket(const std::string& name, const Schema& schema,
+                                 bool add_arrival_ts = true);
+  Result<BasketPtr> GetBasket(const std::string& name) const;
+  bool HasBasket(const std::string& name) const;
+  Status DropBasket(const std::string& name);
+  std::vector<std::string> ListBaskets() const;
+
+  /// --- Session variables (SQL declare/set) --------------------------------
+  void SetVariable(const std::string& name, Value value);
+  Result<Value> GetVariable(const std::string& name) const;
+  bool HasVariable(const std::string& name) const;
+  /// Snapshot for expression evaluation.
+  std::map<std::string, Value> VariablesSnapshot() const;
+
+  /// Convenience: register a transition and return it.
+  template <typename T>
+  std::shared_ptr<T> Register(std::shared_ptr<T> transition) {
+    scheduler_->Register(transition);
+    return transition;
+  }
+
+ private:
+  Clock* clock_;
+  Catalog catalog_;
+  std::unique_ptr<Scheduler> scheduler_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, BasketPtr> baskets_;
+  std::map<std::string, Value> variables_;
+};
+
+}  // namespace datacell::core
+
+#endif  // DATACELL_CORE_ENGINE_H_

@@ -1,0 +1,78 @@
+#include "core/factory.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace datacell::core {
+
+Factory& Factory::AddInput(BasketPtr basket, size_t min_tuples) {
+  DC_CHECK(basket != nullptr);
+  inputs_.push_back(std::move(basket));
+  min_tuples_.push_back(std::max<size_t>(min_tuples, 1));
+  return *this;
+}
+
+Factory& Factory::AddOutput(BasketPtr basket) {
+  DC_CHECK(basket != nullptr);
+  outputs_.push_back(std::move(basket));
+  return *this;
+}
+
+bool Factory::CanFire(Micros) const {
+  // Petri-net firing rule: every input place holds tokens (≥ its
+  // batch/window threshold).
+  if (inputs_.empty()) return false;
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    if (inputs_[i]->size() < min_tuples_[i]) return false;
+  }
+  return true;
+}
+
+Result<bool> Factory::Fire(Micros now) {
+  // Lock every involved basket in a canonical (pointer) order so factories
+  // sharing baskets cannot deadlock; recursive mutexes let the body keep
+  // using the public Basket API underneath.
+  std::vector<Basket*> involved;
+  involved.reserve(inputs_.size() + outputs_.size());
+  for (const BasketPtr& b : inputs_) involved.push_back(b.get());
+  for (const BasketPtr& b : outputs_) involved.push_back(b.get());
+  std::sort(involved.begin(), involved.end());
+  involved.erase(std::unique(involved.begin(), involved.end()),
+                 involved.end());
+  std::vector<std::unique_lock<std::recursive_mutex>> locks;
+  locks.reserve(involved.size());
+  for (Basket* b : involved) locks.push_back(b->AcquireLock());
+
+  // Track movement for quiescence detection.
+  auto total_size = [&]() {
+    size_t s = 0;
+    for (Basket* b : involved) s += b->size();
+    return s;
+  };
+  const size_t before = total_size();
+  const auto before_stats = [&]() {
+    uint64_t c = 0;
+    for (Basket* b : involved) c += b->stats().appended + b->stats().consumed;
+    return c;
+  }();
+
+  SystemClock* wall = SystemClock::Get();
+  const Micros t0 = wall->Now();
+  FactoryContext ctx(now, &inputs_, &outputs_);
+  RETURN_NOT_OK(body_(ctx));
+  const Micros dt = wall->Now() - t0;
+
+  stats_.firings++;
+  stats_.last_exec = dt;
+  stats_.total_exec += dt;
+
+  const uint64_t after_stats = [&]() {
+    uint64_t c = 0;
+    for (Basket* b : involved) c += b->stats().appended + b->stats().consumed;
+    return c;
+  }();
+  return total_size() != before || after_stats != before_stats;
+}
+
+}  // namespace datacell::core

@@ -1,0 +1,115 @@
+#ifndef DATACELL_CORE_FACTORY_H_
+#define DATACELL_CORE_FACTORY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/basket.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace datacell::core {
+
+/// A Petri-net transition (§4.1): receptors, emitters and factories all
+/// implement this interface. Baskets are the token places; a transition may
+/// fire when its firing condition over its input places holds, and firing
+/// is atomic.
+class Transition {
+ public:
+  virtual ~Transition() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// True if the transition's inputs allow it to fire now.
+  virtual bool CanFire(Micros now) const = 0;
+
+  /// Executes one atomic firing. Returns true if it did useful work (moved
+  /// or produced tuples); the scheduler uses this for quiescence detection.
+  virtual Result<bool> Fire(Micros now) = 0;
+};
+
+using TransitionPtr = std::shared_ptr<Transition>;
+
+/// Per-firing execution context handed to a factory body.
+class FactoryContext {
+ public:
+  FactoryContext(Micros now, std::vector<BasketPtr>* inputs,
+                 std::vector<BasketPtr>* outputs)
+      : now_(now), inputs_(inputs), outputs_(outputs) {}
+
+  Micros now() const { return now_; }
+  size_t num_inputs() const { return inputs_->size(); }
+  size_t num_outputs() const { return outputs_->size(); }
+  Basket& input(size_t i) const { return *(*inputs_)[i]; }
+  Basket& output(size_t i) const { return *(*outputs_)[i]; }
+  const BasketPtr& input_ptr(size_t i) const { return (*inputs_)[i]; }
+  const BasketPtr& output_ptr(size_t i) const { return (*outputs_)[i]; }
+
+  /// Evaluation context pre-loaded with now(); bodies may extend it.
+  EvalContext eval() const {
+    EvalContext ctx;
+    ctx.now = now_;
+    return ctx;
+  }
+
+ private:
+  Micros now_;
+  std::vector<BasketPtr>* inputs_;
+  std::vector<BasketPtr>* outputs_;
+};
+
+/// A factory (§3.3): a continuous query — or a fragment of one — modelled
+/// as a function whose execution state is saved between calls.
+///
+/// The C++ rendering of MAL factories: the body is a closure; any state it
+/// captures (running aggregates, window bookkeeping) persists across
+/// firings, which is exactly the "factory keeps its status around and
+/// continues from where it stopped" semantics.
+class Factory : public Transition {
+ public:
+  /// The body runs with all input and output baskets locked (in a global
+  /// canonical order, so factories sharing baskets cannot deadlock).
+  using Body = std::function<Status(FactoryContext&)>;
+
+  struct Stats {
+    uint64_t firings = 0;
+    Micros total_exec = 0;  // cumulative body time
+    Micros last_exec = 0;
+  };
+
+  Factory(std::string name, Body body)
+      : name_(std::move(name)), body_(std::move(body)) {}
+
+  /// Declares an input place. The factory can fire only when every input
+  /// holds at least `min_tuples` tuples (batch-processing / tuple-window
+  /// threshold, §4.1).
+  Factory& AddInput(BasketPtr basket, size_t min_tuples = 1);
+  Factory& AddOutput(BasketPtr basket);
+
+  const std::string& name() const override { return name_; }
+  bool CanFire(Micros now) const override;
+  Result<bool> Fire(Micros now) override;
+
+  size_t num_inputs() const { return inputs_.size(); }
+  size_t num_outputs() const { return outputs_.size(); }
+  const BasketPtr& input(size_t i) const { return inputs_[i]; }
+  const BasketPtr& output(size_t i) const { return outputs_[i]; }
+
+  Stats stats() const { return stats_; }
+
+ private:
+  const std::string name_;
+  Body body_;
+  std::vector<BasketPtr> inputs_;
+  std::vector<size_t> min_tuples_;
+  std::vector<BasketPtr> outputs_;
+  Stats stats_;
+};
+
+using FactoryPtr = std::shared_ptr<Factory>;
+
+}  // namespace datacell::core
+
+#endif  // DATACELL_CORE_FACTORY_H_

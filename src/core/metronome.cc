@@ -1,0 +1,52 @@
+#include "core/metronome.h"
+
+#include "util/logging.h"
+
+namespace datacell::core {
+
+Metronome::Metronome(std::string name, BasketPtr output, Micros start,
+                     Micros interval, RowFactory row_factory)
+    : name_(std::move(name)),
+      output_(std::move(output)),
+      next_tick_(start),
+      interval_(interval),
+      row_factory_(std::move(row_factory)) {
+  DC_CHECK(interval_ > 0);
+}
+
+Result<bool> Metronome::Fire(Micros now) {
+  bool emitted = false;
+  while (now >= next_tick_) {
+    Row row;
+    if (row_factory_ != nullptr) {
+      row = row_factory_(next_tick_);
+    } else {
+      const size_t user_fields =
+          output_->schema().num_fields() - (output_->has_arrival_column() ? 1 : 0);
+      row.assign(user_fields, Value::Null());
+    }
+    RETURN_NOT_OK(output_->AppendRow(row, next_tick_));
+    next_tick_ += interval_;
+    emitted = true;
+  }
+  return emitted;
+}
+
+TransitionPtr MakeHeartbeat(const std::string& name, BasketPtr hb_basket,
+                            const std::string& epoch_column, Micros start,
+                            Micros interval) {
+  // Find the epoch column position among the user fields.
+  int idx = hb_basket->schema().FindField(epoch_column);
+  DC_CHECK(idx >= 0) << "heartbeat basket lacks epoch column " << epoch_column;
+  const size_t user_fields = hb_basket->schema().num_fields() -
+                             (hb_basket->has_arrival_column() ? 1 : 0);
+  auto row_factory = [idx, user_fields](Micros tick) {
+    Row row(user_fields, Value::Null());
+    row[static_cast<size_t>(idx)] = Value(tick);
+    return row;
+  };
+  return std::make_shared<Metronome>(name, hb_basket, start, interval,
+                                     row_factory);
+}
+
+}  // namespace datacell::core

@@ -1,0 +1,57 @@
+#ifndef DATACELL_CORE_METRONOME_H_
+#define DATACELL_CORE_METRONOME_H_
+
+#include <functional>
+#include <string>
+
+#include "core/basket.h"
+#include "core/factory.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace datacell::core {
+
+/// A metronome (§5): a transition that injects marker events into a basket
+/// at a fixed interval, so queries can react to the *lack* of events.
+///
+/// The row factory receives the tick time and produces the marker tuple
+/// (user columns only; the arrival column is stamped as usual). The default
+/// marker is a single-null row per basket field.
+class Metronome : public Transition {
+ public:
+  using RowFactory = std::function<Row(Micros tick)>;
+
+  /// Ticks every `interval` microseconds starting at `start`; pass a null
+  /// RowFactory for the all-null marker row.
+  Metronome(std::string name, BasketPtr output, Micros start, Micros interval,
+            RowFactory row_factory = nullptr);
+
+  const std::string& name() const override { return name_; }
+  bool CanFire(Micros now) const override { return now >= next_tick_; }
+
+  /// Emits one marker per elapsed interval (catching up if the scheduler
+  /// was delayed), so downstream epochs are never skipped — this is the
+  /// heartbeat guarantee of §5.
+  Result<bool> Fire(Micros now) override;
+
+  Micros next_tick() const { return next_tick_; }
+
+ private:
+  const std::string name_;
+  BasketPtr output_;
+  Micros next_tick_;
+  const Micros interval_;
+  RowFactory row_factory_;
+};
+
+/// Builds the §5 heartbeat pattern: a dedicated "HB" basket fed by a
+/// metronome whose markers carry the epoch timestamp in the given column.
+/// Returns the transition to register; the basket is created by the caller
+/// with a kTimestamp field named `epoch_column`.
+TransitionPtr MakeHeartbeat(const std::string& name, BasketPtr hb_basket,
+                            const std::string& epoch_column, Micros start,
+                            Micros interval);
+
+}  // namespace datacell::core
+
+#endif  // DATACELL_CORE_METRONOME_H_

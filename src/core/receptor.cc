@@ -1,0 +1,28 @@
+#include "core/receptor.h"
+
+namespace datacell::core {
+
+Result<size_t> Receptor::Deliver(const Table& tuples, Micros now) {
+  size_t first_accepted = 0;
+  for (size_t i = 0; i < outputs_.size(); ++i) {
+    ASSIGN_OR_RETURN(size_t n, outputs_[i]->Append(tuples, now));
+    if (i == 0) first_accepted = n;
+  }
+  return first_accepted;
+}
+
+bool Receptor::CanFire(Micros) const {
+  // Pull receptors are always eligible; the poll decides if there is work.
+  return source_ != nullptr;
+}
+
+Result<bool> Receptor::Fire(Micros now) {
+  if (source_ == nullptr) return false;
+  ASSIGN_OR_RETURN(std::optional<Table> batch, source_());
+  if (!batch.has_value() || batch->num_rows() == 0) return false;
+  ASSIGN_OR_RETURN(size_t n, Deliver(*batch, now));
+  (void)n;
+  return true;
+}
+
+}  // namespace datacell::core

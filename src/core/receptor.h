@@ -1,0 +1,97 @@
+#ifndef DATACELL_CORE_RECEPTOR_H_
+#define DATACELL_CORE_RECEPTOR_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/basket.h"
+#include "core/factory.h"
+#include "util/status.h"
+
+namespace datacell::core {
+
+/// A receptor (§3.1): the adapter that picks up incoming events from a
+/// communication channel, validates them, and forwards them into baskets.
+///
+/// Two usage modes:
+///  * Push: an external thread (e.g. net::TcpReceptor's connection handler)
+///    calls Deliver() directly.
+///  * Pull: a `source` poll function is installed and the receptor behaves
+///    as a scheduled Petri-net transition, firing whenever the source has
+///    events (used by in-process workload generators).
+///
+/// A receptor with several output baskets replicates each incoming tuple to
+/// all of them — the fan-out used by the separate-baskets strategy.
+class Receptor : public Transition {
+ public:
+  /// Returns the next batch of tuples, std::nullopt when nothing is
+  /// pending, or an error.
+  using Source = std::function<Result<std::optional<Table>>()>;
+
+  explicit Receptor(std::string name) : name_(std::move(name)) {}
+  Receptor(std::string name, Source source)
+      : name_(std::move(name)), source_(std::move(source)) {}
+
+  Receptor& AddOutput(BasketPtr basket) {
+    outputs_.push_back(std::move(basket));
+    return *this;
+  }
+
+  /// Pushes a batch of user tuples into all output baskets, stamping
+  /// arrival time `now`. Returns the number of tuples accepted into the
+  /// first basket (constraint drops apply per basket).
+  Result<size_t> Deliver(const Table& tuples, Micros now);
+
+  const std::string& name() const override { return name_; }
+
+  /// Pull mode only: fires by polling the source once.
+  bool CanFire(Micros now) const override;
+  Result<bool> Fire(Micros now) override;
+
+  const std::vector<BasketPtr>& outputs() const { return outputs_; }
+
+ private:
+  const std::string name_;
+  Source source_;
+  std::vector<BasketPtr> outputs_;
+};
+
+using ReceptorPtr = std::shared_ptr<Receptor>;
+
+/// An emitter (§3.1): picks up result tuples from its input baskets and
+/// delivers them to subscribed clients through a sink callback.
+class Emitter : public Transition {
+ public:
+  /// Receives each outgoing batch (full basket schema).
+  using Sink = std::function<Status(const Table&)>;
+
+  Emitter(std::string name, Sink sink)
+      : name_(std::move(name)), sink_(std::move(sink)) {}
+
+  Emitter& AddInput(BasketPtr basket) {
+    inputs_.push_back(std::move(basket));
+    return *this;
+  }
+
+  const std::string& name() const override { return name_; }
+  bool CanFire(Micros now) const override;
+  /// Takes everything from each non-empty input and hands it to the sink.
+  Result<bool> Fire(Micros now) override;
+
+  uint64_t tuples_emitted() const { return emitted_; }
+
+ private:
+  const std::string name_;
+  Sink sink_;
+  std::vector<BasketPtr> inputs_;
+  uint64_t emitted_ = 0;
+};
+
+using EmitterPtr = std::shared_ptr<Emitter>;
+
+}  // namespace datacell::core
+
+#endif  // DATACELL_CORE_RECEPTOR_H_

@@ -1,0 +1,79 @@
+#include "core/scheduler.h"
+
+#include "util/logging.h"
+
+namespace datacell::core {
+
+Scheduler::~Scheduler() { Stop(); }
+
+void Scheduler::Register(TransitionPtr transition) {
+  std::lock_guard<std::mutex> lock(mu_);
+  transitions_.push_back(std::move(transition));
+}
+
+size_t Scheduler::num_transitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return transitions_.size();
+}
+
+Result<bool> Scheduler::RunOnce() {
+  // Snapshot under the lock; firing happens outside it so transitions can
+  // be registered concurrently.
+  std::vector<TransitionPtr> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = transitions_;
+  }
+  bool any_work = false;
+  const Micros now = clock_->Now();
+  for (const TransitionPtr& t : snapshot) {
+    if (!t->CanFire(now)) continue;
+    ASSIGN_OR_RETURN(bool worked, t->Fire(clock_->Now()));
+    any_work = any_work || worked;
+  }
+  return any_work;
+}
+
+Result<size_t> Scheduler::RunUntilQuiescent(size_t max_rounds) {
+  size_t rounds = 0;
+  while (rounds < max_rounds) {
+    ASSIGN_OR_RETURN(bool worked, RunOnce());
+    if (!worked) break;
+    ++rounds;
+  }
+  return rounds;
+}
+
+Status Scheduler::Start() {
+  if (running_.load()) return Status::Internal("scheduler already running");
+  stop_requested_.store(false);
+  running_.store(true);
+  thread_ = std::thread([this] { ThreadLoop(); });
+  return Status::OK();
+}
+
+void Scheduler::Stop() {
+  // Join unconditionally: the loop may already have exited on an error
+  // (running_ false) while the thread object is still joinable.
+  stop_requested_.store(true);
+  if (thread_.joinable()) thread_.join();
+  running_.store(false);
+}
+
+void Scheduler::ThreadLoop() {
+  while (!stop_requested_.load()) {
+    Result<bool> worked = RunOnce();
+    if (!worked.ok()) {
+      DC_LOG(Error) << "scheduler stopping on error: "
+                    << worked.status().ToString();
+      break;
+    }
+    if (!*worked) {
+      // Nothing fired this round; park briefly instead of spinning.
+      SystemClock::Get()->SleepFor(100);  // 0.1 ms
+    }
+  }
+  running_.store(false);
+}
+
+}  // namespace datacell::core

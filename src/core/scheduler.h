@@ -1,0 +1,67 @@
+#ifndef DATACELL_CORE_SCHEDULER_H_
+#define DATACELL_CORE_SCHEDULER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/factory.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace datacell::core {
+
+/// The DataCell scheduler (§4.1): runs an infinite loop and at every
+/// iteration checks which transitions can fire by analyzing their inputs.
+///
+/// Two execution modes:
+///  * Cooperative — the caller drives rounds on its own thread
+///    (RunOnce / RunUntilQuiescent). Deterministic; used by tests, the
+///    latency benchmarks and the Linear Road driver.
+///  * Threaded — Start() spawns a scheduler thread that keeps polling,
+///    parking briefly when a full round fires nothing. Used together with
+///    receptor/emitter threads in the network experiments.
+class Scheduler {
+ public:
+  explicit Scheduler(Clock* clock) : clock_(clock) {}
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Registers a transition. Round order is registration order (the
+  /// Petri-net model leaves firing order undefined; we pick a stable one).
+  void Register(TransitionPtr transition);
+
+  /// One pass over all transitions, firing each eligible one once.
+  /// Returns true if any firing did work.
+  Result<bool> RunOnce();
+
+  /// Loops RunOnce until a full round does no work, or `max_rounds` is hit.
+  /// Returns the number of rounds that did work.
+  Result<size_t> RunUntilQuiescent(size_t max_rounds = 1'000'000);
+
+  /// Threaded mode.
+  Status Start();
+  void Stop();
+  bool running() const { return running_.load(); }
+
+  size_t num_transitions() const;
+
+ private:
+  void ThreadLoop();
+
+  Clock* clock_;
+  mutable std::mutex mu_;
+  std::vector<TransitionPtr> transitions_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::thread thread_;
+};
+
+}  // namespace datacell::core
+
+#endif  // DATACELL_CORE_SCHEDULER_H_

@@ -1,0 +1,103 @@
+#include "core/window.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+
+namespace datacell::core {
+
+Result<Schema> TumblingWindowOutputSchema(const Schema& input_schema,
+                                          const TumblingWindowSpec& spec) {
+  // Derive group/aggregate output types by aggregating an empty table.
+  Table empty(input_schema);
+  EvalContext ctx;
+  ASSIGN_OR_RETURN(Table proto,
+                   ops::Aggregate(empty, spec.group_by, spec.aggregates, ctx));
+  Schema out;
+  RETURN_NOT_OK(out.AddField({"window_start", DataType::kTimestamp}));
+  RETURN_NOT_OK(out.AddField({"window_end", DataType::kTimestamp}));
+  for (const Field& f : proto.schema().fields()) {
+    RETURN_NOT_OK(out.AddField(f));
+  }
+  return out;
+}
+
+Result<FactoryPtr> MakeTumblingWindowFactory(const std::string& name,
+                                             BasketPtr input, BasketPtr output,
+                                             TumblingWindowSpec spec,
+                                             BasketPtr tick) {
+  if (input == nullptr || output == nullptr) {
+    return Status::InvalidArgument("window factory needs input and output");
+  }
+  if (!input->has_arrival_column()) {
+    return Status::InvalidArgument(
+        "time windows require the basket's arrival column");
+  }
+  if (spec.window_length <= 0) {
+    return Status::InvalidArgument("window length must be positive");
+  }
+  ASSIGN_OR_RETURN(Schema expected,
+                   TumblingWindowOutputSchema(input->schema(), spec));
+  if (!(output->schema() == expected)) {
+    return Status::TypeMismatch("window output basket schema must be " +
+                                expected.ToString());
+  }
+  ASSIGN_OR_RETURN(size_t arrival_idx,
+                   Table(input->schema()).ColumnIndex(kArrivalColumn));
+
+  auto shared_spec = std::make_shared<TumblingWindowSpec>(std::move(spec));
+  auto body = [input, output, shared_spec, tick,
+               arrival_idx](FactoryContext& ctx) -> Status {
+    if (tick != nullptr) tick->Clear();
+    const Micros len = shared_spec->window_length;
+    // Windows [k*len, (k+1)*len) with (k+1)*len <= now are closed.
+    const Micros closed_end = (ctx.now() / len) * len;
+    if (closed_end <= 0) return Status::OK();
+
+    auto lock = input->AcquireLock();
+    const Table& data = input->contents();
+    const auto& arrival = data.column(arrival_idx).ints();
+    // Bucket closed-window rows by window id.
+    std::map<Micros, SelVector> windows;
+    SelVector consumed;
+    for (uint32_t r = 0; r < data.num_rows(); ++r) {
+      if (arrival[r] < closed_end) {
+        windows[arrival[r] / len].push_back(r);
+        consumed.push_back(r);
+      }
+    }
+    if (windows.empty()) return Status::OK();
+
+    EvalContext ectx = ctx.eval();
+    for (const auto& [window_id, rows] : windows) {
+      Table subset = data.Take(rows);
+      ASSIGN_OR_RETURN(Table agg,
+                       ops::Aggregate(subset, shared_spec->group_by,
+                                      shared_spec->aggregates, ectx));
+      Table out_rows(output->schema());
+      const Micros start = window_id * len;
+      for (size_t r = 0; r < agg.num_rows(); ++r) {
+        Row row;
+        row.reserve(2 + agg.num_columns());
+        row.push_back(Value(start));
+        row.push_back(Value(start + len));
+        Row agg_row = agg.GetRow(r);
+        row.insert(row.end(), agg_row.begin(), agg_row.end());
+        RETURN_NOT_OK(out_rows.AppendRow(row));
+      }
+      ASSIGN_OR_RETURN(size_t n, output->AppendAligned(out_rows, ctx.now()));
+      (void)n;
+    }
+    // Evict everything that belonged to a closed window.
+    return input->EraseRows(consumed);
+  };
+
+  auto factory = std::make_shared<Factory>(name, std::move(body));
+  factory->AddInput(input, 1);
+  if (tick != nullptr) factory->AddInput(tick, 1);
+  factory->AddOutput(output);
+  return factory;
+}
+
+}  // namespace datacell::core

@@ -1,0 +1,55 @@
+#ifndef DATACELL_CORE_WINDOW_H_
+#define DATACELL_CORE_WINDOW_H_
+
+#include <string>
+#include <vector>
+
+#include "core/basket.h"
+#include "core/factory.h"
+#include "ops/aggregate.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace datacell::core {
+
+/// Time-based window queries (§4.1): the paper handles them "at the level
+/// of the factory ... by plugging in auxiliary queries that check the
+/// input for the window properties". These builders package that pattern.
+
+/// A tumbling (non-overlapping) time window over a basket's arrival
+/// column: when the clock passes the end of the current window, all tuples
+/// that arrived inside it are aggregated into one output row
+/// (window_start, window_end, aggregates...) and evicted; tuples of the
+/// next window stay (kExpired consumption).
+///
+/// The returned factory's firing condition is input-driven; pair it with a
+/// Metronome feeding a tick basket when windows must close in the absence
+/// of new tuples (the §5 heartbeat pattern) — pass that tick basket as
+/// `tick` (may be null: then a window closes when the first tuple after it
+/// arrives).
+struct TumblingWindowSpec {
+  Micros window_length = kMicrosPerSecond;
+  /// Aggregates computed per window over the basket's user columns.
+  std::vector<ops::AggItem> aggregates;
+  /// Optional per-window grouping expressions over the basket columns.
+  std::vector<ops::GroupItem> group_by;
+};
+
+/// Creates the output basket schema for a spec: (window_start timestamp,
+/// window_end timestamp, group columns..., aggregate columns...). The
+/// output types for aggregates follow ops::Aggregate over `input_schema`.
+Result<Schema> TumblingWindowOutputSchema(const Schema& input_schema,
+                                          const TumblingWindowSpec& spec);
+
+/// Builds the factory: reads `input`, closes every window that ended at or
+/// before now(), appends one row per (window, group) to `output`, and
+/// expires consumed tuples. `tick` (optional) is an extra input basket
+/// whose tokens force evaluation (drain-only).
+Result<FactoryPtr> MakeTumblingWindowFactory(const std::string& name,
+                                             BasketPtr input, BasketPtr output,
+                                             TumblingWindowSpec spec,
+                                             BasketPtr tick = nullptr);
+
+}  // namespace datacell::core
+
+#endif  // DATACELL_CORE_WINDOW_H_

@@ -1,0 +1,859 @@
+#include "expr/eval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <optional>
+
+#include "util/logging.h"
+
+namespace datacell {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Constant evaluation
+// ---------------------------------------------------------------------------
+
+Result<Value> ConstBinary(BinaryOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  switch (op) {
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+    case BinaryOp::kMod: {
+      if (l.is_int() && r.is_int()) {
+        int64_t a = l.int_value(), b = r.int_value();
+        switch (op) {
+          case BinaryOp::kAdd:
+            return Value(a + b);
+          case BinaryOp::kSub:
+            return Value(a - b);
+          case BinaryOp::kMul:
+            return Value(a * b);
+          case BinaryOp::kDiv:
+            if (b == 0) return Value::Null();
+            return Value(a / b);
+          case BinaryOp::kMod:
+            if (b == 0) return Value::Null();
+            return Value(a % b);
+          default:
+            break;
+        }
+      }
+      ASSIGN_OR_RETURN(double a, l.AsDouble());
+      ASSIGN_OR_RETURN(double b, r.AsDouble());
+      switch (op) {
+        case BinaryOp::kAdd:
+          return Value(a + b);
+        case BinaryOp::kSub:
+          return Value(a - b);
+        case BinaryOp::kMul:
+          return Value(a * b);
+        case BinaryOp::kDiv:
+          if (b == 0) return Value::Null();
+          return Value(a / b);
+        case BinaryOp::kMod:
+          if (b == 0) return Value::Null();
+          return Value(std::fmod(a, b));
+        default:
+          break;
+      }
+      return Status::Internal("unreachable");
+    }
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: {
+      int cmp = 0;
+      if (l.is_string() && r.is_string()) {
+        cmp = l.string_value().compare(r.string_value());
+      } else if (l.is_bool() && r.is_bool()) {
+        cmp = static_cast<int>(l.bool_value()) - static_cast<int>(r.bool_value());
+      } else {
+        ASSIGN_OR_RETURN(double a, l.AsDouble());
+        ASSIGN_OR_RETURN(double b, r.AsDouble());
+        cmp = (a < b) ? -1 : (a > b ? 1 : 0);
+      }
+      switch (op) {
+        case BinaryOp::kEq:
+          return Value(cmp == 0);
+        case BinaryOp::kNe:
+          return Value(cmp != 0);
+        case BinaryOp::kLt:
+          return Value(cmp < 0);
+        case BinaryOp::kLe:
+          return Value(cmp <= 0);
+        case BinaryOp::kGt:
+          return Value(cmp > 0);
+        case BinaryOp::kGe:
+          return Value(cmp >= 0);
+        default:
+          break;
+      }
+      return Status::Internal("unreachable");
+    }
+    case BinaryOp::kAnd:
+    case BinaryOp::kOr: {
+      if (!l.is_bool() || !r.is_bool()) {
+        return Status::TypeMismatch("logical op on non-bool constants");
+      }
+      return Value(op == BinaryOp::kAnd ? (l.bool_value() && r.bool_value())
+                                        : (l.bool_value() || r.bool_value()));
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+Result<Value> EvalConst(const Expr& expr, const EvalContext& ctx) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return expr.literal;
+    case ExprKind::kColumnRef: {
+      if (ctx.variables != nullptr) {
+        auto it = ctx.variables->find(expr.column);
+        if (it != ctx.variables->end()) return it->second;
+      }
+      return Status::BindError("'" + expr.column +
+                               "' is not a constant or session variable");
+    }
+    case ExprKind::kBinary: {
+      ASSIGN_OR_RETURN(Value l, EvalConst(*expr.children[0], ctx));
+      ASSIGN_OR_RETURN(Value r, EvalConst(*expr.children[1], ctx));
+      return ConstBinary(expr.bop, l, r);
+    }
+    case ExprKind::kUnary: {
+      ASSIGN_OR_RETURN(Value v, EvalConst(*expr.children[0], ctx));
+      if (v.is_null()) return Value::Null();
+      if (expr.uop == UnaryOp::kNot) {
+        if (!v.is_bool()) return Status::TypeMismatch("NOT on non-bool");
+        return Value(!v.bool_value());
+      }
+      if (v.is_int()) return Value(-v.int_value());
+      if (v.is_double()) return Value(-v.double_value());
+      return Status::TypeMismatch("unary minus on non-numeric");
+    }
+    case ExprKind::kCall: {
+      if (expr.func == "now") return Value(ctx.now);
+      std::vector<Value> args;
+      for (const ExprPtr& c : expr.children) {
+        ASSIGN_OR_RETURN(Value v, EvalConst(*c, ctx));
+        args.push_back(std::move(v));
+      }
+      if (expr.func == "abs" && args.size() == 1) {
+        if (args[0].is_null()) return Value::Null();
+        if (args[0].is_int()) {
+          return Value(static_cast<int64_t>(std::llabs(args[0].int_value())));
+        }
+        if (args[0].is_double()) return Value(std::fabs(args[0].double_value()));
+        return Status::TypeMismatch("abs on non-numeric");
+      }
+      if (expr.func == "length" && args.size() == 1) {
+        if (args[0].is_null()) return Value::Null();
+        if (!args[0].is_string()) return Status::TypeMismatch("length on non-string");
+        return Value(static_cast<int64_t>(args[0].string_value().size()));
+      }
+      if ((expr.func == "least" || expr.func == "greatest") && args.size() == 2) {
+        if (args[0].is_null() || args[1].is_null()) return Value::Null();
+        ASSIGN_OR_RETURN(Value cmp, ConstBinary(BinaryOp::kLt, args[0], args[1]));
+        bool first = cmp.bool_value() == (expr.func == "least");
+        return first ? args[0] : args[1];
+      }
+      if (expr.func == "cast_int" && args.size() == 1) {
+        return args[0].CastTo(DataType::kInt64);
+      }
+      if (expr.func == "cast_double" && args.size() == 1) {
+        return args[0].CastTo(DataType::kDouble);
+      }
+      return Status::BindError("unknown function '" + expr.func + "'");
+    }
+    case ExprKind::kIsNull: {
+      ASSIGN_OR_RETURN(Value v, EvalConst(*expr.children[0], ctx));
+      return Value(expr.negated ? !v.is_null() : v.is_null());
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Vectorized evaluation
+// ---------------------------------------------------------------------------
+
+// Either borrows a column from the input table (column refs) or owns a
+// freshly computed one. Avoids copying table columns during recursion.
+class Handle {
+ public:
+  explicit Handle(const Column* borrowed) : borrowed_(borrowed) {}
+  explicit Handle(Column owned)
+      : borrowed_(nullptr), owned_(std::move(owned)) {}
+
+  const Column& get() const { return borrowed_ ? *borrowed_ : *owned_; }
+
+  Column ToOwned() && {
+    if (borrowed_) return *borrowed_;  // copy
+    return std::move(*owned_);
+  }
+
+ private:
+  const Column* borrowed_;
+  std::optional<Column> owned_;
+};
+
+Result<Handle> EvalRec(const Table& table, const Expr& expr,
+                       const EvalContext& ctx);
+
+// Broadcasts a constant to an n-row column. Type is derived from the value;
+// integer constants become kInt64.
+Result<Column> Broadcast(const Value& v, size_t n) {
+  DataType t = DataType::kInt64;
+  if (v.is_double()) t = DataType::kDouble;
+  if (v.is_bool()) t = DataType::kBool;
+  if (v.is_string()) t = DataType::kString;
+  Column c(t);
+  for (size_t i = 0; i < n; ++i) {
+    RETURN_NOT_OK(c.AppendValue(v));
+  }
+  return c;
+}
+
+// Numeric view: reads row i of a column as double; caller checked type.
+inline double NumAt(const Column& c, size_t i) {
+  if (c.type() == DataType::kDouble) return c.doubles()[i];
+  return static_cast<double>(c.ints()[i]);
+}
+
+bool BothInt(const Column& a, const Column& b) {
+  return a.type() != DataType::kDouble && b.type() != DataType::kDouble &&
+         a.type() != DataType::kString && b.type() != DataType::kString &&
+         a.type() != DataType::kBool && b.type() != DataType::kBool;
+}
+
+Result<Column> EvalArith(BinaryOp op, const Column& l, const Column& r) {
+  const size_t n = l.size();
+  if (!IsNumeric(l.type()) || !IsNumeric(r.type())) {
+    return Status::TypeMismatch("arithmetic on non-numeric columns");
+  }
+  const bool any_null = l.has_nulls() || r.has_nulls();
+  if (BothInt(l, r)) {
+    DataType out_t = (l.type() == DataType::kTimestamp ||
+                      r.type() == DataType::kTimestamp)
+                         ? DataType::kTimestamp
+                         : DataType::kInt64;
+    Column out(out_t);
+    out.ints().reserve(n);
+    const auto& a = l.ints();
+    const auto& b = r.ints();
+    for (size_t i = 0; i < n; ++i) {
+      if (any_null && (!l.IsValid(i) || !r.IsValid(i))) {
+        out.AppendNull();
+        continue;
+      }
+      int64_t v = 0;
+      switch (op) {
+        case BinaryOp::kAdd:
+          v = a[i] + b[i];
+          break;
+        case BinaryOp::kSub:
+          v = a[i] - b[i];
+          break;
+        case BinaryOp::kMul:
+          v = a[i] * b[i];
+          break;
+        case BinaryOp::kDiv:
+          if (b[i] == 0) {
+            out.AppendNull();
+            continue;
+          }
+          v = a[i] / b[i];
+          break;
+        case BinaryOp::kMod:
+          if (b[i] == 0) {
+            out.AppendNull();
+            continue;
+          }
+          v = a[i] % b[i];
+          break;
+        default:
+          return Status::Internal("not an arithmetic op");
+      }
+      out.AppendInt(v);
+    }
+    return out;
+  }
+  Column out(DataType::kDouble);
+  out.doubles().reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (any_null && (!l.IsValid(i) || !r.IsValid(i))) {
+      out.AppendNull();
+      continue;
+    }
+    double a = NumAt(l, i), b = NumAt(r, i);
+    double v = 0;
+    switch (op) {
+      case BinaryOp::kAdd:
+        v = a + b;
+        break;
+      case BinaryOp::kSub:
+        v = a - b;
+        break;
+      case BinaryOp::kMul:
+        v = a * b;
+        break;
+      case BinaryOp::kDiv:
+        if (b == 0) {
+          out.AppendNull();
+          continue;
+        }
+        v = a / b;
+        break;
+      case BinaryOp::kMod:
+        if (b == 0) {
+          out.AppendNull();
+          continue;
+        }
+        v = std::fmod(a, b);
+        break;
+      default:
+        return Status::Internal("not an arithmetic op");
+    }
+    out.AppendDouble(v);
+  }
+  return out;
+}
+
+// -1 / 0 / +1 three-way compare of row i across two columns of compatible
+// types. Caller must ensure both rows are valid.
+Result<int> CompareRow(const Column& l, size_t i, const Column& r, size_t j) {
+  if (l.type() == DataType::kString || r.type() == DataType::kString) {
+    if (l.type() != DataType::kString || r.type() != DataType::kString) {
+      return Status::TypeMismatch("comparing string with non-string");
+    }
+    return l.strings()[i].compare(r.strings()[j]);
+  }
+  if (l.type() == DataType::kBool || r.type() == DataType::kBool) {
+    if (l.type() != DataType::kBool || r.type() != DataType::kBool) {
+      return Status::TypeMismatch("comparing bool with non-bool");
+    }
+    return static_cast<int>(l.bools()[i]) - static_cast<int>(r.bools()[j]);
+  }
+  double a = NumAt(l, i), b = NumAt(r, j);
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+bool CmpMatches(BinaryOp op, int cmp) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return cmp == 0;
+    case BinaryOp::kNe:
+      return cmp != 0;
+    case BinaryOp::kLt:
+      return cmp < 0;
+    case BinaryOp::kLe:
+      return cmp <= 0;
+    case BinaryOp::kGt:
+      return cmp > 0;
+    case BinaryOp::kGe:
+      return cmp >= 0;
+    default:
+      return false;
+  }
+}
+
+Result<Column> EvalCompare(BinaryOp op, const Column& l, const Column& r) {
+  const size_t n = l.size();
+  Column out(DataType::kBool);
+  out.bools().reserve(n);
+  const bool any_null = l.has_nulls() || r.has_nulls();
+  for (size_t i = 0; i < n; ++i) {
+    if (any_null && (!l.IsValid(i) || !r.IsValid(i))) {
+      // SQL: comparison with NULL is unknown; we fold unknown to false.
+      out.AppendBool(false);
+      continue;
+    }
+    ASSIGN_OR_RETURN(int cmp, CompareRow(l, i, r, i));
+    out.AppendBool(CmpMatches(op, cmp));
+  }
+  return out;
+}
+
+Result<Column> EvalLogical(BinaryOp op, const Column& l, const Column& r) {
+  if (l.type() != DataType::kBool || r.type() != DataType::kBool) {
+    return Status::TypeMismatch("logical op on non-bool columns");
+  }
+  const size_t n = l.size();
+  Column out(DataType::kBool);
+  out.bools().reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Null booleans participate as false.
+    bool a = l.IsValid(i) && l.bools()[i] != 0;
+    bool b = r.IsValid(i) && r.bools()[i] != 0;
+    out.AppendBool(op == BinaryOp::kAnd ? (a && b) : (a || b));
+  }
+  return out;
+}
+
+Result<Column> EvalCall(const Table& table, const Expr& expr,
+                        const EvalContext& ctx) {
+  const size_t n = table.num_rows();
+  if (expr.func == "now") {
+    Column out(DataType::kTimestamp);
+    out.ints().assign(n, ctx.now);
+    return out;
+  }
+  std::vector<Column> args;
+  for (const ExprPtr& c : expr.children) {
+    ASSIGN_OR_RETURN(Handle h, EvalRec(table, *c, ctx));
+    args.push_back(std::move(h).ToOwned());
+  }
+  if (expr.func == "abs" && args.size() == 1) {
+    Column& a = args[0];
+    if (a.type() == DataType::kDouble) {
+      Column out(DataType::kDouble);
+      for (size_t i = 0; i < n; ++i) {
+        if (!a.IsValid(i)) {
+          out.AppendNull();
+        } else {
+          out.AppendDouble(std::fabs(a.doubles()[i]));
+        }
+      }
+      return out;
+    }
+    if (IsIntegerPhysical(a.type())) {
+      Column out(a.type());
+      for (size_t i = 0; i < n; ++i) {
+        if (!a.IsValid(i)) {
+          out.AppendNull();
+        } else {
+          out.AppendInt(std::llabs(a.ints()[i]));
+        }
+      }
+      return out;
+    }
+    return Status::TypeMismatch("abs on non-numeric column");
+  }
+  if (expr.func == "length" && args.size() == 1) {
+    if (args[0].type() != DataType::kString) {
+      return Status::TypeMismatch("length on non-string column");
+    }
+    Column out(DataType::kInt64);
+    for (size_t i = 0; i < n; ++i) {
+      if (!args[0].IsValid(i)) {
+        out.AppendNull();
+      } else {
+        out.AppendInt(static_cast<int64_t>(args[0].strings()[i].size()));
+      }
+    }
+    return out;
+  }
+  if ((expr.func == "least" || expr.func == "greatest") && args.size() == 2) {
+    const Column& a = args[0];
+    const Column& b = args[1];
+    const bool want_less = expr.func == "least";
+    Column out(a.type() == DataType::kDouble || b.type() == DataType::kDouble
+                   ? DataType::kDouble
+                   : a.type());
+    for (size_t i = 0; i < n; ++i) {
+      if (!a.IsValid(i) || !b.IsValid(i)) {
+        out.AppendNull();
+        continue;
+      }
+      ASSIGN_OR_RETURN(int cmp, CompareRow(a, i, b, i));
+      const Column& pick = (cmp < 0) == want_less ? a : b;
+      RETURN_NOT_OK(out.AppendValue(pick.GetValue(i)));
+    }
+    return out;
+  }
+  if (expr.func == "cast_int" && args.size() == 1) {
+    Column out(DataType::kInt64);
+    for (size_t i = 0; i < n; ++i) {
+      if (!args[0].IsValid(i)) {
+        out.AppendNull();
+        continue;
+      }
+      ASSIGN_OR_RETURN(Value v, args[0].GetValue(i).CastTo(DataType::kInt64));
+      RETURN_NOT_OK(out.AppendValue(v));
+    }
+    return out;
+  }
+  if (expr.func == "cast_double" && args.size() == 1) {
+    Column out(DataType::kDouble);
+    for (size_t i = 0; i < n; ++i) {
+      if (!args[0].IsValid(i)) {
+        out.AppendNull();
+        continue;
+      }
+      ASSIGN_OR_RETURN(Value v, args[0].GetValue(i).CastTo(DataType::kDouble));
+      RETURN_NOT_OK(out.AppendValue(v));
+    }
+    return out;
+  }
+  return Status::BindError("unknown function '" + expr.func + "'");
+}
+
+Result<Handle> EvalRec(const Table& table, const Expr& expr,
+                       const EvalContext& ctx) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral: {
+      ASSIGN_OR_RETURN(Column c, Broadcast(expr.literal, table.num_rows()));
+      return Handle(std::move(c));
+    }
+    case ExprKind::kColumnRef: {
+      int idx = table.schema().FindField(expr.column);
+      if (idx >= 0) return Handle(&table.column(static_cast<size_t>(idx)));
+      if (ctx.variables != nullptr) {
+        auto it = ctx.variables->find(expr.column);
+        if (it != ctx.variables->end()) {
+          ASSIGN_OR_RETURN(Column c, Broadcast(it->second, table.num_rows()));
+          return Handle(std::move(c));
+        }
+      }
+      return Status::BindError("unknown column '" + expr.column + "'");
+    }
+    case ExprKind::kBinary: {
+      ASSIGN_OR_RETURN(Handle l, EvalRec(table, *expr.children[0], ctx));
+      ASSIGN_OR_RETURN(Handle r, EvalRec(table, *expr.children[1], ctx));
+      switch (expr.bop) {
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod: {
+          ASSIGN_OR_RETURN(Column c, EvalArith(expr.bop, l.get(), r.get()));
+          return Handle(std::move(c));
+        }
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe: {
+          ASSIGN_OR_RETURN(Column c, EvalCompare(expr.bop, l.get(), r.get()));
+          return Handle(std::move(c));
+        }
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr: {
+          ASSIGN_OR_RETURN(Column c, EvalLogical(expr.bop, l.get(), r.get()));
+          return Handle(std::move(c));
+        }
+      }
+      return Status::Internal("unreachable");
+    }
+    case ExprKind::kUnary: {
+      ASSIGN_OR_RETURN(Handle v, EvalRec(table, *expr.children[0], ctx));
+      const Column& c = v.get();
+      const size_t n = c.size();
+      if (expr.uop == UnaryOp::kNot) {
+        if (c.type() != DataType::kBool) {
+          return Status::TypeMismatch("NOT on non-bool column");
+        }
+        Column out(DataType::kBool);
+        for (size_t i = 0; i < n; ++i) {
+          if (!c.IsValid(i)) {
+            out.AppendNull();
+          } else {
+            out.AppendBool(c.bools()[i] == 0);
+          }
+        }
+        return Handle(std::move(out));
+      }
+      if (c.type() == DataType::kDouble) {
+        Column out(DataType::kDouble);
+        for (size_t i = 0; i < n; ++i) {
+          if (!c.IsValid(i)) {
+            out.AppendNull();
+          } else {
+            out.AppendDouble(-c.doubles()[i]);
+          }
+        }
+        return Handle(std::move(out));
+      }
+      if (IsIntegerPhysical(c.type())) {
+        Column out(c.type());
+        for (size_t i = 0; i < n; ++i) {
+          if (!c.IsValid(i)) {
+            out.AppendNull();
+          } else {
+            out.AppendInt(-c.ints()[i]);
+          }
+        }
+        return Handle(std::move(out));
+      }
+      return Status::TypeMismatch("unary minus on non-numeric column");
+    }
+    case ExprKind::kCall: {
+      ASSIGN_OR_RETURN(Column c, EvalCall(table, expr, ctx));
+      return Handle(std::move(c));
+    }
+    case ExprKind::kIsNull: {
+      ASSIGN_OR_RETURN(Handle v, EvalRec(table, *expr.children[0], ctx));
+      const Column& c = v.get();
+      Column out(DataType::kBool);
+      for (size_t i = 0; i < c.size(); ++i) {
+        bool isnull = !c.IsValid(i);
+        out.AppendBool(expr.negated ? !isnull : isnull);
+      }
+      return Handle(std::move(out));
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+// ---------------------------------------------------------------------------
+// Predicate fast paths
+// ---------------------------------------------------------------------------
+
+// Is this a comparison of a bare column against a constant expression?
+// Returns the comparison with the column always on the left.
+struct ColConstCmp {
+  const Column* column;
+  BinaryOp op;
+  Value constant;
+};
+
+BinaryOp FlipCmp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+      return BinaryOp::kGt;
+    case BinaryOp::kLe:
+      return BinaryOp::kGe;
+    case BinaryOp::kGt:
+      return BinaryOp::kLt;
+    case BinaryOp::kGe:
+      return BinaryOp::kLe;
+    default:
+      return op;
+  }
+}
+
+bool IsConstExpr(const Expr& e, const EvalContext& ctx) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return true;
+    case ExprKind::kColumnRef:
+      return ctx.variables != nullptr && ctx.variables->count(e.column) > 0;
+    case ExprKind::kCall:
+      if (e.func != "now" && e.func != "abs" && e.func != "least" &&
+          e.func != "greatest" && e.func != "cast_int" &&
+          e.func != "cast_double") {
+        return false;
+      }
+      [[fallthrough]];
+    case ExprKind::kBinary:
+    case ExprKind::kUnary:
+    case ExprKind::kIsNull:
+      for (const ExprPtr& c : e.children) {
+        if (!IsConstExpr(*c, ctx)) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+// Tries to recognize `col <cmp> const` (either side).
+Result<std::optional<ColConstCmp>> MatchColConstCmp(const Table& table,
+                                                    const Expr& e,
+                                                    const EvalContext& ctx) {
+  if (e.kind != ExprKind::kBinary) return std::optional<ColConstCmp>{};
+  switch (e.bop) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      break;
+    default:
+      return std::optional<ColConstCmp>{};
+  }
+  const Expr& l = *e.children[0];
+  const Expr& r = *e.children[1];
+  auto col_of = [&](const Expr& side) -> const Column* {
+    if (side.kind != ExprKind::kColumnRef) return nullptr;
+    int idx = table.schema().FindField(side.column);
+    if (idx < 0) return nullptr;
+    return &table.column(static_cast<size_t>(idx));
+  };
+  if (const Column* c = col_of(l); c != nullptr && IsConstExpr(r, ctx)) {
+    ASSIGN_OR_RETURN(Value v, EvalConst(r, ctx));
+    return std::optional<ColConstCmp>(ColConstCmp{c, e.bop, std::move(v)});
+  }
+  if (const Column* c = col_of(r); c != nullptr && IsConstExpr(l, ctx)) {
+    ASSIGN_OR_RETURN(Value v, EvalConst(l, ctx));
+    return std::optional<ColConstCmp>(
+        ColConstCmp{c, FlipCmp(e.bop), std::move(v)});
+  }
+  return std::optional<ColConstCmp>{};
+}
+
+// Applies a column-vs-constant comparison over the candidate rows.
+Result<SelVector> SelectColConst(const ColConstCmp& cc,
+                                 const SelVector& candidates) {
+  const Column& c = *cc.column;
+  SelVector out;
+  if (cc.constant.is_null()) return out;  // NULL never matches
+  out.reserve(candidates.size());
+  if (IsIntegerPhysical(c.type()) && cc.constant.is_int()) {
+    const int64_t k = cc.constant.int_value();
+    const auto& v = c.ints();
+    const bool nulls = c.has_nulls();
+    switch (cc.op) {
+      case BinaryOp::kEq:
+        for (uint32_t r : candidates) {
+          if ((!nulls || c.IsValid(r)) && v[r] == k) out.push_back(r);
+        }
+        break;
+      case BinaryOp::kNe:
+        for (uint32_t r : candidates) {
+          if ((!nulls || c.IsValid(r)) && v[r] != k) out.push_back(r);
+        }
+        break;
+      case BinaryOp::kLt:
+        for (uint32_t r : candidates) {
+          if ((!nulls || c.IsValid(r)) && v[r] < k) out.push_back(r);
+        }
+        break;
+      case BinaryOp::kLe:
+        for (uint32_t r : candidates) {
+          if ((!nulls || c.IsValid(r)) && v[r] <= k) out.push_back(r);
+        }
+        break;
+      case BinaryOp::kGt:
+        for (uint32_t r : candidates) {
+          if ((!nulls || c.IsValid(r)) && v[r] > k) out.push_back(r);
+        }
+        break;
+      case BinaryOp::kGe:
+        for (uint32_t r : candidates) {
+          if ((!nulls || c.IsValid(r)) && v[r] >= k) out.push_back(r);
+        }
+        break;
+      default:
+        return Status::Internal("not a comparison");
+    }
+    return out;
+  }
+  if (c.type() == DataType::kDouble &&
+      (cc.constant.is_double() || cc.constant.is_int())) {
+    ASSIGN_OR_RETURN(double k, cc.constant.AsDouble());
+    const auto& v = c.doubles();
+    const bool nulls = c.has_nulls();
+    for (uint32_t r : candidates) {
+      if (nulls && !c.IsValid(r)) continue;
+      double x = v[r];
+      int cmp = x < k ? -1 : (x > k ? 1 : 0);
+      if (CmpMatches(cc.op, cmp)) out.push_back(r);
+    }
+    return out;
+  }
+  if (c.type() == DataType::kString && cc.constant.is_string()) {
+    const auto& v = c.strings();
+    const std::string& k = cc.constant.string_value();
+    const bool nulls = c.has_nulls();
+    for (uint32_t r : candidates) {
+      if (nulls && !c.IsValid(r)) continue;
+      int cmp = v[r].compare(k);
+      if (CmpMatches(cc.op, cmp)) out.push_back(r);
+    }
+    return out;
+  }
+  if (c.type() == DataType::kBool && cc.constant.is_bool()) {
+    const auto& v = c.bools();
+    const bool k = cc.constant.bool_value();
+    const bool nulls = c.has_nulls();
+    for (uint32_t r : candidates) {
+      if (nulls && !c.IsValid(r)) continue;
+      int cmp = static_cast<int>(v[r] != 0) - static_cast<int>(k);
+      if (CmpMatches(cc.op, cmp)) out.push_back(r);
+    }
+    return out;
+  }
+  // Mixed numeric (int column vs double constant etc.): generic numeric.
+  if (IsNumeric(c.type()) && (cc.constant.is_int() || cc.constant.is_double())) {
+    ASSIGN_OR_RETURN(double k, cc.constant.AsDouble());
+    const bool nulls = c.has_nulls();
+    for (uint32_t r : candidates) {
+      if (nulls && !c.IsValid(r)) continue;
+      double x = NumAt(c, r);
+      int cmp = x < k ? -1 : (x > k ? 1 : 0);
+      if (CmpMatches(cc.op, cmp)) out.push_back(r);
+    }
+    return out;
+  }
+  return Status::TypeMismatch("predicate compares incompatible types");
+}
+
+SelVector UnionSorted(const SelVector& a, const SelVector& b) {
+  SelVector out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+Result<SelVector> SelectWhere(const Table& table, const Expr& expr,
+                              const SelVector& candidates,
+                              const EvalContext& ctx) {
+  // AND: refine left-to-right (candidate-list pattern).
+  if (expr.kind == ExprKind::kBinary && expr.bop == BinaryOp::kAnd) {
+    ASSIGN_OR_RETURN(SelVector lhs,
+                     SelectWhere(table, *expr.children[0], candidates, ctx));
+    return SelectWhere(table, *expr.children[1], lhs, ctx);
+  }
+  // OR: union of both sides over the same candidates.
+  if (expr.kind == ExprKind::kBinary && expr.bop == BinaryOp::kOr) {
+    ASSIGN_OR_RETURN(SelVector lhs,
+                     SelectWhere(table, *expr.children[0], candidates, ctx));
+    ASSIGN_OR_RETURN(SelVector rhs,
+                     SelectWhere(table, *expr.children[1], candidates, ctx));
+    return UnionSorted(lhs, rhs);
+  }
+  // Column-vs-constant comparison fast path.
+  ASSIGN_OR_RETURN(auto cc, MatchColConstCmp(table, expr, ctx));
+  if (cc.has_value()) return SelectColConst(*cc, candidates);
+  // Generic fallback: evaluate a boolean column, then filter candidates.
+  ASSIGN_OR_RETURN(Handle h, EvalRec(table, expr, ctx));
+  const Column& b = h.get();
+  if (b.type() != DataType::kBool) {
+    return Status::TypeMismatch("predicate is not boolean: " + expr.ToString());
+  }
+  SelVector out;
+  out.reserve(candidates.size());
+  for (uint32_t r : candidates) {
+    if (b.IsValid(r) && b.bools()[r] != 0) out.push_back(r);
+  }
+  return out;
+}
+
+SelVector AllRows(size_t n) {
+  SelVector all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = static_cast<uint32_t>(i);
+  return all;
+}
+
+}  // namespace
+
+Result<Column> EvalScalar(const Table& table, const Expr& expr,
+                          const EvalContext& ctx) {
+  ASSIGN_OR_RETURN(Handle h, EvalRec(table, expr, ctx));
+  return std::move(h).ToOwned();
+}
+
+Result<SelVector> EvalPredicate(const Table& table, const Expr& expr,
+                                const EvalContext& ctx) {
+  return SelectWhere(table, expr, AllRows(table.num_rows()), ctx);
+}
+
+Result<SelVector> EvalPredicateOn(const Table& table, const Expr& expr,
+                                  const SelVector& candidates,
+                                  const EvalContext& ctx) {
+  return SelectWhere(table, expr, candidates, ctx);
+}
+
+}  // namespace datacell

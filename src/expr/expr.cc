@@ -1,0 +1,220 @@
+#include "expr/expr.h"
+
+#include "util/logging.h"
+
+namespace datacell {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "and";
+    case BinaryOp::kOr:
+      return "or";
+  }
+  return "?";
+}
+
+ExprPtr Expr::Lit(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Col(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->column = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Bin(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  DC_DCHECK(lhs != nullptr && rhs != nullptr);
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->bop = op;
+  e->children = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::Un(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->uop = op;
+  e->children = {std::move(operand)};
+  return e;
+}
+
+ExprPtr Expr::Call(std::string name, std::vector<ExprPtr> args) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kCall;
+  e->func = std::move(name);
+  e->children = std::move(args);
+  return e;
+}
+
+ExprPtr Expr::IsNull(ExprPtr operand, bool negated) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kIsNull;
+  e->negated = negated;
+  e->children = {std::move(operand)};
+  return e;
+}
+
+ExprPtr Expr::AndMaybe(ExprPtr lhs, ExprPtr rhs) {
+  if (lhs == nullptr) return rhs;
+  if (rhs == nullptr) return lhs;
+  return Bin(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.ToString();
+    case ExprKind::kColumnRef:
+      return column;
+    case ExprKind::kBinary:
+      return "(" + children[0]->ToString() + " " + BinaryOpName(bop) + " " +
+             children[1]->ToString() + ")";
+    case ExprKind::kUnary:
+      return std::string(uop == UnaryOp::kNot ? "(not " : "(-") +
+             children[0]->ToString() + ")";
+    case ExprKind::kCall: {
+      std::string out = func + "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kIsNull:
+      return "(" + children[0]->ToString() +
+             (negated ? " is not null)" : " is null)");
+  }
+  return "?";
+}
+
+namespace {
+
+Result<DataType> InferBinary(const Schema& schema, const Expr& expr) {
+  ASSIGN_OR_RETURN(DataType lhs, InferExprType(schema, *expr.children[0]));
+  ASSIGN_OR_RETURN(DataType rhs, InferExprType(schema, *expr.children[1]));
+  switch (expr.bop) {
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+    case BinaryOp::kMod:
+      if (!IsNumeric(lhs) || !IsNumeric(rhs)) {
+        return Status::TypeMismatch("arithmetic on non-numeric operands in " +
+                                    expr.ToString());
+      }
+      if (lhs == DataType::kDouble || rhs == DataType::kDouble) {
+        return DataType::kDouble;
+      }
+      // timestamp +/- int stays a timestamp; everything else int.
+      if (lhs == DataType::kTimestamp || rhs == DataType::kTimestamp) {
+        return DataType::kTimestamp;
+      }
+      return DataType::kInt64;
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: {
+      const bool comparable =
+          (IsNumeric(lhs) && IsNumeric(rhs)) ||
+          (lhs == DataType::kString && rhs == DataType::kString) ||
+          (lhs == DataType::kBool && rhs == DataType::kBool);
+      if (!comparable) {
+        return Status::TypeMismatch("incomparable operands in " +
+                                    expr.ToString());
+      }
+      return DataType::kBool;
+    }
+    case BinaryOp::kAnd:
+    case BinaryOp::kOr:
+      if (lhs != DataType::kBool || rhs != DataType::kBool) {
+        return Status::TypeMismatch("logical operator on non-bool in " +
+                                    expr.ToString());
+      }
+      return DataType::kBool;
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+Result<DataType> InferExprType(const Schema& schema, const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      if (expr.literal.is_null()) return DataType::kInt64;  // null: any type
+      if (expr.literal.is_int()) return DataType::kInt64;
+      if (expr.literal.is_double()) return DataType::kDouble;
+      if (expr.literal.is_bool()) return DataType::kBool;
+      return DataType::kString;
+    case ExprKind::kColumnRef: {
+      int idx = schema.FindField(expr.column);
+      if (idx < 0) {
+        return Status::BindError("unknown column '" + expr.column + "'");
+      }
+      return schema.field(static_cast<size_t>(idx)).type;
+    }
+    case ExprKind::kBinary:
+      return InferBinary(schema, expr);
+    case ExprKind::kUnary: {
+      ASSIGN_OR_RETURN(DataType t, InferExprType(schema, *expr.children[0]));
+      if (expr.uop == UnaryOp::kNot) {
+        if (t != DataType::kBool) {
+          return Status::TypeMismatch("NOT on non-bool in " + expr.ToString());
+        }
+        return DataType::kBool;
+      }
+      if (!IsNumeric(t)) {
+        return Status::TypeMismatch("unary minus on non-numeric in " +
+                                    expr.ToString());
+      }
+      return t;
+    }
+    case ExprKind::kCall: {
+      if (expr.func == "abs" || expr.func == "least" ||
+          expr.func == "greatest") {
+        ASSIGN_OR_RETURN(DataType t, InferExprType(schema, *expr.children[0]));
+        return t;
+      }
+      if (expr.func == "length") return DataType::kInt64;
+      if (expr.func == "now") return DataType::kTimestamp;
+      if (expr.func == "cast_int") return DataType::kInt64;
+      if (expr.func == "cast_double") return DataType::kDouble;
+      return Status::BindError("unknown function '" + expr.func + "'");
+    }
+    case ExprKind::kIsNull:
+      return DataType::kBool;
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace datacell

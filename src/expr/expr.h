@@ -1,0 +1,88 @@
+#ifndef DATACELL_EXPR_EXPR_H_
+#define DATACELL_EXPR_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "column/type.h"
+#include "column/value.h"
+#include "util/status.h"
+
+namespace datacell {
+
+enum class ExprKind : uint8_t {
+  kLiteral,    // constant Value
+  kColumnRef,  // named column (or session variable, resolved at eval time)
+  kBinary,     // arithmetic / comparison / logical
+  kUnary,      // NOT, unary minus
+  kCall,       // scalar function call
+  kIsNull,     // IS [NOT] NULL
+};
+
+enum class BinaryOp : uint8_t {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+enum class UnaryOp : uint8_t { kNot, kNeg };
+
+const char* BinaryOpName(BinaryOp op);
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// A scalar expression tree shared by the operator layer and the SQL
+/// frontend. Immutable after construction; shared_ptr nodes so plans can
+/// share sub-expressions.
+struct Expr {
+  ExprKind kind;
+
+  // kLiteral
+  Value literal;
+  // kColumnRef: column name, optionally "alias.column".
+  std::string column;
+  // kBinary / kUnary
+  BinaryOp bop = BinaryOp::kAdd;
+  UnaryOp uop = UnaryOp::kNot;
+  // kCall: lower-cased function name.
+  std::string func;
+  // kIsNull: negated == IS NOT NULL
+  bool negated = false;
+
+  std::vector<ExprPtr> children;
+
+  /// Factory helpers — the only supported way to build nodes.
+  static ExprPtr Lit(Value v);
+  static ExprPtr Col(std::string name);
+  static ExprPtr Bin(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Un(UnaryOp op, ExprPtr operand);
+  static ExprPtr Call(std::string name, std::vector<ExprPtr> args);
+  static ExprPtr IsNull(ExprPtr operand, bool negated);
+
+  /// Convenience: lhs AND rhs, where either side may be null (returns the
+  /// other side).
+  static ExprPtr AndMaybe(ExprPtr lhs, ExprPtr rhs);
+
+  /// Parenthesized infix rendering for diagnostics.
+  std::string ToString() const;
+};
+
+/// Static result-type inference against a schema. Unknown column names are
+/// a kBindError (the caller may then try session variables).
+Result<DataType> InferExprType(const Schema& schema, const Expr& expr);
+
+}  // namespace datacell
+
+#endif  // DATACELL_EXPR_EXPR_H_

@@ -1,0 +1,173 @@
+#include "lroad/driver.h"
+
+#include <algorithm>
+
+#include "core/scheduler.h"
+#include "util/clock.h"
+#include "util/logging.h"
+
+namespace datacell::lroad {
+
+Result<Driver::Report> Driver::Run(const Options& options,
+                                   std::ostream* progress) {
+  SimulatedClock clock(0);
+  core::Engine engine(&clock);
+  Generator generator(options.generator);
+  ASSIGN_OR_RETURN(std::unique_ptr<Network> network,
+                   Network::Create(&engine, options.network));
+  SystemClock* wall = SystemClock::Get();
+
+  Report report;
+  report.history_seed = options.network.history_seed;
+
+  // Per-collection bookkeeping for the current sample window.
+  struct WindowStats {
+    uint64_t firings = 0;
+    Micros exec = 0;
+    double max_ms = 0;
+  };
+  std::array<WindowStats, 7> window{};
+  std::array<core::Factory::Stats, 7> last_stats{};
+  int64_t window_start = 0;
+
+  // Fig 9 bookkeeping.
+  uint64_t q7_tuples_in_window = 0;
+  uint64_t q7_tuples_total = 0;
+  core::Factory::Stats q7_last = network->collections()[6]->stats();
+
+  const int64_t duration = options.generator.duration_sec;
+  for (int64_t t = 0; t < duration; ++t) {
+    clock.SetTime(t * kMicrosPerSecond);
+    Table batch = generator.NextSecond();
+    uint64_t batch_pos_reports = 0;
+    if (batch.num_rows() > 0) {
+      const auto& types = batch.column(0).ints();
+      for (int64_t ty : types) {
+        if (ty == 0) ++batch_pos_reports;
+      }
+    }
+    const Micros wall0 = wall->Now();
+    RETURN_NOT_OK(network->DeliverInput(batch));
+    ASSIGN_OR_RETURN(size_t rounds, engine.scheduler().RunUntilQuiescent());
+    (void)rounds;
+    const double batch_ms =
+        static_cast<double>(wall->Now() - wall0) / kMicrosPerMilli;
+    report.max_batch_wall_ms = std::max(report.max_batch_wall_ms, batch_ms);
+    if (batch_ms > kDeadlineTollSec * 1000.0) ++report.deadline_violations;
+
+    // Update per-collection window stats.
+    for (size_t c = 0; c < 7; ++c) {
+      const core::Factory::Stats now_stats =
+          network->collections()[c]->stats();
+      if (now_stats.firings > last_stats[c].firings) {
+        window[c].firings += now_stats.firings - last_stats[c].firings;
+        window[c].exec += now_stats.total_exec - last_stats[c].total_exec;
+        window[c].max_ms =
+            std::max(window[c].max_ms, static_cast<double>(now_stats.last_exec) /
+                                           kMicrosPerMilli);
+      }
+      last_stats[c] = now_stats;
+    }
+
+    // Fig 9: Q7 average response per tuple window.
+    q7_tuples_in_window += batch_pos_reports;
+    q7_tuples_total += batch_pos_reports;
+    if (q7_tuples_in_window >= options.q7_window_tuples) {
+      const core::Factory::Stats q7_now = network->collections()[6]->stats();
+      const uint64_t df = q7_now.firings - q7_last.firings;
+      const double avg_ms =
+          df == 0 ? 0.0
+                  : static_cast<double>(q7_now.total_exec - q7_last.total_exec) /
+                        static_cast<double>(df) / kMicrosPerMilli;
+      report.q7_response.emplace_back(q7_tuples_total, avg_ms);
+      q7_last = q7_now;
+      q7_tuples_in_window = 0;
+    }
+
+    // Drain the output baskets into compact logs/counters.
+    {
+      Table alerts = network->alerts()->TakeAll();
+      if (alerts.num_rows() > 0) {
+        const auto& atype = alerts.column(0).ints();
+        const auto& vid = alerts.column(1).ints();
+        const auto& time = alerts.column(2).ints();
+        const auto& xway = alerts.column(4).ints();
+        const auto& seg = alerts.column(5).ints();
+        const auto& toll = alerts.column(7).ints();
+        for (size_t i = 0; i < alerts.num_rows(); ++i) {
+          if (atype[i] == 1) {
+            ++report.accident_alerts;
+            report.accident_alert_log.push_back(
+                AlertRecord{atype[i], vid[i], time[i], xway[i], seg[i], toll[i]});
+          } else {
+            ++report.toll_notifications;
+            if (toll[i] > 0) {
+              ++report.tolls_nonzero;
+              report.tolls_charged_per_vid[vid[i]] += toll[i];
+              ++report.toll_value_counts[toll[i]];
+            }
+          }
+        }
+      }
+      Table balances = network->balance_answers()->TakeAll();
+      for (size_t i = 0; i < balances.num_rows(); ++i) {
+        ++report.balance_answers;
+        report.balance_log.push_back(
+            BalanceRecord{balances.column(0).ints()[i],
+                          balances.column(3).ints()[i],
+                          balances.column(1).ints()[i],
+                          balances.column(4).ints()[i]});
+      }
+      Table exps = network->expenditure_answers()->TakeAll();
+      for (size_t i = 0; i < exps.num_rows(); ++i) {
+        ++report.expenditure_answers;
+        report.expenditure_log.push_back(
+            ExpenditureRecord{exps.column(0).ints()[i],
+                              exps.column(3).ints()[i],
+                              exps.column(4).ints()[i],
+                              exps.column(5).ints()[i],
+                              exps.column(6).ints()[i]});
+      }
+    }
+
+    // Sample-window rollover.
+    if ((t + 1) % options.sample_every_sec == 0 || t + 1 == duration) {
+      const int64_t span = t + 1 - window_start;
+      const uint64_t before = report.total_tuples;
+      report.total_tuples = generator.tuples_generated();
+      report.arrival_rate.emplace_back(
+          t + 1, static_cast<double>(report.total_tuples - before) /
+                     static_cast<double>(std::max<int64_t>(span, 1)));
+      report.cumulative_tuples.emplace_back(t + 1, report.total_tuples);
+      for (size_t c = 0; c < 7; ++c) {
+        LoadSample sample;
+        sample.sim_sec = t + 1;
+        sample.firings = window[c].firings;
+        sample.max_ms = window[c].max_ms;
+        sample.avg_ms =
+            window[c].firings == 0
+                ? 0.0
+                : static_cast<double>(window[c].exec) /
+                      static_cast<double>(window[c].firings) / kMicrosPerMilli;
+        report.collection_load[c].push_back(sample);
+        window[c] = WindowStats{};
+      }
+      window_start = t + 1;
+    }
+    if (progress != nullptr && (t + 1) % 600 == 0) {
+      (*progress) << "  [lroad] t=" << (t + 1) << "s tuples="
+                  << generator.tuples_generated()
+                  << " cars=" << generator.active_cars()
+                  << " accidents=" << generator.injected_accidents().size()
+                  << " batch_ms=" << batch_ms << "\n";
+      progress->flush();
+    }
+  }
+
+  report.total_tuples = generator.tuples_generated();
+  report.injected_accidents = generator.injected_accidents();
+  report.final_balances = network->accounts();
+  return report;
+}
+
+}  // namespace datacell::lroad

@@ -1,0 +1,94 @@
+#ifndef DATACELL_LROAD_DRIVER_H_
+#define DATACELL_LROAD_DRIVER_H_
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+#include "lroad/generator.h"
+#include "lroad/queries.h"
+#include "util/status.h"
+
+namespace datacell::lroad {
+
+/// Drives a full Linear Road run: generates the input second by second on
+/// a simulated clock, pushes each batch through the DataCell network, and
+/// collects the series the paper plots in Figures 7, 8 and 9 plus the
+/// answer logs the validator checks.
+class Driver {
+ public:
+  struct Options {
+    Generator::Options generator;
+    Network::Options network;
+    /// Sampling period for the time series (sim seconds).
+    int sample_every_sec = 60;
+    /// Fig 9 averaging window: Q7 response averaged per this many tuples
+    /// entering the collection (the paper uses 1e6 at SF 1).
+    uint64_t q7_window_tuples = 100'000;
+  };
+
+  /// One point of a per-collection load series (Fig 7 b-h).
+  struct LoadSample {
+    int64_t sim_sec = 0;
+    double max_ms = 0;  // max per-activation time in the sample window
+    double avg_ms = 0;
+    uint64_t firings = 0;
+  };
+
+  /// Compact answer records kept for validation.
+  struct AlertRecord {
+    int64_t alert_type, vid, time, xway, seg, toll;
+  };
+  struct BalanceRecord {
+    int64_t qid, vid, time, balance;
+  };
+  struct ExpenditureRecord {
+    int64_t qid, vid, day, xway, expenditure;
+  };
+
+  struct Report {
+    // Fig 8: arrival rate (tuples/sec) per sample point.
+    std::vector<std::pair<int64_t, double>> arrival_rate;
+    // Fig 7(a): cumulative tuples entered.
+    std::vector<std::pair<int64_t, uint64_t>> cumulative_tuples;
+    // Fig 7(b-h): per-collection load, Q1..Q7.
+    std::array<std::vector<LoadSample>, 7> collection_load;
+    // Fig 9: (tuples seen by Q7, average response ms in window).
+    std::vector<std::pair<uint64_t, double>> q7_response;
+
+    uint64_t total_tuples = 0;
+    uint64_t toll_notifications = 0;
+    uint64_t accident_alerts = 0;
+    uint64_t balance_answers = 0;
+    uint64_t expenditure_answers = 0;
+    uint64_t tolls_nonzero = 0;
+    /// Wall-clock health: the benchmark's 5 s deadline applies to every
+    /// output collection; with per-second batches the bound holds iff no
+    /// batch takes longer than 5 s of wall time end to end.
+    double max_batch_wall_ms = 0;
+    uint64_t deadline_violations = 0;
+
+    // Validation inputs.
+    std::vector<Generator::InjectedAccident> injected_accidents;
+    std::vector<AlertRecord> accident_alert_log;
+    std::unordered_map<int64_t, int64_t> tolls_charged_per_vid;
+    /// Distinct non-zero toll values and their frequency (validated against
+    /// the toll formula).
+    std::unordered_map<int64_t, uint64_t> toll_value_counts;
+    std::vector<BalanceRecord> balance_log;
+    std::vector<ExpenditureRecord> expenditure_log;
+    /// Final per-vid balances from the network, for cross-checking.
+    std::unordered_map<int64_t, int64_t> final_balances;
+    uint64_t history_seed = 0;
+  };
+
+  /// Runs the whole benchmark; when `progress` is non-null, a one-line
+  /// status is printed every 10 simulated minutes.
+  static Result<Report> Run(const Options& options, std::ostream* progress);
+};
+
+}  // namespace datacell::lroad
+
+#endif  // DATACELL_LROAD_DRIVER_H_

@@ -1,0 +1,272 @@
+#include "lroad/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace datacell::lroad {
+
+namespace {
+
+constexpr double kFeetPerSecPerMph = 5280.0 / 3600.0;
+// Speed reduction upstream of an active accident (congestion), which pulls
+// the 5-minute LAV under the toll threshold.
+constexpr double kAccidentSlowdown = 0.30;
+// Congestion backs up further than the kAccidentUpstreamSegs alert zone:
+// segments in the congested-but-unalerted stretch are where tolls are
+// charged (LAV < 40 with no accident alert suppressing the toll).
+constexpr int kCongestionUpstreamSegs = 12;
+
+}  // namespace
+
+Generator::Generator(Options options)
+    : options_(options), rng_(options.seed), report_buckets_(kReportIntervalSec) {
+  DC_CHECK(options_.num_xways >= 1);
+  DC_CHECK(options_.scale_factor > 0);
+}
+
+double Generator::TargetRate(int64_t t) const {
+  // Ramp from ~17 to ~1700 reports/s (SF 1) over the run: rate ~ t^0.6,
+  // which integrates to the right order of total volume (see Fig 8).
+  const double frac =
+      static_cast<double>(t) / static_cast<double>(options_.duration_sec);
+  const double ramp = 1700.0 * std::pow(std::max(frac, 0.0), 0.6);
+  return options_.scale_factor * std::max(17.0, ramp);
+}
+
+int64_t Generator::active_cars() const {
+  return static_cast<int64_t>(cars_.size() - free_slots_.size());
+}
+
+void Generator::SpawnCars(int64_t t, Table* out) {
+  // Each car reports every 30 s, so the concurrent fleet that sustains
+  // rate(t) reports/second is 30 * rate(t).
+  const int64_t target =
+      static_cast<int64_t>(TargetRate(t) * kReportIntervalSec);
+  int64_t to_spawn = target - active_cars();
+  while (to_spawn-- > 0) {
+    Car car;
+    car.vid = next_vid_++;
+    car.xway = static_cast<int32_t>(
+        rng_.Uniform(static_cast<uint64_t>(options_.num_xways)));
+    car.dir = static_cast<int8_t>(rng_.Uniform(2));
+    car.alive = true;
+    car.lane = kLaneEntry;
+    const int32_t entry_seg =
+        static_cast<int32_t>(rng_.Uniform(kSegmentsPerXway - 35));
+    const int32_t trip = static_cast<int32_t>(5 + rng_.Uniform(26));
+    // Direction 1 travels toward decreasing positions; mirror the segment.
+    if (car.dir == 0) {
+      car.pos_ft = entry_seg * kFeetPerSegment + rng_.Uniform(kFeetPerSegment);
+      car.exit_seg = entry_seg + trip;
+    } else {
+      const int32_t entry_mirror = kSegmentsPerXway - 1 - entry_seg;
+      car.pos_ft =
+          entry_mirror * kFeetPerSegment + rng_.Uniform(kFeetPerSegment);
+      car.exit_seg = entry_mirror - trip;
+    }
+    car.speed_mph = 50.0 + static_cast<double>(rng_.Uniform(51));
+    car.effective_mph = car.speed_mph;
+    car.last_report = t;
+    car.phase = static_cast<int8_t>(t % kReportIntervalSec);
+
+    size_t index;
+    if (!free_slots_.empty()) {
+      index = free_slots_.back();
+      free_slots_.pop_back();
+      cars_[index] = car;
+    } else {
+      index = cars_.size();
+      cars_.push_back(car);
+    }
+    // First report right away, then every 30 s in this phase bucket.
+    ReportCar(index, t, out);
+    report_buckets_[static_cast<size_t>(t % kReportIntervalSec)].push_back(
+        static_cast<uint32_t>(index));
+  }
+}
+
+void Generator::MaybeInjectAccident(int64_t t) {
+  const double p = options_.accidents_per_hour / 3600.0;
+  if (!rng_.Bernoulli(p)) return;
+  // Pick two distinct moving cars on the same expressway and direction.
+  // Try a few random probes; give up quietly on sparse traffic.
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    if (cars_.empty()) return;
+    const size_t i = rng_.Uniform(cars_.size());
+    Car& a = cars_[i];
+    if (!a.alive || a.stopped || a.lane == kLaneExit) continue;
+    // Probe for a partner on the same road.
+    for (int attempt2 = 0; attempt2 < 64; ++attempt2) {
+      const size_t j = rng_.Uniform(cars_.size());
+      if (j == i) continue;
+      Car& b = cars_[j];
+      if (!b.alive || b.stopped || b.lane == kLaneExit) continue;
+      if (b.xway != a.xway || b.dir != a.dir) continue;
+      // Collide: the partner ends up at the same position.
+      b.pos_ft = a.pos_ft;
+      a.stopped = true;
+      b.stopped = true;
+      const int64_t clear = t + 600 + static_cast<int64_t>(rng_.Uniform(600));
+      a.resume_time = clear;
+      b.resume_time = clear;
+      InjectedAccident acc;
+      acc.xway = a.xway;
+      acc.dir = a.dir;
+      acc.seg = SegOf(a.pos_ft);
+      acc.pos = static_cast<int64_t>(a.pos_ft);
+      acc.start_time = t;
+      acc.clear_time = clear;
+      acc.vid1 = a.vid;
+      acc.vid2 = b.vid;
+      active_accidents_.push_back(injected_.size());
+      injected_.push_back(acc);
+      return;
+    }
+    return;
+  }
+}
+
+bool Generator::InAccidentZone(const Car& car) const {
+  const int32_t seg = SegOf(car.pos_ft);
+  for (size_t idx : active_accidents_) {
+    const InjectedAccident& acc = injected_[idx];
+    if (acc.xway != car.xway || acc.dir != car.dir) continue;
+    if (car.dir == 0) {
+      if (seg >= acc.seg - kCongestionUpstreamSegs && seg <= acc.seg) {
+        return true;
+      }
+    } else {
+      if (seg <= acc.seg + kCongestionUpstreamSegs && seg >= acc.seg) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void Generator::EmitRequests(const Car& car, int64_t t, Table* out) {
+  if (rng_.Bernoulli(options_.balance_request_prob)) {
+    InputTuple q;
+    q.type = static_cast<int64_t>(InputType::kAccountBalance);
+    q.time = t;
+    q.vid = car.vid;
+    q.xway = car.xway;
+    q.qid = next_qid_++;
+    AppendInput(q, out);
+    ++tuples_generated_;
+  }
+  if (rng_.Bernoulli(options_.expenditure_request_prob)) {
+    InputTuple q;
+    q.type = static_cast<int64_t>(InputType::kDailyExpenditure);
+    q.time = t;
+    q.vid = car.vid;
+    q.xway = car.xway;
+    q.qid = next_qid_++;
+    q.day = 1 + static_cast<int64_t>(rng_.Uniform(kHistoryDays));
+    AppendInput(q, out);
+    ++tuples_generated_;
+  }
+}
+
+void Generator::ReportCar(size_t car_index, int64_t t, Table* out) {
+  Car& car = cars_[car_index];
+  InputTuple r;
+  r.type = static_cast<int64_t>(InputType::kPositionReport);
+  r.time = t;
+  r.vid = car.vid;
+  r.speed = car.stopped ? 0 : static_cast<int64_t>(car.effective_mph);
+  r.xway = car.xway;
+  r.lane = car.lane;
+  r.dir = car.dir;
+  r.seg = SegOf(car.pos_ft);
+  r.pos = static_cast<int64_t>(car.pos_ft);
+  AppendInput(r, out);
+  ++tuples_generated_;
+  EmitRequests(car, t, out);
+  car.last_report = t;
+  if (car.lane == kLaneEntry) {
+    car.lane = static_cast<int8_t>(kLaneTravelFirst + rng_.Uniform(3));
+  }
+}
+
+Table Generator::NextSecond() {
+  Table out(InputSchema());
+  const int64_t t = now_;
+
+  MaybeInjectAccident(t);
+  // Clear accidents whose time has come.
+  for (size_t k = 0; k < active_accidents_.size();) {
+    if (injected_[active_accidents_[k]].clear_time <= t) {
+      active_accidents_[k] = active_accidents_.back();
+      active_accidents_.pop_back();
+    } else {
+      ++k;
+    }
+  }
+
+  SpawnCars(t, &out);
+
+  // Cars whose 30-second report is due this second.
+  std::vector<uint32_t>& bucket =
+      report_buckets_[static_cast<size_t>(t % kReportIntervalSec)];
+  for (size_t k = 0; k < bucket.size();) {
+    const uint32_t index = bucket[k];
+    Car& car = cars_[index];
+    // Remove dead slots and entries whose slot was reused by a spawn in a
+    // different phase bucket.
+    if (!car.alive ||
+        car.phase != static_cast<int8_t>(t % kReportIntervalSec)) {
+      bucket[k] = bucket.back();
+      bucket.pop_back();
+      continue;
+    }
+    if (car.last_report == t) {
+      // Just spawned this second; already reported.
+      ++k;
+      continue;
+    }
+
+    // Advance the car by the 30 s since its last report.
+    if (car.stopped && t >= car.resume_time) car.stopped = false;
+    if (!car.stopped) {
+      double speed = car.speed_mph;
+      if (InAccidentZone(car)) speed *= kAccidentSlowdown;
+      car.effective_mph = speed;
+      const double dist = speed * kFeetPerSecPerMph * kReportIntervalSec;
+      car.pos_ft += (car.dir == 0) ? dist : -dist;
+      car.pos_ft = std::clamp(car.pos_ft, 0.0,
+                              static_cast<double>(kSegmentsPerXway) *
+                                      kFeetPerSegment -
+                                  1.0);
+      // Mild speed drift.
+      car.speed_mph =
+          std::clamp(car.speed_mph + static_cast<double>(rng_.UniformRange(-5, 5)),
+                     30.0, 100.0);
+      const int32_t seg = SegOf(car.pos_ft);
+      const bool exiting =
+          (car.dir == 0) ? seg >= car.exit_seg : seg <= car.exit_seg;
+      const bool at_edge = car.pos_ft <= 0.0 ||
+                           car.pos_ft >=
+                               kSegmentsPerXway * kFeetPerSegment - 2.0;
+      if (exiting || at_edge) car.lane = kLaneExit;
+    }
+
+    ReportCar(index, t, &out);
+
+    if (car.lane == kLaneExit) {
+      car.alive = false;
+      free_slots_.push_back(index);
+      bucket[k] = bucket.back();
+      bucket.pop_back();
+      continue;
+    }
+    ++k;
+  }
+
+  ++now_;
+  return out;
+}
+
+}  // namespace datacell::lroad

@@ -1,0 +1,127 @@
+#ifndef DATACELL_LROAD_GENERATOR_H_
+#define DATACELL_LROAD_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "column/table.h"
+#include "lroad/types.h"
+#include "util/random.h"
+
+namespace datacell::lroad {
+
+/// Synthetic Linear Road input generator (substitute for the official MIT
+/// data generator, which is unavailable offline — see DESIGN.md §5).
+///
+/// It simulates cars travelling on `num_xways` expressways of 100 one-mile
+/// segments: cars enter at a ramp, report (type 0) every 30 seconds, and
+/// exit after a trip of several segments. The arrival rate ramps as in the
+/// paper's Figure 8 — from ~17 tuples/s to ~1700 tuples/s over three hours
+/// at scale factor 1, scaling linearly with the factor. Accidents are
+/// injected by stopping two cars at the same position (≥4 identical
+/// consecutive reports each, the detection rule) and clearing them after
+/// 10-20 minutes; traffic upstream of an active accident slows down, which
+/// depresses the 5-minute average velocity and triggers tolls. A fraction
+/// of position reports is accompanied by account-balance (type 2) and
+/// daily-expenditure (type 3) requests.
+class Generator {
+ public:
+  struct Options {
+    double scale_factor = 1.0;
+    int duration_sec = kBenchmarkDurationSec;
+    int num_xways = 1;
+    uint64_t seed = 7;
+    /// Probability that a position report is followed by a type 2 / 3
+    /// historical request.
+    double balance_request_prob = 0.01;
+    double expenditure_request_prob = 0.005;
+    /// Expected injected accidents per simulated hour (at any scale).
+    double accidents_per_hour = 12.0;
+  };
+
+  /// Ground truth about an injected accident, for validation.
+  struct InjectedAccident {
+    int64_t xway = 0;
+    int64_t dir = 0;
+    int64_t seg = 0;
+    int64_t pos = 0;
+    int64_t start_time = 0;  // second the cars stopped
+    int64_t clear_time = 0;  // second they resume
+    int64_t vid1 = 0;
+    int64_t vid2 = 0;
+  };
+
+  explicit Generator(Options options);
+
+  bool Done() const { return now_ >= options_.duration_sec; }
+  int64_t now() const { return now_; }
+
+  /// The designed arrival-rate curve (position reports per second) — the
+  /// quantity plotted in Figure 8.
+  double TargetRate(int64_t t) const;
+
+  /// Generates the batch for the current simulation second and advances
+  /// the clock by one second.
+  Table NextSecond();
+
+  uint64_t tuples_generated() const { return tuples_generated_; }
+  int64_t active_cars() const;
+  int64_t max_vid() const { return next_vid_; }
+  const std::vector<InjectedAccident>& injected_accidents() const {
+    return injected_;
+  }
+
+ private:
+  struct Car {
+    int64_t vid = 0;
+    int32_t xway = 0;
+    int8_t dir = 0;
+    int8_t lane = kLaneEntry;
+    /// Report phase (spawn second % 30); detects stale bucket entries when
+    /// a freed car slot is reused by a later spawn in another bucket.
+    int8_t phase = 0;
+    bool alive = false;
+    bool stopped = false;
+    double pos_ft = 0;
+    double speed_mph = 0;
+    /// Speed actually travelled since the last report (reduced in
+    /// congestion) — the value the position report carries.
+    double effective_mph = 0;
+    int32_t exit_seg = 0;
+    int64_t resume_time = 0;
+    int64_t last_report = 0;
+  };
+
+  void SpawnCars(int64_t t, Table* out);
+  void MaybeInjectAccident(int64_t t);
+  void ReportCar(size_t car_index, int64_t t, Table* out);
+  void EmitRequests(const Car& car, int64_t t, Table* out);
+  // Active-accident slowdown factor for this car's stretch of road.
+  bool InAccidentZone(const Car& car) const;
+  int32_t SegOf(double pos_ft) const {
+    int32_t s = static_cast<int32_t>(pos_ft) / kFeetPerSegment;
+    if (s < 0) s = 0;
+    if (s >= kSegmentsPerXway) s = kSegmentsPerXway - 1;
+    return s;
+  }
+
+  Options options_;
+  Random rng_;
+  int64_t now_ = 0;
+  int64_t next_vid_ = 0;
+  int64_t next_qid_ = 0;
+  uint64_t tuples_generated_ = 0;
+
+  std::vector<Car> cars_;
+  std::vector<uint32_t> free_slots_;
+  /// Car indices bucketed by report phase (next report second % 30).
+  std::vector<std::vector<uint32_t>> report_buckets_;
+
+  std::vector<InjectedAccident> injected_;
+  /// Indices into injected_ of accidents not yet cleared.
+  std::vector<size_t> active_accidents_;
+};
+
+}  // namespace datacell::lroad
+
+#endif  // DATACELL_LROAD_GENERATOR_H_

@@ -1,0 +1,44 @@
+#include "lroad/history.h"
+
+namespace datacell::lroad {
+
+namespace {
+
+// SplitMix64: decorrelates the composite key.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+int64_t TollHistory::DailyExpenditure(int64_t vid, int64_t day,
+                                      int64_t xway) const {
+  uint64_t h = Mix(seed_ ^ Mix(static_cast<uint64_t>(vid)) ^
+                   Mix(static_cast<uint64_t>(day) * 0x100000001B3ULL) ^
+                   Mix(static_cast<uint64_t>(xway) + 0x12345ULL));
+  // Daily expenditure in [0, 100) dollars, in cents.
+  return static_cast<int64_t>(h % 10000);
+}
+
+Table TollHistory::Materialize(int64_t num_vids, int64_t num_xways) const {
+  Table t(Schema({{"vid", DataType::kInt64},
+                  {"day", DataType::kInt64},
+                  {"xway", DataType::kInt64},
+                  {"toll", DataType::kInt64}}));
+  for (int64_t vid = 0; vid < num_vids; ++vid) {
+    for (int64_t day = 1; day <= kHistoryDays; ++day) {
+      for (int64_t xway = 0; xway < num_xways; ++xway) {
+        t.column(0).AppendInt(vid);
+        t.column(1).AppendInt(day);
+        t.column(2).AppendInt(xway);
+        t.column(3).AppendInt(DailyExpenditure(vid, day, xway));
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace datacell::lroad

@@ -1,0 +1,39 @@
+#ifndef DATACELL_LROAD_HISTORY_H_
+#define DATACELL_LROAD_HISTORY_H_
+
+#include <cstdint>
+
+#include "column/table.h"
+#include "lroad/types.h"
+
+namespace datacell::lroad {
+
+/// Ten weeks of historical toll data, queried by the type-3 (daily
+/// expenditure) requests.
+///
+/// The official benchmark ships a pre-generated history file; offline we
+/// substitute a deterministic pseudo-random function of (vid, day, xway)
+/// — every consumer (the Q5 answer factory, the validator, tests) computes
+/// the same value, which preserves the experiment's behaviour: a historical
+/// lookup per request, validatable answers. Materialize() additionally
+/// renders a prefix of the history as a relational table so the SQL layer
+/// can join against it like the paper's DBMS-resident history.
+class TollHistory {
+ public:
+  explicit TollHistory(uint64_t seed = 1234) : seed_(seed) {}
+
+  /// Total tolls (cents) vehicle `vid` paid on `day` (1..kHistoryDays) on
+  /// expressway `xway`. Deterministic in (seed, vid, day, xway).
+  int64_t DailyExpenditure(int64_t vid, int64_t day, int64_t xway) const;
+
+  /// Renders rows (vid, day, xway, toll) for vid in [0, num_vids) and all
+  /// days on expressway 0..num_xways-1.
+  Table Materialize(int64_t num_vids, int64_t num_xways = 1) const;
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace datacell::lroad
+
+#endif  // DATACELL_LROAD_HISTORY_H_

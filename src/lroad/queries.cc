@@ -1,0 +1,426 @@
+#include "lroad/queries.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace datacell::lroad {
+
+namespace {
+
+Schema StatsSchema() {
+  return Schema({{"minute", DataType::kInt64},
+                 {"xway", DataType::kInt64},
+                 {"dir", DataType::kInt64},
+                 {"seg", DataType::kInt64},
+                 {"avg_speed", DataType::kDouble},
+                 {"cars", DataType::kInt64},
+                 {"reports", DataType::kInt64}});
+}
+
+// Basket helper: internal pipeline baskets carry their producer's schema
+// verbatim (no extra arrival column; the input basket already stamped one).
+core::BasketPtr MakeStage(const std::string& name, const Schema& schema) {
+  return std::make_shared<core::Basket>(name, schema, /*add_arrival_ts=*/false);
+}
+
+}  // namespace
+
+int64_t Network::account_balance(int64_t vid) const {
+  auto it = state_->accounts.find(vid);
+  return it == state_->accounts.end() ? 0 : it->second;
+}
+
+Status Network::DeliverInput(const Table& batch) {
+  ASSIGN_OR_RETURN(size_t n, input_->Append(batch, engine_->Now()));
+  (void)n;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Network>> Network::Create(core::Engine* engine,
+                                                 Options options) {
+  auto net = std::unique_ptr<Network>(new Network());
+  net->engine_ = engine;
+  net->history_ = TollHistory(options.history_seed);
+  net->state_ = std::make_shared<State>();
+
+  // --- Baskets --------------------------------------------------------------
+  ASSIGN_OR_RETURN(net->input_, engine->CreateBasket("lr_input", InputSchema()));
+  const Schema& full = net->input_->schema();  // includes dc_arrival
+  net->pos_q1_ = MakeStage("lr_pos_q1", full);
+  net->pos_q2_ = MakeStage("lr_pos_q2", full);
+  net->pos_q7_ = MakeStage("lr_pos_q7", full);
+  net->bal_req_ = MakeStage("lr_bal_req", full);
+  net->exp_req_ = MakeStage("lr_exp_req", full);
+  net->stats_ = MakeStage("lr_stats", StatsSchema());
+  net->alerts_ = MakeStage("lr_alerts", TollAlertSchema());
+  net->balance_out_ = MakeStage("lr_balance_out", BalanceAnswerSchema());
+  net->exp_out_ = MakeStage("lr_exp_out", ExpenditureAnswerSchema());
+
+  std::shared_ptr<State> st = net->state_;
+  const TollHistory history = net->history_;
+
+  // --- Q4: filter by type (2 logical queries) -------------------------------
+  // Routes balance/expenditure requests and replicates position reports to
+  // the three collections that consume them (column-store fan-out).
+  {
+    core::BasketPtr in = net->input_;
+    core::BasketPtr q1 = net->pos_q1_, q2 = net->pos_q2_, q7 = net->pos_q7_;
+    core::BasketPtr bal = net->bal_req_, exp = net->exp_req_;
+    auto body = [in, q1, q2, q7, bal, exp](core::FactoryContext& ctx) -> Status {
+      Table all = in->TakeAll();
+      const auto& type = all.column(0).ints();
+      SelVector pos_sel, bal_sel, exp_sel;
+      for (uint32_t i = 0; i < all.num_rows(); ++i) {
+        switch (type[i]) {
+          case 0:
+            pos_sel.push_back(i);
+            break;
+          case 2:
+            bal_sel.push_back(i);
+            break;
+          case 3:
+            exp_sel.push_back(i);
+            break;
+          default:
+            break;  // unknown types are silently dropped
+        }
+      }
+      if (!pos_sel.empty()) {
+        Table pos = all.Take(pos_sel);
+        for (const core::BasketPtr& b : {q1, q2, q7}) {
+          ASSIGN_OR_RETURN(size_t n, b->AppendAligned(pos, ctx.now()));
+          (void)n;
+        }
+      }
+      if (!bal_sel.empty()) {
+        ASSIGN_OR_RETURN(size_t n, bal->AppendAligned(all.Take(bal_sel), ctx.now()));
+        (void)n;
+      }
+      if (!exp_sel.empty()) {
+        ASSIGN_OR_RETURN(size_t n, exp->AppendAligned(all.Take(exp_sel), ctx.now()));
+        (void)n;
+      }
+      return Status::OK();
+    };
+    auto f = std::make_shared<core::Factory>("lr_q4_filter_by_type", body);
+    f->AddInput(net->input_);
+    for (const core::BasketPtr& b :
+         {net->pos_q1_, net->pos_q2_, net->pos_q7_, net->bal_req_,
+          net->exp_req_}) {
+      f->AddOutput(b);
+    }
+    net->collections_[3] = f;
+  }
+
+  // --- Q1: stopped cars + accident creation/clearing (3 queries) ------------
+  {
+    core::BasketPtr in = net->pos_q1_;
+    auto body = [in, st](core::FactoryContext&) -> Status {
+      Table batch = in->TakeAll();
+      const auto& time = batch.column(1).ints();
+      const auto& vid = batch.column(2).ints();
+      const auto& speed = batch.column(3).ints();
+      const auto& xway = batch.column(4).ints();
+      const auto& lane = batch.column(5).ints();
+      const auto& dir = batch.column(6).ints();
+      const auto& seg = batch.column(7).ints();
+      const auto& pos = batch.column(8).ints();
+      for (size_t i = 0; i < batch.num_rows(); ++i) {
+        StopTrack& track = st->stop_tracks[vid[i]];
+        const int64_t key = PosKey(xway[i], dir[i], pos[i]);
+        const bool stationary = speed[i] == 0 && lane[i] != kLaneExit &&
+                                lane[i] != kLaneEntry;
+        if (stationary && track.pos_key == key) {
+          ++track.consecutive;
+        } else {
+          // The car moved (or sped up): release its stopped-car status.
+          if (track.consecutive >= kStoppedReports && track.pos_key >= 0) {
+            auto at = st->stopped_at.find(track.pos_key);
+            if (at != st->stopped_at.end()) {
+              at->second.erase(vid[i]);
+              if (at->second.size() < 2) {
+                // Accident (if any) at this position is cleared.
+                const int64_t route_len =
+                    kSegmentsPerXway * kFeetPerSegment + 1;
+                const int64_t old_pos = track.pos_key % route_len;
+                const int64_t route = track.pos_key / route_len;
+                st->accidents.erase(route * kSegmentsPerXway +
+                                    old_pos / kFeetPerSegment);
+              }
+              if (at->second.empty()) st->stopped_at.erase(at);
+            }
+          }
+          track.pos_key = stationary ? key : -1;
+          track.consecutive = stationary ? 1 : 0;
+        }
+        if (track.consecutive == kStoppedReports) {
+          auto& set = st->stopped_at[key];
+          set.insert(vid[i]);
+          if (set.size() >= 2) {
+            const int64_t skey = SegKey(xway[i], dir[i], seg[i]);
+            if (st->accidents.count(skey) == 0) {
+              st->accidents[skey] = Accident{seg[i], time[i]};
+            }
+          }
+        }
+        if (lane[i] == kLaneExit) st->stop_tracks.erase(vid[i]);
+      }
+      return Status::OK();
+    };
+    auto f = std::make_shared<core::Factory>("lr_q1_accidents", body);
+    f->AddInput(net->pos_q1_);
+    net->collections_[0] = f;
+  }
+
+  // --- Q2: per-minute segment statistics (5 queries) ------------------------
+  {
+    core::BasketPtr in = net->pos_q2_;
+    core::BasketPtr out = net->stats_;
+    auto body = [in, out, st](core::FactoryContext& ctx) -> Status {
+      Table batch = in->TakeAll();
+      const auto& time = batch.column(1).ints();
+      const auto& vid = batch.column(2).ints();
+      const auto& speed = batch.column(3).ints();
+      const auto& xway = batch.column(4).ints();
+      const auto& lane = batch.column(5).ints();
+      const auto& dir = batch.column(6).ints();
+      const auto& seg = batch.column(7).ints();
+      for (size_t i = 0; i < batch.num_rows(); ++i) {
+        const int64_t minute = time[i] / 60;
+        if (minute != st->current_minute) {
+          // Minute rollover: publish the finished minute's statistics.
+          Table rows(StatsSchema());
+          for (const auto& [skey, ms] : st->minute_stats) {
+            const int64_t route = skey / kSegmentsPerXway;
+            rows.column(0).AppendInt(st->current_minute);
+            rows.column(1).AppendInt(route / 2);
+            rows.column(2).AppendInt(route % 2);
+            rows.column(3).AppendInt(skey % kSegmentsPerXway);
+            rows.column(4).AppendDouble(
+                ms.reports > 0 ? ms.speed_sum / static_cast<double>(ms.reports)
+                               : 0.0);
+            rows.column(5).AppendInt(static_cast<int64_t>(ms.cars.size()));
+            rows.column(6).AppendInt(ms.reports);
+          }
+          st->minute_stats.clear();
+          st->current_minute = minute;
+          if (rows.num_rows() > 0) {
+            ASSIGN_OR_RETURN(size_t n, out->AppendAligned(rows, ctx.now()));
+            (void)n;
+          }
+        }
+        if (lane[i] == kLaneExit) continue;  // exit-ramp cars do not count
+        MinuteStat& ms = st->minute_stats[SegKey(xway[i], dir[i], seg[i])];
+        ms.speed_sum += static_cast<double>(speed[i]);
+        ms.reports += 1;
+        ms.cars.insert(vid[i]);
+      }
+      return Status::OK();
+    };
+    auto f = std::make_shared<core::Factory>("lr_q2_statistics", body);
+    f->AddInput(net->pos_q2_);
+    f->AddOutput(net->stats_);
+    net->collections_[1] = f;
+  }
+
+  // --- Q3: LAV + toll per segment (5 queries) --------------------------------
+  {
+    core::BasketPtr in = net->stats_;
+    auto body = [in, st](core::FactoryContext&) -> Status {
+      Table batch = in->TakeAll();
+      const auto& minute = batch.column(0).ints();
+      const auto& xway = batch.column(1).ints();
+      const auto& dir = batch.column(2).ints();
+      const auto& seg = batch.column(3).ints();
+      const auto& avg_speed = batch.column(4).doubles();
+      const auto& cars = batch.column(5).ints();
+      const auto& reports = batch.column(6).ints();
+      for (size_t i = 0; i < batch.num_rows(); ++i) {
+        const int64_t skey = SegKey(xway[i], dir[i], seg[i]);
+        auto& window = st->stat_window[skey];
+        window.push_back(FinishedMinute{minute[i],
+                                        avg_speed[i] * static_cast<double>(reports[i]),
+                                        reports[i], cars[i]});
+        // Keep only the last kLavWindowMinutes minutes.
+        const int64_t cutoff = minute[i] - kLavWindowMinutes + 1;
+        window.erase(std::remove_if(window.begin(), window.end(),
+                                    [cutoff](const FinishedMinute& fm) {
+                                      return fm.minute < cutoff;
+                                    }),
+                     window.end());
+        // LAV over the window; toll from the just-finished minute's count.
+        double speed_sum = 0;
+        int64_t report_sum = 0;
+        for (const FinishedMinute& fm : window) {
+          speed_sum += fm.speed_sum;
+          report_sum += fm.reports;
+        }
+        const double lav =
+            report_sum > 0 ? speed_sum / static_cast<double>(report_sum) : 0.0;
+        int64_t toll = 0;
+        if (lav < kTollSpeedThreshold && cars[i] > kTollCarThreshold) {
+          const int64_t over = cars[i] - kTollCarThreshold;
+          toll = 2 * over * over;
+        }
+        st->current_tolls[skey] = SegToll{lav, toll};
+      }
+      return Status::OK();
+    };
+    auto f = std::make_shared<core::Factory>("lr_q3_update_statistics", body);
+    f->AddInput(net->stats_);
+    net->collections_[2] = f;
+  }
+
+  // --- Q7: toll notifications + accident alerts (18 queries) ----------------
+  {
+    core::BasketPtr in = net->pos_q7_;
+    core::BasketPtr out = net->alerts_;
+    auto body = [in, out, st](core::FactoryContext& ctx) -> Status {
+      Table batch = in->TakeAll();
+      const auto& time = batch.column(1).ints();
+      const auto& vid = batch.column(2).ints();
+      const auto& xway = batch.column(4).ints();
+      const auto& lane = batch.column(5).ints();
+      const auto& dir = batch.column(6).ints();
+      const auto& seg = batch.column(7).ints();
+      Table rows(TollAlertSchema());
+      const int64_t emit_time = ctx.now() / kMicrosPerSecond;
+      for (size_t i = 0; i < batch.num_rows(); ++i) {
+        if (lane[i] == kLaneExit) {
+          st->last_seg.erase(vid[i]);
+          continue;
+        }
+        auto it = st->last_seg.find(vid[i]);
+        const bool crossed = it == st->last_seg.end() || it->second != seg[i];
+        st->last_seg[vid[i]] = seg[i];
+        if (!crossed) continue;
+
+        // Accident in the next kAccidentUpstreamSegs segments downstream?
+        int64_t accident_seg = -1;
+        for (int k = 0; k <= kAccidentUpstreamSegs && accident_seg < 0; ++k) {
+          const int64_t s = dir[i] == 0 ? seg[i] + k : seg[i] - k;
+          if (s < 0 || s >= kSegmentsPerXway) break;
+          if (st->accidents.count(SegKey(xway[i], dir[i], s)) > 0) {
+            accident_seg = s;
+          }
+        }
+        if (accident_seg >= 0) {
+          rows.column(0).AppendInt(1);  // accident alert
+          rows.column(1).AppendInt(vid[i]);
+          rows.column(2).AppendInt(time[i]);
+          rows.column(3).AppendInt(emit_time);
+          rows.column(4).AppendInt(xway[i]);
+          rows.column(5).AppendInt(accident_seg);
+          rows.column(6).AppendInt(0);
+          rows.column(7).AppendInt(0);  // no toll in an accident zone
+          continue;
+        }
+        const auto toll_it = st->current_tolls.find(SegKey(xway[i], dir[i], seg[i]));
+        const int64_t toll = toll_it == st->current_tolls.end()
+                                 ? 0
+                                 : toll_it->second.toll;
+        const int64_t lav = toll_it == st->current_tolls.end()
+                                ? 0
+                                : static_cast<int64_t>(toll_it->second.lav);
+        rows.column(0).AppendInt(0);  // toll notification
+        rows.column(1).AppendInt(vid[i]);
+        rows.column(2).AppendInt(time[i]);
+        rows.column(3).AppendInt(emit_time);
+        rows.column(4).AppendInt(xway[i]);
+        rows.column(5).AppendInt(seg[i]);
+        rows.column(6).AppendInt(lav);
+        rows.column(7).AppendInt(toll);
+        if (toll > 0) {
+          st->accounts[vid[i]] += toll;
+          ++st->tolls_assessed;
+        }
+      }
+      if (rows.num_rows() > 0) {
+        ASSIGN_OR_RETURN(size_t n, out->AppendAligned(rows, ctx.now()));
+        (void)n;
+      }
+      return Status::OK();
+    };
+    auto f = std::make_shared<core::Factory>("lr_q7_toll_accident_alerts", body);
+    f->AddInput(net->pos_q7_);
+    f->AddOutput(net->alerts_);
+    net->collections_[6] = f;
+  }
+
+  // --- Q6: account balance answers (2 queries) ------------------------------
+  {
+    core::BasketPtr in = net->bal_req_;
+    core::BasketPtr out = net->balance_out_;
+    auto body = [in, out, st](core::FactoryContext& ctx) -> Status {
+      Table batch = in->TakeAll();
+      const auto& time = batch.column(1).ints();
+      const auto& vid = batch.column(2).ints();
+      const auto& qid = batch.column(9).ints();
+      Table rows(BalanceAnswerSchema());
+      const int64_t emit_time = ctx.now() / kMicrosPerSecond;
+      for (size_t i = 0; i < batch.num_rows(); ++i) {
+        auto it = st->accounts.find(vid[i]);
+        rows.column(0).AppendInt(qid[i]);
+        rows.column(1).AppendInt(time[i]);
+        rows.column(2).AppendInt(emit_time);
+        rows.column(3).AppendInt(vid[i]);
+        rows.column(4).AppendInt(it == st->accounts.end() ? 0 : it->second);
+      }
+      if (rows.num_rows() > 0) {
+        ASSIGN_OR_RETURN(size_t n, out->AppendAligned(rows, ctx.now()));
+        (void)n;
+      }
+      return Status::OK();
+    };
+    auto f = std::make_shared<core::Factory>("lr_q6_account_balance", body);
+    f->AddInput(net->bal_req_);
+    f->AddOutput(net->balance_out_);
+    net->collections_[5] = f;
+  }
+
+  // --- Q5: daily expenditure answers (4 queries) -----------------------------
+  {
+    core::BasketPtr in = net->exp_req_;
+    core::BasketPtr out = net->exp_out_;
+    auto body = [in, out, history](core::FactoryContext& ctx) -> Status {
+      Table batch = in->TakeAll();
+      const auto& time = batch.column(1).ints();
+      const auto& vid = batch.column(2).ints();
+      const auto& xway = batch.column(4).ints();
+      const auto& qid = batch.column(9).ints();
+      const auto& day = batch.column(10).ints();
+      Table rows(ExpenditureAnswerSchema());
+      const int64_t emit_time = ctx.now() / kMicrosPerSecond;
+      for (size_t i = 0; i < batch.num_rows(); ++i) {
+        const int64_t d = std::max<int64_t>(day[i], 1);
+        rows.column(0).AppendInt(qid[i]);
+        rows.column(1).AppendInt(time[i]);
+        rows.column(2).AppendInt(emit_time);
+        rows.column(3).AppendInt(vid[i]);
+        rows.column(4).AppendInt(d);
+        rows.column(5).AppendInt(xway[i]);
+        rows.column(6).AppendInt(history.DailyExpenditure(vid[i], d, xway[i]));
+      }
+      if (rows.num_rows() > 0) {
+        ASSIGN_OR_RETURN(size_t n, out->AppendAligned(rows, ctx.now()));
+        (void)n;
+      }
+      return Status::OK();
+    };
+    auto f = std::make_shared<core::Factory>("lr_q5_daily_expenditure", body);
+    f->AddInput(net->exp_req_);
+    f->AddOutput(net->exp_out_);
+    net->collections_[4] = f;
+  }
+
+  // Register in pipeline order so a single scheduler round pushes a batch
+  // through the whole network: router, accidents, stats, stats', alerts,
+  // balances, expenditures.
+  for (size_t idx : {3u, 0u, 1u, 2u, 6u, 5u, 4u}) {
+    engine->scheduler().Register(net->collections_[idx]);
+  }
+  return net;
+}
+
+}  // namespace datacell::lroad

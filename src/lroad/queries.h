@@ -1,0 +1,138 @@
+#ifndef DATACELL_LROAD_QUERIES_H_
+#define DATACELL_LROAD_QUERIES_H_
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/engine.h"
+#include "core/factory.h"
+#include "lroad/history.h"
+#include "lroad/types.h"
+
+namespace datacell::lroad {
+
+/// The Linear Road continuous-query network of Figure 6: seven collections
+/// of queries (38 logical queries in the paper's SQL formulation) connected
+/// by baskets, each collection realized as one factory — exactly the
+/// paper's §6.2 implementation choice ("as a first step each collection of
+/// queries becomes a single factory. It takes its input from another query
+/// collection and gives its output to the next collection").
+///
+/// Collection map (logical queries per collection in parentheses):
+///   Q1 (3)  stopped-car detection, accident creation, accident clearing
+///   Q2 (5)  per-minute per-segment speed and car-count statistics
+///   Q3 (5)  statistics': 5-minute LAV, toll computation per segment
+///   Q4 (2)  filter by type: route type 2/3 requests, replicate reports
+///   Q5 (4)  daily expenditure answers over the 10-week toll history
+///   Q6 (2)  account balance answers over the running accounts
+///   Q7 (18) toll notifications and accident alerts per segment crossing,
+///           account charging — the heavyweight output collection
+class Network {
+ public:
+  struct Options {
+    uint64_t history_seed = 1234;
+  };
+
+  /// Builds the baskets, state and factories, and registers every factory
+  /// with the engine's scheduler (in collection order Q4, Q1, Q2, Q3, Q7,
+  /// Q6, Q5 so one scheduler round drains a batch through the pipeline).
+  static Result<std::unique_ptr<Network>> Create(core::Engine* engine,
+                                                 Options options);
+
+  /// Pushes one generated input batch into the input basket.
+  Status DeliverInput(const Table& batch);
+
+  /// Output baskets (the benchmark's answer streams).
+  const core::BasketPtr& alerts() const { return alerts_; }
+  const core::BasketPtr& balance_answers() const { return balance_out_; }
+  const core::BasketPtr& expenditure_answers() const { return exp_out_; }
+
+  /// The seven collection factories, Q1..Q7 at indices 0..6.
+  const std::array<core::FactoryPtr, 7>& collections() const {
+    return collections_;
+  }
+
+  const TollHistory& history() const { return history_; }
+
+  /// Introspection for tests and the validator.
+  size_t num_active_accidents() const { return state_->accidents.size(); }
+  int64_t account_balance(int64_t vid) const;
+  const std::unordered_map<int64_t, int64_t>& accounts() const {
+    return state_->accounts;
+  }
+  uint64_t tolls_assessed() const { return state_->tolls_assessed; }
+
+ private:
+  // Keys: (xway, dir) route id packed with a segment or position.
+  static int64_t RouteKey(int64_t xway, int64_t dir) {
+    return xway * 2 + dir;
+  }
+  static int64_t SegKey(int64_t xway, int64_t dir, int64_t seg) {
+    return RouteKey(xway, dir) * kSegmentsPerXway + seg;
+  }
+  static int64_t PosKey(int64_t xway, int64_t dir, int64_t pos) {
+    return RouteKey(xway, dir) * (kSegmentsPerXway * kFeetPerSegment + 1) +
+           pos;
+  }
+
+  struct StopTrack {
+    int64_t pos_key = -1;
+    int consecutive = 0;
+  };
+  struct MinuteStat {
+    double speed_sum = 0;
+    int64_t reports = 0;
+    std::unordered_set<int64_t> cars;
+  };
+  /// A finished minute's aggregate for one segment (Q2 output row).
+  struct FinishedMinute {
+    int64_t minute = 0;
+    double speed_sum = 0;
+    int64_t reports = 0;
+    int64_t cars = 0;
+  };
+  struct SegToll {
+    double lav = 0;
+    int64_t toll = 0;  // cents
+  };
+  struct Accident {
+    int64_t seg = 0;
+    int64_t detected_at = 0;  // sim seconds
+  };
+
+  struct State {
+    // Q1.
+    std::unordered_map<int64_t, StopTrack> stop_tracks;          // vid ->
+    std::unordered_map<int64_t, std::unordered_set<int64_t>> stopped_at;
+    std::unordered_map<int64_t, Accident> accidents;             // SegKey ->
+    // Q2: stats of the minute being accumulated, per SegKey.
+    int64_t current_minute = 0;
+    std::unordered_map<int64_t, MinuteStat> minute_stats;
+    // Q3: the last kLavWindowMinutes finished minutes, per SegKey.
+    std::unordered_map<int64_t, std::vector<FinishedMinute>> stat_window;
+    std::unordered_map<int64_t, SegToll> current_tolls;  // SegKey ->
+    // Q7.
+    std::unordered_map<int64_t, int64_t> last_seg;   // vid ->
+    std::unordered_map<int64_t, int64_t> accounts;   // vid -> cents
+    uint64_t tolls_assessed = 0;
+  };
+
+  Network() = default;
+
+  core::Engine* engine_ = nullptr;
+  TollHistory history_;
+  std::shared_ptr<State> state_;
+
+  core::BasketPtr input_;
+  core::BasketPtr pos_q1_, pos_q2_, pos_q7_;
+  core::BasketPtr bal_req_, exp_req_;
+  core::BasketPtr stats_;
+  core::BasketPtr alerts_, balance_out_, exp_out_;
+  std::array<core::FactoryPtr, 7> collections_{};
+};
+
+}  // namespace datacell::lroad
+
+#endif  // DATACELL_LROAD_QUERIES_H_

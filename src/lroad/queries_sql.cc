@@ -1,0 +1,255 @@
+#include "lroad/queries_sql.h"
+
+namespace datacell::lroad {
+
+// Collection sizes follow Figure 6's printed counts (3, 5, 5, 4, 2, 18, 1
+// queries): Q1 = 3 (stopped cars / accidents), Q2 = 5 (statistics),
+// Q3 = 5 (statistics'), Q4 = 1 (filter by type), Q5 = 4 (daily
+// expenditure), Q6 = 2 (account balance), Q7 = 18 (toll/accident alerts).
+
+std::vector<std::string> LinearRoadSchemaSql() {
+  return {
+      // The input stream and the per-collection stage baskets.
+      "create basket lr_in (type int, time int, vid int, speed int, "
+      "xway int, lane int, dir int, seg int, pos int, qid int, day int)",
+      "create basket lr_pos (time int, vid int, speed int, xway int, "
+      "lane int, dir int, seg int, pos int)",
+      "create basket lr_pos_stats (time int, vid int, speed int, xway int, "
+      "lane int, dir int, seg int)",
+      "create basket lr_pos_toll (time int, vid int, xway int, lane int, "
+      "dir int, seg int)",
+      "create basket lr_balreq (time int, vid int, qid int)",
+      "create basket lr_expreq (time int, vid int, qid int, xway int, "
+      "day int)",
+      // Q1 intermediates.
+      "create basket lr_zero_speed (time int, vid int, xway int, dir int, "
+      "pos int)",
+      "create basket lr_stopped (time int, vid int, xway int, dir int, "
+      "pos int)",
+      "create basket lr_accidents (time int, xway int, dir int, seg int)",
+      "create basket lr_acc_cleared (time int, xway int, dir int, seg int)",
+      // Q2/Q3 intermediates.
+      "create basket lr_minute_stats (minute int, xway int, dir int, "
+      "seg int, avg_speed double, cars int)",
+      "create basket lr_lav (minute int, xway int, dir int, seg int, "
+      "lav double, cars int)",
+      "create basket lr_crossings (time int, vid int, xway int, dir int, "
+      "seg int)",
+      // Persistent state and outputs.
+      "create table lr_seg_tolls (xway int, dir int, seg int, toll int)",
+      "create table lr_accidents_active (xway int, dir int, seg int, "
+      "since int)",
+      "create table lr_accounts (vid int, balance int)",
+      "create table lr_toll_history (vid int, day int, xway int, toll int)",
+      "create table lr_out_tolls (vid int, time int, lav int, toll int)",
+      "create table lr_out_alerts (vid int, time int, seg int)",
+      "create table lr_out_balance (qid int, time int, vid int, "
+      "balance int)",
+      "create table lr_out_expenditure (qid int, time int, vid int, "
+      "expenditure int)",
+      "create table lr_trash (time int, vid int, xway int, dir int, "
+      "pos int)",
+      // Session variables used by the window queries.
+      "declare cur_minute int",
+      "set cur_minute = 0",
+  };
+}
+
+const std::vector<LogicalQuery>& LinearRoadQueriesSql() {
+  static const std::vector<LogicalQuery>* queries = new std::vector<
+      LogicalQuery>{
+      // --- Q4: filter by type (1) -------------------------------------------
+      {"Q4", "route_by_type",
+       "with t as [select * from lr_in] begin "
+       "insert into lr_pos select t.time, t.vid, t.speed, t.xway, t.lane, "
+       "t.dir, t.seg, t.pos from t where t.type = 0; "
+       "insert into lr_pos_stats select t.time, t.vid, t.speed, t.xway, "
+       "t.lane, t.dir, t.seg from t where t.type = 0; "
+       "insert into lr_pos_toll select t.time, t.vid, t.xway, t.lane, "
+       "t.dir, t.seg from t where t.type = 0; "
+       "insert into lr_balreq select t.time, t.vid, t.qid from t "
+       "where t.type = 2; "
+       "insert into lr_expreq select t.time, t.vid, t.qid, t.xway, t.day "
+       "from t where t.type = 3; "
+       "end",
+       true},
+
+      // --- Q1: stopped cars and accidents (3) -------------------------------
+      {"Q1", "zero_speed_reports",
+       "insert into lr_zero_speed select z.time, z.vid, z.xway, z.dir, "
+       "z.pos from [select * from lr_pos where lr_pos.speed = 0 and "
+       "lr_pos.lane >= 1 and lr_pos.lane <= 3] as z",
+       true},
+      {"Q1", "stopped_cars",
+       // Four consecutive identical reports: grouped over the retained
+       // zero-speed window (predicate window keeps recent epochs only).
+       "insert into lr_stopped select max(z.time) time, z.vid, z.xway, "
+       "z.dir, z.pos from [select * from lr_zero_speed] as z "
+       "group by z.vid, z.xway, z.dir, z.pos having count(*) >= 4",
+       true},
+      {"Q1", "create_accidents",
+       "insert into lr_accidents select max(s.time) time, s.xway, s.dir, "
+       "s.pos / 5280 seg from [select * from lr_stopped] as s "
+       "group by s.xway, s.dir, s.pos having count(*) >= 2",
+       true},
+
+      // --- Q2: per-minute statistics (5) -------------------------------------
+      {"Q2", "minute_speed",
+       "insert into lr_minute_stats select p.time / 60 minute, p.xway, "
+       "p.dir, p.seg, avg(p.speed) avg_speed, count(*) cars "
+       "from [select * from lr_pos_stats where lr_pos_stats.lane <= 3] as p "
+       "group by p.time / 60, p.xway, p.dir, p.seg",
+       true},
+      {"Q2", "distinct_cars_minute",
+       "select s.minute, s.xway, s.dir, s.seg, count(*) cars from "
+       "lr_minute_stats s group by s.minute, s.xway, s.dir, s.seg",
+       false},
+      {"Q2", "entry_lane_volume",
+       "select p.xway, p.seg, count(*) entries from lr_pos_stats p "
+       "where p.lane = 0 group by p.xway, p.seg",
+       false},
+      {"Q2", "exit_lane_volume",
+       "select p.xway, p.seg, count(*) exits from lr_pos_stats p "
+       "where p.lane = 4 group by p.xway, p.seg",
+       false},
+      {"Q2", "speed_histogram",
+       "select p.speed / 10 bucket, count(*) n from lr_pos_stats p "
+       "group by p.speed / 10 order by bucket",
+       false},
+
+      // --- Q3: statistics' — LAV and tolls (5) --------------------------------
+      {"Q3", "five_minute_lav",
+       "insert into lr_lav select m.minute, m.xway, m.dir, m.seg, "
+       "avg(m.avg_speed) lav, max(m.cars) cars from "
+       "[select * from lr_minute_stats where "
+       "lr_minute_stats.minute >= cur_minute - 5] as m "
+       "group by m.minute, m.xway, m.dir, m.seg",
+       true},
+      {"Q3", "congested_segments",
+       "select l.xway, l.dir, l.seg from lr_lav l where l.lav < 40 and "
+       "l.cars > 50",
+       false},
+      {"Q3", "update_current_tolls",
+       "insert into lr_seg_tolls select l.xway, l.dir, l.seg, "
+       "2 * (l.cars - 50) * (l.cars - 50) toll from "
+       "[select * from lr_lav where lr_lav.lav < 40 and lr_lav.cars > 50] "
+       "as l",
+       true},
+      {"Q3", "clear_uncongested_tolls",
+       "insert into lr_trash select l.minute, 0 vid, l.xway, l.dir, "
+       "l.seg from [select * from lr_lav where lr_lav.lav >= 40] as l",
+       true},
+      {"Q3", "toll_statistics",
+       "select t.xway, avg(t.toll) mean_toll, max(t.toll) max_toll from "
+       "lr_seg_tolls t group by t.xway",
+       false},
+
+      // --- Q7: toll notifications and accident alerts (18) --------------------
+      {"Q7", "segment_crossings",
+       "insert into lr_crossings select p.time, p.vid, p.xway, p.dir, "
+       "p.seg from [select * from lr_pos_toll where lr_pos_toll.lane < 4] "
+       "as p",
+       true},
+      {"Q7", "accident_zone_0",
+       "insert into lr_out_alerts select c.vid, c.time, c.seg from "
+       "[select * from lr_crossings, lr_accidents where "
+       "lr_crossings.seg = lr_accidents.seg] as c",
+       true},
+      {"Q7", "accident_zone_1",
+       "select c.vid, c.time, a.seg from lr_crossings c, "
+       "lr_accidents_active a where c.xway = a.xway and c.dir = a.dir "
+       "and c.seg = a.seg - 1",
+       false},
+      {"Q7", "accident_zone_2",
+       "select c.vid, c.time, a.seg from lr_crossings c, "
+       "lr_accidents_active a where c.xway = a.xway and c.dir = a.dir "
+       "and c.seg = a.seg - 2",
+       false},
+      {"Q7", "accident_zone_3",
+       "select c.vid, c.time, a.seg from lr_crossings c, "
+       "lr_accidents_active a where c.xway = a.xway and c.dir = a.dir "
+       "and c.seg = a.seg - 3",
+       false},
+      {"Q7", "accident_zone_4",
+       "select c.vid, c.time, a.seg from lr_crossings c, "
+       "lr_accidents_active a where c.xway = a.xway and c.dir = a.dir "
+       "and c.seg = a.seg - 4",
+       false},
+      {"Q7", "toll_for_crossing",
+       "insert into lr_out_tolls select c.vid, c.time, 0 lav, t.toll from "
+       "[select * from lr_crossings] as c, lr_seg_tolls t "
+       "where c.xway = t.xway and c.dir = t.dir and c.seg = t.seg",
+       true},
+      {"Q7", "zero_toll_notification",
+       "select c.vid, c.time from lr_crossings c where c.seg >= 0",
+       false},
+      {"Q7", "charge_account",
+       "insert into lr_accounts select o.vid, sum(o.toll) balance from "
+       "lr_out_tolls o group by o.vid",
+       false},
+      {"Q7", "account_rollup",
+       "select a.vid, sum(a.balance) total from lr_accounts a group by "
+       "a.vid having sum(a.balance) > 0",
+       false},
+      {"Q7", "toll_history_append",
+       "insert into lr_toll_history select o.vid, 0 day, 0 xway, o.toll "
+       "from lr_out_tolls o where o.toll > 0",
+       false},
+      {"Q7", "dedup_notifications",
+       "select distinct o.vid, o.time from lr_out_tolls o",
+       false},
+      {"Q7", "reissue_after_accident_clear",
+       "insert into lr_out_tolls select c.vid, c.time, 0 lav, 0 toll from "
+       "[select * from lr_crossings, lr_acc_cleared where "
+       "lr_crossings.seg = lr_acc_cleared.seg] as c",
+       true},
+      {"Q7", "alert_dedup",
+       "select distinct a.vid, a.seg from lr_out_alerts a",
+       false},
+      {"Q7", "per_minute_toll_revenue",
+       "select o.time / 60 minute, sum(o.toll) revenue from lr_out_tolls o "
+       "group by o.time / 60 order by minute",
+       false},
+      {"Q7", "most_charged_vehicles",
+       "select o.vid, sum(o.toll) paid from lr_out_tolls o group by o.vid "
+       "order by paid desc limit 10",
+       false},
+      {"Q7", "alerts_per_accident",
+       "select a.seg, count(*) n from lr_out_alerts a group by a.seg",
+       false},
+      {"Q7", "notification_latency_audit",
+       "select max(o.time) newest from lr_out_tolls o",
+       false},
+
+      // --- Q6: account balances (2) -------------------------------------------
+      {"Q6", "answer_balance",
+       "insert into lr_out_balance select r.qid, r.time, r.vid, "
+       "(select sum(a.balance) from lr_accounts a) balance "
+       "from [select * from lr_balreq] as r",
+       true},
+      {"Q6", "negative_balance_audit",
+       "select a.vid from lr_accounts a where a.balance < 0",
+       false},
+
+      // --- Q5: daily expenditures (4) ------------------------------------------
+      {"Q5", "answer_expenditure",
+       "insert into lr_out_expenditure select r.qid, r.time, r.vid, "
+       "(select sum(h.toll) from lr_toll_history h) expenditure "
+       "from [select * from lr_expreq] as r",
+       true},
+      {"Q5", "history_by_day",
+       "select h.day, sum(h.toll) total from lr_toll_history h "
+       "group by h.day order by h.day",
+       false},
+      {"Q5", "history_by_vehicle",
+       "select h.vid, h.xway, sum(h.toll) total from lr_toll_history h "
+       "group by h.vid, h.xway",
+       false},
+      {"Q5", "expenditure_answer_audit",
+       "select count(*) answered from lr_out_expenditure",
+       false},
+  };
+  return *queries;
+}
+
+}  // namespace datacell::lroad

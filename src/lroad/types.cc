@@ -1,0 +1,81 @@
+#include "lroad/types.h"
+
+#include "util/logging.h"
+
+namespace datacell::lroad {
+
+Schema InputSchema() {
+  return Schema({{"type", DataType::kInt64},
+                 {"time", DataType::kInt64},
+                 {"vid", DataType::kInt64},
+                 {"speed", DataType::kInt64},
+                 {"xway", DataType::kInt64},
+                 {"lane", DataType::kInt64},
+                 {"dir", DataType::kInt64},
+                 {"seg", DataType::kInt64},
+                 {"pos", DataType::kInt64},
+                 {"qid", DataType::kInt64},
+                 {"day", DataType::kInt64}});
+}
+
+void AppendInput(const InputTuple& t, Table* table) {
+  DC_DCHECK(table->num_columns() == 11);
+  table->column(0).AppendInt(t.type);
+  table->column(1).AppendInt(t.time);
+  table->column(2).AppendInt(t.vid);
+  table->column(3).AppendInt(t.speed);
+  table->column(4).AppendInt(t.xway);
+  table->column(5).AppendInt(t.lane);
+  table->column(6).AppendInt(t.dir);
+  table->column(7).AppendInt(t.seg);
+  table->column(8).AppendInt(t.pos);
+  table->column(9).AppendInt(t.qid);
+  table->column(10).AppendInt(t.day);
+}
+
+InputTuple ReadInput(const Table& table, size_t i) {
+  InputTuple t;
+  t.type = table.column(0).ints()[i];
+  t.time = table.column(1).ints()[i];
+  t.vid = table.column(2).ints()[i];
+  t.speed = table.column(3).ints()[i];
+  t.xway = table.column(4).ints()[i];
+  t.lane = table.column(5).ints()[i];
+  t.dir = table.column(6).ints()[i];
+  t.seg = table.column(7).ints()[i];
+  t.pos = table.column(8).ints()[i];
+  t.qid = table.column(9).ints()[i];
+  t.day = table.column(10).ints()[i];
+  return t;
+}
+
+Schema TollAlertSchema() {
+  return Schema({{"alert_type", DataType::kInt64},  // 0 = toll, 1 = accident
+                 {"vid", DataType::kInt64},
+                 {"time", DataType::kInt64},         // request time (sim s)
+                 {"emit_time", DataType::kInt64},    // answer time (sim s)
+                 {"xway", DataType::kInt64},
+                 {"seg", DataType::kInt64},          // alert: accident segment
+                 {"lav", DataType::kInt64},          // rounded mph
+                 {"toll", DataType::kInt64}});
+}
+
+Schema BalanceAnswerSchema() {
+  return Schema({{"qid", DataType::kInt64},
+                 {"time", DataType::kInt64},
+                 {"result_time", DataType::kInt64},
+                 {"vid", DataType::kInt64},
+                 {"balance", DataType::kInt64}});
+}
+
+Schema ExpenditureAnswerSchema() {
+  return Schema({{"qid", DataType::kInt64},
+                 {"time", DataType::kInt64},
+                 {"result_time", DataType::kInt64},
+                 {"vid", DataType::kInt64},
+                 {"day", DataType::kInt64},
+                 {"xway", DataType::kInt64},
+                 {"expenditure", DataType::kInt64}});
+}
+
+}  // namespace datacell::lroad

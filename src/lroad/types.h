@@ -1,0 +1,82 @@
+#ifndef DATACELL_LROAD_TYPES_H_
+#define DATACELL_LROAD_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "column/table.h"
+#include "util/status.h"
+
+namespace datacell::lroad {
+
+/// Linear Road constants (Arasu et al., VLDB'04), as used by §6.2.
+inline constexpr int kSegmentsPerXway = 100;
+inline constexpr int kFeetPerSegment = 5280;  // 1-mile segments
+inline constexpr int kReportIntervalSec = 30;
+inline constexpr int kBenchmarkDurationSec = 3 * 3600;  // 3 hours
+inline constexpr int kHistoryDays = 69;                 // 10 weeks minus 1
+inline constexpr int kLaneEntry = 0;
+inline constexpr int kLaneTravelFirst = 1;
+inline constexpr int kLaneTravelLast = 3;
+inline constexpr int kLaneExit = 4;
+/// Accident detection: same position for 4 consecutive reports.
+inline constexpr int kStoppedReports = 4;
+/// An accident in segment s affects cars in [s-4, s] (direction 0).
+inline constexpr int kAccidentUpstreamSegs = 4;
+/// Toll rule thresholds.
+inline constexpr double kTollSpeedThreshold = 40.0;  // LAV < 40 mph
+inline constexpr int kTollCarThreshold = 50;         // > 50 cars/minute
+/// LAV window: average speed over the last 5 minutes.
+inline constexpr int kLavWindowMinutes = 5;
+/// Response deadlines (seconds) per the benchmark.
+inline constexpr int kDeadlineTollSec = 5;
+inline constexpr int kDeadlineBalanceSec = 5;
+inline constexpr int kDeadlineExpenditureSec = 10;
+
+/// Input tuple types.
+enum class InputType : int64_t {
+  kPositionReport = 0,
+  kAccountBalance = 2,
+  kDailyExpenditure = 3,
+};
+
+/// One input tuple. The full benchmark schema has 15 attributes; we carry
+/// the 11 that the seven query collections consume (S_init/S_end/DOW/TOD
+/// belong to the rarely-implemented type-4 travel-time query, which we do
+/// not generate — see DESIGN.md).
+struct InputTuple {
+  int64_t type = 0;  // InputType
+  int64_t time = 0;  // simulation seconds, 0..10799
+  int64_t vid = 0;
+  int64_t speed = 0;  // mph, 0..100
+  int64_t xway = 0;
+  int64_t lane = 0;  // 0..4
+  int64_t dir = 0;   // 0 = increasing segment order, 1 = decreasing
+  int64_t seg = 0;   // 0..99
+  int64_t pos = 0;   // feet from expressway start
+  int64_t qid = -1;  // query id for type 2/3
+  int64_t day = 0;   // historical day for type 3 (1..69)
+};
+
+/// Column schema of the input stream basket.
+Schema InputSchema();
+
+/// Appends one tuple to a table with InputSchema() layout (typed appends,
+/// no Value boxing — the generator emits millions of these).
+void AppendInput(const InputTuple& t, Table* table);
+
+/// Reads row `i` of an InputSchema() table back into a struct.
+InputTuple ReadInput(const Table& table, size_t i);
+
+/// Output schemas.
+/// Toll notification / accident alert: type 0 = toll, 1 = accident alert.
+Schema TollAlertSchema();
+/// Account balance answer: (qid, time, result_time, vid, balance).
+Schema BalanceAnswerSchema();
+/// Daily expenditure answer:
+/// (qid, time, result_time, vid, day, xway, expenditure).
+Schema ExpenditureAnswerSchema();
+
+}  // namespace datacell::lroad
+
+#endif  // DATACELL_LROAD_TYPES_H_

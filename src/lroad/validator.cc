@@ -1,0 +1,127 @@
+#include "lroad/validator.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "lroad/history.h"
+#include "util/strings.h"
+
+namespace datacell::lroad {
+
+namespace {
+
+// Is `toll` a possible output of toll = 2 * (n - 50)^2 with n > 50?
+bool ValidTollValue(int64_t toll) {
+  if (toll <= 0 || toll % 2 != 0) return false;
+  const int64_t half = toll / 2;
+  const int64_t root = static_cast<int64_t>(std::llround(std::sqrt(
+      static_cast<double>(half))));
+  return root > 0 && root * root == half;
+}
+
+}  // namespace
+
+ValidationReport Validate(const Driver::Report& report) {
+  ValidationReport out;
+  out.injected_accidents = report.injected_accidents.size();
+
+  // 1. Accident detection. Detection requires 4 identical consecutive
+  // reports (≥ 90 s after the stop), then a car crossing into the zone.
+  for (const auto& acc : report.injected_accidents) {
+    const int64_t lifetime = acc.clear_time - acc.start_time;
+    if (lifetime < 5 * kReportIntervalSec) continue;  // too brief to detect
+    ++out.detectable_accidents;
+    bool detected = false;
+    for (const Driver::AlertRecord& alert : report.accident_alert_log) {
+      if (alert.xway != acc.xway) continue;
+      if (alert.seg != acc.seg) continue;
+      if (alert.time < acc.start_time + 3 * kReportIntervalSec) continue;
+      if (alert.time > acc.clear_time + 4 * kReportIntervalSec) continue;
+      detected = true;
+      break;
+    }
+    if (detected) ++out.detected_accidents;
+  }
+
+  // Alerts must never report a toll charge.
+  for (const Driver::AlertRecord& alert : report.accident_alert_log) {
+    ++out.alerts_checked;
+    if (alert.toll != 0) {
+      out.errors.push_back(StringPrintf(
+          "accident alert for vid %lld carries toll %lld",
+          static_cast<long long>(alert.vid), static_cast<long long>(alert.toll)));
+    }
+  }
+
+  // 2. Toll soundness: every distinct charged value fits 2*(n-50)^2.
+  for (const auto& [value, count] : report.toll_value_counts) {
+    (void)count;
+    ++out.tolls_checked;
+    if (!ValidTollValue(value)) {
+      out.errors.push_back(StringPrintf(
+          "charged toll %lld is not of the form 2*(n-50)^2",
+          static_cast<long long>(value)));
+      if (out.errors.size() > 20) return out;
+    }
+  }
+  for (const auto& [vid, total] : report.tolls_charged_per_vid) {
+    (void)vid;
+    if (total < 0) out.errors.push_back("negative accumulated toll");
+  }
+
+  // 3. Balance consistency: final balance == sum of charged tolls.
+  for (const auto& [vid, balance] : report.final_balances) {
+    ++out.balances_checked;
+    auto it = report.tolls_charged_per_vid.find(vid);
+    const int64_t charged = it == report.tolls_charged_per_vid.end()
+                                ? 0
+                                : it->second;
+    if (charged != balance) {
+      out.errors.push_back(StringPrintf(
+          "vid %lld: final balance %lld != charged tolls %lld",
+          static_cast<long long>(vid), static_cast<long long>(balance),
+          static_cast<long long>(charged)));
+      if (out.errors.size() > 20) return out;
+    }
+  }
+  // Balance answers must be monotone snapshots bounded by the final value.
+  std::unordered_map<int64_t, int64_t> last_answer;
+  for (const Driver::BalanceRecord& b : report.balance_log) {
+    auto fit = report.final_balances.find(b.vid);
+    const int64_t final_balance =
+        fit == report.final_balances.end() ? 0 : fit->second;
+    if (b.balance > final_balance) {
+      out.errors.push_back(StringPrintf(
+          "vid %lld: balance answer %lld exceeds final balance %lld",
+          static_cast<long long>(b.vid), static_cast<long long>(b.balance),
+          static_cast<long long>(final_balance)));
+      if (out.errors.size() > 20) return out;
+    }
+    int64_t& prev = last_answer[b.vid];
+    if (b.balance < prev) {
+      out.errors.push_back(StringPrintf(
+          "vid %lld: balance answers not monotone (%lld after %lld)",
+          static_cast<long long>(b.vid), static_cast<long long>(b.balance),
+          static_cast<long long>(prev)));
+    }
+    prev = b.balance;
+  }
+  out.balances_checked += report.balance_log.size();
+
+  // 4. Expenditure answers match the deterministic history.
+  TollHistory history(report.history_seed);
+  for (const Driver::ExpenditureRecord& e : report.expenditure_log) {
+    ++out.expenditures_checked;
+    const int64_t expect = history.DailyExpenditure(e.vid, e.day, e.xway);
+    if (expect != e.expenditure) {
+      out.errors.push_back(StringPrintf(
+          "expenditure answer qid %lld: got %lld want %lld",
+          static_cast<long long>(e.qid), static_cast<long long>(e.expenditure),
+          static_cast<long long>(expect)));
+      if (out.errors.size() > 20) return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace datacell::lroad

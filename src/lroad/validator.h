@@ -1,0 +1,47 @@
+#ifndef DATACELL_LROAD_VALIDATOR_H_
+#define DATACELL_LROAD_VALIDATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "lroad/driver.h"
+
+namespace datacell::lroad {
+
+/// Self-validation of a Linear Road run (substitute for the official
+/// validator tool; see DESIGN.md §5). Checks:
+///  1. Accident detection: every injected accident that lasted long enough
+///     to be detectable (≥ 5 report intervals) and had traffic crossing
+///     its zone produced at least one accident alert with the right
+///     expressway/segment, no earlier than detection is possible.
+///  2. Toll soundness: every charged toll is a valid output of the toll
+///     formula 2·(n−50)², n > 50.
+///  3. Balance consistency: the network's final account balance of every
+///     vehicle equals the sum of its charged toll notifications, and every
+///     balance answer is bounded by the final balance.
+///  4. Expenditure answers equal the deterministic toll history.
+struct ValidationReport {
+  size_t injected_accidents = 0;
+  size_t detectable_accidents = 0;
+  size_t detected_accidents = 0;
+  size_t alerts_checked = 0;
+  size_t tolls_checked = 0;
+  size_t balances_checked = 0;
+  size_t expenditures_checked = 0;
+  std::vector<std::string> errors;
+
+  bool ok() const { return errors.empty(); }
+  /// Fraction of detectable accidents that produced an alert.
+  double DetectionRatio() const {
+    return detectable_accidents == 0
+               ? 1.0
+               : static_cast<double>(detected_accidents) /
+                     static_cast<double>(detectable_accidents);
+  }
+};
+
+ValidationReport Validate(const Driver::Report& report);
+
+}  // namespace datacell::lroad
+
+#endif  // DATACELL_LROAD_VALIDATOR_H_

@@ -1,0 +1,73 @@
+#include "net/actuator.h"
+
+#include "net/codec.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace datacell::net {
+
+Actuator::~Actuator() {
+  listener_.Close();
+  if (thread_.joinable()) thread_.join();
+}
+
+Status Actuator::Start(uint16_t port) {
+  ASSIGN_OR_RETURN(listener_, TcpListener::Bind(port));
+  port_ = listener_.port();
+  thread_ = std::thread([this] { ReadLoop(); });
+  return Status::OK();
+}
+
+void Actuator::WaitFinished() {
+  if (thread_.joinable()) thread_.join();
+}
+
+Actuator::Stats Actuator::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void Actuator::ReadLoop() {
+  Result<TcpStream> conn = listener_.Accept();
+  if (!conn.ok()) {
+    finished_.store(true);
+    return;
+  }
+  TcpStream stream = std::move(conn).value();
+
+  // Schema header: locate the creation-timestamp column ("tag").
+  Result<std::string> header = stream.ReadLine();
+  if (!header.ok()) {
+    finished_.store(true);
+    return;
+  }
+  size_t tag_index = 0;
+  if (Result<Schema> schema = Codec::DecodeSchemaHeader(*header); schema.ok()) {
+    int idx = schema->FindField("tag");
+    if (idx >= 0) tag_index = static_cast<size_t>(idx);
+  }
+
+  while (true) {
+    Result<std::string> line = stream.ReadLine();
+    if (!line.ok()) break;
+    const Micros received = clock_->Now();
+    // Fast field extraction: we only need the tag column.
+    std::vector<std::string> fields = SplitString(*line, '|');
+    if (fields.size() <= tag_index) continue;
+    Result<int64_t> created = ParseInt64(fields[tag_index]);
+    if (!created.ok()) continue;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stats_.tuples == 0) {
+      stats_.first_receive = received;
+      stats_.first_created = *created;
+    }
+    stats_.tuples++;
+    const Micros latency = received - *created;
+    stats_.latency_sum += latency;
+    stats_.latency_max = std::max(stats_.latency_max, latency);
+    stats_.last_receive = received;
+  }
+  finished_.store(true);
+}
+
+}  // namespace datacell::net

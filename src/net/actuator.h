@@ -1,0 +1,76 @@
+#ifndef DATACELL_NET_ACTUATOR_H_
+#define DATACELL_NET_ACTUATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "net/socket.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace datacell::net {
+
+/// The actuator tool of §6.1: simulates a client terminal that subscribed
+/// to a continuous query and waits for answers.
+///
+/// It listens on a TCP port, accepts one producer (the DataCell emitter, or
+/// a sensor directly in the "without kernel" runs), reads tuples until EOF,
+/// and measures per-tuple latency L(t) = D(t) - C(t), where C(t) is the
+/// creation timestamp carried in the tuple's `tag` column and D(t) the
+/// local receive time.
+class Actuator {
+ public:
+  struct Stats {
+    uint64_t tuples = 0;
+    Micros latency_sum = 0;
+    Micros latency_max = 0;
+    /// D(t_first) and D(t_last): receive times of first and last tuple.
+    Micros first_receive = 0;
+    Micros last_receive = 0;
+    /// C(t_1): creation time of the first tuple (for elapsed time E(b)).
+    Micros first_created = 0;
+
+    double MeanLatency() const {
+      return tuples == 0 ? 0.0
+                         : static_cast<double>(latency_sum) /
+                               static_cast<double>(tuples);
+    }
+    /// E(b) = D(t_k) - C(t_1), the paper's per-batch elapsed time.
+    Micros Elapsed() const { return last_receive - first_created; }
+  };
+
+  explicit Actuator(Clock* clock) : clock_(clock) {}
+  ~Actuator();
+
+  Actuator(const Actuator&) = delete;
+  Actuator& operator=(const Actuator&) = delete;
+
+  /// Binds (0 = ephemeral) and spawns the accept+read thread.
+  Status Start(uint16_t port = 0);
+  uint16_t port() const { return port_; }
+
+  /// Blocks until the producer closes the connection.
+  void WaitFinished();
+  bool finished() const { return finished_.load(); }
+
+  Stats stats() const;
+
+ private:
+  void ReadLoop();
+
+  Clock* clock_;
+  TcpListener listener_;
+  uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> finished_{false};
+
+  mutable std::mutex mu_;
+  Stats stats_;
+};
+
+}  // namespace datacell::net
+
+#endif  // DATACELL_NET_ACTUATOR_H_

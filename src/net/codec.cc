@@ -1,0 +1,190 @@
+#include "net/codec.h"
+
+#include "util/strings.h"
+
+namespace datacell::net {
+
+namespace {
+
+void EscapeInto(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '|':
+        out->append("\\p");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+std::string Unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out.push_back(s[i]);
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case '\\':
+        out.push_back('\\');
+        break;
+      case 'p':
+        out.push_back('|');
+        break;
+      case 'n':
+        out.push_back('\n');
+        break;
+      default:
+        out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+// Splits on unescaped '|'.
+std::vector<std::string> SplitFields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      cur.push_back(line[i]);
+      cur.push_back(line[i + 1]);
+      ++i;
+      continue;
+    }
+    if (line[i] == '|') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+      continue;
+    }
+    cur.push_back(line[i]);
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+}  // namespace
+
+std::string Codec::EncodeSchemaHeader() const {
+  std::string out;
+  for (size_t i = 0; i < schema_.num_fields(); ++i) {
+    if (i > 0) out.push_back('|');
+    out += schema_.field(i).name;
+    out.push_back(':');
+    out += DataTypeName(schema_.field(i).type);
+  }
+  return out;
+}
+
+Result<Schema> Codec::DecodeSchemaHeader(const std::string& line) {
+  Schema schema;
+  for (const std::string& part : SplitString(line, '|')) {
+    size_t colon = part.rfind(':');
+    if (colon == std::string::npos) {
+      return Status::ParseError("bad schema header field: " + part);
+    }
+    ASSIGN_OR_RETURN(DataType type, DataTypeFromName(part.substr(colon + 1)));
+    RETURN_NOT_OK(schema.AddField({part.substr(0, colon), type}));
+  }
+  return schema;
+}
+
+Result<std::string> Codec::EncodeRow(const Table& table, size_t i) const {
+  if (table.num_columns() != schema_.num_fields()) {
+    return Status::TypeMismatch("codec schema arity mismatch");
+  }
+  std::string out;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out.push_back('|');
+    const Column& col = table.column(c);
+    if (!col.IsValid(i)) {
+      out.append("NULL");
+      continue;
+    }
+    switch (col.type()) {
+      case DataType::kInt64:
+      case DataType::kTimestamp:
+        out.append(std::to_string(col.ints()[i]));
+        break;
+      case DataType::kDouble:
+        out.append(StringPrintf("%.17g", col.doubles()[i]));
+        break;
+      case DataType::kBool:
+        out.append(col.bools()[i] ? "true" : "false");
+        break;
+      case DataType::kString:
+        EscapeInto(col.strings()[i], &out);
+        break;
+    }
+  }
+  return out;
+}
+
+Result<std::string> Codec::EncodeTable(const Table& table) const {
+  std::string out;
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    ASSIGN_OR_RETURN(std::string line, EncodeRow(table, i));
+    out += line;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<Row> Codec::DecodeRow(const std::string& line) const {
+  std::vector<std::string> fields = SplitFields(line);
+  if (fields.size() != schema_.num_fields()) {
+    return Status::ParseError("tuple arity " + std::to_string(fields.size()) +
+                              " does not match schema " + schema_.ToString());
+  }
+  Row row;
+  row.reserve(fields.size());
+  for (size_t i = 0; i < fields.size(); ++i) {
+    const std::string& f = fields[i];
+    if (f == "NULL") {
+      row.push_back(Value::Null());
+      continue;
+    }
+    switch (schema_.field(i).type) {
+      case DataType::kInt64:
+      case DataType::kTimestamp: {
+        ASSIGN_OR_RETURN(int64_t v, ParseInt64(f));
+        row.push_back(Value(v));
+        break;
+      }
+      case DataType::kDouble: {
+        ASSIGN_OR_RETURN(double v, ParseDouble(f));
+        row.push_back(Value(v));
+        break;
+      }
+      case DataType::kBool:
+        if (f == "true") {
+          row.push_back(Value(true));
+        } else if (f == "false") {
+          row.push_back(Value(false));
+        } else {
+          return Status::ParseError("bad bool field: " + f);
+        }
+        break;
+      case DataType::kString:
+        row.push_back(Value(Unescape(f)));
+        break;
+    }
+  }
+  return row;
+}
+
+Status Codec::DecodeInto(const std::string& line, Table* out) const {
+  ASSIGN_OR_RETURN(Row row, DecodeRow(line));
+  return out->AppendRow(row);
+}
+
+}  // namespace datacell::net

@@ -1,0 +1,42 @@
+#ifndef DATACELL_NET_CODEC_H_
+#define DATACELL_NET_CODEC_H_
+
+#include <string>
+
+#include "column/table.h"
+#include "util/status.h"
+
+namespace datacell::net {
+
+/// The DataCell interchange format (§3.1): a purposely simple textual
+/// protocol for flat relational tuples. One tuple per line, fields
+/// separated by '|'; NULL spelled literally; '\', '|' and newline escaped
+/// in strings. Doubles round-trip via %.17g.
+class Codec {
+ public:
+  explicit Codec(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+
+  /// "name:type|name:type" — sent once as a handshake header.
+  std::string EncodeSchemaHeader() const;
+  static Result<Schema> DecodeSchemaHeader(const std::string& line);
+
+  /// Encodes row `i` of `table` (schemas must agree) without trailing
+  /// newline.
+  Result<std::string> EncodeRow(const Table& table, size_t i) const;
+  /// Encodes all rows, one per line, each newline-terminated.
+  Result<std::string> EncodeTable(const Table& table) const;
+
+  /// Parses one tuple line into a Row matching the schema.
+  Result<Row> DecodeRow(const std::string& line) const;
+  /// Parses one tuple line and appends it to `out` (schema must match).
+  Status DecodeInto(const std::string& line, Table* out) const;
+
+ private:
+  Schema schema_;
+};
+
+}  // namespace datacell::net
+
+#endif  // DATACELL_NET_CODEC_H_

@@ -1,0 +1,104 @@
+#include "net/gateway.h"
+
+#include "util/logging.h"
+
+namespace datacell::net {
+
+TcpIngress::~TcpIngress() { Stop(); }
+
+Status TcpIngress::Start(uint16_t port) {
+  ASSIGN_OR_RETURN(listener_, TcpListener::Bind(port));
+  port_ = listener_.port();
+  thread_ = std::thread([this] { ReadLoop(); });
+  return Status::OK();
+}
+
+void TcpIngress::Stop() {
+  listener_.Close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void TcpIngress::ReadLoop() {
+  Result<TcpStream> conn = listener_.Accept();
+  if (!conn.ok()) {
+    DC_LOG(Warn) << "ingress accept failed: " << conn.status().ToString();
+    finished_.store(true);
+    return;
+  }
+  TcpStream stream = std::move(conn).value();
+
+  // Handshake: schema header.
+  Result<std::string> header = stream.ReadLine();
+  if (!header.ok()) {
+    DC_LOG(Warn) << "ingress: no schema header: " << header.status().ToString();
+    finished_.store(true);
+    return;
+  }
+  Result<Schema> peer_schema = Codec::DecodeSchemaHeader(*header);
+  if (!peer_schema.ok() || !(*peer_schema == codec_.schema())) {
+    DC_LOG(Warn) << "ingress: schema mismatch, got '" << *header << "'";
+    finished_.store(true);
+    return;
+  }
+
+  Table batch(codec_.schema());
+  auto flush = [&]() -> Status {
+    if (batch.num_rows() == 0) return Status::OK();
+    ASSIGN_OR_RETURN(size_t n, receptor_->Deliver(batch, clock_->Now()));
+    (void)n;
+    batch.Clear();
+    return Status::OK();
+  };
+
+  while (true) {
+    // Block for the first line of a burst...
+    Result<std::string> line = stream.ReadLine();
+    if (!line.ok()) break;  // EOF or error
+    Status st = codec_.DecodeInto(*line, &batch);
+    if (!st.ok()) {
+      // Structural validation failure: silently drop the event (baskets'
+      // silent-filter semantics start at the adapter boundary).
+      DC_LOG(Debug) << "ingress dropping malformed tuple: " << st.ToString();
+    } else {
+      tuples_.fetch_add(1);
+    }
+    // ...then drain whatever else already arrived, up to the batch bound.
+    while (batch.num_rows() < max_batch_rows_) {
+      Result<std::optional<std::string>> more = stream.TryReadLine();
+      if (!more.ok() || !more->has_value()) break;
+      st = codec_.DecodeInto(**more, &batch);
+      if (st.ok()) tuples_.fetch_add(1);
+    }
+    st = flush();
+    if (!st.ok()) {
+      DC_LOG(Error) << "ingress deliver failed: " << st.ToString();
+      break;
+    }
+  }
+  Status st = flush();
+  if (!st.ok()) DC_LOG(Error) << "ingress final flush: " << st.ToString();
+  finished_.store(true);
+}
+
+Result<std::unique_ptr<TcpEgress>> TcpEgress::Connect(const std::string& host,
+                                                      uint16_t port) {
+  ASSIGN_OR_RETURN(TcpStream stream, TcpStream::Connect(host, port));
+  return std::unique_ptr<TcpEgress>(new TcpEgress(std::move(stream)));
+}
+
+core::Emitter::Sink TcpEgress::MakeSink() {
+  return [this](const Table& batch) -> Status {
+    if (!header_sent_) {
+      Codec codec(batch.schema());
+      RETURN_NOT_OK(stream_.WriteAll(codec.EncodeSchemaHeader() + "\n"));
+      header_sent_ = true;
+    }
+    Codec codec(batch.schema());
+    ASSIGN_OR_RETURN(std::string payload, codec.EncodeTable(batch));
+    return stream_.WriteAll(payload);
+  };
+}
+
+Status TcpEgress::Finish() { return stream_.ShutdownWrite(); }
+
+}  // namespace datacell::net

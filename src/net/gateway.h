@@ -1,0 +1,89 @@
+#ifndef DATACELL_NET_GATEWAY_H_
+#define DATACELL_NET_GATEWAY_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "core/receptor.h"
+#include "net/codec.h"
+#include "net/socket.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace datacell::net {
+
+/// Kernel-side ingress: accepts one sensor connection on a TCP port and
+/// forwards its tuples into a core::Receptor. This is the network half of
+/// the paper's receptor thread — it validates each event's structure (via
+/// the codec) and pushes batches into the baskets.
+///
+/// The first line from the sensor must be the schema header and must match
+/// the receptor's stream schema. Incoming bursts are drained into a single
+/// Deliver() batch, bounded by `max_batch_rows`.
+class TcpIngress {
+ public:
+  TcpIngress(core::ReceptorPtr receptor, Codec codec, Clock* clock,
+             size_t max_batch_rows = 1024)
+      : receptor_(std::move(receptor)),
+        codec_(std::move(codec)),
+        clock_(clock),
+        max_batch_rows_(max_batch_rows) {}
+  ~TcpIngress();
+
+  TcpIngress(const TcpIngress&) = delete;
+  TcpIngress& operator=(const TcpIngress&) = delete;
+
+  /// Binds (port 0 = ephemeral) and spawns the accept+read thread.
+  Status Start(uint16_t port = 0);
+  uint16_t port() const { return port_; }
+
+  /// True once the sensor closed its connection and every tuple has been
+  /// delivered to the baskets.
+  bool finished() const { return finished_.load(); }
+  uint64_t tuples_received() const { return tuples_.load(); }
+
+  /// Joins the reader thread (closes the listener if still waiting).
+  void Stop();
+
+ private:
+  void ReadLoop();
+
+  core::ReceptorPtr receptor_;
+  Codec codec_;
+  Clock* clock_;
+  size_t max_batch_rows_;
+
+  TcpListener listener_;
+  uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> finished_{false};
+  std::atomic<uint64_t> tuples_{0};
+};
+
+/// Kernel-side egress: connects to an actuator and provides an
+/// Emitter::Sink that serializes result batches onto the socket. The
+/// schema header is written on the first batch.
+class TcpEgress {
+ public:
+  static Result<std::unique_ptr<TcpEgress>> Connect(const std::string& host,
+                                                    uint16_t port);
+
+  /// The sink to install into a core::Emitter. Not thread-safe across
+  /// emitters; use one egress per emitter.
+  core::Emitter::Sink MakeSink();
+
+  /// Signals EOF to the actuator.
+  Status Finish();
+
+ private:
+  explicit TcpEgress(TcpStream stream) : stream_(std::move(stream)) {}
+
+  TcpStream stream_;
+  bool header_sent_ = false;
+};
+
+}  // namespace datacell::net
+
+#endif  // DATACELL_NET_GATEWAY_H_

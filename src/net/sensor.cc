@@ -1,0 +1,49 @@
+#include "net/sensor.h"
+
+#include "net/socket.h"
+#include "util/random.h"
+
+namespace datacell::net {
+
+Schema Sensor::StreamSchema() {
+  return Schema({{"tag", DataType::kTimestamp}, {"payload", DataType::kInt64}});
+}
+
+Status Sensor::Run(const std::string& host, uint16_t port,
+                   const Options& options, Clock* clock) {
+  ASSIGN_OR_RETURN(TcpStream stream, TcpStream::Connect(host, port));
+  Codec codec(StreamSchema());
+  RETURN_NOT_OK(stream.WriteAll(codec.EncodeSchemaHeader() + "\n"));
+
+  Random rng(options.seed);
+  uint64_t sent = 0;
+  std::string buffer;
+  while (sent < options.num_tuples) {
+    buffer.clear();
+    const size_t n = std::min<uint64_t>(options.tuples_per_write,
+                                        options.num_tuples - sent);
+    for (size_t i = 0; i < n; ++i) {
+      const Micros created = clock->Now();
+      const int64_t payload =
+          static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(
+              options.payload_range > 0 ? options.payload_range : 1)));
+      buffer += std::to_string(created);
+      buffer.push_back('|');
+      buffer += std::to_string(payload);
+      buffer.push_back('\n');
+    }
+    RETURN_NOT_OK(stream.WriteAll(buffer));
+    sent += n;
+    if (options.write_interval > 0) clock->SleepFor(options.write_interval);
+  }
+  RETURN_NOT_OK(stream.ShutdownWrite());
+  // Drain until the peer closes so the kernel finishes reading before our
+  // destructor resets the connection.
+  while (true) {
+    Result<std::string> line = stream.ReadLine();
+    if (!line.ok()) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace datacell::net

@@ -1,0 +1,46 @@
+#ifndef DATACELL_NET_SENSOR_H_
+#define DATACELL_NET_SENSOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "column/table.h"
+#include "net/codec.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace datacell::net {
+
+/// The sensor tool of §6.1: a client that continuously creates new tuples
+/// and ships them to the DataCell (or directly to an actuator) over TCP.
+///
+/// Each tuple is (tag timestamp, payload int): `tag` is the creation time
+/// C(t) stamped by the sensor, `payload` a random integer — exactly the
+/// two-column stream of the micro-benchmarks.
+class Sensor {
+ public:
+  struct Options {
+    uint64_t num_tuples = 100'000;
+    /// Payload values are uniform in [0, payload_range).
+    int64_t payload_range = 10'000;
+    uint64_t seed = 42;
+    /// Tuples per socket write (1 = a write per event, the worst case).
+    size_t tuples_per_write = 64;
+    /// Optional pacing: sleep this long between writes (0 = full speed).
+    Micros write_interval = 0;
+  };
+
+  /// The stream schema the sensor emits.
+  static Schema StreamSchema();
+
+  /// Connects to host:port and streams Options::num_tuples tuples, sending
+  /// the schema header first and half-closing the socket when done. C(t)
+  /// timestamps come from `clock` (use SystemClock for real latency
+  /// measurements). Blocks until everything is written.
+  static Status Run(const std::string& host, uint16_t port,
+                    const Options& options, Clock* clock);
+};
+
+}  // namespace datacell::net
+
+#endif  // DATACELL_NET_SENSOR_H_

@@ -1,0 +1,205 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace datacell::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+TcpStream::~TcpStream() { Close(); }
+
+TcpStream::TcpStream(TcpStream&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+TcpStream& TcpStream::operator=(TcpStream&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<TcpStream> TcpStream::Connect(const std::string& host, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const char* ip = (host == "localhost") ? "127.0.0.1" : host.c_str();
+  if (::inet_pton(AF_INET, ip, &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Errno("connect");
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpStream(fd);
+}
+
+Status TcpStream::WriteAll(const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::string> TcpStream::ReadLine() {
+  while (true) {
+    size_t pos = buffer_.find('\n');
+    if (pos != std::string::npos) {
+      std::string line = buffer_.substr(0, pos);
+      buffer_.erase(0, pos + 1);
+      return line;
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (n == 0) {
+      if (!buffer_.empty()) {
+        std::string line = std::move(buffer_);
+        buffer_.clear();
+        return line;
+      }
+      return Status::NotFound("eof");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Result<std::optional<std::string>> TcpStream::TryReadLine() {
+  while (true) {
+    size_t pos = buffer_.find('\n');
+    if (pos != std::string::npos) {
+      std::string line = buffer_.substr(0, pos);
+      buffer_.erase(0, pos + 1);
+      return std::optional<std::string>(std::move(line));
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return std::optional<std::string>();
+      }
+      return Errno("recv");
+    }
+    if (n == 0) {
+      if (!buffer_.empty()) {
+        std::string line = std::move(buffer_);
+        buffer_.clear();
+        return std::optional<std::string>(std::move(line));
+      }
+      return Status::NotFound("eof");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Status TcpStream::ShutdownWrite() {
+  if (fd_ >= 0 && ::shutdown(fd_, SHUT_WR) != 0) return Errno("shutdown");
+  return Status::OK();
+}
+
+void TcpStream::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener::~TcpListener() { Close(); }
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<TcpListener> TcpListener::Bind(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Errno("bind");
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    return Errno("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return Errno("getsockname");
+  }
+  TcpListener out;
+  out.fd_ = fd;
+  out.port_ = ntohs(addr.sin_port);
+  return out;
+}
+
+Result<TcpStream> TcpListener::Accept() {
+  while (true) {
+    int cfd = ::accept(fd_, nullptr, nullptr);
+    if (cfd < 0) {
+      if (errno == EINTR) continue;
+      return Errno("accept");
+    }
+    int one = 1;
+    ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return TcpStream(cfd);
+  }
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace datacell::net

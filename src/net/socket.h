@@ -1,0 +1,81 @@
+#ifndef DATACELL_NET_SOCKET_H_
+#define DATACELL_NET_SOCKET_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "util/status.h"
+
+namespace datacell::net {
+
+/// A connected TCP byte stream with line-oriented helpers. Move-only; the
+/// destructor closes the descriptor.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(int fd) : fd_(fd) {}
+  ~TcpStream();
+
+  TcpStream(TcpStream&& other) noexcept;
+  TcpStream& operator=(TcpStream&& other) noexcept;
+  TcpStream(const TcpStream&) = delete;
+  TcpStream& operator=(const TcpStream&) = delete;
+
+  /// Connects to host:port (IPv4 dotted or "localhost").
+  static Result<TcpStream> Connect(const std::string& host, uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// Writes the whole buffer (loops over partial writes).
+  Status WriteAll(const std::string& data);
+
+  /// Reads up to the next '\n' (stripped). Returns NotFound on clean EOF
+  /// with no pending data; IOError otherwise.
+  Result<std::string> ReadLine();
+
+  /// Returns an already-buffered/immediately-available line, or nullopt if
+  /// reading would block. Never blocks; NotFound on clean EOF. Used to
+  /// drain bursts into one batch after a blocking ReadLine.
+  Result<std::optional<std::string>> TryReadLine();
+
+  /// Half-closes the write side, signalling EOF to the peer.
+  Status ShutdownWrite();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // read-ahead for ReadLine
+};
+
+/// A listening TCP socket.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds to 127.0.0.1:port (0 picks an ephemeral port) and listens.
+  static Result<TcpListener> Bind(uint16_t port);
+
+  uint16_t port() const { return port_; }
+
+  /// Blocks until a client connects.
+  Result<TcpStream> Accept();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace datacell::net
+
+#endif  // DATACELL_NET_SOCKET_H_

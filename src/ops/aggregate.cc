@@ -1,0 +1,312 @@
+#include "ops/aggregate.h"
+
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace datacell::ops {
+
+namespace {
+
+// Accumulator for one (group, aggregate) pair.
+struct AggState {
+  int64_t count = 0;
+  int64_t isum = 0;
+  double dsum = 0;
+  Value min;
+  Value max;
+};
+
+// Encodes one row of the group-key columns into a byte string (same scheme
+// as the join; nulls are encoded explicitly so NULL groups exist).
+void EncodeGroupKey(const std::vector<Column>& cols, uint32_t row,
+                    std::string* buf) {
+  buf->clear();
+  for (const Column& c : cols) {
+    if (!c.IsValid(row)) {
+      buf->push_back('n');
+      continue;
+    }
+    switch (c.type()) {
+      case DataType::kInt64:
+      case DataType::kTimestamp: {
+        buf->push_back('i');
+        int64_t v = c.ints()[row];
+        buf->append(reinterpret_cast<const char*>(&v), sizeof(v));
+        break;
+      }
+      case DataType::kDouble: {
+        buf->push_back('d');
+        double v = c.doubles()[row];
+        buf->append(reinterpret_cast<const char*>(&v), sizeof(v));
+        break;
+      }
+      case DataType::kBool:
+        buf->push_back('b');
+        buf->push_back(static_cast<char>(c.bools()[row]));
+        break;
+      case DataType::kString: {
+        const std::string& s = c.strings()[row];
+        buf->push_back('s');
+        uint32_t len = static_cast<uint32_t>(s.size());
+        buf->append(reinterpret_cast<const char*>(&len), sizeof(len));
+        buf->append(s);
+        break;
+      }
+    }
+  }
+}
+
+// Output type of an aggregate over an argument column type.
+Result<DataType> AggOutputType(AggFunc func, DataType arg) {
+  switch (func) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      return DataType::kInt64;
+    case AggFunc::kSum:
+      if (!IsNumeric(arg)) return Status::TypeMismatch("sum on non-numeric");
+      return arg == DataType::kDouble ? DataType::kDouble : DataType::kInt64;
+    case AggFunc::kAvg:
+      if (!IsNumeric(arg)) return Status::TypeMismatch("avg on non-numeric");
+      return DataType::kDouble;
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return arg;
+  }
+  return Status::Internal("unreachable");
+}
+
+void UpdateMinMax(const Column& col, uint32_t row, Value* min, Value* max) {
+  Value v = col.GetValue(row);
+  auto less = [](const Value& a, const Value& b) {
+    if (a.is_string()) return a.string_value() < b.string_value();
+    if (a.is_bool()) return a.bool_value() < b.bool_value();
+    double x = a.is_int() ? static_cast<double>(a.int_value()) : a.double_value();
+    double y = b.is_int() ? static_cast<double>(b.int_value()) : b.double_value();
+    return x < y;
+  };
+  if (min->is_null() || less(v, *min)) *min = v;
+  if (max->is_null() || less(*max, v)) *max = v;
+}
+
+}  // namespace
+
+Result<AggFunc> AggFuncFromName(const std::string& name, bool star) {
+  std::string n = ToLower(name);
+  if (n == "count") return star ? AggFunc::kCountStar : AggFunc::kCount;
+  if (star) return Status::ParseError("'*' argument only valid for count");
+  if (n == "sum") return AggFunc::kSum;
+  if (n == "avg") return AggFunc::kAvg;
+  if (n == "min") return AggFunc::kMin;
+  if (n == "max") return AggFunc::kMax;
+  return Status::BindError("unknown aggregate function '" + name + "'");
+}
+
+Result<Table> Aggregate(const Table& table, const std::vector<GroupItem>& groups,
+                        const std::vector<AggItem>& aggs,
+                        const EvalContext& ctx) {
+  const size_t n = table.num_rows();
+
+  // Evaluate group keys and aggregate arguments once, vectorized.
+  std::vector<Column> key_cols;
+  key_cols.reserve(groups.size());
+  for (const GroupItem& g : groups) {
+    ASSIGN_OR_RETURN(Column c, EvalScalar(table, *g.expr, ctx));
+    key_cols.push_back(std::move(c));
+  }
+  std::vector<Column> arg_cols;  // parallel to aggs; empty column for count(*)
+  arg_cols.reserve(aggs.size());
+  for (const AggItem& a : aggs) {
+    if (a.func == AggFunc::kCountStar) {
+      arg_cols.emplace_back(DataType::kInt64);
+      continue;
+    }
+    ASSIGN_OR_RETURN(Column c, EvalScalar(table, *a.arg, ctx));
+    if ((a.func == AggFunc::kSum || a.func == AggFunc::kAvg) &&
+        !IsNumeric(c.type())) {
+      return Status::TypeMismatch("aggregate '" + a.name +
+                                  "' requires a numeric argument, got " +
+                                  DataTypeName(c.type()));
+    }
+    arg_cols.push_back(std::move(c));
+  }
+
+  // Group id per input row; group 0..k-1 in first-seen order.
+  std::unordered_map<std::string, uint32_t> group_ids;
+  std::vector<uint32_t> row_group(n);
+  std::vector<uint32_t> group_rep;  // representative row per group
+  std::string buf;
+  if (groups.empty()) {
+    group_ids.emplace("", 0);
+    if (n > 0) group_rep.push_back(0);
+    for (size_t i = 0; i < n; ++i) row_group[i] = 0;
+  } else {
+    for (uint32_t i = 0; i < n; ++i) {
+      EncodeGroupKey(key_cols, i, &buf);
+      auto [it, inserted] =
+          group_ids.emplace(buf, static_cast<uint32_t>(group_rep.size()));
+      if (inserted) group_rep.push_back(i);
+      row_group[i] = it->second;
+    }
+  }
+  const size_t num_groups = groups.empty() ? 1 : group_rep.size();
+
+  // Fold.
+  std::vector<std::vector<AggState>> states(
+      aggs.size(), std::vector<AggState>(num_groups));
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    const AggItem& item = aggs[a];
+    const Column& arg = arg_cols[a];
+    auto& st = states[a];
+    for (uint32_t i = 0; i < n; ++i) {
+      AggState& s = st[row_group[i]];
+      if (item.func == AggFunc::kCountStar) {
+        ++s.count;
+        continue;
+      }
+      if (!arg.IsValid(i)) continue;
+      switch (item.func) {
+        case AggFunc::kCount:
+          ++s.count;
+          break;
+        case AggFunc::kSum:
+        case AggFunc::kAvg:
+          ++s.count;
+          if (arg.type() == DataType::kDouble) {
+            s.dsum += arg.doubles()[i];
+          } else {
+            s.isum += arg.ints()[i];
+            s.dsum += static_cast<double>(arg.ints()[i]);
+          }
+          break;
+        case AggFunc::kMin:
+        case AggFunc::kMax:
+          ++s.count;
+          UpdateMinMax(arg, i, &s.min, &s.max);
+          break;
+        case AggFunc::kCountStar:
+          break;
+      }
+    }
+  }
+
+  // Assemble output schema: group columns then aggregate columns.
+  Schema out_schema;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    RETURN_NOT_OK(out_schema.AddField({groups[g].name, key_cols[g].type()}));
+  }
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    DataType arg_t = aggs[a].func == AggFunc::kCountStar ? DataType::kInt64
+                                                         : arg_cols[a].type();
+    ASSIGN_OR_RETURN(DataType out_t, AggOutputType(aggs[a].func, arg_t));
+    RETURN_NOT_OK(out_schema.AddField({aggs[a].name, out_t}));
+  }
+  Table out(out_schema);
+
+  for (size_t g = 0; g < num_groups; ++g) {
+    Row row;
+    row.reserve(groups.size() + aggs.size());
+    for (size_t k = 0; k < groups.size(); ++k) {
+      row.push_back(key_cols[k].GetValue(group_rep[g]));
+    }
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      const AggState& s = states[a][g];
+      switch (aggs[a].func) {
+        case AggFunc::kCountStar:
+        case AggFunc::kCount:
+          row.push_back(Value(s.count));
+          break;
+        case AggFunc::kSum:
+          if (s.count == 0) {
+            row.push_back(Value::Null());
+          } else if (arg_cols[a].type() == DataType::kDouble) {
+            row.push_back(Value(s.dsum));
+          } else {
+            row.push_back(Value(s.isum));
+          }
+          break;
+        case AggFunc::kAvg:
+          row.push_back(s.count == 0
+                            ? Value::Null()
+                            : Value(s.dsum / static_cast<double>(s.count)));
+          break;
+        case AggFunc::kMin:
+          row.push_back(s.min);
+          break;
+        case AggFunc::kMax:
+          row.push_back(s.max);
+          break;
+      }
+    }
+    RETURN_NOT_OK(out.AppendRow(row));
+  }
+  return out;
+}
+
+Status RunningAggregate::Update(const Column& column) {
+  const size_t n = column.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (func_ == AggFunc::kCountStar) {
+      ++count_;
+      continue;
+    }
+    if (!column.IsValid(i)) continue;
+    switch (func_) {
+      case AggFunc::kCount:
+        ++count_;
+        break;
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+        ++count_;
+        if (column.type() == DataType::kDouble) {
+          sum_is_int_ = false;
+          sum_ += column.doubles()[i];
+        } else if (IsIntegerPhysical(column.type())) {
+          isum_ += column.ints()[i];
+          sum_ += static_cast<double>(column.ints()[i]);
+        } else {
+          return Status::TypeMismatch("sum/avg over non-numeric column");
+        }
+        break;
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+        ++count_;
+        UpdateMinMax(column, static_cast<uint32_t>(i), &min_, &max_);
+        break;
+      case AggFunc::kCountStar:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Value RunningAggregate::Current() const {
+  switch (func_) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      return Value(count_);
+    case AggFunc::kSum:
+      if (count_ == 0) return Value::Null();
+      return sum_is_int_ ? Value(isum_) : Value(sum_);
+    case AggFunc::kAvg:
+      if (count_ == 0) return Value::Null();
+      return Value(sum_ / static_cast<double>(count_));
+    case AggFunc::kMin:
+      return min_;
+    case AggFunc::kMax:
+      return max_;
+  }
+  return Value::Null();
+}
+
+void RunningAggregate::Reset() {
+  count_ = 0;
+  sum_ = 0;
+  isum_ = 0;
+  sum_is_int_ = true;
+  min_ = Value::Null();
+  max_ = Value::Null();
+}
+
+}  // namespace datacell::ops

@@ -1,0 +1,20 @@
+#include "ops/delete.h"
+
+namespace datacell::ops {
+
+Result<size_t> DeleteWhere(Table* table, const Expr& predicate,
+                           const EvalContext& ctx) {
+  ASSIGN_OR_RETURN(SelVector sel, EvalPredicate(*table, predicate, ctx));
+  RETURN_NOT_OK(table->EraseRows(sel));
+  return sel.size();
+}
+
+Status DeleteRows(Table* table, const SelVector& sorted_sel) {
+  return table->EraseRows(sorted_sel);
+}
+
+Status KeepOnly(Table* table, const SelVector& sorted_sel) {
+  return table->KeepRows(sorted_sel);
+}
+
+}  // namespace datacell::ops

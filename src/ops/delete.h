@@ -1,0 +1,27 @@
+#ifndef DATACELL_OPS_DELETE_H_
+#define DATACELL_OPS_DELETE_H_
+
+#include "column/table.h"
+#include "expr/eval.h"
+#include "expr/expr.h"
+#include "util/status.h"
+
+namespace datacell::ops {
+
+/// Deletes every row satisfying `predicate`; reports how many were removed.
+/// This is the paper's §6.2 custom kernel operator: it removes a set of
+/// tuples and shifts the survivors in a single pass per column, instead of
+/// chaining 3-4 generic operators.
+Result<size_t> DeleteWhere(Table* table, const Expr& predicate,
+                           const EvalContext& ctx);
+
+/// Deletes the given rows (ascending, unique).
+Status DeleteRows(Table* table, const SelVector& sorted_sel);
+
+/// Keeps only the given rows (ascending, unique); used by sliding windows
+/// to retain tuples still valid for the next window.
+Status KeepOnly(Table* table, const SelVector& sorted_sel);
+
+}  // namespace datacell::ops
+
+#endif  // DATACELL_OPS_DELETE_H_

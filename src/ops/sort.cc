@@ -1,0 +1,83 @@
+#include "ops/sort.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace datacell::ops {
+
+namespace {
+
+// Three-way compare of rows i, j on one evaluated key column; nulls first.
+int CompareKey(const Column& c, uint32_t i, uint32_t j) {
+  const bool vi = c.IsValid(i);
+  const bool vj = c.IsValid(j);
+  if (!vi || !vj) return static_cast<int>(vi) - static_cast<int>(vj);
+  switch (c.type()) {
+    case DataType::kInt64:
+    case DataType::kTimestamp: {
+      int64_t a = c.ints()[i], b = c.ints()[j];
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case DataType::kDouble: {
+      double a = c.doubles()[i], b = c.doubles()[j];
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case DataType::kBool:
+      return static_cast<int>(c.bools()[i]) - static_cast<int>(c.bools()[j]);
+    case DataType::kString:
+      return c.strings()[i].compare(c.strings()[j]);
+  }
+  return 0;
+}
+
+}  // namespace
+
+Result<SelVector> SortIndices(const Table& table,
+                              const std::vector<SortKey>& keys,
+                              const EvalContext& ctx) {
+  const size_t n = table.num_rows();
+  SelVector perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = static_cast<uint32_t>(i);
+
+  std::vector<Column> key_cols;
+  std::vector<bool> asc;
+  key_cols.reserve(keys.size());
+  for (const SortKey& k : keys) {
+    ASSIGN_OR_RETURN(Column c, EvalScalar(table, *k.expr, ctx));
+    key_cols.push_back(std::move(c));
+    asc.push_back(k.ascending);
+  }
+
+  std::stable_sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+    for (size_t k = 0; k < key_cols.size(); ++k) {
+      int cmp = CompareKey(key_cols[k], a, b);
+      if (cmp != 0) return asc[k] ? cmp < 0 : cmp > 0;
+    }
+    return false;
+  });
+  return perm;
+}
+
+Result<Table> SortTable(const Table& table, const std::vector<SortKey>& keys,
+                        const EvalContext& ctx) {
+  ASSIGN_OR_RETURN(SelVector perm, SortIndices(table, keys, ctx));
+  return table.Take(perm);
+}
+
+Result<SelVector> TopNIndices(const Table& table,
+                              const std::vector<SortKey>& keys, size_t n,
+                              const EvalContext& ctx) {
+  if (keys.empty()) {
+    // Arrival order: the first n row positions.
+    const size_t k = std::min(n, table.num_rows());
+    SelVector out(k);
+    for (size_t i = 0; i < k; ++i) out[i] = static_cast<uint32_t>(i);
+    return out;
+  }
+  ASSIGN_OR_RETURN(SelVector perm, SortIndices(table, keys, ctx));
+  if (perm.size() > n) perm.resize(n);
+  return perm;
+}
+
+}  // namespace datacell::ops

@@ -1,0 +1,38 @@
+#ifndef DATACELL_OPS_SORT_H_
+#define DATACELL_OPS_SORT_H_
+
+#include <vector>
+
+#include "column/table.h"
+#include "expr/eval.h"
+#include "expr/expr.h"
+#include "util/status.h"
+
+namespace datacell::ops {
+
+/// One ORDER BY key.
+struct SortKey {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+/// Stable multi-key sort; returns the row permutation (NULLs sort first in
+/// ascending order).
+Result<SelVector> SortIndices(const Table& table,
+                              const std::vector<SortKey>& keys,
+                              const EvalContext& ctx);
+
+/// Materialized sorted table.
+Result<Table> SortTable(const Table& table, const std::vector<SortKey>& keys,
+                        const EvalContext& ctx);
+
+/// Row positions of the first `n` rows under the sort order — the engine
+/// behind the paper's `top n` clause (with keys empty: the first n rows in
+/// arrival order). Result is in sorted-output order, not ascending row id.
+Result<SelVector> TopNIndices(const Table& table,
+                              const std::vector<SortKey>& keys, size_t n,
+                              const EvalContext& ctx);
+
+}  // namespace datacell::ops
+
+#endif  // DATACELL_OPS_SORT_H_

@@ -1,0 +1,58 @@
+#include "sql/ast.h"
+
+namespace datacell::sql {
+
+namespace {
+
+void CollectFromSelect(const SelectStmt& stmt, std::vector<std::string>* out,
+                       bool inside_basket_expr) {
+  for (const FromItem& f : stmt.from) {
+    if (f.kind == FromItem::Kind::kBasketExpr && f.basket_query != nullptr) {
+      CollectFromSelect(*f.basket_query, out, /*inside_basket_expr=*/true);
+    } else if (inside_basket_expr && f.kind == FromItem::Kind::kRelation) {
+      out->push_back(f.relation);
+    }
+  }
+}
+
+}  // namespace
+
+void CollectBasketSources(const SelectStmt& stmt,
+                          std::vector<std::string>* out) {
+  CollectFromSelect(stmt, out, /*inside_basket_expr=*/false);
+}
+
+void CollectBasketSources(const Statement& stmt,
+                          std::vector<std::string>* out) {
+  switch (stmt.kind) {
+    case Statement::Kind::kSelect:
+      CollectBasketSources(*stmt.select, out);
+      break;
+    case Statement::Kind::kInsert:
+      if (stmt.insert->select != nullptr) {
+        CollectBasketSources(*stmt.insert->select, out);
+      }
+      break;
+    case Statement::Kind::kWithBlock:
+      if (stmt.with_block->basket_query != nullptr) {
+        CollectFromSelect(*stmt.with_block->basket_query, out, true);
+      }
+      for (const StatementPtr& s : stmt.with_block->body) {
+        CollectBasketSources(*s, out);
+      }
+      break;
+    default:
+      break;
+  }
+  for (const auto& sub : stmt.subqueries) {
+    if (sub != nullptr) CollectBasketSources(*sub, out);
+  }
+}
+
+bool IsContinuous(const Statement& stmt) {
+  std::vector<std::string> sources;
+  CollectBasketSources(stmt, &sources);
+  return !sources.empty();
+}
+
+}  // namespace datacell::sql

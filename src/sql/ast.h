@@ -1,0 +1,147 @@
+#ifndef DATACELL_SQL_AST_H_
+#define DATACELL_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "util/status.h"
+
+namespace datacell::sql {
+
+/// Scalar expressions reuse datacell::Expr. Two SQL-only conventions:
+///  * A column reference may be qualified ("alias.column"); the binder
+///    resolves it against the FROM scope.
+///  * A scalar subquery is encoded as Call("__subquery", {Lit(index)}),
+///    where index points into Statement::subqueries; the executor replaces
+///    it with the subquery's single value before evaluation.
+
+struct SelectStmt;
+
+/// One item of a SELECT list.
+struct SelectItem {
+  bool star = false;           // `*` or `alias.*` or the paper's `all`
+  std::string star_qualifier;  // alias for `alias.*`, empty for plain `*`
+  ExprPtr expr;                // when !star
+  std::string alias;           // output name (may be empty -> derived)
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+/// A FROM source: a named relation (persistent table, or basket read as a
+/// temporary table without consumption), or a bracketed basket expression
+/// (consuming sub-query).
+struct FromItem {
+  enum class Kind { kRelation, kBasketExpr };
+  Kind kind = Kind::kRelation;
+  std::string relation;                      // kRelation
+  std::unique_ptr<SelectStmt> basket_query;  // kBasketExpr
+  std::string alias;                         // binding name (may be empty)
+};
+
+/// SELECT ... FROM ... WHERE ... GROUP BY ... HAVING ... ORDER BY ... TOP n.
+/// Also used (with restrictions checked by the binder) as the body of a
+/// basket expression, where FROM items must name baskets.
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<FromItem> from;
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderItem> order_by;
+  /// TOP n / LIMIT n. Inside a basket expression TOP is exact (the window
+  /// must fill); in an outer query it is a plain limit.
+  std::optional<size_t> top_n;
+};
+
+struct InsertStmt {
+  std::string target;
+  /// Explicit column list (optional).
+  std::vector<std::string> columns;
+  /// Either VALUES rows ...
+  std::vector<std::vector<ExprPtr>> values;
+  /// ... or a SELECT (possibly with basket expressions in FROM).
+  std::unique_ptr<SelectStmt> select;
+};
+
+struct CreateStmt {
+  bool is_basket = false;
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> columns;  // name, type
+  /// CHECK constraints (baskets only): tuples violating any are silently
+  /// dropped on arrival (§3.2 basket integrity).
+  std::vector<ExprPtr> checks;
+};
+
+struct DropStmt {
+  bool is_basket = false;
+  std::string name;
+};
+
+struct DeclareStmt {
+  std::string name;
+  std::string type;
+};
+
+struct SetStmt {
+  std::string name;
+  ExprPtr value;
+};
+
+struct Statement;
+using StatementPtr = std::unique_ptr<Statement>;
+
+/// WITH name AS [basket_query] BEGIN stmt; ... END — the paper's §5 stream
+/// split construct: the basket expression is evaluated once (consuming),
+/// its result bound as a temporary table visible to every body statement.
+struct WithBlockStmt {
+  std::string binding;
+  std::unique_ptr<SelectStmt> basket_query;
+  std::vector<StatementPtr> body;
+};
+
+struct Statement {
+  enum class Kind {
+    kSelect,
+    kInsert,
+    kCreate,
+    kDrop,
+    kDeclare,
+    kSet,
+    kWithBlock,
+  };
+  Kind kind;
+
+  std::unique_ptr<SelectStmt> select;
+  std::unique_ptr<InsertStmt> insert;
+  std::unique_ptr<CreateStmt> create;
+  std::unique_ptr<DropStmt> drop;
+  std::unique_ptr<DeclareStmt> declare;
+  std::unique_ptr<SetStmt> set;
+  std::unique_ptr<WithBlockStmt> with_block;
+
+  /// Scalar subqueries referenced from expressions via
+  /// Call("__subquery", {Lit(i)}).
+  std::vector<std::unique_ptr<SelectStmt>> subqueries;
+};
+
+/// Collects the names of every basket-expression FROM source anywhere in
+/// the statement (used to derive a continuous query's Petri-net inputs).
+void CollectBasketSources(const SelectStmt& stmt,
+                          std::vector<std::string>* out);
+void CollectBasketSources(const Statement& stmt,
+                          std::vector<std::string>* out);
+
+/// The statement contains at least one basket expression — which is what
+/// distinguishes a continuous query from a one-time query (§3.4).
+bool IsContinuous(const Statement& stmt);
+
+}  // namespace datacell::sql
+
+#endif  // DATACELL_SQL_AST_H_

@@ -1,0 +1,70 @@
+#ifndef DATACELL_SQL_EXECUTOR_H_
+#define DATACELL_SQL_EXECUTOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace datacell::sql {
+
+/// Interprets bound SQL statements against a core::Engine.
+///
+/// The executor is the runtime body of both one-time queries and continuous
+/// queries: a continuous query's factory simply re-executes its statement
+/// on every firing, and the basket expressions inside it perform the
+/// consumption side effects. Statement execution is not thread-safe;
+/// factories serialize through the basket locks they hold.
+class Executor {
+ public:
+  explicit Executor(core::Engine* engine) : engine_(engine) {}
+
+  /// Executes one statement. SELECT returns its result table; other
+  /// statements return an empty zero-column table.
+  Result<Table> Execute(const Statement& stmt);
+
+  /// Temporary table bindings (WITH blocks use these internally; exposed
+  /// for tests and embedding).
+  void BindTemp(const std::string& name, Table table);
+  void UnbindTemp(const std::string& name);
+
+ private:
+  using Subqueries = std::vector<std::unique_ptr<SelectStmt>>;
+
+  struct Source {
+    Table table;
+    std::string alias;
+  };
+
+  Result<Table> ExecStatement(const Statement& stmt, const Subqueries* subs);
+  Result<Table> ExecSelect(const SelectStmt& stmt, const Subqueries* subs);
+  Result<Table> ExecInsert(const InsertStmt& stmt, const Subqueries* subs);
+  Result<Table> ExecCreate(const CreateStmt& stmt);
+  Result<Table> ExecDrop(const DropStmt& stmt);
+  Result<Table> ExecSet(const SetStmt& stmt, const Subqueries* subs);
+  Result<Table> ExecWithBlock(const WithBlockStmt& stmt, const Subqueries* subs);
+
+  /// Materializes a FROM item (relation lookup or basket-expression
+  /// evaluation with side effects).
+  Result<Source> EvalFromItem(const FromItem& item, const Subqueries* subs);
+  /// Evaluates a bracketed basket expression (§3.4).
+  Result<Table> EvalBasketExpr(const SelectStmt& stmt, const Subqueries* subs);
+
+  /// Replaces Call("__subquery", i) nodes with their scalar results.
+  Result<ExprPtr> InlineSubqueries(const ExprPtr& expr, const Subqueries* subs);
+
+  /// Refreshes vars_snapshot_ and returns an EvalContext pointing at it.
+  EvalContext MakeEvalContext();
+
+  core::Engine* engine_;
+  std::map<std::string, Table> temps_;
+  std::map<std::string, Value> vars_snapshot_;
+};
+
+}  // namespace datacell::sql
+
+#endif  // DATACELL_SQL_EXECUTOR_H_

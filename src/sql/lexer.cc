@@ -1,0 +1,221 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace datacell::sql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentCont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  size_t line = 1;
+  const size_t n = input.size();
+
+  auto push = [&](TokenKind kind, std::string text, size_t offset) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.offset = offset;
+    t.line = line;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = input[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && input[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(input[i] == '*' && input[i + 1] == '/')) {
+        if (input[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= n) {
+        return Status::ParseError("unterminated block comment at line " +
+                                  std::to_string(line));
+      }
+      i += 2;
+      continue;
+    }
+    // String literal.
+    if (c == '\'') {
+      const size_t start = i++;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {  // '' escape
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        if (input[i] == '\n') ++line;
+        text.push_back(input[i++]);
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at line " +
+                                  std::to_string(line));
+      }
+      push(TokenKind::kStringLiteral, std::move(text), start);
+      continue;
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      const size_t start = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      if (i < n && input[i] == '.') {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      }
+      if (i < n && (input[i] == 'e' || input[i] == 'E')) {
+        is_double = true;
+        ++i;
+        if (i < n && (input[i] == '+' || input[i] == '-')) ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      }
+      std::string text = input.substr(start, i - start);
+      Token t;
+      t.offset = start;
+      t.line = line;
+      t.text = text;
+      if (is_double) {
+        ASSIGN_OR_RETURN(t.double_value, ParseDouble(text));
+        t.kind = TokenKind::kDoubleLiteral;
+      } else {
+        ASSIGN_OR_RETURN(t.int_value, ParseInt64(text));
+        t.kind = TokenKind::kIntLiteral;
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Identifiers / keywords.
+    if (IsIdentStart(c)) {
+      const size_t start = i;
+      while (i < n && IsIdentCont(input[i])) ++i;
+      std::string word = input.substr(start, i - start);
+      std::string lower = ToLower(word);
+      if (IsReservedKeyword(lower)) {
+        push(TokenKind::kKeyword, std::move(lower), start);
+      } else {
+        push(TokenKind::kIdentifier, std::move(lower), start);
+      }
+      continue;
+    }
+    // Operators and punctuation.
+    const size_t start = i;
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < n && input[i + 1] == b;
+    };
+    if (two('<', '>')) {
+      push(TokenKind::kNe, "<>", start);
+      i += 2;
+      continue;
+    }
+    if (two('!', '=')) {
+      push(TokenKind::kNe, "!=", start);
+      i += 2;
+      continue;
+    }
+    if (two('<', '=')) {
+      push(TokenKind::kLe, "<=", start);
+      i += 2;
+      continue;
+    }
+    if (two('>', '=')) {
+      push(TokenKind::kGe, ">=", start);
+      i += 2;
+      continue;
+    }
+    switch (c) {
+      case '(':
+        push(TokenKind::kLParen, "(", start);
+        break;
+      case ')':
+        push(TokenKind::kRParen, ")", start);
+        break;
+      case '[':
+        push(TokenKind::kLBracket, "[", start);
+        break;
+      case ']':
+        push(TokenKind::kRBracket, "]", start);
+        break;
+      case ',':
+        push(TokenKind::kComma, ",", start);
+        break;
+      case ';':
+        push(TokenKind::kSemicolon, ";", start);
+        break;
+      case '.':
+        push(TokenKind::kDot, ".", start);
+        break;
+      case '*':
+        push(TokenKind::kStar, "*", start);
+        break;
+      case '+':
+        push(TokenKind::kPlus, "+", start);
+        break;
+      case '-':
+        push(TokenKind::kMinus, "-", start);
+        break;
+      case '/':
+        push(TokenKind::kSlash, "/", start);
+        break;
+      case '%':
+        push(TokenKind::kPercent, "%", start);
+        break;
+      case '=':
+        push(TokenKind::kEq, "=", start);
+        break;
+      case '<':
+        push(TokenKind::kLt, "<", start);
+        break;
+      case '>':
+        push(TokenKind::kGt, ">", start);
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at line " + std::to_string(line));
+    }
+    ++i;
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  end.line = line;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace datacell::sql

@@ -1,0 +1,17 @@
+#ifndef DATACELL_SQL_LEXER_H_
+#define DATACELL_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/token.h"
+#include "util/status.h"
+
+namespace datacell::sql {
+
+/// Tokenizes a SQL script. Comments: `-- line` and `/* block */`.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace datacell::sql
+
+#endif  // DATACELL_SQL_LEXER_H_

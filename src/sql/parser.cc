@@ -1,0 +1,649 @@
+#include "sql/parser.h"
+
+#include "sql/lexer.h"
+#include "util/clock.h"
+#include "util/strings.h"
+
+namespace datacell::sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::vector<StatementPtr>> ParseScript() {
+    std::vector<StatementPtr> out;
+    while (!AtEnd()) {
+      if (Peek().kind == TokenKind::kSemicolon) {
+        Advance();
+        continue;
+      }
+      ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement());
+      out.push_back(std::move(stmt));
+      if (Peek().kind == TokenKind::kSemicolon) Advance();
+    }
+    return out;
+  }
+
+ private:
+  // --- token plumbing ------------------------------------------------------
+  bool AtEnd() const { return tokens_[pos_].kind == TokenKind::kEnd; }
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    if (i >= tokens_.size()) i = tokens_.size() - 1;
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Match(TokenKind kind) {
+    if (Peek().kind != kind) return false;
+    Advance();
+    return true;
+  }
+  bool MatchKeyword(const char* kw) {
+    if (!Peek().IsKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+  Status Error(const std::string& what) const {
+    return Status::ParseError(what + " (line " + std::to_string(Peek().line) +
+                              ", got " + Peek().ToString() + ")");
+  }
+  Status Expect(TokenKind kind, const char* what) {
+    if (!Match(kind)) return Error(std::string("expected ") + what);
+    return Status::OK();
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!MatchKeyword(kw)) {
+      return Error(std::string("expected keyword '") + kw + "'");
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error(std::string("expected ") + what);
+    }
+    return Advance().text;
+  }
+
+  // --- statements ----------------------------------------------------------
+  Result<StatementPtr> ParseStatement() {
+    auto stmt = std::make_unique<Statement>();
+    current_ = stmt.get();
+    const Token& t = Peek();
+    if (t.IsKeyword("select")) {
+      stmt->kind = Statement::Kind::kSelect;
+      ASSIGN_OR_RETURN(stmt->select, ParseSelect());
+      return stmt;
+    }
+    if (t.IsKeyword("insert")) {
+      stmt->kind = Statement::Kind::kInsert;
+      ASSIGN_OR_RETURN(stmt->insert, ParseInsert());
+      return stmt;
+    }
+    if (t.IsKeyword("create")) {
+      stmt->kind = Statement::Kind::kCreate;
+      ASSIGN_OR_RETURN(stmt->create, ParseCreate());
+      return stmt;
+    }
+    if (t.IsKeyword("drop")) {
+      stmt->kind = Statement::Kind::kDrop;
+      ASSIGN_OR_RETURN(stmt->drop, ParseDrop());
+      return stmt;
+    }
+    if (t.IsKeyword("declare")) {
+      stmt->kind = Statement::Kind::kDeclare;
+      ASSIGN_OR_RETURN(stmt->declare, ParseDeclare());
+      return stmt;
+    }
+    if (t.IsKeyword("set")) {
+      stmt->kind = Statement::Kind::kSet;
+      ASSIGN_OR_RETURN(stmt->set, ParseSet());
+      return stmt;
+    }
+    if (t.IsKeyword("with")) {
+      stmt->kind = Statement::Kind::kWithBlock;
+      ASSIGN_OR_RETURN(stmt->with_block, ParseWithBlock());
+      return stmt;
+    }
+    return Error("expected a statement");
+  }
+
+  Result<std::unique_ptr<InsertStmt>> ParseInsert() {
+    RETURN_NOT_OK(ExpectKeyword("insert"));
+    RETURN_NOT_OK(ExpectKeyword("into"));
+    auto ins = std::make_unique<InsertStmt>();
+    ASSIGN_OR_RETURN(ins->target, ExpectIdentifier("target relation"));
+    if (Peek().kind == TokenKind::kLParen) {
+      Advance();
+      while (true) {
+        ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+        ins->columns.push_back(std::move(col));
+        if (Match(TokenKind::kComma)) continue;
+        RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+        break;
+      }
+    }
+    if (MatchKeyword("values")) {
+      while (true) {
+        RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+        std::vector<ExprPtr> row;
+        while (true) {
+          ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          row.push_back(std::move(e));
+          if (Match(TokenKind::kComma)) continue;
+          RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+          break;
+        }
+        ins->values.push_back(std::move(row));
+        if (!Match(TokenKind::kComma)) break;
+      }
+      return ins;
+    }
+    if (Peek().IsKeyword("select")) {
+      ASSIGN_OR_RETURN(ins->select, ParseSelect());
+      return ins;
+    }
+    if (Peek().kind == TokenKind::kLBracket) {
+      // INSERT INTO t [SELECT ...]  — wrap as SELECT * FROM [..] AS _src.
+      ASSIGN_OR_RETURN(FromItem item, ParseFromItem());
+      auto outer = std::make_unique<SelectStmt>();
+      SelectItem star;
+      star.star = true;
+      outer->items.push_back(std::move(star));
+      outer->from.push_back(std::move(item));
+      ins->select = std::move(outer);
+      return ins;
+    }
+    return Error("expected VALUES, SELECT or a basket expression");
+  }
+
+  Result<std::unique_ptr<CreateStmt>> ParseCreate() {
+    RETURN_NOT_OK(ExpectKeyword("create"));
+    auto cs = std::make_unique<CreateStmt>();
+    if (MatchKeyword("basket")) {
+      cs->is_basket = true;
+    } else {
+      RETURN_NOT_OK(ExpectKeyword("table"));
+    }
+    ASSIGN_OR_RETURN(cs->name, ExpectIdentifier("relation name"));
+    RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+    while (true) {
+      ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+      ASSIGN_OR_RETURN(std::string type, ExpectIdentifier("type name"));
+      cs->columns.emplace_back(std::move(col), std::move(type));
+      if (Match(TokenKind::kComma)) continue;
+      RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+      break;
+    }
+    // Optional CHECK (...) constraints — baskets drop violators silently.
+    while (Peek().kind == TokenKind::kIdentifier && Peek().text == "check") {
+      Advance();
+      RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+      ASSIGN_OR_RETURN(ExprPtr check, ParseExpr());
+      RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+      if (!cs->is_basket) {
+        return Error("CHECK constraints are supported on baskets only");
+      }
+      cs->checks.push_back(std::move(check));
+    }
+    return cs;
+  }
+
+  Result<std::unique_ptr<DropStmt>> ParseDrop() {
+    RETURN_NOT_OK(ExpectKeyword("drop"));
+    auto ds = std::make_unique<DropStmt>();
+    if (MatchKeyword("basket")) {
+      ds->is_basket = true;
+    } else {
+      RETURN_NOT_OK(ExpectKeyword("table"));
+    }
+    ASSIGN_OR_RETURN(ds->name, ExpectIdentifier("relation name"));
+    return ds;
+  }
+
+  Result<std::unique_ptr<DeclareStmt>> ParseDeclare() {
+    RETURN_NOT_OK(ExpectKeyword("declare"));
+    auto ds = std::make_unique<DeclareStmt>();
+    ASSIGN_OR_RETURN(ds->name, ExpectIdentifier("variable name"));
+    ASSIGN_OR_RETURN(ds->type, ExpectIdentifier("type name"));
+    return ds;
+  }
+
+  Result<std::unique_ptr<SetStmt>> ParseSet() {
+    RETURN_NOT_OK(ExpectKeyword("set"));
+    auto ss = std::make_unique<SetStmt>();
+    ASSIGN_OR_RETURN(ss->name, ExpectIdentifier("variable name"));
+    RETURN_NOT_OK(Expect(TokenKind::kEq, "'='"));
+    ASSIGN_OR_RETURN(ss->value, ParseExpr());
+    return ss;
+  }
+
+  Result<std::unique_ptr<WithBlockStmt>> ParseWithBlock() {
+    RETURN_NOT_OK(ExpectKeyword("with"));
+    auto wb = std::make_unique<WithBlockStmt>();
+    ASSIGN_OR_RETURN(wb->binding, ExpectIdentifier("binding name"));
+    RETURN_NOT_OK(ExpectKeyword("as"));
+    RETURN_NOT_OK(Expect(TokenKind::kLBracket, "'['"));
+    ASSIGN_OR_RETURN(wb->basket_query, ParseSelect());
+    RETURN_NOT_OK(Expect(TokenKind::kRBracket, "']'"));
+    RETURN_NOT_OK(ExpectKeyword("begin"));
+    while (!Peek().IsKeyword("end")) {
+      if (AtEnd()) return Error("unterminated WITH block (missing END)");
+      if (Match(TokenKind::kSemicolon)) continue;
+      // Body statements share the enclosing statement's subquery table.
+      ASSIGN_OR_RETURN(StatementPtr body_stmt, ParseBodyStatement());
+      wb->body.push_back(std::move(body_stmt));
+    }
+    RETURN_NOT_OK(ExpectKeyword("end"));
+    return wb;
+  }
+
+  // A statement inside a WITH block; keeps `current_` pointing at the
+  // enclosing top-level statement so scalar subqueries land in one place.
+  Result<StatementPtr> ParseBodyStatement() {
+    Statement* saved = current_;
+    auto stmt = std::make_unique<Statement>();
+    // Subqueries from the body are registered on the *outer* statement, so
+    // do not retarget current_.
+    const Token& t = Peek();
+    Status st = Status::OK();
+    if (t.IsKeyword("insert")) {
+      stmt->kind = Statement::Kind::kInsert;
+      auto r = ParseInsert();
+      if (!r.ok()) st = r.status();
+      else stmt->insert = std::move(r).value();
+    } else if (t.IsKeyword("set")) {
+      stmt->kind = Statement::Kind::kSet;
+      auto r = ParseSet();
+      if (!r.ok()) st = r.status();
+      else stmt->set = std::move(r).value();
+    } else if (t.IsKeyword("select")) {
+      stmt->kind = Statement::Kind::kSelect;
+      auto r = ParseSelect();
+      if (!r.ok()) st = r.status();
+      else stmt->select = std::move(r).value();
+    } else {
+      st = Error("expected INSERT, SET or SELECT inside WITH block");
+    }
+    current_ = saved;
+    if (!st.ok()) return st;
+    return stmt;
+  }
+
+  // --- SELECT --------------------------------------------------------------
+  Result<std::unique_ptr<SelectStmt>> ParseSelect() {
+    RETURN_NOT_OK(ExpectKeyword("select"));
+    auto sel = std::make_unique<SelectStmt>();
+    if (MatchKeyword("distinct")) sel->distinct = true;
+
+    // Paper syntax: `select top 20 from X` / `select all from X`.
+    if (MatchKeyword("top")) {
+      if (Peek().kind != TokenKind::kIntLiteral) {
+        return Error("expected integer after TOP");
+      }
+      sel->top_n = static_cast<size_t>(Advance().int_value);
+    }
+    if (Peek().IsKeyword("all")) {
+      Advance();
+      SelectItem star;
+      star.star = true;
+      sel->items.push_back(std::move(star));
+    } else if (Peek().IsKeyword("from")) {
+      // `select top n from ...` — implicit *.
+      SelectItem star;
+      star.star = true;
+      sel->items.push_back(std::move(star));
+    } else {
+      while (true) {
+        ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+        sel->items.push_back(std::move(item));
+        if (!Match(TokenKind::kComma)) break;
+      }
+    }
+
+    if (MatchKeyword("from")) {
+      while (true) {
+        ASSIGN_OR_RETURN(FromItem item, ParseFromItem());
+        sel->from.push_back(std::move(item));
+        if (!Match(TokenKind::kComma)) break;
+      }
+    }
+    if (MatchKeyword("where")) {
+      ASSIGN_OR_RETURN(sel->where, ParseExpr());
+    }
+    if (Peek().IsKeyword("group")) {
+      Advance();
+      RETURN_NOT_OK(ExpectKeyword("by"));
+      while (true) {
+        ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        sel->group_by.push_back(std::move(e));
+        if (!Match(TokenKind::kComma)) break;
+      }
+    }
+    if (MatchKeyword("having")) {
+      ASSIGN_OR_RETURN(sel->having, ParseExpr());
+    }
+    if (Peek().IsKeyword("union")) {
+      return Error("UNION is not supported; use separate INSERTs");
+    }
+    if (Peek().IsKeyword("order")) {
+      Advance();
+      RETURN_NOT_OK(ExpectKeyword("by"));
+      while (true) {
+        OrderItem item;
+        ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (MatchKeyword("desc")) {
+          item.ascending = false;
+        } else {
+          MatchKeyword("asc");
+        }
+        sel->order_by.push_back(std::move(item));
+        if (!Match(TokenKind::kComma)) break;
+      }
+    }
+    if (MatchKeyword("limit")) {
+      if (Peek().kind != TokenKind::kIntLiteral) {
+        return Error("expected integer after LIMIT");
+      }
+      sel->top_n = static_cast<size_t>(Advance().int_value);
+    }
+    return sel;
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    if (Peek().kind == TokenKind::kStar) {
+      Advance();
+      item.star = true;
+      return item;
+    }
+    // alias.* form
+    if (Peek().kind == TokenKind::kIdentifier &&
+        Peek(1).kind == TokenKind::kDot && Peek(2).kind == TokenKind::kStar) {
+      item.star = true;
+      item.star_qualifier = Advance().text;
+      Advance();  // '.'
+      Advance();  // '*'
+      return item;
+    }
+    ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    if (MatchKeyword("as")) {
+      ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("output alias"));
+    } else if (Peek().kind == TokenKind::kIdentifier) {
+      item.alias = Advance().text;
+    }
+    return item;
+  }
+
+  Result<FromItem> ParseFromItem() {
+    FromItem item;
+    if (Match(TokenKind::kLBracket)) {
+      item.kind = FromItem::Kind::kBasketExpr;
+      ASSIGN_OR_RETURN(item.basket_query, ParseSelect());
+      RETURN_NOT_OK(Expect(TokenKind::kRBracket, "']'"));
+    } else {
+      item.kind = FromItem::Kind::kRelation;
+      ASSIGN_OR_RETURN(item.relation, ExpectIdentifier("relation name"));
+    }
+    if (MatchKeyword("as")) {
+      ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("alias"));
+    } else if (Peek().kind == TokenKind::kIdentifier) {
+      item.alias = Advance().text;
+    }
+    return item;
+  }
+
+  // --- expressions ---------------------------------------------------------
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (MatchKeyword("or")) {
+      ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::Bin(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (MatchKeyword("and")) {
+      ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = Expr::Bin(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (MatchKeyword("not")) {
+      ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return Expr::Un(UnaryOp::kNot, std::move(operand));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    const Token& t = Peek();
+    BinaryOp op;
+    switch (t.kind) {
+      case TokenKind::kEq:
+        op = BinaryOp::kEq;
+        break;
+      case TokenKind::kNe:
+        op = BinaryOp::kNe;
+        break;
+      case TokenKind::kLt:
+        op = BinaryOp::kLt;
+        break;
+      case TokenKind::kLe:
+        op = BinaryOp::kLe;
+        break;
+      case TokenKind::kGt:
+        op = BinaryOp::kGt;
+        break;
+      case TokenKind::kGe:
+        op = BinaryOp::kGe;
+        break;
+      default: {
+        if (t.IsKeyword("between")) {
+          Advance();
+          ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+          RETURN_NOT_OK(ExpectKeyword("and"));
+          ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+          ExprPtr lhs_copy = lhs;
+          return Expr::Bin(
+              BinaryOp::kAnd,
+              Expr::Bin(BinaryOp::kGe, std::move(lhs_copy), std::move(lo)),
+              Expr::Bin(BinaryOp::kLe, std::move(lhs), std::move(hi)));
+        }
+        if (t.IsKeyword("is")) {
+          Advance();
+          bool negated = MatchKeyword("not");
+          RETURN_NOT_OK(ExpectKeyword("null"));
+          return Expr::IsNull(std::move(lhs), negated);
+        }
+        return lhs;
+      }
+    }
+    Advance();
+    ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+    return Expr::Bin(op, std::move(lhs), std::move(rhs));
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (true) {
+      if (Match(TokenKind::kPlus)) {
+        ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = Expr::Bin(BinaryOp::kAdd, std::move(lhs), std::move(rhs));
+      } else if (Match(TokenKind::kMinus)) {
+        ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = Expr::Bin(BinaryOp::kSub, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (true) {
+      if (Match(TokenKind::kStar)) {
+        ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = Expr::Bin(BinaryOp::kMul, std::move(lhs), std::move(rhs));
+      } else if (Match(TokenKind::kSlash)) {
+        ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = Expr::Bin(BinaryOp::kDiv, std::move(lhs), std::move(rhs));
+      } else if (Match(TokenKind::kPercent)) {
+        ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = Expr::Bin(BinaryOp::kMod, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Match(TokenKind::kMinus)) {
+      ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return Expr::Un(UnaryOp::kNeg, std::move(operand));
+    }
+    if (Match(TokenKind::kPlus)) return ParseUnary();
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kIntLiteral:
+        Advance();
+        return Expr::Lit(Value(t.int_value));
+      case TokenKind::kDoubleLiteral:
+        Advance();
+        return Expr::Lit(Value(t.double_value));
+      case TokenKind::kStringLiteral:
+        Advance();
+        return Expr::Lit(Value(t.text));
+      case TokenKind::kLParen: {
+        Advance();
+        if (Peek().IsKeyword("select")) {
+          // Scalar subquery.
+          ASSIGN_OR_RETURN(auto sub, ParseSelect());
+          RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+          const int64_t index =
+              static_cast<int64_t>(current_->subqueries.size());
+          current_->subqueries.push_back(std::move(sub));
+          return Expr::Call("__subquery", {Expr::Lit(Value(index))});
+        }
+        ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+        return inner;
+      }
+      case TokenKind::kKeyword: {
+        if (t.IsKeyword("null")) {
+          Advance();
+          return Expr::Lit(Value::Null());
+        }
+        if (t.IsKeyword("true")) {
+          Advance();
+          return Expr::Lit(Value(true));
+        }
+        if (t.IsKeyword("false")) {
+          Advance();
+          return Expr::Lit(Value(false));
+        }
+        if (t.IsKeyword("interval")) {
+          Advance();
+          return ParseInterval();
+        }
+        return Error("unexpected keyword in expression");
+      }
+      case TokenKind::kIdentifier: {
+        std::string name = Advance().text;
+        // Function call?
+        if (Peek().kind == TokenKind::kLParen) {
+          Advance();
+          std::vector<ExprPtr> args;
+          if (Peek().kind == TokenKind::kStar) {
+            Advance();
+            args.push_back(Expr::Col("*"));
+          } else if (Peek().kind != TokenKind::kRParen) {
+            while (true) {
+              if (MatchKeyword("distinct")) {
+                // count(distinct x): treated as count(x) — documented.
+              }
+              ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+              args.push_back(std::move(arg));
+              if (!Match(TokenKind::kComma)) break;
+            }
+          }
+          RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+          return Expr::Call(std::move(name), std::move(args));
+        }
+        // Qualified column: a.b
+        if (Match(TokenKind::kDot)) {
+          if (Peek().kind != TokenKind::kIdentifier) {
+            return Error("expected column name after '.'");
+          }
+          std::string col = Advance().text;
+          return Expr::Col(name + "." + col);
+        }
+        return Expr::Col(std::move(name));
+      }
+      default:
+        return Error("unexpected token in expression");
+    }
+  }
+
+  // INTERVAL <n|'n'> SECOND|MINUTE|HOUR -> microsecond literal.
+  Result<ExprPtr> ParseInterval() {
+    int64_t amount = 0;
+    if (Peek().kind == TokenKind::kIntLiteral) {
+      amount = Advance().int_value;
+    } else if (Peek().kind == TokenKind::kStringLiteral) {
+      ASSIGN_OR_RETURN(amount, ParseInt64(Advance().text));
+    } else {
+      return Error("expected amount after INTERVAL");
+    }
+    // Units are contextual identifiers, not reserved words.
+    const Token& unit = Peek();
+    int64_t scale = 0;
+    if (unit.kind == TokenKind::kIdentifier) {
+      if (unit.text == "second" || unit.text == "seconds") {
+        scale = kMicrosPerSecond;
+      } else if (unit.text == "minute" || unit.text == "minutes") {
+        scale = 60 * kMicrosPerSecond;
+      } else if (unit.text == "hour" || unit.text == "hours") {
+        scale = 3600 * kMicrosPerSecond;
+      }
+    }
+    if (scale == 0) return Error("expected SECOND, MINUTE or HOUR");
+    Advance();
+    return Expr::Lit(Value(amount * scale));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  Statement* current_ = nullptr;  // receives scalar subqueries
+};
+
+}  // namespace
+
+Result<std::vector<StatementPtr>> Parse(const std::string& input) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseScript();
+}
+
+Result<StatementPtr> ParseOne(const std::string& input) {
+  ASSIGN_OR_RETURN(std::vector<StatementPtr> stmts, Parse(input));
+  if (stmts.size() != 1) {
+    return Status::ParseError("expected exactly one statement, got " +
+                              std::to_string(stmts.size()));
+  }
+  return std::move(stmts[0]);
+}
+
+}  // namespace datacell::sql

@@ -1,0 +1,41 @@
+#ifndef DATACELL_SQL_PARSER_H_
+#define DATACELL_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "sql/token.h"
+#include "util/status.h"
+
+namespace datacell::sql {
+
+/// Parses a script (one or more ';'-separated statements) into ASTs.
+///
+/// Dialect summary (documented subset of SQL'03 + the DataCell extensions
+/// of §3.4/§5):
+///
+///   CREATE TABLE|BASKET name (col type, ...);
+///   DROP TABLE|BASKET name;
+///   DECLARE name type;
+///   SET name = expr;                      -- expr may hold (SELECT ...) scalar
+///   INSERT INTO t [(cols)] VALUES (...), ...;
+///   INSERT INTO t SELECT ...;
+///   INSERT INTO t [SELECT ...];           -- basket-expression source
+///   SELECT [TOP n] items FROM sources [WHERE e] [GROUP BY e,..] [HAVING e]
+///          [ORDER BY e [ASC|DESC],..] [LIMIT n];
+///   WITH name AS [SELECT ...] BEGIN stmt; ...; END;
+///
+/// FROM sources: relation names, or `[SELECT ...] AS alias` basket
+/// expressions (side-effecting predicate windows). `SELECT ALL FROM ...`
+/// and `SELECT TOP n FROM ...` imply `*` as in the paper's examples.
+/// `INTERVAL n SECOND|MINUTE|HOUR` yields microseconds.
+Result<std::vector<StatementPtr>> Parse(const std::string& input);
+
+/// Parses exactly one statement.
+Result<StatementPtr> ParseOne(const std::string& input);
+
+}  // namespace datacell::sql
+
+#endif  // DATACELL_SQL_PARSER_H_

@@ -1,0 +1,281 @@
+#include "sql/session.h"
+
+#include <map>
+
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "util/logging.h"
+
+namespace datacell::sql {
+
+namespace {
+
+// Walks the statement and computes, per basket-expression source basket,
+// the firing threshold: a single-source `top n` window needs n tuples
+// before it can produce output (§4.1 batch/window control).
+void CollectThresholds(const SelectStmt& stmt,
+                       std::map<std::string, size_t>* out,
+                       bool inside_basket_expr) {
+  for (const FromItem& f : stmt.from) {
+    if (f.kind == FromItem::Kind::kBasketExpr && f.basket_query != nullptr) {
+      const SelectStmt& inner = *f.basket_query;
+      if (inner.from.size() == 1 &&
+          inner.from[0].kind == FromItem::Kind::kRelation) {
+        const size_t need = inner.top_n.value_or(1);
+        size_t& cur = (*out)[inner.from[0].relation];
+        cur = std::max(cur, need);
+      } else {
+        for (const FromItem& src : inner.from) {
+          if (src.kind == FromItem::Kind::kRelation) {
+            size_t& cur = (*out)[src.relation];
+            cur = std::max<size_t>(cur, 1);
+          }
+        }
+      }
+      CollectThresholds(inner, out, /*inside_basket_expr=*/true);
+    }
+  }
+  (void)inside_basket_expr;
+}
+
+void CollectThresholds(const Statement& stmt,
+                       std::map<std::string, size_t>* out) {
+  switch (stmt.kind) {
+    case Statement::Kind::kSelect:
+      CollectThresholds(*stmt.select, out, false);
+      break;
+    case Statement::Kind::kInsert:
+      if (stmt.insert->select != nullptr) {
+        CollectThresholds(*stmt.insert->select, out, false);
+      }
+      break;
+    case Statement::Kind::kWithBlock: {
+      const SelectStmt& inner = *stmt.with_block->basket_query;
+      if (inner.from.size() == 1 &&
+          inner.from[0].kind == FromItem::Kind::kRelation) {
+        const size_t need = inner.top_n.value_or(1);
+        size_t& cur = (*out)[inner.from[0].relation];
+        cur = std::max(cur, need);
+      } else {
+        for (const FromItem& src : inner.from) {
+          if (src.kind == FromItem::Kind::kRelation) {
+            size_t& cur = (*out)[src.relation];
+            cur = std::max<size_t>(cur, 1);
+          }
+        }
+      }
+      for (const StatementPtr& body : stmt.with_block->body) {
+        CollectThresholds(*body, out);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  for (const auto& sub : stmt.subqueries) {
+    if (sub != nullptr) CollectThresholds(*sub, out, false);
+  }
+}
+
+// Collects INSERT targets that are baskets (the factory's output places).
+void CollectBasketTargets(const Statement& stmt, core::Engine* engine,
+                          std::vector<std::string>* out) {
+  switch (stmt.kind) {
+    case Statement::Kind::kInsert:
+      if (engine->HasBasket(stmt.insert->target)) {
+        out->push_back(stmt.insert->target);
+      }
+      break;
+    case Statement::Kind::kWithBlock:
+      for (const StatementPtr& body : stmt.with_block->body) {
+        CollectBasketTargets(*body, engine, out);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void ExplainSelect(const SelectStmt& stmt, int indent, std::string* out);
+
+void Indent(int n, std::string* out) { out->append(static_cast<size_t>(n), ' '); }
+
+void ExplainFrom(const FromItem& item, int indent, std::string* out) {
+  Indent(indent, out);
+  if (item.kind == FromItem::Kind::kRelation) {
+    out->append("relation " + item.relation);
+  } else {
+    out->append("basket-expression (consuming predicate window)");
+  }
+  if (!item.alias.empty()) out->append(" as " + item.alias);
+  out->push_back('\n');
+  if (item.kind == FromItem::Kind::kBasketExpr && item.basket_query != nullptr) {
+    ExplainSelect(*item.basket_query, indent + 2, out);
+  }
+}
+
+void ExplainSelect(const SelectStmt& stmt, int indent, std::string* out) {
+  for (const FromItem& f : stmt.from) ExplainFrom(f, indent, out);
+  if (stmt.from.size() == 2) {
+    Indent(indent, out);
+    out->append("join: equality conjuncts become hash-join keys, the rest a "
+                "residual filter (nested loop if none)\n");
+  }
+  if (stmt.where != nullptr) {
+    Indent(indent, out);
+    out->append("filter: " + stmt.where->ToString() + "\n");
+  }
+  bool aggregated = !stmt.group_by.empty() || stmt.having != nullptr;
+  for (const SelectItem& item : stmt.items) {
+    if (!item.star && item.expr != nullptr && ContainsAggregate(*item.expr)) {
+      aggregated = true;
+    }
+  }
+  if (aggregated) {
+    Indent(indent, out);
+    out->append("aggregate:");
+    for (const ExprPtr& g : stmt.group_by) {
+      out->append(" group=" + g->ToString());
+    }
+    if (stmt.having != nullptr) {
+      out->append(" having=" + stmt.having->ToString());
+    }
+    out->push_back('\n');
+  }
+  if (!stmt.order_by.empty()) {
+    Indent(indent, out);
+    out->append("order by:");
+    for (const OrderItem& o : stmt.order_by) {
+      out->append(" " + o.expr->ToString() + (o.ascending ? " asc" : " desc"));
+    }
+    out->push_back('\n');
+  }
+  if (stmt.top_n.has_value()) {
+    Indent(indent, out);
+    out->append("top " + std::to_string(*stmt.top_n) + "\n");
+  }
+}
+
+}  // namespace
+
+Result<std::string> Session::Explain(const std::string& sql) const {
+  ASSIGN_OR_RETURN(StatementPtr stmt, ParseOne(sql));
+  std::string out;
+  switch (stmt->kind) {
+    case Statement::Kind::kSelect:
+      out += "SELECT";
+      break;
+    case Statement::Kind::kInsert:
+      out += "INSERT into " + stmt->insert->target;
+      break;
+    case Statement::Kind::kCreate:
+      out += std::string("CREATE ") +
+             (stmt->create->is_basket ? "BASKET " : "TABLE ") +
+             stmt->create->name;
+      break;
+    case Statement::Kind::kDrop:
+      out += "DROP " + stmt->drop->name;
+      break;
+    case Statement::Kind::kDeclare:
+      out += "DECLARE " + stmt->declare->name;
+      break;
+    case Statement::Kind::kSet:
+      out += "SET " + stmt->set->name;
+      break;
+    case Statement::Kind::kWithBlock:
+      out += "WITH-block binding '" + stmt->with_block->binding + "' (" +
+             std::to_string(stmt->with_block->body.size()) +
+             " body statements)";
+      break;
+  }
+  out += IsContinuous(*stmt) ? "  [continuous query]\n" : "  [one-time]\n";
+
+  std::map<std::string, size_t> thresholds;
+  CollectThresholds(*stmt, &thresholds);
+  for (const auto& [basket, min_tuples] : thresholds) {
+    out += "  input basket '" + basket +
+           "' (fires at >= " + std::to_string(min_tuples) + " tuple(s))\n";
+  }
+  const SelectStmt* body = nullptr;
+  if (stmt->kind == Statement::Kind::kSelect) body = stmt->select.get();
+  if (stmt->kind == Statement::Kind::kInsert && stmt->insert->select) {
+    body = stmt->insert->select.get();
+  }
+  if (stmt->kind == Statement::Kind::kWithBlock) {
+    body = stmt->with_block->basket_query.get();
+  }
+  if (body != nullptr) ExplainSelect(*body, 2, &out);
+  if (!stmt->subqueries.empty()) {
+    out += "  " + std::to_string(stmt->subqueries.size()) +
+           " scalar subquery(ies)\n";
+  }
+  return out;
+}
+
+Result<Table> Session::Execute(const std::string& sql) {
+  ASSIGN_OR_RETURN(std::vector<StatementPtr> stmts, Parse(sql));
+  Table last;
+  for (const StatementPtr& stmt : stmts) {
+    ASSIGN_OR_RETURN(Table result, executor_.Execute(*stmt));
+    if (stmt->kind == Statement::Kind::kSelect) last = std::move(result);
+  }
+  return last;
+}
+
+Result<core::FactoryPtr> Session::MakeFactory(const std::string& name,
+                                              std::shared_ptr<Statement> stmt,
+                                              core::Emitter::Sink sink) {
+  if (!IsContinuous(*stmt)) {
+    return Status::InvalidArgument(
+        "statement contains no basket expression; it is a one-time query "
+        "(wrap stream reads in [...])");
+  }
+  std::map<std::string, size_t> thresholds;
+  CollectThresholds(*stmt, &thresholds);
+
+  // Each continuous query gets a private executor so temp bindings from
+  // WITH blocks cannot interfere across factories.
+  auto exec = std::make_shared<Executor>(engine_);
+  auto factory = std::make_shared<core::Factory>(
+      name, [exec, stmt, sink](core::FactoryContext&) -> Status {
+        ASSIGN_OR_RETURN(Table result, exec->Execute(*stmt));
+        if (sink != nullptr && result.num_rows() > 0) {
+          RETURN_NOT_OK(sink(result));
+        }
+        return Status::OK();
+      });
+
+  for (const auto& [basket_name, min_tuples] : thresholds) {
+    ASSIGN_OR_RETURN(core::BasketPtr b, engine_->GetBasket(basket_name));
+    factory->AddInput(b, min_tuples);
+  }
+  std::vector<std::string> targets;
+  CollectBasketTargets(*stmt, engine_, &targets);
+  for (const std::string& target : targets) {
+    ASSIGN_OR_RETURN(core::BasketPtr b, engine_->GetBasket(target));
+    factory->AddOutput(b);
+  }
+  engine_->scheduler().Register(factory);
+  return factory;
+}
+
+Result<core::FactoryPtr> Session::RegisterContinuousQuery(
+    const std::string& name, const std::string& sql) {
+  ASSIGN_OR_RETURN(StatementPtr stmt, ParseOne(sql));
+  return MakeFactory(name, std::shared_ptr<Statement>(std::move(stmt)),
+                     nullptr);
+}
+
+Result<core::FactoryPtr> Session::RegisterContinuousSelect(
+    const std::string& name, const std::string& sql,
+    core::Emitter::Sink sink) {
+  ASSIGN_OR_RETURN(StatementPtr stmt, ParseOne(sql));
+  if (stmt->kind != Statement::Kind::kSelect) {
+    return Status::InvalidArgument(
+        "RegisterContinuousSelect requires a SELECT statement");
+  }
+  return MakeFactory(name, std::shared_ptr<Statement>(std::move(stmt)),
+                     std::move(sink));
+}
+
+}  // namespace datacell::sql

@@ -1,0 +1,67 @@
+#ifndef DATACELL_SQL_SESSION_H_
+#define DATACELL_SQL_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/factory.h"
+#include "core/receptor.h"
+#include "sql/ast.h"
+#include "sql/executor.h"
+#include "util/status.h"
+
+namespace datacell::sql {
+
+/// The SQL entry point of the DataCell: parses scripts, executes one-time
+/// statements immediately, and registers statements containing basket
+/// expressions as continuous queries (factories wired into the engine's
+/// Petri-net scheduler).
+class Session {
+ public:
+  explicit Session(core::Engine* engine)
+      : engine_(engine), executor_(engine) {}
+
+  core::Engine* engine() const { return engine_; }
+
+  /// Parses and executes a script of ';'-separated statements one-time.
+  /// Returns the result of the last SELECT (empty table if none).
+  Result<Table> Execute(const std::string& sql);
+
+  /// Registers a continuous query: the statement must contain at least one
+  /// basket expression. Its basket-expression sources become the factory's
+  /// Petri-net inputs (a single-source `top n` window raises that input's
+  /// firing threshold to n); INSERT targets that are baskets become its
+  /// outputs. The factory re-executes the statement on each firing; it is
+  /// registered with the engine's scheduler before being returned.
+  Result<core::FactoryPtr> RegisterContinuousQuery(const std::string& name,
+                                                   const std::string& sql);
+
+  /// Continuous SELECT variant: each firing's non-empty result is handed to
+  /// `sink` (e.g. a net::TcpEgress sink, or an output basket appender).
+  Result<core::FactoryPtr> RegisterContinuousSelect(const std::string& name,
+                                                    const std::string& sql,
+                                                    core::Emitter::Sink sink);
+
+  /// Renders a human-readable description of how a statement would run:
+  /// kind, one-time vs continuous, basket-expression sources with their
+  /// Petri-net firing thresholds, FROM shape, filters, aggregation and
+  /// ordering. Purely static — nothing is executed.
+  Result<std::string> Explain(const std::string& sql) const;
+
+  /// Direct access for embedding scenarios and tests.
+  Executor& executor() { return executor_; }
+
+ private:
+  Result<core::FactoryPtr> MakeFactory(const std::string& name,
+                                       std::shared_ptr<Statement> stmt,
+                                       core::Emitter::Sink sink);
+
+  core::Engine* engine_;
+  Executor executor_;
+};
+
+}  // namespace datacell::sql
+
+#endif  // DATACELL_SQL_SESSION_H_

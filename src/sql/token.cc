@@ -1,0 +1,53 @@
+#include "sql/token.h"
+
+#include <array>
+
+namespace datacell::sql {
+
+namespace {
+
+// Our dialect's reserved words. Type names (int, varchar, ...) and the
+// INTERVAL units (second, minute, hour) are NOT reserved; they are looked
+// up contextually so columns may be named "minute", "day", etc.
+constexpr std::array<const char*, 38> kKeywords = {
+    "select", "from",     "where",    "group",    "by",      "order",
+    "having", "top",      "limit",    "asc",      "desc",    "and",
+    "or",     "not",      "is",       "null",     "true",    "false",
+    "insert", "into",     "values",   "create",   "table",   "basket",
+    "drop",   "declare",  "set",      "with",     "as",      "begin",
+    "end",    "interval", "all",      "distinct", "between", "consume",
+    "union",  "call",
+};
+
+}  // namespace
+
+bool IsReservedKeyword(const std::string& word) {
+  for (const char* kw : kKeywords) {
+    if (word == kw) return true;
+  }
+  return false;
+}
+
+bool Token::IsKeyword(const char* kw) const {
+  return kind == TokenKind::kKeyword && text == kw;
+}
+
+std::string Token::ToString() const {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return "identifier '" + text + "'";
+    case TokenKind::kKeyword:
+      return "keyword '" + text + "'";
+    case TokenKind::kIntLiteral:
+    case TokenKind::kDoubleLiteral:
+      return "literal " + text;
+    case TokenKind::kStringLiteral:
+      return "string '" + text + "'";
+    case TokenKind::kEnd:
+      return "end of input";
+    default:
+      return "'" + text + "'";
+  }
+}
+
+}  // namespace datacell::sql

@@ -1,0 +1,57 @@
+#ifndef DATACELL_SQL_TOKEN_H_
+#define DATACELL_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace datacell::sql {
+
+enum class TokenKind : uint8_t {
+  kIdentifier,  // foo, foo.bar handled as two identifiers + dot
+  kKeyword,     // normalized lower-case SQL keyword
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,  // 'text' with '' escaping
+  // punctuation / operators
+  kLParen,
+  kRParen,
+  kLBracket,  // [  — opens a basket expression
+  kRBracket,
+  kComma,
+  kSemicolon,
+  kDot,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kEq,
+  kNe,  // <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEnd,  // end of input
+};
+
+/// One lexical token with its source position (for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  /// Identifier/keyword text (lower-cased for keywords, original case kept
+  /// for identifiers), or literal text.
+  std::string text;
+  int64_t int_value = 0;
+  double double_value = 0;
+  size_t offset = 0;  // byte offset in the input
+  size_t line = 1;
+
+  bool IsKeyword(const char* kw) const;
+  std::string ToString() const;
+};
+
+/// True if `word` (lower-case) is a reserved SQL keyword in our dialect.
+bool IsReservedKeyword(const std::string& word);
+
+}  // namespace datacell::sql
+
+#endif  // DATACELL_SQL_TOKEN_H_

@@ -1,0 +1,97 @@
+#include "storage/persist.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "net/codec.h"
+
+namespace datacell::storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+constexpr const char* kExtension = ".dct";
+}  // namespace
+
+Status SaveTable(const Table& table, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  net::Codec codec(table.schema());
+  out << codec.EncodeSchemaHeader() << "\n";
+  ASSIGN_OR_RETURN(std::string rows, codec.EncodeTable(table));
+  out << rows;
+  out.flush();
+  if (!out.good()) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+Result<Table> LoadTable(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::string header;
+  if (!std::getline(in, header)) {
+    return Status::IOError("missing schema header in '" + path + "'");
+  }
+  ASSIGN_OR_RETURN(Schema schema, net::Codec::DecodeSchemaHeader(header));
+  net::Codec codec(schema);
+  Table table(schema);
+  std::string line;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    Status st = codec.DecodeInto(line, &table);
+    if (!st.ok()) {
+      return Status::ParseError("'" + path + "' line " +
+                                std::to_string(line_no) + ": " + st.message());
+    }
+  }
+  return table;
+}
+
+Status SaveCatalog(const Catalog& catalog, const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create directory '" + dir +
+                           "': " + ec.message());
+  }
+  // Remove stale table files so a load round-trips the catalog exactly.
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == kExtension) {
+      fs::remove(entry.path(), ec);
+    }
+  }
+  for (const std::string& name : catalog.ListTables()) {
+    ASSIGN_OR_RETURN(auto table, catalog.GetTable(name));
+    RETURN_NOT_OK(
+        SaveTable(*table, (fs::path(dir) / (name + kExtension)).string()));
+  }
+  return Status::OK();
+}
+
+Status LoadCatalog(Catalog* catalog, const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::NotFound("no such directory: '" + dir + "'");
+  }
+  std::vector<fs::path> files;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == kExtension) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& file : files) {
+    ASSIGN_OR_RETURN(Table table, LoadTable(file.string()));
+    const std::string name = file.stem().string();
+    ASSIGN_OR_RETURN(auto created, catalog->CreateTable(name, table.schema()));
+    RETURN_NOT_OK(created->AppendTable(table));
+  }
+  return Status::OK();
+}
+
+}  // namespace datacell::storage

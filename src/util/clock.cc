@@ -1,0 +1,31 @@
+#include "util/clock.h"
+
+#include <chrono>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace datacell {
+
+Micros SystemClock::Now() const {
+  auto d = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+}
+
+void SystemClock::SleepFor(Micros duration) {
+  if (duration <= 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(duration));
+}
+
+SystemClock* SystemClock::Get() {
+  static SystemClock* clock = new SystemClock();
+  return clock;
+}
+
+void SimulatedClock::SetTime(Micros t) {
+  DC_CHECK(t >= now_) << "SimulatedClock moving backwards: " << t << " < "
+                      << now_;
+  now_ = t;
+}
+
+}  // namespace datacell

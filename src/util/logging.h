@@ -1,0 +1,66 @@
+#ifndef DATACELL_UTIL_LOGGING_H_
+#define DATACELL_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace datacell {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kFatal };
+
+/// Process-wide minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Builds one log line in a stream and flushes it (thread-safe) on
+/// destruction. kFatal aborts the process after flushing.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Streams one log line at the given severity:
+///   DC_LOG(Info) << "loaded " << n << " tuples";
+/// The body (including argument evaluation) is skipped entirely when the
+/// level is below the configured threshold.
+#define DC_LOG(level)                                                        \
+  for (bool _dc_log_once =                                                   \
+           (::datacell::LogLevel::k##level >= ::datacell::GetLogLevel());    \
+       _dc_log_once; _dc_log_once = false)                                   \
+  ::datacell::internal_logging::LogMessage(::datacell::LogLevel::k##level,   \
+                                           __FILE__, __LINE__)               \
+      .stream()
+
+/// Invariant check, active in all build types; aborts with a message on
+/// failure. Hot loops should use DC_DCHECK instead.
+#define DC_CHECK(cond)                                                      \
+  for (bool _dc_chk = !(cond); _dc_chk; _dc_chk = false)                    \
+  ::datacell::internal_logging::LogMessage(::datacell::LogLevel::kFatal,    \
+                                           __FILE__, __LINE__)              \
+          .stream()                                                         \
+      << "Check failed: " #cond " "
+
+#ifdef NDEBUG
+#define DC_DCHECK(cond) \
+  while (false) DC_CHECK(cond)
+#else
+#define DC_DCHECK(cond) DC_CHECK(cond)
+#endif
+
+}  // namespace datacell
+
+#endif  // DATACELL_UTIL_LOGGING_H_

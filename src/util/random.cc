@@ -1,0 +1,3 @@
+// Random is header-only; this file keeps the build graph uniform (every
+// module has a .cc) and anchors the class's vtable-free ODR story.
+#include "util/random.h"

@@ -1,0 +1,47 @@
+#ifndef DATACELL_UTIL_RANDOM_H_
+#define DATACELL_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace datacell {
+
+/// Small, fast, seedable PRNG (xorshift64*). Deterministic across
+/// platforms, which matters for reproducible workload generation; we avoid
+/// std::mt19937 so that generated Linear Road runs are stable regardless of
+/// standard library.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9E3779B97F4A7C15ULL)
+      : state_(seed ? seed : 1) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace datacell
+
+#endif  // DATACELL_UTIL_RANDOM_H_

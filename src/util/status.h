@@ -1,0 +1,155 @@
+#ifndef DATACELL_UTIL_STATUS_H_
+#define DATACELL_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace datacell {
+
+/// Error categories used across the DataCell code base.
+///
+/// The library never throws exceptions on library paths; all fallible
+/// operations return a Status (or a Result<T>, see below), in the style of
+/// Apache Arrow and RocksDB.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kTypeMismatch,
+  kParseError,
+  kBindError,
+  kIOError,
+  kInternal,
+  kUnsupported,
+  kResourceExhausted,
+};
+
+/// Returns a human-readable name for a status code, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error outcome.
+///
+/// Cheap to copy in the success case (no allocation); carries a message in
+/// the error case. Functions that produce a value use Result<T> instead.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status TypeMismatch(std::string msg) {
+    return Status(StatusCode::kTypeMismatch, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error outcome, analogous to arrow::Result.
+///
+/// Usage:
+///   Result<int> r = Parse(s);
+///   if (!r.ok()) return r.status();
+///   int v = *r;
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or from an error Status keeps call
+  /// sites terse (`return 42;` / `return Status::NotFound(...)`).
+  Result(T value) : inner_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : inner_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(inner_); }
+
+  /// The error status; Status::OK() when holding a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(inner_);
+  }
+
+  /// Accessors; must only be called when ok().
+  const T& value() const& { return std::get<T>(inner_); }
+  T& value() & { return std::get<T>(inner_); }
+  T&& value() && { return std::get<T>(std::move(inner_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Moves the value out, or returns `fallback` on error.
+  T ValueOr(T fallback) && {
+    if (ok()) return std::get<T>(std::move(inner_));
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> inner_;
+};
+
+/// Propagates errors: `RETURN_NOT_OK(DoThing());`
+#define RETURN_NOT_OK(expr)                       \
+  do {                                            \
+    ::datacell::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+#define DATACELL_CONCAT_IMPL(x, y) x##y
+#define DATACELL_CONCAT(x, y) DATACELL_CONCAT_IMPL(x, y)
+
+/// Unwraps a Result or propagates its error:
+///   ASSIGN_OR_RETURN(auto table, ReadTable(name));
+#define ASSIGN_OR_RETURN(lhs, rexpr)                                    \
+  auto DATACELL_CONCAT(_res_, __LINE__) = (rexpr);                      \
+  if (!DATACELL_CONCAT(_res_, __LINE__).ok())                           \
+    return DATACELL_CONCAT(_res_, __LINE__).status();                   \
+  lhs = std::move(DATACELL_CONCAT(_res_, __LINE__)).value()
+
+}  // namespace datacell
+
+#endif  // DATACELL_UTIL_STATUS_H_

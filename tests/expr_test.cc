@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include "expr/eval.h"
+#include "expr/expr.h"
+
+namespace datacell {
+namespace {
+
+Table SampleTable() {
+  Table t(Schema({{"a", DataType::kInt64},
+                  {"b", DataType::kDouble},
+                  {"s", DataType::kString}}));
+  EXPECT_TRUE(t.AppendRow({Value(1), Value(1.5), Value("x")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(2), Value(-2.0), Value("y")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(3), Value(0.5), Value("x")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(4), Value(9.0), Value("z")}).ok());
+  return t;
+}
+
+TEST(ExprTest, ToStringRendering) {
+  ExprPtr e = Expr::Bin(BinaryOp::kAnd,
+                        Expr::Bin(BinaryOp::kGt, Expr::Col("a"), Expr::Lit(1)),
+                        Expr::IsNull(Expr::Col("b"), true));
+  EXPECT_EQ(e->ToString(), "((a > 1) and (b is not null))");
+}
+
+TEST(ExprTest, InferTypes) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kDouble}});
+  EXPECT_EQ(*InferExprType(
+                s, *Expr::Bin(BinaryOp::kAdd, Expr::Col("a"), Expr::Lit(1))),
+            DataType::kInt64);
+  EXPECT_EQ(*InferExprType(
+                s, *Expr::Bin(BinaryOp::kMul, Expr::Col("a"), Expr::Col("b"))),
+            DataType::kDouble);
+  EXPECT_EQ(*InferExprType(
+                s, *Expr::Bin(BinaryOp::kLt, Expr::Col("a"), Expr::Lit(3))),
+            DataType::kBool);
+  EXPECT_FALSE(InferExprType(s, *Expr::Col("missing")).ok());
+  EXPECT_FALSE(
+      InferExprType(s, *Expr::Bin(BinaryOp::kAnd, Expr::Col("a"), Expr::Col("b")))
+          .ok());
+}
+
+TEST(EvalConstTest, ArithmeticAndComparison) {
+  EvalContext ctx;
+  auto v = EvalConst(*Expr::Bin(BinaryOp::kAdd, Expr::Lit(2), Expr::Lit(3)), ctx);
+  EXPECT_EQ(*v, Value(5));
+  v = EvalConst(*Expr::Bin(BinaryOp::kDiv, Expr::Lit(7), Expr::Lit(2)), ctx);
+  EXPECT_EQ(*v, Value(3));  // integer division
+  v = EvalConst(*Expr::Bin(BinaryOp::kDiv, Expr::Lit(7.0), Expr::Lit(2)), ctx);
+  EXPECT_EQ(*v, Value(3.5));
+  v = EvalConst(*Expr::Bin(BinaryOp::kLt, Expr::Lit("a"), Expr::Lit("b")), ctx);
+  EXPECT_EQ(*v, Value(true));
+}
+
+TEST(EvalConstTest, DivisionByZeroIsNull) {
+  EvalContext ctx;
+  auto v = EvalConst(*Expr::Bin(BinaryOp::kDiv, Expr::Lit(1), Expr::Lit(0)), ctx);
+  EXPECT_TRUE(v->is_null());
+  v = EvalConst(*Expr::Bin(BinaryOp::kMod, Expr::Lit(1), Expr::Lit(0)), ctx);
+  EXPECT_TRUE(v->is_null());
+}
+
+TEST(EvalConstTest, NullPropagates) {
+  EvalContext ctx;
+  auto v = EvalConst(
+      *Expr::Bin(BinaryOp::kAdd, Expr::Lit(Value::Null()), Expr::Lit(3)), ctx);
+  EXPECT_TRUE(v->is_null());
+}
+
+TEST(EvalConstTest, NowUsesContext) {
+  EvalContext ctx;
+  ctx.now = 12345;
+  auto v = EvalConst(*Expr::Call("now", {}), ctx);
+  EXPECT_EQ(*v, Value(int64_t{12345}));
+}
+
+TEST(EvalConstTest, Variables) {
+  std::map<std::string, Value> vars{{"threshold", Value(10)}};
+  EvalContext ctx;
+  ctx.variables = &vars;
+  auto v = EvalConst(*Expr::Col("threshold"), ctx);
+  EXPECT_EQ(*v, Value(10));
+  EXPECT_FALSE(EvalConst(*Expr::Col("nope"), ctx).ok());
+}
+
+TEST(EvalConstTest, Functions) {
+  EvalContext ctx;
+  EXPECT_EQ(*EvalConst(*Expr::Call("abs", {Expr::Lit(-4)}), ctx), Value(4));
+  EXPECT_EQ(*EvalConst(*Expr::Call("length", {Expr::Lit("abc")}), ctx),
+            Value(3));
+  EXPECT_EQ(*EvalConst(*Expr::Call("least", {Expr::Lit(4), Expr::Lit(2)}), ctx),
+            Value(2));
+  EXPECT_EQ(
+      *EvalConst(*Expr::Call("greatest", {Expr::Lit(4), Expr::Lit(2)}), ctx),
+      Value(4));
+  EXPECT_EQ(*EvalConst(*Expr::Call("cast_int", {Expr::Lit(2.9)}), ctx),
+            Value(2));
+}
+
+TEST(EvalScalarTest, ColumnArithmetic) {
+  Table t = SampleTable();
+  EvalContext ctx;
+  auto col = EvalScalar(
+      t, *Expr::Bin(BinaryOp::kMul, Expr::Col("a"), Expr::Lit(10)), ctx);
+  ASSERT_TRUE(col.ok());
+  ASSERT_EQ(col->size(), 4u);
+  EXPECT_EQ(col->ints()[2], 30);
+}
+
+TEST(EvalScalarTest, MixedIntDoublePromotes) {
+  Table t = SampleTable();
+  EvalContext ctx;
+  auto col =
+      EvalScalar(t, *Expr::Bin(BinaryOp::kAdd, Expr::Col("a"), Expr::Col("b")),
+                 ctx);
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ(col->type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(col->doubles()[0], 2.5);
+}
+
+TEST(EvalScalarTest, UnaryOps) {
+  Table t = SampleTable();
+  EvalContext ctx;
+  auto neg = EvalScalar(t, *Expr::Un(UnaryOp::kNeg, Expr::Col("a")), ctx);
+  ASSERT_TRUE(neg.ok());
+  EXPECT_EQ(neg->ints()[3], -4);
+  auto b = EvalScalar(
+      t,
+      *Expr::Un(UnaryOp::kNot,
+                Expr::Bin(BinaryOp::kGt, Expr::Col("a"), Expr::Lit(2))),
+      ctx);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->bools()[0], 1);
+  EXPECT_EQ(b->bools()[3], 0);
+}
+
+TEST(EvalScalarTest, DivByZeroColumnGivesNull) {
+  Table t(Schema({{"x", DataType::kInt64}, {"y", DataType::kInt64}}));
+  ASSERT_TRUE(t.AppendRow({Value(10), Value(0)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(10), Value(2)}).ok());
+  EvalContext ctx;
+  auto col =
+      EvalScalar(t, *Expr::Bin(BinaryOp::kDiv, Expr::Col("x"), Expr::Col("y")),
+                 ctx);
+  ASSERT_TRUE(col.ok());
+  EXPECT_FALSE(col->IsValid(0));
+  EXPECT_EQ(col->ints()[1], 5);
+}
+
+TEST(EvalPredicateTest, FastPathIntComparison) {
+  Table t = SampleTable();
+  EvalContext ctx;
+  auto sel =
+      EvalPredicate(t, *Expr::Bin(BinaryOp::kGt, Expr::Col("a"), Expr::Lit(2)),
+                    ctx);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(*sel, (SelVector{2, 3}));
+}
+
+TEST(EvalPredicateTest, FlippedComparison) {
+  Table t = SampleTable();
+  EvalContext ctx;
+  // 2 < a  ==  a > 2
+  auto sel =
+      EvalPredicate(t, *Expr::Bin(BinaryOp::kLt, Expr::Lit(2), Expr::Col("a")),
+                    ctx);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(*sel, (SelVector{2, 3}));
+}
+
+TEST(EvalPredicateTest, AndRefines) {
+  Table t = SampleTable();
+  EvalContext ctx;
+  ExprPtr pred = Expr::Bin(
+      BinaryOp::kAnd, Expr::Bin(BinaryOp::kGt, Expr::Col("a"), Expr::Lit(1)),
+      Expr::Bin(BinaryOp::kLt, Expr::Col("b"), Expr::Lit(1.0)));
+  auto sel = EvalPredicate(t, *pred, ctx);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(*sel, (SelVector{1, 2}));
+}
+
+TEST(EvalPredicateTest, OrUnions) {
+  Table t = SampleTable();
+  EvalContext ctx;
+  ExprPtr pred = Expr::Bin(
+      BinaryOp::kOr, Expr::Bin(BinaryOp::kEq, Expr::Col("a"), Expr::Lit(1)),
+      Expr::Bin(BinaryOp::kEq, Expr::Col("s"), Expr::Lit("z")));
+  auto sel = EvalPredicate(t, *pred, ctx);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(*sel, (SelVector{0, 3}));
+}
+
+TEST(EvalPredicateTest, StringEquality) {
+  Table t = SampleTable();
+  EvalContext ctx;
+  auto sel = EvalPredicate(
+      t, *Expr::Bin(BinaryOp::kEq, Expr::Col("s"), Expr::Lit("x")), ctx);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(*sel, (SelVector{0, 2}));
+}
+
+TEST(EvalPredicateTest, NullsNeverMatch) {
+  Table t(Schema({{"x", DataType::kInt64}}));
+  ASSERT_TRUE(t.AppendRow({Value(1)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Null()}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(3)}).ok());
+  EvalContext ctx;
+  auto sel = EvalPredicate(
+      t, *Expr::Bin(BinaryOp::kGe, Expr::Col("x"), Expr::Lit(0)), ctx);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(*sel, (SelVector{0, 2}));
+  // IS NULL finds the hole.
+  sel = EvalPredicate(t, *Expr::IsNull(Expr::Col("x"), false), ctx);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(*sel, (SelVector{1}));
+  sel = EvalPredicate(t, *Expr::IsNull(Expr::Col("x"), true), ctx);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(*sel, (SelVector{0, 2}));
+}
+
+TEST(EvalPredicateTest, CandidateRestriction) {
+  Table t = SampleTable();
+  EvalContext ctx;
+  SelVector cand{0, 3};
+  auto sel = EvalPredicateOn(
+      t, *Expr::Bin(BinaryOp::kGt, Expr::Col("a"), Expr::Lit(0)), cand, ctx);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(*sel, (SelVector{0, 3}));
+}
+
+TEST(EvalPredicateTest, VariableInPredicate) {
+  Table t = SampleTable();
+  std::map<std::string, Value> vars{{"v1", Value(2)}};
+  EvalContext ctx;
+  ctx.variables = &vars;
+  auto sel = EvalPredicate(
+      t, *Expr::Bin(BinaryOp::kLe, Expr::Col("a"), Expr::Col("v1")), ctx);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(*sel, (SelVector{0, 1}));
+}
+
+TEST(EvalPredicateTest, NonBooleanPredicateRejected) {
+  Table t = SampleTable();
+  EvalContext ctx;
+  auto sel = EvalPredicate(t, *Expr::Col("a"), ctx);
+  EXPECT_FALSE(sel.ok());
+}
+
+TEST(EvalScalarTest, TimestampArithmeticKeepsType) {
+  Table t(Schema({{"ts", DataType::kTimestamp}}));
+  ASSERT_TRUE(t.AppendRow({Value(int64_t{5'000'000})}).ok());
+  EvalContext ctx;
+  // ts + int -> timestamp (an interval shift).
+  auto shifted = EvalScalar(
+      t, *Expr::Bin(BinaryOp::kAdd, Expr::Col("ts"), Expr::Lit(int64_t{1'000'000})),
+      ctx);
+  ASSERT_TRUE(shifted.ok());
+  EXPECT_EQ(shifted->type(), DataType::kTimestamp);
+  EXPECT_EQ(shifted->ints()[0], 6'000'000);
+}
+
+TEST(EvalScalarTest, ModuloSemantics) {
+  Table t(Schema({{"x", DataType::kInt64}}));
+  ASSERT_TRUE(t.AppendRow({Value(7)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(-7)}).ok());
+  EvalContext ctx;
+  auto r = EvalScalar(t, *Expr::Bin(BinaryOp::kMod, Expr::Col("x"), Expr::Lit(3)),
+                      ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ints()[0], 1);
+  EXPECT_EQ(r->ints()[1], -1);  // C++ truncating semantics
+}
+
+TEST(EvalPredicateTest, BoolColumnComparison) {
+  Table t(Schema({{"flag", DataType::kBool}}));
+  ASSERT_TRUE(t.AppendRow({Value(true)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(false)}).ok());
+  EvalContext ctx;
+  auto sel = EvalPredicate(
+      t, *Expr::Bin(BinaryOp::kEq, Expr::Col("flag"), Expr::Lit(true)), ctx);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(*sel, (SelVector{0}));
+}
+
+TEST(EvalPredicateTest, MixedIntColumnDoubleConstant) {
+  Table t(Schema({{"x", DataType::kInt64}}));
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value(i)}).ok());
+  }
+  EvalContext ctx;
+  auto sel = EvalPredicate(
+      t, *Expr::Bin(BinaryOp::kGt, Expr::Col("x"), Expr::Lit(2.5)), ctx);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(*sel, (SelVector{3, 4}));
+}
+
+TEST(EvalPredicateTest, StringVsNumberComparisonRejected) {
+  Table t(Schema({{"s", DataType::kString}}));
+  ASSERT_TRUE(t.AppendRow({Value("x")}).ok());
+  EvalContext ctx;
+  EXPECT_FALSE(
+      EvalPredicate(t, *Expr::Bin(BinaryOp::kLt, Expr::Col("s"), Expr::Lit(5)),
+                    ctx)
+          .ok());
+}
+
+// Property sweep: for random int columns, the fast path (col cmp const)
+// agrees with the generic evaluator (forced by wrapping in NOT(NOT(x))).
+class PredicateEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PredicateEquivalenceTest, FastAndSlowAgree) {
+  auto [seed, threshold] = GetParam();
+  Table t(Schema({{"x", DataType::kInt64}}));
+  uint64_t state = static_cast<uint64_t>(seed) * 2654435761u + 1;
+  for (int i = 0; i < 200; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    ASSERT_TRUE(t.AppendRow({Value(static_cast<int64_t>(state % 100))}).ok());
+  }
+  EvalContext ctx;
+  ExprPtr cmp = Expr::Bin(BinaryOp::kLt, Expr::Col("x"), Expr::Lit(threshold));
+  ExprPtr slow = Expr::Un(UnaryOp::kNot, Expr::Un(UnaryOp::kNot, cmp));
+  auto fast_sel = EvalPredicate(t, *cmp, ctx);
+  auto slow_sel = EvalPredicate(t, *slow, ctx);
+  ASSERT_TRUE(fast_sel.ok());
+  ASSERT_TRUE(slow_sel.ok());
+  EXPECT_EQ(*fast_sel, *slow_sel);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PredicateEquivalenceTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(0, 10, 50, 99, 100)));
+
+}  // namespace
+}  // namespace datacell

@@ -1,0 +1,426 @@
+// Integration tests: multi-subsystem scenarios exercising the public API
+// end to end — SQL-defined continuous-query networks, time-driven
+// eviction, threaded scheduling under load, and a miniature Linear Road
+// accident pipeline written purely in DataCell SQL.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "core/engine.h"
+#include "core/metronome.h"
+#include "core/receptor.h"
+#include "core/scheduler.h"
+#include "sql/session.h"
+#include "util/clock.h"
+#include "util/random.h"
+
+namespace datacell {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A 50-query SQL workload over one stream, checked against a brute-force
+// oracle.
+// ---------------------------------------------------------------------------
+
+TEST(SqlWorkloadTest, FiftyContinuousQueriesMatchOracle) {
+  SimulatedClock clock;
+  core::Engine engine(&clock);
+  sql::Session session(&engine);
+  ASSERT_TRUE(session.Execute("create basket s (payload int)").ok());
+
+  // 50 range queries over a private replica each (separate-baskets style
+  // via one basket per query to keep consumption independent).
+  constexpr int kQueries = 50;
+  std::vector<int64_t> lows;
+  std::vector<size_t> oracle(kQueries, 0);
+  for (int q = 0; q < kQueries; ++q) {
+    const int64_t lo = (q * 17) % 90;
+    lows.push_back(lo);
+    ASSERT_TRUE(session
+                    .Execute("create basket s" + std::to_string(q) +
+                             " (payload int);"
+                             "create basket out" + std::to_string(q) +
+                             " (payload int)")
+                    .ok());
+    auto f = session.RegisterContinuousQuery(
+        "q" + std::to_string(q),
+        "insert into out" + std::to_string(q) +
+            " select * from [select * from s" + std::to_string(q) +
+            "] as z where z.payload >= " + std::to_string(lo) +
+            " and z.payload < " + std::to_string(lo + 10));
+    ASSERT_TRUE(f.ok()) << f.status().ToString();
+  }
+
+  // Feed three batches, replicating to all query baskets (receptor role).
+  Random rng(99);
+  for (int round = 0; round < 3; ++round) {
+    std::string values;
+    for (int i = 0; i < 40; ++i) {
+      const int64_t v = static_cast<int64_t>(rng.Uniform(100));
+      if (i) values += ", ";
+      values += "(" + std::to_string(v) + ")";
+      for (int q = 0; q < kQueries; ++q) {
+        if (v >= lows[q] && v < lows[q] + 10) ++oracle[q];
+      }
+    }
+    for (int q = 0; q < kQueries; ++q) {
+      ASSERT_TRUE(
+          session.Execute("insert into s" + std::to_string(q) + " values " + values)
+              .ok());
+    }
+    ASSERT_TRUE(engine.scheduler().RunUntilQuiescent().ok());
+  }
+
+  for (int q = 0; q < kQueries; ++q) {
+    auto out = engine.GetBasket("out" + std::to_string(q));
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ((*out)->size(), oracle[q]) << "query " << q;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Metronome-driven eviction: a garbage-collection continuous query fired
+// by heartbeat markers (the §5 time-out pattern, end to end).
+// ---------------------------------------------------------------------------
+
+TEST(TimeDrivenTest, HeartbeatDrivenGarbageCollection) {
+  SimulatedClock clock(0);
+  core::Engine engine(&clock);
+  sql::Session session(&engine);
+  ASSERT_TRUE(session
+                  .Execute("create basket events (tag timestamp, payload int);"
+                           "create basket ticks (epoch timestamp);"
+                           "create table trash (tag timestamp, payload int)")
+                  .ok());
+  // Metronome ticks every simulated second.
+  auto ticks = engine.GetBasket("ticks");
+  ASSERT_TRUE(ticks.ok());
+  engine.Register(core::MakeHeartbeat("hb", *ticks, "epoch",
+                                      kMicrosPerSecond, kMicrosPerSecond));
+  // GC query: fires on tick markers; sweeps events older than 5 seconds.
+  auto gc = session.RegisterContinuousQuery(
+      "gc",
+      "with t as [select * from ticks] begin "
+      "insert into trash [select all from events where events.tag < "
+      "now() - interval 5 second]; "
+      "end");
+  ASSERT_TRUE(gc.ok()) << gc.status().ToString();
+
+  // t=1s: two events arrive.
+  clock.SetTime(1 * kMicrosPerSecond);
+  ASSERT_TRUE(session
+                  .Execute("insert into events values (1000000, 1), "
+                           "(1000000, 2)")
+                  .ok());
+  ASSERT_TRUE(engine.scheduler().RunUntilQuiescent().ok());
+  EXPECT_EQ((*engine.GetBasket("events"))->size(), 2u);
+
+  // t=3s: another event; the first two are still fresh.
+  clock.SetTime(3 * kMicrosPerSecond);
+  ASSERT_TRUE(session.Execute("insert into events values (3000000, 3)").ok());
+  ASSERT_TRUE(engine.scheduler().RunUntilQuiescent().ok());
+  EXPECT_EQ((*engine.GetBasket("events"))->size(), 3u);
+  EXPECT_EQ(*session.Execute("select count(*) n from trash")->GetRow(0).data(),
+            Value(int64_t{0}));
+
+  // t=7s: the metronome catches up and the t=1s events expire.
+  clock.SetTime(7 * kMicrosPerSecond);
+  ASSERT_TRUE(engine.scheduler().RunUntilQuiescent().ok());
+  EXPECT_EQ((*engine.GetBasket("events"))->size(), 1u);
+  auto trash = session.Execute("select count(*) n from trash");
+  ASSERT_TRUE(trash.ok());
+  EXPECT_EQ(trash->GetRow(0)[0], Value(int64_t{2}));
+}
+
+// ---------------------------------------------------------------------------
+// Threaded scheduler under sustained pull-mode load.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadedTest, PullReceptorChainUnderLoad) {
+  SystemClock* clock = SystemClock::Get();
+  Schema schema({{"seq", DataType::kInt64}});
+  auto b0 = std::make_shared<core::Basket>("b0", schema);
+  auto b1 = std::make_shared<core::Basket>("b1", b0->schema(), false);
+
+  constexpr int64_t kTotal = 20'000;
+  auto counter = std::make_shared<std::atomic<int64_t>>(0);
+  auto source = [counter, &schema]() -> Result<std::optional<Table>> {
+    if (counter->load() >= kTotal) return std::optional<Table>();
+    Table t(schema);
+    for (int i = 0; i < 100 && counter->load() < kTotal; ++i) {
+      RETURN_NOT_OK(t.AppendRow({Value(counter->fetch_add(1))}));
+    }
+    return std::optional<Table>(std::move(t));
+  };
+  auto receptor = std::make_shared<core::Receptor>("gen", source);
+  receptor->AddOutput(b0);
+
+  auto forward = std::make_shared<core::Factory>(
+      "fwd", [b1](core::FactoryContext& ctx) -> Status {
+        Table t = ctx.input(0).TakeAll();
+        ASSIGN_OR_RETURN(size_t n, b1->AppendAligned(t, ctx.now()));
+        (void)n;
+        return Status::OK();
+      });
+  forward->AddInput(b0);
+  forward->AddOutput(b1);
+
+  std::atomic<int64_t> received{0};
+  std::set<int64_t> seen;
+  std::mutex seen_mu;
+  auto emitter = std::make_shared<core::Emitter>(
+      "sink", [&](const Table& batch) -> Status {
+        auto col = batch.GetColumn("seq");
+        RETURN_NOT_OK(col.status());
+        std::lock_guard<std::mutex> lock(seen_mu);
+        for (int64_t v : (*col)->ints()) seen.insert(v);
+        received.fetch_add(static_cast<int64_t>(batch.num_rows()));
+        return Status::OK();
+      });
+  emitter->AddInput(b1);
+
+  core::Scheduler sched(clock);
+  sched.Register(receptor);
+  sched.Register(forward);
+  sched.Register(emitter);
+  ASSERT_TRUE(sched.Start().ok());
+  for (int i = 0; i < 20000 && received.load() < kTotal; ++i) {
+    clock->SleepFor(1000);
+  }
+  sched.Stop();
+  EXPECT_EQ(received.load(), kTotal);
+  // Every tuple arrived exactly once (no loss, no duplication).
+  std::lock_guard<std::mutex> lock(seen_mu);
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kTotal));
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), kTotal - 1);
+}
+
+// ---------------------------------------------------------------------------
+// A miniature accident pipeline written purely in DataCell SQL: stopped-car
+// candidates via self-join, accident confirmation via group-by/having —
+// the flavor of Linear Road's Q1/Q2 in the declarative layer.
+// ---------------------------------------------------------------------------
+
+TEST(SqlPipelineTest, AccidentDetectionInSql) {
+  SimulatedClock clock;
+  core::Engine engine(&clock);
+  sql::Session session(&engine);
+  ASSERT_TRUE(session
+                  .Execute("create basket reports (vid int, speed int, "
+                           "pos int);"
+                           "create basket stopped (vid int, pos int);"
+                           "create table accidents (pos int, cars int)")
+                  .ok());
+
+  // Stage 1: zero-speed reports flow into `stopped` (filter).
+  ASSERT_TRUE(session
+                  .RegisterContinuousQuery(
+                      "find_stopped",
+                      "insert into stopped select r.vid, r.pos from "
+                      "[select * from reports] as r where r.speed = 0")
+                  .ok());
+  // Stage 2: positions with at least two distinct stopped cars become
+  // accidents (aggregation + having over the stopped stream).
+  ASSERT_TRUE(session
+                  .RegisterContinuousQuery(
+                      "confirm",
+                      "insert into accidents select z.pos, count(*) cars "
+                      "from [select * from stopped] as z "
+                      "group by z.pos having count(*) >= 2")
+                  .ok());
+
+  ASSERT_TRUE(session
+                  .Execute("insert into reports values "
+                           "(1, 0, 500), (2, 0, 500), (3, 55, 700), "
+                           "(4, 0, 900)")
+                  .ok());
+  ASSERT_TRUE(engine.scheduler().RunUntilQuiescent().ok());
+
+  auto accidents = session.Execute("select pos, cars from accidents");
+  ASSERT_TRUE(accidents.ok());
+  ASSERT_EQ(accidents->num_rows(), 1u);
+  EXPECT_EQ(accidents->GetRow(0)[0], Value(500));
+  EXPECT_EQ(accidents->GetRow(0)[1], Value(int64_t{2}));
+  // The lone stopped car at 900 is no accident.
+}
+
+// ---------------------------------------------------------------------------
+// Predicate-window prioritization: out-of-order processing by content
+// (§3.2: "we are not restricted to process tuples in the order they
+// arrive").
+// ---------------------------------------------------------------------------
+
+TEST(OutOfOrderTest, HighPriorityTuplesProcessedFirst) {
+  SimulatedClock clock;
+  core::Engine engine(&clock);
+  sql::Session session(&engine);
+  ASSERT_TRUE(session
+                  .Execute("create basket q (priority int, job int);"
+                           "create table done (job int)")
+                  .ok());
+  ASSERT_TRUE(session
+                  .Execute("insert into q values (2, 100), (1, 200), "
+                           "(2, 300), (1, 400)")
+                  .ok());
+  // First drain priority 1 (a predicate window picks them regardless of
+  // arrival order), then the rest.
+  ASSERT_TRUE(session
+                  .Execute("insert into done select z.job from "
+                           "[select * from q where q.priority = 1] as z")
+                  .ok());
+  auto after_first = session.Execute("select job from done order by job");
+  ASSERT_TRUE(after_first.ok());
+  ASSERT_EQ(after_first->num_rows(), 2u);
+  EXPECT_EQ(after_first->GetRow(0)[0], Value(200));
+  EXPECT_EQ(after_first->GetRow(1)[0], Value(400));
+  // Low-priority tuples are still waiting, untouched.
+  EXPECT_EQ((*engine.GetBasket("q"))->size(), 2u);
+  ASSERT_TRUE(session
+                  .Execute("insert into done select z.job from "
+                           "[select * from q] as z")
+                  .ok());
+  EXPECT_EQ((*engine.GetBasket("q"))->size(), 0u);
+  auto all = session.Execute("select count(*) n from done");
+  EXPECT_EQ(all->GetRow(0)[0], Value(int64_t{4}));
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: many producer threads appending into one basket while a
+// threaded scheduler consumes — conservation must hold and nothing may be
+// lost or duplicated.
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrencyTest, ParallelProducersSingleConsumer) {
+  SystemClock* clock = SystemClock::Get();
+  Schema schema({{"producer", DataType::kInt64}, {"seq", DataType::kInt64}});
+  auto in = std::make_shared<core::Basket>("in", schema);
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  std::atomic<int64_t> consumed{0};
+  std::array<std::atomic<int64_t>, kProducers> per_producer{};
+
+  auto consumer = std::make_shared<core::Factory>(
+      "consume", [&](core::FactoryContext& ctx) -> Status {
+        Table batch = ctx.input(0).TakeAll();
+        auto prod = batch.GetColumn("producer");
+        RETURN_NOT_OK(prod.status());
+        for (int64_t p : (*prod)->ints()) {
+          per_producer[static_cast<size_t>(p)].fetch_add(1);
+        }
+        consumed.fetch_add(static_cast<int64_t>(batch.num_rows()));
+        return Status::OK();
+      });
+  consumer->AddInput(in);
+  core::Scheduler sched(clock);
+  sched.Register(consumer);
+  ASSERT_TRUE(sched.Start().ok());
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; i += 50) {
+        Table batch(schema);
+        for (int j = i; j < i + 50; ++j) {
+          ASSERT_TRUE(batch.AppendRow({Value(p), Value(j)}).ok());
+        }
+        ASSERT_TRUE(in->Append(batch, clock->Now()).ok());
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  const int64_t total = int64_t{kProducers} * kPerProducer;
+  for (int i = 0; i < 20000 && consumed.load() < total; ++i) {
+    clock->SleepFor(1000);
+  }
+  sched.Stop();
+  EXPECT_EQ(consumed.load(), total);
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(per_producer[static_cast<size_t>(p)].load(), kPerProducer);
+  }
+  const auto stats = in->stats();
+  EXPECT_EQ(stats.appended, static_cast<uint64_t>(total));
+  EXPECT_EQ(stats.consumed, static_cast<uint64_t>(total));
+  EXPECT_EQ(in->size(), 0u);
+}
+
+TEST(ConcurrencyTest, SharedBasketTwoFactoriesNoDeadlock) {
+  // Two factories share two baskets in opposite input/output order; the
+  // canonical lock ordering in Factory::Fire must prevent deadlock under a
+  // threaded scheduler.
+  SystemClock* clock = SystemClock::Get();
+  Schema schema({{"v", DataType::kInt64}});
+  auto a = std::make_shared<core::Basket>("a", schema, /*add_arrival_ts=*/false);
+  auto b = std::make_shared<core::Basket>("b", schema, /*add_arrival_ts=*/false);
+
+  std::atomic<int64_t> moved_ab{0}, moved_ba{0};
+  // a -> b mover for even values, b -> a mover drains (values decremented
+  // until they vanish), guaranteeing termination.
+  auto ab = std::make_shared<core::Factory>(
+      "ab", [&, a, b](core::FactoryContext& ctx) -> Status {
+        Table batch = a->TakeAll();
+        auto col = batch.GetColumn("v");
+        RETURN_NOT_OK(col.status());
+        Table fwd(batch.schema());
+        for (int64_t v : (*col)->ints()) {
+          if (v > 0) {
+            RETURN_NOT_OK(fwd.AppendRow({Value(v - 1)}));
+          }
+        }
+        moved_ab.fetch_add(static_cast<int64_t>(batch.num_rows()));
+        if (fwd.num_rows() > 0) {
+          ASSIGN_OR_RETURN(size_t n, b->AppendAligned(fwd, ctx.now()));
+          (void)n;
+        }
+        return Status::OK();
+      });
+  ab->AddInput(a);
+  ab->AddOutput(b);
+  auto ba = std::make_shared<core::Factory>(
+      "ba", [&, a, b](core::FactoryContext& ctx) -> Status {
+        Table batch = b->TakeAll();
+        auto col = batch.GetColumn("v");
+        RETURN_NOT_OK(col.status());
+        Table fwd(batch.schema());
+        for (int64_t v : (*col)->ints()) {
+          if (v > 0) {
+            RETURN_NOT_OK(fwd.AppendRow({Value(v - 1)}));
+          }
+        }
+        moved_ba.fetch_add(static_cast<int64_t>(batch.num_rows()));
+        if (fwd.num_rows() > 0) {
+          ASSIGN_OR_RETURN(size_t n, a->AppendAligned(fwd, ctx.now()));
+          (void)n;
+        }
+        return Status::OK();
+      });
+  ba->AddInput(b);
+  ba->AddOutput(a);
+
+  core::Scheduler sched(clock);
+  sched.Register(ab);
+  sched.Register(ba);
+  ASSERT_TRUE(sched.Start().ok());
+  Table seed(schema);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(seed.AppendRow({Value(16)}).ok());
+  }
+  ASSERT_TRUE(a->Append(seed, clock->Now()).ok());
+  // Every tuple ping-pongs 16 times then evaporates; wait for quiescence.
+  for (int i = 0; i < 20000 && (a->size() > 0 || b->size() > 0); ++i) {
+    clock->SleepFor(1000);
+  }
+  sched.Stop();
+  EXPECT_EQ(a->size(), 0u);
+  EXPECT_EQ(b->size(), 0u);
+  EXPECT_GT(moved_ab.load(), 0);
+  EXPECT_GT(moved_ba.load(), 0);
+}
+
+}  // namespace
+}  // namespace datacell

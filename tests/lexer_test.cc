@@ -1,0 +1,176 @@
+// Lexer and parser breadth tests: token-level edge cases, precedence, and
+// grammar corners beyond what the executor-level suites exercise.
+
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace datacell::sql {
+namespace {
+
+Result<std::vector<Token>> Lex(const std::string& s) { return Tokenize(s); }
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = Lex("SeLeCt FROM wHeRe");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 4u);  // + end
+  EXPECT_TRUE((*tokens)[0].IsKeyword("select"));
+  EXPECT_TRUE((*tokens)[1].IsKeyword("from"));
+  EXPECT_TRUE((*tokens)[2].IsKeyword("where"));
+}
+
+TEST(LexerTest, IdentifiersLowerCased) {
+  auto tokens = Lex("MyTable my_col2");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[0].text, "mytable");
+  EXPECT_EQ((*tokens)[1].text, "my_col2");
+}
+
+TEST(LexerTest, NumberForms) {
+  auto tokens = Lex("42 3.5 .5 1e3 2.5E-2");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIntLiteral);
+  EXPECT_EQ((*tokens)[0].int_value, 42);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ((*tokens)[1].double_value, 3.5);
+  EXPECT_DOUBLE_EQ((*tokens)[2].double_value, 0.5);
+  EXPECT_DOUBLE_EQ((*tokens)[3].double_value, 1000.0);
+  EXPECT_DOUBLE_EQ((*tokens)[4].double_value, 0.025);
+}
+
+TEST(LexerTest, StringEscaping) {
+  auto tokens = Lex("'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kStringLiteral);
+  EXPECT_EQ((*tokens)[0].text, "it's");
+}
+
+TEST(LexerTest, OperatorsTwoChar) {
+  auto tokens = Lex("<> != <= >= < > =");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kNe);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kNe);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kLe);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kGe);
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kLt);
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kGt);
+  EXPECT_EQ((*tokens)[6].kind, TokenKind::kEq);
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Lex("a -- rest of line\nb /* multi\nline */ c");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 4u);
+  EXPECT_EQ((*tokens)[0].text, "a");
+  EXPECT_EQ((*tokens)[1].text, "b");
+  EXPECT_EQ((*tokens)[2].text, "c");
+}
+
+TEST(LexerTest, LineNumbersTracked) {
+  auto tokens = Lex("a\nb\n  c");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1u);
+  EXPECT_EQ((*tokens)[1].line, 2u);
+  EXPECT_EQ((*tokens)[2].line, 3u);
+}
+
+TEST(LexerTest, Unterminated) {
+  EXPECT_FALSE(Lex("'open").ok());
+  EXPECT_FALSE(Lex("/* open").ok());
+  EXPECT_FALSE(Lex("a @ b").ok());
+}
+
+TEST(ParserPrecedenceTest, ArithmeticBeforeComparison) {
+  auto stmt = ParseOne("select * from t where a + 2 * 3 > b - 1");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->select->where->ToString(), "((a + (2 * 3)) > (b - 1))");
+}
+
+TEST(ParserPrecedenceTest, AndBindsTighterThanOr) {
+  auto stmt = ParseOne("select * from t where a = 1 or b = 2 and c = 3");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->select->where->ToString(),
+            "((a = 1) or ((b = 2) and (c = 3)))");
+}
+
+TEST(ParserPrecedenceTest, NotBindsAboveAnd) {
+  auto stmt = ParseOne("select * from t where not a = 1 and b = 2");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->select->where->ToString(),
+            "((not (a = 1)) and (b = 2))");
+}
+
+TEST(ParserPrecedenceTest, ParenthesesOverride) {
+  auto stmt = ParseOne("select (1 + 2) * 3 x");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->select->items[0].expr->ToString(), "((1 + 2) * 3)");
+}
+
+TEST(ParserPrecedenceTest, UnaryMinusChains) {
+  auto stmt = ParseOne("select - -3 x, +4 y");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->select->items[0].expr->ToString(), "(-(-3))");
+  EXPECT_EQ((*stmt)->select->items[1].expr->ToString(), "4");
+}
+
+TEST(ParserGrammarTest, ImplicitAliasWithoutAs) {
+  auto stmt = ParseOne("select a total from t u");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->select->items[0].alias, "total");
+  EXPECT_EQ((*stmt)->select->from[0].alias, "u");
+}
+
+TEST(ParserGrammarTest, QualifiedStar) {
+  auto stmt = ParseOne("select a.*, b.x from t1 a, t2 b");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ((*stmt)->select->items.size(), 2u);
+  EXPECT_TRUE((*stmt)->select->items[0].star);
+  EXPECT_EQ((*stmt)->select->items[0].star_qualifier, "a");
+  EXPECT_FALSE((*stmt)->select->items[1].star);
+}
+
+TEST(ParserGrammarTest, MultiValuesRows) {
+  auto stmt = ParseOne("insert into t (a, b) values (1, 'x'), (2, 'y')");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->insert->columns.size(), 2u);
+  EXPECT_EQ((*stmt)->insert->values.size(), 2u);
+}
+
+TEST(ParserGrammarTest, FunctionCalls) {
+  auto stmt = ParseOne("select count(*) a, sum(x + 1) b, least(x, y) c from t");
+  ASSERT_TRUE(stmt.ok());
+  const auto& items = (*stmt)->select->items;
+  EXPECT_EQ(items[0].expr->ToString(), "count(*)");
+  EXPECT_EQ(items[1].expr->ToString(), "sum((x + 1))");
+  EXPECT_EQ(items[2].expr->ToString(), "least(x, y)");
+}
+
+TEST(ParserGrammarTest, NestedWithBlockRejected) {
+  EXPECT_FALSE(ParseOne("with a as [select * from x] begin "
+                        "with b as [select * from y] begin end end")
+                   .ok());
+}
+
+TEST(ParserGrammarTest, EmptyInputYieldsNoStatements) {
+  auto stmts = Parse("   ;;  -- nothing\n");
+  ASSERT_TRUE(stmts.ok());
+  EXPECT_TRUE(stmts->empty());
+}
+
+TEST(ParserGrammarTest, MultipleStatements) {
+  auto stmts = Parse("create table t (a int); insert into t values (1); "
+                     "select * from t");
+  ASSERT_TRUE(stmts.ok());
+  EXPECT_EQ(stmts->size(), 3u);
+}
+
+TEST(ParserGrammarTest, ErrorsMentionLine) {
+  auto r = Parse("select *\nfrom\nwhere");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace datacell::sql

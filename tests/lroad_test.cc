@@ -1,0 +1,523 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/scheduler.h"
+#include "lroad/driver.h"
+#include "lroad/generator.h"
+#include "lroad/history.h"
+#include "lroad/queries.h"
+#include "lroad/types.h"
+#include "lroad/validator.h"
+#include "util/clock.h"
+
+namespace datacell::lroad {
+namespace {
+
+// ---------------------------------------------------------------------------
+// History
+// ---------------------------------------------------------------------------
+
+TEST(HistoryTest, Deterministic) {
+  TollHistory a(42), b(42), c(43);
+  EXPECT_EQ(a.DailyExpenditure(7, 3, 0), b.DailyExpenditure(7, 3, 0));
+  EXPECT_NE(a.DailyExpenditure(7, 3, 0), c.DailyExpenditure(7, 3, 0));
+}
+
+TEST(HistoryTest, InRangeAndKeyed) {
+  TollHistory h(1);
+  for (int64_t vid = 0; vid < 50; ++vid) {
+    for (int64_t day = 1; day <= 5; ++day) {
+      int64_t v = h.DailyExpenditure(vid, day, 0);
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 10000);
+    }
+  }
+  EXPECT_NE(h.DailyExpenditure(1, 1, 0), h.DailyExpenditure(1, 2, 0));
+  EXPECT_NE(h.DailyExpenditure(1, 1, 0), h.DailyExpenditure(2, 1, 0));
+}
+
+TEST(HistoryTest, MaterializeMatchesFunction) {
+  TollHistory h(9);
+  Table t = h.Materialize(3, 1);
+  ASSERT_EQ(t.num_rows(), 3u * kHistoryDays);
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    EXPECT_EQ(t.column(3).ints()[i],
+              h.DailyExpenditure(t.column(0).ints()[i], t.column(1).ints()[i],
+                                 t.column(2).ints()[i]));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Generator
+// ---------------------------------------------------------------------------
+
+Generator::Options SmallGen(double sf = 0.05, int duration = 300) {
+  Generator::Options o;
+  o.scale_factor = sf;
+  o.duration_sec = duration;
+  o.seed = 11;
+  return o;
+}
+
+TEST(GeneratorTest, RateCurveShape) {
+  Generator g(SmallGen(1.0, kBenchmarkDurationSec));
+  // Start around 17/s, end around 1700/s, monotone.
+  EXPECT_NEAR(g.TargetRate(0), 17.0, 1.0);
+  EXPECT_NEAR(g.TargetRate(kBenchmarkDurationSec), 1700.0, 30.0);
+  double prev = 0;
+  for (int64_t t = 0; t <= kBenchmarkDurationSec; t += 600) {
+    double r = g.TargetRate(t);
+    EXPECT_GE(r, prev - 1e-9);
+    prev = r;
+  }
+  // Half the scale factor => half the rate.
+  Generator h(SmallGen(0.5, kBenchmarkDurationSec));
+  EXPECT_NEAR(h.TargetRate(kBenchmarkDurationSec),
+              g.TargetRate(kBenchmarkDurationSec) / 2, 20.0);
+}
+
+TEST(GeneratorTest, TuplesAreWellFormed) {
+  Generator g(SmallGen());
+  uint64_t n = 0;
+  while (!g.Done()) {
+    Table batch = g.NextSecond();
+    for (size_t i = 0; i < batch.num_rows(); ++i) {
+      InputTuple t = ReadInput(batch, i);
+      EXPECT_TRUE(t.type == 0 || t.type == 2 || t.type == 3);
+      EXPECT_EQ(t.time, g.now() - 1);
+      EXPECT_GE(t.vid, 0);
+      if (t.type == 0) {
+        EXPECT_GE(t.speed, 0);
+        EXPECT_LE(t.speed, 100);
+        EXPECT_GE(t.lane, 0);
+        EXPECT_LE(t.lane, 4);
+        EXPECT_GE(t.seg, 0);
+        EXPECT_LT(t.seg, kSegmentsPerXway);
+        EXPECT_GE(t.pos, 0);
+        EXPECT_LT(t.pos, kSegmentsPerXway * kFeetPerSegment);
+        EXPECT_EQ(t.seg, t.pos / kFeetPerSegment);
+      } else {
+        EXPECT_GE(t.qid, 0);
+      }
+      ++n;
+    }
+  }
+  EXPECT_EQ(n, g.tuples_generated());
+  EXPECT_GT(n, 0u);
+}
+
+TEST(GeneratorTest, Deterministic) {
+  Generator a(SmallGen()), b(SmallGen());
+  while (!a.Done()) {
+    Table ta = a.NextSecond();
+    Table tb = b.NextSecond();
+    ASSERT_EQ(ta.num_rows(), tb.num_rows());
+  }
+  EXPECT_EQ(a.tuples_generated(), b.tuples_generated());
+}
+
+TEST(GeneratorTest, ReportsEveryThirtySeconds) {
+  // Track one car's report times: consecutive reports 30 s apart.
+  Generator g(SmallGen(0.05, 200));
+  std::map<int64_t, std::vector<int64_t>> reports;
+  while (!g.Done()) {
+    Table batch = g.NextSecond();
+    for (size_t i = 0; i < batch.num_rows(); ++i) {
+      InputTuple t = ReadInput(batch, i);
+      if (t.type == 0) reports[t.vid].push_back(t.time);
+    }
+  }
+  size_t checked = 0;
+  for (const auto& [vid, times] : reports) {
+    (void)vid;
+    for (size_t i = 1; i < times.size(); ++i) {
+      EXPECT_EQ(times[i] - times[i - 1], kReportIntervalSec);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 50u);
+}
+
+TEST(GeneratorTest, AccidentsProduceStoppedReports) {
+  Generator::Options o = SmallGen(0.2, 1800);
+  o.accidents_per_hour = 60;  // force some accidents in 30 minutes
+  Generator g(o);
+  std::map<int64_t, int> zero_speed_streak;
+  int max_streak = 0;
+  while (!g.Done()) {
+    Table batch = g.NextSecond();
+    for (size_t i = 0; i < batch.num_rows(); ++i) {
+      InputTuple t = ReadInput(batch, i);
+      if (t.type != 0) continue;
+      int& streak = zero_speed_streak[t.vid];
+      streak = t.speed == 0 ? streak + 1 : 0;
+      max_streak = std::max(max_streak, streak);
+    }
+  }
+  ASSERT_FALSE(g.injected_accidents().empty());
+  // The stopped cars reported >= 4 consecutive zero-speed tuples.
+  EXPECT_GE(max_streak, kStoppedReports);
+  for (const auto& acc : g.injected_accidents()) {
+    EXPECT_GE(acc.clear_time - acc.start_time, 600);
+    EXPECT_NE(acc.vid1, acc.vid2);
+  }
+}
+
+TEST(GeneratorTest, RequestsShareReportingVehicles) {
+  Generator::Options o = SmallGen(0.2, 300);
+  o.balance_request_prob = 0.2;
+  o.expenditure_request_prob = 0.2;
+  Generator g(o);
+  uint64_t type2 = 0, type3 = 0;
+  while (!g.Done()) {
+    Table batch = g.NextSecond();
+    for (size_t i = 0; i < batch.num_rows(); ++i) {
+      InputTuple t = ReadInput(batch, i);
+      if (t.type == 2) ++type2;
+      if (t.type == 3) {
+        ++type3;
+        EXPECT_GE(t.day, 1);
+        EXPECT_LE(t.day, kHistoryDays);
+      }
+    }
+  }
+  EXPECT_GT(type2, 0u);
+  EXPECT_GT(type3, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Query network with crafted input
+// ---------------------------------------------------------------------------
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : clock_(0), engine_(&clock_) {
+    auto net = Network::Create(&engine_, Network::Options{});
+    EXPECT_TRUE(net.ok());
+    net_ = std::move(net).value();
+  }
+
+  void Deliver(const std::vector<InputTuple>& tuples) {
+    Table batch(InputSchema());
+    for (const InputTuple& t : tuples) AppendInput(t, &batch);
+    ASSERT_TRUE(net_->DeliverInput(batch).ok());
+    ASSERT_TRUE(engine_.scheduler().RunUntilQuiescent().ok());
+  }
+
+  static InputTuple Report(int64_t time, int64_t vid, int64_t speed,
+                           int64_t seg, int64_t pos, int64_t lane = 1,
+                           int64_t dir = 0) {
+    InputTuple t;
+    t.type = 0;
+    t.time = time;
+    t.vid = vid;
+    t.speed = speed;
+    t.lane = lane;
+    t.dir = dir;
+    t.seg = seg;
+    t.pos = pos;
+    return t;
+  }
+
+  SimulatedClock clock_;
+  core::Engine engine_;
+  std::unique_ptr<Network> net_;
+};
+
+TEST_F(NetworkTest, AccidentDetectionNeedsFourReports) {
+  const int64_t pos = 10 * kFeetPerSegment + 100;
+  // Two cars stopped at the same position; 3 reports are not enough.
+  for (int r = 0; r < 3; ++r) {
+    Deliver({Report(r * 30, 1, 0, 10, pos), Report(r * 30, 2, 0, 10, pos)});
+  }
+  EXPECT_EQ(net_->num_active_accidents(), 0u);
+  // Fourth report triggers the accident.
+  Deliver({Report(90, 1, 0, 10, pos), Report(90, 2, 0, 10, pos)});
+  EXPECT_EQ(net_->num_active_accidents(), 1u);
+}
+
+TEST_F(NetworkTest, SingleStoppedCarIsNoAccident) {
+  const int64_t pos = 5 * kFeetPerSegment;
+  for (int r = 0; r < 6; ++r) {
+    Deliver({Report(r * 30, 1, 0, 5, pos)});
+  }
+  EXPECT_EQ(net_->num_active_accidents(), 0u);
+}
+
+TEST_F(NetworkTest, AccidentClearsWhenCarMoves) {
+  const int64_t pos = 10 * kFeetPerSegment + 100;
+  for (int r = 0; r < 4; ++r) {
+    Deliver({Report(r * 30, 1, 0, 10, pos), Report(r * 30, 2, 0, 10, pos)});
+  }
+  ASSERT_EQ(net_->num_active_accidents(), 1u);
+  // Car 1 moves on.
+  Deliver({Report(120, 1, 50, 11, pos + kFeetPerSegment)});
+  EXPECT_EQ(net_->num_active_accidents(), 0u);
+}
+
+TEST_F(NetworkTest, AccidentAlertForUpstreamCrossing) {
+  const int64_t pos = 20 * kFeetPerSegment + 50;
+  for (int r = 0; r < 4; ++r) {
+    Deliver({Report(r * 30, 1, 0, 20, pos), Report(r * 30, 2, 0, 20, pos)});
+  }
+  ASSERT_EQ(net_->num_active_accidents(), 1u);
+  // A third car enters segment 17 (within 4 segments upstream, dir 0).
+  Deliver({Report(120, 3, 55, 17, 17 * kFeetPerSegment + 10)});
+  Table alerts = net_->alerts()->TakeAll();
+  bool found = false;
+  for (size_t i = 0; i < alerts.num_rows(); ++i) {
+    if (alerts.column(0).ints()[i] == 1 && alerts.column(1).ints()[i] == 3) {
+      found = true;
+      EXPECT_EQ(alerts.column(5).ints()[i], 20);  // accident segment
+      EXPECT_EQ(alerts.column(7).ints()[i], 0);   // no toll
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(NetworkTest, NoAlertOutsideAccidentZone) {
+  const int64_t pos = 20 * kFeetPerSegment + 50;
+  for (int r = 0; r < 4; ++r) {
+    Deliver({Report(r * 30, 1, 0, 20, pos), Report(r * 30, 2, 0, 20, pos)});
+  }
+  net_->alerts()->Clear();
+  // Segment 14 is 6 segments upstream: outside the 4-segment zone; and
+  // segment 22 is past the accident.
+  Deliver({Report(120, 3, 55, 14, 14 * kFeetPerSegment),
+           Report(120, 4, 55, 22, 22 * kFeetPerSegment)});
+  Table alerts = net_->alerts()->TakeAll();
+  for (size_t i = 0; i < alerts.num_rows(); ++i) {
+    EXPECT_EQ(alerts.column(0).ints()[i], 0) << "unexpected accident alert";
+  }
+}
+
+TEST_F(NetworkTest, TollChargedWhenCongested) {
+  // Minute 0: 60 distinct slow cars in segment 3 -> toll for minute 1.
+  std::vector<InputTuple> m0;
+  for (int64_t v = 0; v < 60; ++v) {
+    m0.push_back(Report(10, 100 + v, 20, 3, 3 * kFeetPerSegment + v));
+  }
+  Deliver(m0);
+  // First report of minute 1 flushes minute 0's statistics (Q2->Q3).
+  Deliver({Report(60, 999, 20, 2, 2 * kFeetPerSegment)});
+  net_->alerts()->Clear();
+  // A car crosses into segment 3 during minute 1: LAV=20<40, cars=60>50
+  // -> toll = 2*(60-50)^2 = 200.
+  Deliver({Report(70, 500, 30, 3, 3 * kFeetPerSegment + 999)});
+  Table alerts = net_->alerts()->TakeAll();
+  bool found = false;
+  for (size_t i = 0; i < alerts.num_rows(); ++i) {
+    if (alerts.column(1).ints()[i] == 500) {
+      found = true;
+      EXPECT_EQ(alerts.column(0).ints()[i], 0);
+      EXPECT_EQ(alerts.column(7).ints()[i], 200);
+      EXPECT_EQ(alerts.column(6).ints()[i], 20);  // LAV
+    }
+  }
+  ASSERT_TRUE(found);
+  EXPECT_EQ(net_->account_balance(500), 200);
+}
+
+TEST_F(NetworkTest, NoTollWhenFast) {
+  // 60 fast cars (LAV >= 40): no toll.
+  std::vector<InputTuple> m0;
+  for (int64_t v = 0; v < 60; ++v) {
+    m0.push_back(Report(10, 100 + v, 80, 3, 3 * kFeetPerSegment + v));
+  }
+  Deliver(m0);
+  Deliver({Report(60, 999, 80, 2, 2 * kFeetPerSegment)});
+  net_->alerts()->Clear();
+  Deliver({Report(70, 500, 30, 3, 3 * kFeetPerSegment + 999)});
+  Table alerts = net_->alerts()->TakeAll();
+  for (size_t i = 0; i < alerts.num_rows(); ++i) {
+    if (alerts.column(1).ints()[i] == 500) {
+      EXPECT_EQ(alerts.column(7).ints()[i], 0);
+    }
+  }
+  EXPECT_EQ(net_->account_balance(500), 0);
+}
+
+TEST_F(NetworkTest, NoTollWhenFewCars) {
+  // Slow but only 10 cars: below the 50-car threshold.
+  std::vector<InputTuple> m0;
+  for (int64_t v = 0; v < 10; ++v) {
+    m0.push_back(Report(10, 100 + v, 20, 3, 3 * kFeetPerSegment + v));
+  }
+  Deliver(m0);
+  Deliver({Report(60, 999, 20, 2, 2 * kFeetPerSegment)});
+  Deliver({Report(70, 500, 30, 3, 3 * kFeetPerSegment + 999)});
+  EXPECT_EQ(net_->account_balance(500), 0);
+}
+
+TEST_F(NetworkTest, NoRepeatedTollWithinSegment) {
+  std::vector<InputTuple> m0;
+  for (int64_t v = 0; v < 60; ++v) {
+    m0.push_back(Report(10, 100 + v, 20, 3, 3 * kFeetPerSegment + v));
+  }
+  Deliver(m0);
+  Deliver({Report(60, 999, 20, 2, 2 * kFeetPerSegment)});
+  // Two reports inside the same segment: charged once.
+  Deliver({Report(70, 500, 20, 3, 3 * kFeetPerSegment + 10)});
+  Deliver({Report(100, 500, 20, 3, 3 * kFeetPerSegment + 500)});
+  EXPECT_EQ(net_->account_balance(500), 200);
+}
+
+TEST_F(NetworkTest, BalanceRequestAnswered) {
+  InputTuple q;
+  q.type = 2;
+  q.time = 11;
+  q.vid = 77;
+  q.qid = 9001;
+  Deliver({q});
+  Table answers = net_->balance_answers()->TakeAll();
+  ASSERT_EQ(answers.num_rows(), 1u);
+  EXPECT_EQ(answers.column(0).ints()[0], 9001);
+  EXPECT_EQ(answers.column(3).ints()[0], 77);
+  EXPECT_EQ(answers.column(4).ints()[0], 0);  // no tolls yet
+}
+
+TEST_F(NetworkTest, ExpenditureRequestAnswered) {
+  InputTuple q;
+  q.type = 3;
+  q.time = 11;
+  q.vid = 42;
+  q.qid = 9002;
+  q.day = 7;
+  q.xway = 0;
+  Deliver({q});
+  Table answers = net_->expenditure_answers()->TakeAll();
+  ASSERT_EQ(answers.num_rows(), 1u);
+  EXPECT_EQ(answers.column(0).ints()[0], 9002);
+  EXPECT_EQ(answers.column(6).ints()[0],
+            net_->history().DailyExpenditure(42, 7, 0));
+}
+
+TEST_F(NetworkTest, ExitLaneCarsIgnoredForStats) {
+  std::vector<InputTuple> m0;
+  for (int64_t v = 0; v < 60; ++v) {
+    m0.push_back(Report(10, 100 + v, 20, 3, 3 * kFeetPerSegment + v,
+                        /*lane=*/kLaneExit));
+  }
+  Deliver(m0);
+  Deliver({Report(60, 999, 20, 2, 2 * kFeetPerSegment)});
+  Deliver({Report(70, 500, 30, 3, 3 * kFeetPerSegment + 999)});
+  // Exit-lane cars did not count toward the 50-car threshold.
+  EXPECT_EQ(net_->account_balance(500), 0);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end driver run + validation
+// ---------------------------------------------------------------------------
+
+TEST(DriverTest, ShortRunValidates) {
+  Driver::Options opts;
+  opts.generator.scale_factor = 0.3;
+  opts.generator.duration_sec = 1200;  // 20 simulated minutes
+  opts.generator.seed = 5;
+  opts.generator.accidents_per_hour = 30;
+  opts.generator.balance_request_prob = 0.02;
+  opts.generator.expenditure_request_prob = 0.01;
+  opts.sample_every_sec = 60;
+  opts.q7_window_tuples = 5000;
+
+  auto report = Driver::Run(opts, nullptr);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  EXPECT_GT(report->total_tuples, 10000u);
+  EXPECT_GT(report->toll_notifications, 0u);
+  EXPECT_GT(report->balance_answers, 0u);
+  EXPECT_GT(report->expenditure_answers, 0u);
+  EXPECT_EQ(report->arrival_rate.size(), 20u);
+  EXPECT_EQ(report->collection_load[6].size(), 20u);
+  EXPECT_FALSE(report->q7_response.empty());
+  EXPECT_EQ(report->deadline_violations, 0u);
+
+  ValidationReport v = Validate(*report);
+  EXPECT_TRUE(v.ok()) << (v.errors.empty() ? "" : v.errors[0]);
+  EXPECT_GT(v.balances_checked, 0u);
+  EXPECT_GT(v.expenditures_checked, 0u);
+  if (v.detectable_accidents > 0) {
+    EXPECT_GE(v.DetectionRatio(), 0.5)
+        << v.detected_accidents << "/" << v.detectable_accidents;
+  }
+}
+
+TEST(DriverTest, DeterministicAcrossRuns) {
+  Driver::Options opts;
+  opts.generator.scale_factor = 0.15;
+  opts.generator.duration_sec = 600;
+  opts.generator.seed = 21;
+  auto a = Driver::Run(opts, nullptr);
+  auto b = Driver::Run(opts, nullptr);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->total_tuples, b->total_tuples);
+  EXPECT_EQ(a->toll_notifications, b->toll_notifications);
+  EXPECT_EQ(a->accident_alerts, b->accident_alerts);
+  EXPECT_EQ(a->balance_answers, b->balance_answers);
+  EXPECT_EQ(a->expenditure_answers, b->expenditure_answers);
+  EXPECT_EQ(a->final_balances, b->final_balances);
+}
+
+TEST(DriverTest, MultipleExpressways) {
+  Driver::Options opts;
+  opts.generator.scale_factor = 0.2;
+  opts.generator.duration_sec = 900;
+  opts.generator.num_xways = 3;
+  opts.generator.seed = 8;
+  auto report = Driver::Run(opts, nullptr);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->toll_notifications, 0u);
+  ValidationReport v = Validate(*report);
+  EXPECT_TRUE(v.ok()) << (v.errors.empty() ? "" : v.errors[0]);
+  // Accidents are scattered across expressways.
+  std::set<int64_t> xways;
+  for (const auto& acc : report->injected_accidents) xways.insert(acc.xway);
+  if (report->injected_accidents.size() >= 4) EXPECT_GT(xways.size(), 1u);
+}
+
+TEST_F(NetworkTest, AccidentLifecycleEndToEnd) {
+  // Drive generator output straight through the network and confirm the
+  // network's accident set goes up during the generator's accident window
+  // and back down after clearance.
+  Generator::Options gopts = SmallGen(0.3, 1500);
+  gopts.accidents_per_hour = 120;  // make one early accident very likely
+  Generator gen(gopts);
+  bool saw_active = false;
+  while (!gen.Done()) {
+    clock_.SetTime((gen.now() + 1) * 1'000'000);
+    Table batch = gen.NextSecond();
+    ASSERT_TRUE(net_->DeliverInput(batch).ok());
+    ASSERT_TRUE(engine_.scheduler().RunUntilQuiescent().ok());
+    if (net_->num_active_accidents() > 0) saw_active = true;
+  }
+  ASSERT_FALSE(gen.injected_accidents().empty());
+  EXPECT_TRUE(saw_active);
+  // Accidents whose cars resumed well before the end of the run must have
+  // been cleared; only late accidents (cars still stopped, or resume
+  // reports cut off by the end of input) may remain tracked.
+  size_t may_remain = 0;
+  for (const auto& acc : gen.injected_accidents()) {
+    if (acc.clear_time + 3 * kReportIntervalSec >= gopts.duration_sec) {
+      ++may_remain;
+    }
+  }
+  EXPECT_LE(net_->num_active_accidents(), may_remain);
+}
+
+TEST(DriverTest, ArrivalRateRamps) {
+  Driver::Options opts;
+  opts.generator.scale_factor = 0.2;
+  opts.generator.duration_sec = 900;
+  opts.sample_every_sec = 300;
+  auto report = Driver::Run(opts, nullptr);
+  ASSERT_TRUE(report.ok());
+  ASSERT_GE(report->arrival_rate.size(), 3u);
+  // Later samples see a strictly higher rate (the Fig 8 ramp).
+  EXPECT_GT(report->arrival_rate.back().second,
+            report->arrival_rate.front().second);
+}
+
+}  // namespace
+}  // namespace datacell::lroad

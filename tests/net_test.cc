@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/receptor.h"
+#include "core/scheduler.h"
+#include "net/actuator.h"
+#include "net/codec.h"
+#include "net/gateway.h"
+#include "net/sensor.h"
+#include "net/socket.h"
+#include "util/clock.h"
+
+namespace datacell::net {
+namespace {
+
+Schema StreamSchema() { return Sensor::StreamSchema(); }
+
+TEST(CodecTest, SchemaHeaderRoundTrip) {
+  Codec codec(StreamSchema());
+  std::string header = codec.EncodeSchemaHeader();
+  EXPECT_EQ(header, "tag:timestamp|payload:int");
+  auto schema = Codec::DecodeSchemaHeader(header);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(*schema, StreamSchema());
+}
+
+TEST(CodecTest, RowRoundTrip) {
+  Schema s({{"i", DataType::kInt64},
+            {"d", DataType::kDouble},
+            {"b", DataType::kBool},
+            {"s", DataType::kString}});
+  Codec codec(s);
+  Table t(s);
+  ASSERT_TRUE(
+      t.AppendRow({Value(-7), Value(2.5), Value(true), Value("hi")}).ok());
+  auto line = codec.EncodeRow(t, 0);
+  ASSERT_TRUE(line.ok());
+  auto row = codec.DecodeRow(*line);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[0], Value(-7));
+  EXPECT_EQ((*row)[1], Value(2.5));
+  EXPECT_EQ((*row)[2], Value(true));
+  EXPECT_EQ((*row)[3], Value("hi"));
+}
+
+TEST(CodecTest, NullsAndEscaping) {
+  Schema s({{"a", DataType::kString}, {"b", DataType::kInt64}});
+  Codec codec(s);
+  Table t(s);
+  ASSERT_TRUE(t.AppendRow({Value("p|q\\r\nx"), Value::Null()}).ok());
+  auto line = codec.EncodeRow(t, 0);
+  ASSERT_TRUE(line.ok());
+  EXPECT_EQ(line->find('\n'), std::string::npos);
+  auto row = codec.DecodeRow(*line);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[0], Value("p|q\\r\nx"));
+  EXPECT_TRUE((*row)[1].is_null());
+}
+
+TEST(CodecTest, DoublePrecisionRoundTrip) {
+  Schema s({{"d", DataType::kDouble}});
+  Codec codec(s);
+  Table t(s);
+  const double v = 0.1 + 0.2;  // not exactly representable
+  ASSERT_TRUE(t.AppendRow({Value(v)}).ok());
+  auto line = codec.EncodeRow(t, 0);
+  ASSERT_TRUE(line.ok());
+  auto row = codec.DecodeRow(*line);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[0].double_value(), v);
+}
+
+TEST(CodecTest, ArityMismatchRejected) {
+  Codec codec(StreamSchema());
+  EXPECT_FALSE(codec.DecodeRow("1|2|3").ok());
+  EXPECT_FALSE(codec.DecodeRow("1").ok());
+}
+
+TEST(CodecTest, BadFieldRejected) {
+  Codec codec(StreamSchema());
+  EXPECT_FALSE(codec.DecodeRow("notanint|5").ok());
+  EXPECT_FALSE(codec.DecodeRow("1|notanint").ok());
+}
+
+TEST(CodecTest, EncodeTableMultipleLines) {
+  Codec codec(StreamSchema());
+  Table t(StreamSchema());
+  ASSERT_TRUE(t.AppendRow({Value(int64_t{1}), Value(10)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(int64_t{2}), Value(20)}).ok());
+  auto payload = codec.EncodeTable(t);
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(*payload, "1|10\n2|20\n");
+}
+
+TEST(SocketTest, LoopbackEcho) {
+  auto listener = TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  std::thread server([&] {
+    auto conn = listener->Accept();
+    ASSERT_TRUE(conn.ok());
+    auto line = conn->ReadLine();
+    ASSERT_TRUE(line.ok());
+    ASSERT_TRUE(conn->WriteAll("echo:" + *line + "\n").ok());
+  });
+  auto client = TcpStream::Connect("127.0.0.1", listener->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->WriteAll("hello\n").ok());
+  auto reply = client->ReadLine();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(*reply, "echo:hello");
+  server.join();
+}
+
+TEST(SocketTest, ReadLineEof) {
+  auto listener = TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  std::thread server([&] {
+    auto conn = listener->Accept();
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(conn->WriteAll("only\n").ok());
+    // close without more data
+  });
+  auto client = TcpStream::Connect("127.0.0.1", listener->port());
+  ASSERT_TRUE(client.ok());
+  auto l1 = client->ReadLine();
+  ASSERT_TRUE(l1.ok());
+  EXPECT_EQ(*l1, "only");
+  auto l2 = client->ReadLine();
+  EXPECT_EQ(l2.status().code(), StatusCode::kNotFound);  // clean EOF
+  server.join();
+}
+
+TEST(EndToEndTest, SensorThroughKernelToActuator) {
+  // sensor -> TcpIngress -> basket -> factory(select *) -> out basket ->
+  // emitter(TcpEgress) -> actuator; the full §6.1 pipeline on loopback.
+  SystemClock* clock = SystemClock::Get();
+
+  core::ReceptorPtr receptor = std::make_shared<core::Receptor>("r");
+  auto in = std::make_shared<core::Basket>("in", StreamSchema());
+  receptor->AddOutput(in);
+  auto out = std::make_shared<core::Basket>("out", in->schema(), false);
+
+  auto factory = std::make_shared<core::Factory>(
+      "q", [out](core::FactoryContext& ctx) -> Status {
+        Table batch = ctx.input(0).TakeAll();
+        ASSIGN_OR_RETURN(size_t n, out->AppendAligned(batch, ctx.now()));
+        (void)n;
+        return Status::OK();
+      });
+  factory->AddInput(in);
+  factory->AddOutput(out);
+
+  Actuator actuator(clock);
+  ASSERT_TRUE(actuator.Start().ok());
+
+  auto egress = TcpEgress::Connect("127.0.0.1", actuator.port());
+  ASSERT_TRUE(egress.ok());
+  auto emitter =
+      std::make_shared<core::Emitter>("e", (*egress)->MakeSink());
+  emitter->AddInput(out);
+
+  TcpIngress ingress(receptor, Codec(StreamSchema()), clock);
+  ASSERT_TRUE(ingress.Start().ok());
+
+  core::Scheduler sched(clock);
+  sched.Register(factory);
+  sched.Register(emitter);
+  ASSERT_TRUE(sched.Start().ok());
+
+  Sensor::Options opts;
+  opts.num_tuples = 500;
+  opts.tuples_per_write = 50;
+  std::thread sensor([&] {
+    ASSERT_TRUE(Sensor::Run("127.0.0.1", ingress.port(), opts, clock).ok());
+  });
+  sensor.join();
+
+  // Wait until the kernel drained everything.
+  for (int i = 0; i < 2000 && actuator.stats().tuples < 500; ++i) {
+    clock->SleepFor(1000);
+  }
+  sched.Stop();
+  ASSERT_TRUE((*egress)->Finish().ok());
+  actuator.WaitFinished();
+
+  auto stats = actuator.stats();
+  EXPECT_EQ(stats.tuples, 500u);
+  EXPECT_EQ(ingress.tuples_received(), 500u);
+  EXPECT_GT(stats.MeanLatency(), 0.0);
+  EXPECT_GE(stats.Elapsed(), 0);
+}
+
+TEST(EgressTest, SchemaHeaderWrittenExactlyOnce) {
+  auto listener = TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  std::vector<std::string> lines;
+  std::thread server([&] {
+    auto conn = listener->Accept();
+    ASSERT_TRUE(conn.ok());
+    while (true) {
+      auto line = conn->ReadLine();
+      if (!line.ok()) break;
+      lines.push_back(*line);
+    }
+  });
+  auto egress = TcpEgress::Connect("127.0.0.1", listener->port());
+  ASSERT_TRUE(egress.ok());
+  core::Emitter::Sink sink = (*egress)->MakeSink();
+  Table batch(StreamSchema());
+  ASSERT_TRUE(batch.AppendRow({Value(int64_t{1}), Value(10)}).ok());
+  ASSERT_TRUE(sink(batch).ok());
+  ASSERT_TRUE(sink(batch).ok());  // second batch: no second header
+  ASSERT_TRUE((*egress)->Finish().ok());
+  server.join();
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "tag:timestamp|payload:int");
+  EXPECT_EQ(lines[1], "1|10");
+  EXPECT_EQ(lines[2], "1|10");
+}
+
+TEST(EndToEndTest, SensorDirectToActuator) {
+  // The paper's "without the kernel" baseline.
+  SystemClock* clock = SystemClock::Get();
+  Actuator actuator(clock);
+  ASSERT_TRUE(actuator.Start().ok());
+  Sensor::Options opts;
+  opts.num_tuples = 300;
+  opts.tuples_per_write = 30;
+  ASSERT_TRUE(Sensor::Run("127.0.0.1", actuator.port(), opts, clock).ok());
+  actuator.WaitFinished();
+  EXPECT_EQ(actuator.stats().tuples, 300u);
+}
+
+}  // namespace
+}  // namespace datacell::net

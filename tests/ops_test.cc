@@ -1,0 +1,477 @@
+#include <gtest/gtest.h>
+
+#include "ops/aggregate.h"
+#include "ops/delete.h"
+#include "ops/join.h"
+#include "ops/project.h"
+#include "ops/select.h"
+#include "ops/sort.h"
+
+namespace datacell {
+namespace {
+
+using ops::AggFunc;
+using ops::AggItem;
+using ops::GroupItem;
+using ops::JoinKey;
+using ops::ProjectionItem;
+using ops::SortKey;
+
+Table Orders() {
+  Table t(Schema({{"id", DataType::kInt64},
+                  {"cust", DataType::kString},
+                  {"amount", DataType::kDouble}}));
+  EXPECT_TRUE(t.AppendRow({Value(1), Value("ann"), Value(10.0)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(2), Value("bob"), Value(20.0)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(3), Value("ann"), Value(5.0)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(4), Value("cat"), Value(40.0)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(5), Value("bob"), Value(15.0)}).ok());
+  return t;
+}
+
+TEST(SelectTest, PredicateSelection) {
+  Table t = Orders();
+  EvalContext ctx;
+  auto sel = ops::Select(
+      t, *Expr::Bin(BinaryOp::kGe, Expr::Col("amount"), Expr::Lit(15.0)), ctx);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(*sel, (SelVector{1, 3, 4}));
+}
+
+TEST(SelectTest, RangeScanInclusive) {
+  Table t = Orders();
+  auto sel = ops::SelectRange(t, "id", Value(2), true, Value(4), true);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(*sel, (SelVector{1, 2, 3}));
+}
+
+TEST(SelectTest, RangeScanExclusive) {
+  Table t = Orders();
+  auto sel = ops::SelectRange(t, "id", Value(2), false, Value(4), false);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(*sel, (SelVector{2}));
+}
+
+TEST(SelectTest, RangeOpenBounds) {
+  Table t = Orders();
+  auto sel = ops::SelectRange(t, "id", Value::Null(), true, Value(2), true);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(*sel, (SelVector{0, 1}));
+  sel = ops::SelectRange(t, "id", Value(4), true, Value::Null(), true);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(*sel, (SelVector{3, 4}));
+}
+
+TEST(SelectTest, RangeOnStringsRejected) {
+  Table t = Orders();
+  EXPECT_FALSE(ops::SelectRange(t, "cust", Value(1), true, Value(2), true).ok());
+}
+
+TEST(SelectTest, FilterMaterializes) {
+  Table t = Orders();
+  EvalContext ctx;
+  auto f = ops::Filter(
+      t, *Expr::Bin(BinaryOp::kEq, Expr::Col("cust"), Expr::Lit("ann")), ctx);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->num_rows(), 2u);
+}
+
+TEST(ProjectTest, SelectStar) {
+  Table t = Orders();
+  EvalContext ctx;
+  auto out = ops::Project(t, ops::ProjectAll(t.schema()), ctx);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 5u);
+  EXPECT_EQ(out->schema(), t.schema());
+}
+
+TEST(ProjectTest, ComputedColumnAndRename) {
+  Table t = Orders();
+  EvalContext ctx;
+  std::vector<ProjectionItem> items = {
+      {Expr::Col("id"), "order_id"},
+      {Expr::Bin(BinaryOp::kMul, Expr::Col("amount"), Expr::Lit(2)), "dbl"}};
+  auto out = ops::Project(t, items, ctx);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->schema().field(0).name, "order_id");
+  EXPECT_DOUBLE_EQ(out->column(1).doubles()[3], 80.0);
+}
+
+TEST(ProjectTest, WithSelection) {
+  Table t = Orders();
+  EvalContext ctx;
+  SelVector sel{0, 4};
+  auto out = ops::Project(t, ops::ProjectAll(t.schema()), ctx, &sel);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 2u);
+  EXPECT_EQ(out->GetRow(1)[0], Value(5));
+}
+
+Table Payments() {
+  Table t(Schema({{"order_id", DataType::kInt64},
+                  {"method", DataType::kString}}));
+  EXPECT_TRUE(t.AppendRow({Value(1), Value("card")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(3), Value("cash")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(3), Value("card")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value(9), Value("card")}).ok());
+  return t;
+}
+
+TEST(JoinTest, HashJoinBasic) {
+  Table orders = Orders();
+  Table pay = Payments();
+  auto m = ops::HashJoinIndices(orders, pay, {{"id", "order_id"}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->left.size(), 3u);  // order 1 once, order 3 twice
+  auto joined = ops::MaterializeJoin(orders, pay, *m);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->num_rows(), 3u);
+  EXPECT_EQ(joined->schema().num_fields(), 5u);
+}
+
+TEST(JoinTest, HashJoinNoMatches) {
+  Table orders = Orders();
+  Table pay(Schema({{"order_id", DataType::kInt64},
+                    {"method", DataType::kString}}));
+  ASSERT_TRUE(pay.AppendRow({Value(100), Value("card")}).ok());
+  auto m = ops::HashJoinIndices(orders, pay, {{"id", "order_id"}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(m->left.empty());
+}
+
+TEST(JoinTest, NullKeysNeverMatch) {
+  Table a(Schema({{"k", DataType::kInt64}}));
+  ASSERT_TRUE(a.AppendRow({Value::Null()}).ok());
+  ASSERT_TRUE(a.AppendRow({Value(1)}).ok());
+  Table b(Schema({{"k2", DataType::kInt64}}));
+  ASSERT_TRUE(b.AppendRow({Value::Null()}).ok());
+  ASSERT_TRUE(b.AppendRow({Value(1)}).ok());
+  auto m = ops::HashJoinIndices(a, b, {{"k", "k2"}});
+  ASSERT_TRUE(m.ok());
+  ASSERT_EQ(m->left.size(), 1u);
+  EXPECT_EQ(m->left[0], 1u);
+  EXPECT_EQ(m->right[0], 1u);
+}
+
+TEST(JoinTest, SelfJoin) {
+  Table orders = Orders();
+  auto m = ops::HashJoinIndices(orders, orders, {{"cust", "cust"}});
+  ASSERT_TRUE(m.ok());
+  // ann:2 rows -> 4 pairs, bob:2 -> 4, cat:1 -> 1.
+  EXPECT_EQ(m->left.size(), 9u);
+}
+
+TEST(JoinTest, CompositeKey) {
+  Table a(Schema({{"x", DataType::kInt64}, {"y", DataType::kString}}));
+  ASSERT_TRUE(a.AppendRow({Value(1), Value("p")}).ok());
+  ASSERT_TRUE(a.AppendRow({Value(1), Value("q")}).ok());
+  Table b(Schema({{"x2", DataType::kInt64}, {"y2", DataType::kString}}));
+  ASSERT_TRUE(b.AppendRow({Value(1), Value("q")}).ok());
+  auto m = ops::HashJoinIndices(a, b, {{"x", "x2"}, {"y", "y2"}});
+  ASSERT_TRUE(m.ok());
+  ASSERT_EQ(m->left.size(), 1u);
+  EXPECT_EQ(m->left[0], 1u);
+}
+
+TEST(JoinTest, MaterializeRenamesCollisions) {
+  Table orders = Orders();
+  auto m = ops::HashJoinIndices(orders, orders, {{"id", "id"}});
+  ASSERT_TRUE(m.ok());
+  auto joined = ops::MaterializeJoin(orders, orders, *m);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_GE(joined->schema().FindField("r_id"), 0);
+  EXPECT_GE(joined->schema().FindField("r_cust"), 0);
+}
+
+TEST(JoinTest, ThetaJoinNestedLoop) {
+  Table orders = Orders();
+  Table pay = Payments();
+  EvalContext ctx;
+  // id < order_id : theta join.
+  ExprPtr pred = Expr::Bin(BinaryOp::kLt, Expr::Col("id"), Expr::Col("order_id"));
+  auto m = ops::NestedLoopJoin(orders, pay, *pred, ctx);
+  ASSERT_TRUE(m.ok());
+  // Count pairs manually: ids {1..5} vs order_ids {1,3,3,9}.
+  // id=1: {3,3,9} -> 3; id=2: {3,3,9} -> 3; id=3: {9} -> 1; id=4: {9}; id=5: {9}.
+  EXPECT_EQ(m->left.size(), 9u);
+}
+
+TEST(JoinTest, HashJoinWithResidual) {
+  Table orders = Orders();
+  Table pay = Payments();
+  EvalContext ctx;
+  ExprPtr residual =
+      Expr::Bin(BinaryOp::kEq, Expr::Col("method"), Expr::Lit("card"));
+  auto joined = ops::HashJoin(orders, pay, {{"id", "order_id"}}, residual, ctx);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->num_rows(), 2u);
+}
+
+TEST(AggregateTest, GlobalAggregates) {
+  Table t = Orders();
+  EvalContext ctx;
+  std::vector<AggItem> aggs = {
+      {AggFunc::kCountStar, nullptr, "n"},
+      {AggFunc::kSum, Expr::Col("amount"), "total"},
+      {AggFunc::kAvg, Expr::Col("amount"), "mean"},
+      {AggFunc::kMin, Expr::Col("amount"), "lo"},
+      {AggFunc::kMax, Expr::Col("amount"), "hi"}};
+  auto out = ops::Aggregate(t, {}, aggs, ctx);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 1u);
+  EXPECT_EQ(out->GetRow(0)[0], Value(int64_t{5}));
+  EXPECT_EQ(out->GetRow(0)[1], Value(90.0));
+  EXPECT_EQ(out->GetRow(0)[2], Value(18.0));
+  EXPECT_EQ(out->GetRow(0)[3], Value(5.0));
+  EXPECT_EQ(out->GetRow(0)[4], Value(40.0));
+}
+
+TEST(AggregateTest, EmptyInputGlobal) {
+  Table t(Schema({{"x", DataType::kInt64}}));
+  EvalContext ctx;
+  std::vector<AggItem> aggs = {{AggFunc::kCountStar, nullptr, "n"},
+                               {AggFunc::kSum, Expr::Col("x"), "s"}};
+  auto out = ops::Aggregate(t, {}, aggs, ctx);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 1u);
+  EXPECT_EQ(out->GetRow(0)[0], Value(int64_t{0}));
+  EXPECT_TRUE(out->GetRow(0)[1].is_null());
+}
+
+TEST(AggregateTest, GroupBy) {
+  Table t = Orders();
+  EvalContext ctx;
+  std::vector<GroupItem> groups = {{Expr::Col("cust"), "cust"}};
+  std::vector<AggItem> aggs = {{AggFunc::kSum, Expr::Col("amount"), "total"},
+                               {AggFunc::kCountStar, nullptr, "n"}};
+  auto out = ops::Aggregate(t, groups, aggs, ctx);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 3u);
+  // First-seen order: ann, bob, cat.
+  EXPECT_EQ(out->GetRow(0)[0], Value("ann"));
+  EXPECT_EQ(out->GetRow(0)[1], Value(15.0));
+  EXPECT_EQ(out->GetRow(1)[0], Value("bob"));
+  EXPECT_EQ(out->GetRow(1)[1], Value(35.0));
+  EXPECT_EQ(out->GetRow(2)[2], Value(int64_t{1}));
+}
+
+TEST(AggregateTest, CountSkipsNulls) {
+  Table t(Schema({{"x", DataType::kInt64}}));
+  ASSERT_TRUE(t.AppendRow({Value(1)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Null()}).ok());
+  EvalContext ctx;
+  std::vector<AggItem> aggs = {{AggFunc::kCount, Expr::Col("x"), "c"},
+                               {AggFunc::kCountStar, nullptr, "n"}};
+  auto out = ops::Aggregate(t, {}, aggs, ctx);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->GetRow(0)[0], Value(int64_t{1}));
+  EXPECT_EQ(out->GetRow(0)[1], Value(int64_t{2}));
+}
+
+TEST(AggregateTest, IntSumStaysInt) {
+  Table t(Schema({{"x", DataType::kInt64}}));
+  ASSERT_TRUE(t.AppendRow({Value(2)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(3)}).ok());
+  EvalContext ctx;
+  auto out =
+      ops::Aggregate(t, {}, {{AggFunc::kSum, Expr::Col("x"), "s"}}, ctx);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->schema().field(0).type, DataType::kInt64);
+  EXPECT_EQ(out->GetRow(0)[0], Value(int64_t{5}));
+}
+
+TEST(AggregateTest, GroupByExpression) {
+  Table t = Orders();
+  EvalContext ctx;
+  std::vector<GroupItem> groups = {
+      {Expr::Bin(BinaryOp::kMod, Expr::Col("id"), Expr::Lit(2)), "parity"}};
+  auto out = ops::Aggregate(t, groups,
+                            {{AggFunc::kCountStar, nullptr, "n"}}, ctx);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 2u);
+}
+
+TEST(RunningAggregateTest, IncrementalMatchesBatch) {
+  ops::RunningAggregate sum(AggFunc::kSum);
+  ops::RunningAggregate cnt(AggFunc::kCount);
+  ops::RunningAggregate avg(AggFunc::kAvg);
+  Column batch1(DataType::kInt64);
+  batch1.AppendInt(1);
+  batch1.AppendInt(2);
+  Column batch2(DataType::kInt64);
+  batch2.AppendInt(3);
+  batch2.AppendNull();
+  for (auto* agg : {&sum, &cnt, &avg}) {
+    ASSERT_TRUE(agg->Update(batch1).ok());
+    ASSERT_TRUE(agg->Update(batch2).ok());
+  }
+  EXPECT_EQ(sum.Current(), Value(int64_t{6}));
+  EXPECT_EQ(cnt.Current(), Value(int64_t{3}));
+  EXPECT_EQ(avg.Current(), Value(2.0));
+  sum.Reset();
+  EXPECT_TRUE(sum.Current().is_null());
+}
+
+TEST(SortTest, SingleKeyAscending) {
+  Table t = Orders();
+  EvalContext ctx;
+  auto perm = ops::SortIndices(t, {{Expr::Col("amount"), true}}, ctx);
+  ASSERT_TRUE(perm.ok());
+  EXPECT_EQ(*perm, (SelVector{2, 0, 4, 1, 3}));
+}
+
+TEST(SortTest, DescendingAndSecondary) {
+  Table t = Orders();
+  EvalContext ctx;
+  // cust desc, amount asc.
+  auto sorted = ops::SortTable(
+      t, {{Expr::Col("cust"), false}, {Expr::Col("amount"), true}}, ctx);
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ(sorted->GetRow(0)[1], Value("cat"));
+  EXPECT_EQ(sorted->GetRow(1)[1], Value("bob"));
+  EXPECT_EQ(sorted->GetRow(1)[2], Value(15.0));
+}
+
+TEST(SortTest, NullsFirstAscending) {
+  Table t(Schema({{"x", DataType::kInt64}}));
+  ASSERT_TRUE(t.AppendRow({Value(5)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Null()}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(1)}).ok());
+  EvalContext ctx;
+  auto perm = ops::SortIndices(t, {{Expr::Col("x"), true}}, ctx);
+  ASSERT_TRUE(perm.ok());
+  EXPECT_EQ(*perm, (SelVector{1, 2, 0}));
+}
+
+TEST(SortTest, StableOnTies) {
+  Table t(Schema({{"k", DataType::kInt64}, {"i", DataType::kInt64}}));
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value(i % 2), Value(i)}).ok());
+  }
+  EvalContext ctx;
+  auto perm = ops::SortIndices(t, {{Expr::Col("k"), true}}, ctx);
+  ASSERT_TRUE(perm.ok());
+  EXPECT_EQ(*perm, (SelVector{0, 2, 4, 1, 3, 5}));
+}
+
+TEST(SortTest, TopNWithAndWithoutKeys) {
+  Table t = Orders();
+  EvalContext ctx;
+  auto top = ops::TopNIndices(t, {{Expr::Col("amount"), false}}, 2, ctx);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(*top, (SelVector{3, 1}));
+  // No keys: arrival order.
+  top = ops::TopNIndices(t, {}, 3, ctx);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(*top, (SelVector{0, 1, 2}));
+  // n larger than table.
+  top = ops::TopNIndices(t, {}, 100, ctx);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(top->size(), 5u);
+}
+
+TEST(JoinTest, MaterializeEmptyMatches) {
+  Table orders = Orders();
+  Table pay = Payments();
+  auto joined = ops::MaterializeJoin(orders, pay, {});
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->num_rows(), 0u);
+  EXPECT_EQ(joined->schema().num_fields(),
+            orders.num_columns() + pay.num_columns());
+}
+
+TEST(JoinTest, EmptyInputsYieldNoMatches) {
+  Table empty(Orders().schema());
+  Table pay = Payments();
+  auto m = ops::HashJoinIndices(empty, pay, {{"id", "order_id"}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(m->left.empty());
+  EvalContext ctx;
+  auto nl = ops::NestedLoopJoin(empty, pay, *Expr::Lit(Value(true)), ctx);
+  ASSERT_TRUE(nl.ok());
+  EXPECT_TRUE(nl->left.empty());
+}
+
+TEST(JoinTest, MissingKeyColumnRejected) {
+  Table orders = Orders();
+  Table pay = Payments();
+  EXPECT_FALSE(ops::HashJoinIndices(orders, pay, {{"nope", "order_id"}}).ok());
+  EXPECT_FALSE(ops::HashJoinIndices(orders, pay, {}).ok());
+}
+
+TEST(JoinTest, PhysicalKeyTypeMismatchRejected) {
+  Table a(Schema({{"k", DataType::kInt64}}));
+  Table b(Schema({{"k2", DataType::kDouble}}));
+  auto m = ops::HashJoinIndices(a, b, {{"k", "k2"}});
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kTypeMismatch);
+}
+
+TEST(ProjectTest, EmptyInputKeepsSchema) {
+  Table t(Orders().schema());
+  EvalContext ctx;
+  auto out = ops::Project(
+      t, {{Expr::Bin(BinaryOp::kMul, Expr::Col("amount"), Expr::Lit(2)), "d"}},
+      ctx);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_rows(), 0u);
+  EXPECT_EQ(out->schema().field(0).type, DataType::kDouble);
+}
+
+TEST(AggregateTest, MinMaxOverStrings) {
+  Table t = Orders();
+  EvalContext ctx;
+  auto out = ops::Aggregate(t, {},
+                            {{AggFunc::kMin, Expr::Col("cust"), "lo"},
+                             {AggFunc::kMax, Expr::Col("cust"), "hi"}},
+                            ctx);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->GetRow(0)[0], Value("ann"));
+  EXPECT_EQ(out->GetRow(0)[1], Value("cat"));
+}
+
+TEST(AggregateTest, SumOfStringsRejected) {
+  Table t = Orders();
+  EvalContext ctx;
+  auto out =
+      ops::Aggregate(t, {}, {{AggFunc::kSum, Expr::Col("cust"), "s"}}, ctx);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kTypeMismatch);
+}
+
+TEST(AggregateTest, NullGroupKeysFormAGroup) {
+  Table t(Schema({{"g", DataType::kInt64}, {"v", DataType::kInt64}}));
+  ASSERT_TRUE(t.AppendRow({Value::Null(), Value(1)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(7), Value(2)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Null(), Value(3)}).ok());
+  EvalContext ctx;
+  auto out = ops::Aggregate(t, {{Expr::Col("g"), "g"}},
+                            {{AggFunc::kSum, Expr::Col("v"), "s"}}, ctx);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_rows(), 2u);
+  // First-seen order: the NULL group first with sum 4.
+  EXPECT_TRUE(out->GetRow(0)[0].is_null());
+  EXPECT_EQ(out->GetRow(0)[1], Value(int64_t{4}));
+}
+
+TEST(DeleteTest, DeleteWhere) {
+  Table t = Orders();
+  EvalContext ctx;
+  auto n = ops::DeleteWhere(
+      &t, *Expr::Bin(BinaryOp::kEq, Expr::Col("cust"), Expr::Lit("bob")), ctx);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2u);
+  EXPECT_EQ(t.num_rows(), 3u);
+  // Remaining ids: 1, 3, 4.
+  EXPECT_EQ(t.GetRow(2)[0], Value(4));
+}
+
+TEST(DeleteTest, KeepOnly) {
+  Table t = Orders();
+  ASSERT_TRUE(ops::KeepOnly(&t, {0, 2}).ok());
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.GetRow(1)[0], Value(3));
+}
+
+}  // namespace
+}  // namespace datacell

@@ -1,0 +1,709 @@
+#include <gtest/gtest.h>
+
+#include "core/scheduler.h"
+#include "sql/parser.h"
+#include "sql/session.h"
+#include "util/clock.h"
+
+namespace datacell::sql {
+namespace {
+
+class SqlTest : public ::testing::Test {
+ protected:
+  SqlTest() : clock_(0), engine_(&clock_), session_(&engine_) {}
+
+  // Executes and asserts success.
+  Table Exec(const std::string& sql) {
+    auto r = session_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    if (!r.ok()) return Table();
+    return std::move(r).value();
+  }
+
+  Status ExecStatus(const std::string& sql) {
+    return session_.Execute(sql).status();
+  }
+
+  SimulatedClock clock_;
+  core::Engine engine_;
+  Session session_;
+};
+
+// --------------------------------------------------------------------------
+// Parsing
+// --------------------------------------------------------------------------
+
+TEST(ParserTest, ParsesSimpleSelect) {
+  auto stmts = Parse("select a, b from t where a > 1 order by b desc limit 3;");
+  ASSERT_TRUE(stmts.ok());
+  ASSERT_EQ(stmts->size(), 1u);
+  const Statement& s = *(*stmts)[0];
+  ASSERT_EQ(s.kind, Statement::Kind::kSelect);
+  EXPECT_EQ(s.select->items.size(), 2u);
+  EXPECT_NE(s.select->where, nullptr);
+  EXPECT_EQ(s.select->order_by.size(), 1u);
+  EXPECT_FALSE(s.select->order_by[0].ascending);
+  EXPECT_EQ(s.select->top_n, 3u);
+}
+
+TEST(ParserTest, ParsesBasketExpression) {
+  auto stmt = ParseOne("select * from [select * from r where r.b < 10] as s "
+                       "where s.a > 1");
+  ASSERT_TRUE(stmt.ok());
+  const SelectStmt& outer = *(*stmt)->select;
+  ASSERT_EQ(outer.from.size(), 1u);
+  EXPECT_EQ(outer.from[0].kind, FromItem::Kind::kBasketExpr);
+  EXPECT_EQ(outer.from[0].alias, "s");
+  EXPECT_TRUE(IsContinuous(**stmt));
+  std::vector<std::string> sources;
+  CollectBasketSources(**stmt, &sources);
+  ASSERT_EQ(sources.size(), 1u);
+  EXPECT_EQ(sources[0], "r");
+}
+
+TEST(ParserTest, PaperTopSyntax) {
+  // `select top 20 from X order by tag` (§5 filter example).
+  auto stmt = ParseOne("select top 20 from x order by tag");
+  ASSERT_TRUE(stmt.ok());
+  const SelectStmt& s = *(*stmt)->select;
+  EXPECT_EQ(s.top_n, 20u);
+  ASSERT_EQ(s.items.size(), 1u);
+  EXPECT_TRUE(s.items[0].star);
+}
+
+TEST(ParserTest, PaperSelectAllSyntax) {
+  auto stmt = ParseOne("insert into trash [select all from x where x.tag < 5]");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ((*stmt)->kind, Statement::Kind::kInsert);
+  ASSERT_NE((*stmt)->insert->select, nullptr);
+  EXPECT_TRUE(IsContinuous(**stmt));
+}
+
+TEST(ParserTest, WithBlock) {
+  auto stmt = ParseOne(
+      "with a as [select * from x] begin "
+      "insert into y select * from a where a.payload > 100; "
+      "insert into z select * from a where a.payload <= 200; "
+      "end");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ((*stmt)->kind, Statement::Kind::kWithBlock);
+  EXPECT_EQ((*stmt)->with_block->binding, "a");
+  EXPECT_EQ((*stmt)->with_block->body.size(), 2u);
+}
+
+TEST(ParserTest, ScalarSubquery) {
+  auto stmt = ParseOne("set cnt = cnt + (select count(*) from z)");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_EQ((*stmt)->kind, Statement::Kind::kSet);
+  EXPECT_EQ((*stmt)->subqueries.size(), 1u);
+}
+
+TEST(ParserTest, IntervalLiteral) {
+  auto stmt = ParseOne("select * from t where ts < now() - interval 1 hour");
+  ASSERT_TRUE(stmt.ok());
+  // also the quoted form
+  EXPECT_TRUE(ParseOne("select * from t where ts < interval '90' second").ok());
+}
+
+TEST(ParserTest, Between) {
+  auto stmt = ParseOne("select * from t where a between 1 and 5");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_NE((*stmt)->select->where, nullptr);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(Parse("select from where").ok());
+  EXPECT_FALSE(Parse("frobnicate the stream").ok());
+  EXPECT_FALSE(Parse("select * from [select * from x").ok());  // missing ]
+  EXPECT_FALSE(Parse("with a as [select * from x] begin insert into y "
+                     "select * from a").ok());  // missing END
+  EXPECT_FALSE(Parse("select 'unterminated").ok());
+}
+
+TEST(ParserTest, Comments) {
+  auto stmts = Parse(
+      "-- a comment\n"
+      "select 1 one; /* block\n comment */ select 2 two;");
+  ASSERT_TRUE(stmts.ok());
+  EXPECT_EQ(stmts->size(), 2u);
+}
+
+// --------------------------------------------------------------------------
+// One-time execution over tables
+// --------------------------------------------------------------------------
+
+TEST_F(SqlTest, CreateInsertSelect) {
+  Exec("create table t (a int, b string)");
+  Exec("insert into t values (1, 'x'), (2, 'y'), (3, 'x')");
+  Table r = Exec("select a from t where b = 'x' order by a desc");
+  ASSERT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.GetRow(0)[0], Value(3));
+  EXPECT_EQ(r.GetRow(1)[0], Value(1));
+}
+
+TEST_F(SqlTest, SelectWithoutFrom) {
+  Table r = Exec("select 1 + 2 answer");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.GetRow(0)[0], Value(3));
+  EXPECT_EQ(r.schema().field(0).name, "answer");
+}
+
+TEST_F(SqlTest, Projection) {
+  Exec("create table t (a int, b double)");
+  Exec("insert into t values (1, 0.5), (2, 1.5)");
+  Table r = Exec("select a * 10 as big, b from t");
+  ASSERT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.schema().field(0).name, "big");
+  EXPECT_EQ(r.GetRow(1)[0], Value(20));
+}
+
+TEST_F(SqlTest, Aggregates) {
+  Exec("create table t (k string, v int)");
+  Exec("insert into t values ('a', 1), ('a', 2), ('b', 5)");
+  Table r = Exec("select k, sum(v) total, count(*) n from t group by k "
+                 "order by k");
+  ASSERT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.GetRow(0)[0], Value("a"));
+  EXPECT_EQ(r.GetRow(0)[1], Value(int64_t{3}));
+  EXPECT_EQ(r.GetRow(0)[2], Value(int64_t{2}));
+  EXPECT_EQ(r.GetRow(1)[1], Value(int64_t{5}));
+}
+
+TEST_F(SqlTest, AggregateArithmetic) {
+  Exec("create table t (v int)");
+  Exec("insert into t values (10), (20)");
+  Table r = Exec("select 2 * (count(*) - 1) x, avg(v) + 1 y from t");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.GetRow(0)[0], Value(2));
+  EXPECT_EQ(r.GetRow(0)[1], Value(16.0));
+}
+
+TEST_F(SqlTest, Having) {
+  Exec("create table t (k int, v int)");
+  Exec("insert into t values (1, 1), (1, 2), (2, 9)");
+  Table r = Exec("select k from t group by k having count(*) >= 2");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.GetRow(0)[0], Value(1));
+}
+
+TEST_F(SqlTest, Distinct) {
+  Exec("create table t (a int)");
+  Exec("insert into t values (1), (2), (1), (3), (2)");
+  Table r = Exec("select distinct a from t order by a");
+  ASSERT_EQ(r.num_rows(), 3u);
+}
+
+TEST_F(SqlTest, JoinTwoTables) {
+  Exec("create table o (id int, cust string)");
+  Exec("create table p (oid int, amt double)");
+  Exec("insert into o values (1, 'ann'), (2, 'bob')");
+  Exec("insert into p values (1, 5.0), (1, 6.0), (9, 7.0)");
+  Table r = Exec("select o.cust, p.amt from o, p where o.id = p.oid "
+                 "order by p.amt");
+  ASSERT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.GetRow(0)[0], Value("ann"));
+  EXPECT_EQ(r.GetRow(0)[1], Value(5.0));
+}
+
+TEST_F(SqlTest, ThetaJoin) {
+  Exec("create table a (x int)");
+  Exec("create table b (y int)");
+  Exec("insert into a values (1), (5)");
+  Exec("insert into b values (3), (4)");
+  Table r = Exec("select a.x, b.y from a, b where a.x < b.y order by x, y");
+  ASSERT_EQ(r.num_rows(), 2u);  // (1,3), (1,4)
+  EXPECT_EQ(r.GetRow(0)[0], Value(1));
+}
+
+TEST_F(SqlTest, SelfJoinWithAliases) {
+  Exec("create table t (id int, pos int)");
+  Exec("insert into t values (1, 7), (2, 7), (3, 8)");
+  Table r = Exec(
+      "select a.id, b.id from t as a, t as b "
+      "where a.pos = b.pos and a.id < b.id");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.GetRow(0)[0], Value(1));
+  EXPECT_EQ(r.GetRow(0)[1], Value(2));
+}
+
+TEST_F(SqlTest, VariablesDeclareSet) {
+  Exec("declare threshold int");
+  Exec("set threshold = 10");
+  Exec("create table t (v int)");
+  Exec("insert into t values (5), (15)");
+  Table r = Exec("select v from t where v > threshold");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.GetRow(0)[0], Value(15));
+}
+
+TEST_F(SqlTest, SetWithScalarSubquery) {
+  Exec("create table z (payload int)");
+  Exec("insert into z values (1), (2), (3)");
+  Exec("declare cnt int; set cnt = 0");
+  Exec("set cnt = cnt + (select count(*) from z)");
+  EXPECT_EQ(*engine_.GetVariable("cnt"), Value(int64_t{3}));
+  Exec("set cnt = cnt + (select count(*) from z)");
+  EXPECT_EQ(*engine_.GetVariable("cnt"), Value(int64_t{6}));
+}
+
+TEST_F(SqlTest, InsertSelectBetweenTables) {
+  Exec("create table src (a int)");
+  Exec("create table dst (a int)");
+  Exec("insert into src values (1), (2), (3)");
+  Exec("insert into dst select a from src where a >= 2");
+  Table r = Exec("select count(*) n from dst");
+  EXPECT_EQ(r.GetRow(0)[0], Value(int64_t{2}));
+}
+
+TEST_F(SqlTest, InsertColumnList) {
+  Exec("create table t (a int, b string, c double)");
+  Exec("insert into t (c, a) values (1.5, 7)");
+  Table r = Exec("select a, b, c from t");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.GetRow(0)[0], Value(7));
+  EXPECT_TRUE(r.GetRow(0)[1].is_null());
+  EXPECT_EQ(r.GetRow(0)[2], Value(1.5));
+}
+
+TEST_F(SqlTest, IntWidensOnInsert) {
+  Exec("create table t (d double)");
+  Exec("insert into t values (3)");
+  Table r = Exec("select d from t");
+  EXPECT_EQ(r.GetRow(0)[0], Value(3.0));
+}
+
+TEST_F(SqlTest, TypeErrors) {
+  Exec("create table t (a int)");
+  EXPECT_FALSE(ExecStatus("insert into t values ('x')").ok());
+  EXPECT_FALSE(ExecStatus("select a + 'x' from t").ok());
+  EXPECT_FALSE(ExecStatus("select nosuch from t").ok());
+  EXPECT_FALSE(ExecStatus("select * from nosuch_table").ok());
+}
+
+TEST_F(SqlTest, DropStatements) {
+  Exec("create table t (a int)");
+  Exec("create basket s (a int)");
+  Exec("drop table t");
+  Exec("drop basket s");
+  EXPECT_FALSE(ExecStatus("select * from t").ok());
+  EXPECT_FALSE(engine_.HasBasket("s"));
+}
+
+// --------------------------------------------------------------------------
+// Baskets and basket expressions
+// --------------------------------------------------------------------------
+
+TEST_F(SqlTest, CreateBasketAddsArrivalColumn) {
+  Exec("create basket s (tag timestamp, payload int)");
+  auto b = engine_.GetBasket("s");
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE((*b)->has_arrival_column());
+}
+
+TEST_F(SqlTest, BasketCheckConstraintSilentFilter) {
+  Exec("create basket s (v int) check (v >= 0) check (v < 100)");
+  Exec("insert into s values (5), (-1), (250), (42)");
+  // Violators were silently dropped, not rejected.
+  Table r = Exec("select v from s order by v");
+  ASSERT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.GetRow(0)[0], Value(5));
+  EXPECT_EQ(r.GetRow(1)[0], Value(42));
+  auto b = engine_.GetBasket("s");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*b)->stats().dropped, 2u);
+}
+
+TEST_F(SqlTest, CheckOnTableRejected) {
+  EXPECT_FALSE(ExecStatus("create table t (v int) check (v > 0)").ok());
+}
+
+TEST_F(SqlTest, BasketReadOutsideBracketsPeeks) {
+  Exec("create basket s (payload int)");
+  Exec("insert into s values (1), (2)");
+  Table r1 = Exec("select payload from s");
+  EXPECT_EQ(r1.num_rows(), 2u);
+  // Reading again: still there (temporary-table semantics, §3.4).
+  Table r2 = Exec("select payload from s");
+  EXPECT_EQ(r2.num_rows(), 2u);
+}
+
+TEST_F(SqlTest, PaperQueryQ1SelectAllConsumes) {
+  // (q1) select * from [select * from R] as S where S.a > v1
+  Exec("create basket r (a int)");
+  Exec("insert into r values (1), (5), (9)");
+  Table out = Exec("select * from [select * from r] as s where s.a > 4");
+  ASSERT_EQ(out.num_rows(), 2u);
+  // All tuples were referenced by the basket expression -> basket empty.
+  EXPECT_EQ((*engine_.GetBasket("r"))->size(), 0u);
+}
+
+TEST_F(SqlTest, PaperQueryQ2PredicateWindow) {
+  // (q2) select * from [select * from R where R.b < v2] as S where S.a > v1
+  Exec("create basket r (a int, b int)");
+  Exec("insert into r values (1, 1), (5, 1), (9, 99)");
+  Table out = Exec(
+      "select * from [select * from r where r.b < 10] as s where s.a > 4");
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_EQ(out.GetRow(0)[0], Value(5));
+  // Only the two b<10 tuples were referenced/consumed; (9,99) remains.
+  EXPECT_EQ((*engine_.GetBasket("r"))->size(), 1u);
+}
+
+TEST_F(SqlTest, InnerProjectionInBasketExpr) {
+  Exec("create basket s (a int, b int)");
+  Exec("insert into s values (1, 10), (2, 20)");
+  Table out = Exec("select * from [select s.a from s] as z");
+  ASSERT_EQ(out.num_rows(), 2u);
+  EXPECT_EQ(out.num_columns(), 1u);
+  EXPECT_EQ(out.schema().field(0).name, "a");
+}
+
+TEST_F(SqlTest, StarSkipsArrivalColumn) {
+  Exec("create basket s (payload int)");
+  Exec("insert into s values (1)");
+  Table out = Exec("select * from [select * from s] as z");
+  ASSERT_EQ(out.num_columns(), 1u);
+  EXPECT_EQ(out.schema().field(0).name, "payload");
+}
+
+TEST_F(SqlTest, ArrivalColumnAccessibleExplicitly) {
+  Exec("create basket s (payload int)");
+  clock_.SetTime(42);
+  Exec("insert into s values (7)");
+  Table out = Exec("select z.dc_arrival from [select * from s] as z");
+  ASSERT_EQ(out.num_rows(), 1u);
+  EXPECT_EQ(out.GetRow(0)[0], Value(int64_t{42}));
+}
+
+TEST_F(SqlTest, PaperOutlierFilter) {
+  // §5: insert into outliers select b.tag, b.payload from
+  //     [select top 20 from X order by tag] as b where b.payload > 100.
+  Exec("create basket x (tag int, payload int)");
+  Exec("create table outliers (tag int, payload int)");
+  std::string ins = "insert into x values ";
+  for (int i = 0; i < 25; ++i) {
+    if (i) ins += ", ";
+    ins += "(" + std::to_string(100 - i) + ", " + std::to_string(i * 10) + ")";
+  }
+  Exec(ins);
+  Exec("insert into outliers select b.tag, b.payload from "
+       "[select top 20 from x order by tag] as b where b.payload > 100");
+  // The 20 lowest tags were taken (tags 76..95 = payloads 240..50 desc);
+  // payload >100 among them.
+  Table r = Exec("select count(*) n from outliers");
+  EXPECT_EQ(r.GetRow(0)[0], Value(int64_t{14}));
+  // 20 consumed, 5 remain.
+  EXPECT_EQ((*engine_.GetBasket("x"))->size(), 5u);
+}
+
+TEST_F(SqlTest, TopWindowWaits) {
+  Exec("create basket x (v int)");
+  Exec("insert into x values (1), (2)");
+  Table r = Exec("select * from [select top 5 from x] as w");
+  EXPECT_EQ(r.num_rows(), 0u);
+  EXPECT_EQ((*engine_.GetBasket("x"))->size(), 2u);
+}
+
+TEST_F(SqlTest, WithBlockSplitsStream) {
+  // §5 split example.
+  Exec("create basket x (payload int)");
+  Exec("create table y (payload int)");
+  Exec("create table z (payload int)");
+  Exec("insert into x values (50), (150), (250)");
+  Exec("with a as [select * from x] begin "
+       "insert into y select * from a where a.payload > 100; "
+       "insert into z select * from a where a.payload <= 200; "
+       "end");
+  EXPECT_EQ(Exec("select count(*) n from y").GetRow(0)[0], Value(int64_t{2}));
+  EXPECT_EQ(Exec("select count(*) n from z").GetRow(0)[0], Value(int64_t{2}));
+  EXPECT_EQ((*engine_.GetBasket("x"))->size(), 0u);
+}
+
+TEST_F(SqlTest, MergeJoinConsumesMatched) {
+  // §5 merge: select A.* from [select * from X,Y where X.id=Y.id] as A.
+  Exec("create basket x (id int, v int)");
+  Exec("create basket y (id int, w int)");
+  Exec("insert into x values (1, 10), (2, 20), (3, 30)");
+  Exec("insert into y values (2, 200), (4, 400)");
+  Table r = Exec("select * from [select * from x, y where x.id = y.id] as a");
+  ASSERT_EQ(r.num_rows(), 1u);
+  // Matched tuples removed from both baskets; residue awaits late arrivals.
+  EXPECT_EQ((*engine_.GetBasket("x"))->size(), 2u);
+  EXPECT_EQ((*engine_.GetBasket("y"))->size(), 1u);
+  // Delayed arrival completes another pair.
+  Exec("insert into x values (4, 40)");
+  Table r2 = Exec("select * from [select * from x, y where x.id = y.id] as a");
+  EXPECT_EQ(r2.num_rows(), 1u);
+  EXPECT_EQ((*engine_.GetBasket("y"))->size(), 0u);
+}
+
+TEST_F(SqlTest, GarbageCollectionQuery) {
+  // §5: insert into trash [select all from X where X.tag < now() - 1 hour].
+  Exec("create basket x (tag timestamp, payload int)");
+  Exec("create table trash (tag timestamp, payload int)");
+  clock_.SetTime(2 * 3600 * kMicrosPerSecond);  // t = 2h
+  Exec("insert into x values (0, 1)");          // stale
+  Exec("insert into x values (7000000000, 2)"); // fresh (within the hour)
+  Exec("insert into trash [select all from x where x.tag < now() - "
+       "interval 1 hour]");
+  EXPECT_EQ(Exec("select count(*) n from trash").GetRow(0)[0],
+            Value(int64_t{1}));
+  EXPECT_EQ((*engine_.GetBasket("x"))->size(), 1u);
+}
+
+TEST_F(SqlTest, AggregationOverWindow) {
+  // §5 running average with batch processing (top 10 windows).
+  Exec("create basket x (payload int)");
+  Exec("declare cnt int; declare tot int; set cnt = 0; set tot = 0");
+  std::string ins = "insert into x values ";
+  for (int i = 1; i <= 10; ++i) {
+    if (i > 1) ins += ", ";
+    ins += "(" + std::to_string(i) + ")";
+  }
+  Exec(ins);
+  Exec("with z as [select top 10 payload from x] begin "
+       "set cnt = cnt + (select count(*) from z); "
+       "set tot = tot + (select sum(payload) from z); "
+       "end");
+  EXPECT_EQ(*engine_.GetVariable("cnt"), Value(int64_t{10}));
+  EXPECT_EQ(*engine_.GetVariable("tot"), Value(int64_t{55}));
+}
+
+TEST_F(SqlTest, BasketExprRequiresBasket) {
+  Exec("create table t (a int)");
+  EXPECT_FALSE(ExecStatus("select * from [select * from t] as z").ok());
+}
+
+// --------------------------------------------------------------------------
+// Continuous queries
+// --------------------------------------------------------------------------
+
+TEST_F(SqlTest, RegisterContinuousInsert) {
+  Exec("create basket src (payload int)");
+  Exec("create basket dst (payload int)");
+  auto f = session_.RegisterContinuousQuery(
+      "route", "insert into dst select * from [select * from src "
+               "where src.payload > 10] as s");
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  Exec("insert into src values (5), (50)");
+  ASSERT_TRUE(engine_.scheduler().RunUntilQuiescent().ok());
+  EXPECT_EQ((*engine_.GetBasket("dst"))->size(), 1u);
+  // Unmatched tuple remains until some query consumes it.
+  EXPECT_EQ((*engine_.GetBasket("src"))->size(), 1u);
+  // More input, another firing.
+  Exec("insert into src values (99)");
+  ASSERT_TRUE(engine_.scheduler().RunUntilQuiescent().ok());
+  EXPECT_EQ((*engine_.GetBasket("dst"))->size(), 2u);
+}
+
+TEST_F(SqlTest, ContinuousSelectWithSink) {
+  Exec("create basket src (payload int)");
+  size_t seen = 0;
+  auto f = session_.RegisterContinuousSelect(
+      "watch", "select * from [select * from src] as s",
+      [&](const Table& batch) -> Status {
+        seen += batch.num_rows();
+        return Status::OK();
+      });
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  Exec("insert into src values (1), (2), (3)");
+  ASSERT_TRUE(engine_.scheduler().RunUntilQuiescent().ok());
+  EXPECT_EQ(seen, 3u);
+  EXPECT_EQ((*engine_.GetBasket("src"))->size(), 0u);
+}
+
+TEST_F(SqlTest, ContinuousTopWindowThreshold) {
+  Exec("create basket src (payload int)");
+  Exec("create basket dst (payload int)");
+  auto f = session_.RegisterContinuousQuery(
+      "windowed",
+      "insert into dst select * from [select top 3 from src] as w");
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  // The factory's threshold is 3: two tuples do not fire it.
+  Exec("insert into src values (1), (2)");
+  ASSERT_TRUE(engine_.scheduler().RunUntilQuiescent().ok());
+  EXPECT_EQ((*engine_.GetBasket("dst"))->size(), 0u);
+  Exec("insert into src values (3)");
+  ASSERT_TRUE(engine_.scheduler().RunUntilQuiescent().ok());
+  EXPECT_EQ((*engine_.GetBasket("dst"))->size(), 3u);
+}
+
+TEST_F(SqlTest, ExplainDescribesContinuousQuery) {
+  Exec("create basket src (payload int)");
+  Exec("create basket dst (payload int)");
+  auto plan = session_.Explain(
+      "insert into dst select * from [select top 20 from src order by "
+      "payload] as w where w.payload > 100");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_NE(plan->find("[continuous query]"), std::string::npos);
+  EXPECT_NE(plan->find("input basket 'src' (fires at >= 20"), std::string::npos);
+  EXPECT_NE(plan->find("basket-expression"), std::string::npos);
+  EXPECT_NE(plan->find("filter: (w.payload > 100)"), std::string::npos);
+  EXPECT_NE(plan->find("top 20"), std::string::npos);
+}
+
+TEST_F(SqlTest, ExplainDescribesOneTimeJoinAggregate) {
+  auto plan = session_.Explain(
+      "select a.k, count(*) n from t1 a, t2 b where a.k = b.k and a.v > 5 "
+      "group by a.k order by n desc limit 3");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("[one-time]"), std::string::npos);
+  EXPECT_NE(plan->find("join:"), std::string::npos);
+  EXPECT_NE(plan->find("aggregate: group=a.k"), std::string::npos);
+  EXPECT_NE(plan->find("order by: n desc"), std::string::npos);
+  EXPECT_NE(plan->find("top 3"), std::string::npos);
+}
+
+TEST_F(SqlTest, ExplainWithBlock) {
+  Exec("create basket x (payload int)");
+  Exec("create table y (payload int)");
+  auto plan = session_.Explain(
+      "with a as [select * from x] begin "
+      "insert into y select * from a where a.payload > 100; end");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("WITH-block binding 'a'"), std::string::npos);
+  EXPECT_NE(plan->find("[continuous query]"), std::string::npos);
+  EXPECT_NE(plan->find("input basket 'x'"), std::string::npos);
+}
+
+TEST_F(SqlTest, ColumnNamedMinuteAndDayAllowed) {
+  // Time-unit words are contextual, not reserved.
+  Exec("create table t (minute int, day int, hour int)");
+  Exec("insert into t values (5, 3, 7)");
+  Table r = Exec("select minute, day, hour from t where minute = 5");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.GetRow(0)[2], Value(7));
+}
+
+TEST_F(SqlTest, OneTimeQueryRejectedAsContinuous) {
+  Exec("create table t (a int)");
+  auto f = session_.RegisterContinuousQuery("bad", "select * from t");
+  EXPECT_FALSE(f.ok());
+}
+
+TEST_F(SqlTest, OrderByMultipleKeysAndDirections) {
+  Exec("create table t (a int, b string)");
+  Exec("insert into t values (1,'x'), (2,'x'), (1,'y'), (2,'y')");
+  Table r = Exec("select a, b from t order by b desc, a asc");
+  ASSERT_EQ(r.num_rows(), 4u);
+  EXPECT_EQ(r.GetRow(0)[1], Value("y"));
+  EXPECT_EQ(r.GetRow(0)[0], Value(1));
+  EXPECT_EQ(r.GetRow(1)[0], Value(2));
+  EXPECT_EQ(r.GetRow(2)[1], Value("x"));
+}
+
+TEST_F(SqlTest, BetweenAndIsNull) {
+  Exec("create table t (a int)");
+  Exec("insert into t values (1), (5), (9)");
+  Exec("insert into t (a) select a from t where a < 0");  // no rows
+  Table r = Exec("select a from t where a between 2 and 8");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.GetRow(0)[0], Value(5));
+  r = Exec("select count(*) n from t where a is not null");
+  EXPECT_EQ(r.GetRow(0)[0], Value(int64_t{3}));
+}
+
+TEST_F(SqlTest, DistinctStringsPreserveFirstSeenOrder) {
+  Exec("create table t (s string)");
+  Exec("insert into t values ('b'), ('a'), ('b'), ('c'), ('a')");
+  Table r = Exec("select distinct s from t");
+  ASSERT_EQ(r.num_rows(), 3u);
+  EXPECT_EQ(r.GetRow(0)[0], Value("b"));
+  EXPECT_EQ(r.GetRow(1)[0], Value("a"));
+  EXPECT_EQ(r.GetRow(2)[0], Value("c"));
+}
+
+TEST_F(SqlTest, NegativeNumbersAndUnaryMinus) {
+  Exec("create table t (a int)");
+  Exec("insert into t values (-3), (4)");
+  Table r = Exec("select -a neg, abs(a) mag from t order by a");
+  ASSERT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.GetRow(0)[0], Value(3));
+  EXPECT_EQ(r.GetRow(0)[1], Value(3));
+  EXPECT_EQ(r.GetRow(1)[0], Value(-4));
+}
+
+TEST_F(SqlTest, LimitAfterOrder) {
+  Exec("create table t (a int)");
+  Exec("insert into t values (5), (1), (9), (3)");
+  Table r = Exec("select a from t order by a desc limit 2");
+  ASSERT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.GetRow(0)[0], Value(9));
+  EXPECT_EQ(r.GetRow(1)[0], Value(5));
+}
+
+TEST_F(SqlTest, BasketToBasketInsertRestampsArrival) {
+  Exec("create basket a (v int)");
+  Exec("create basket b (v int)");
+  clock_.SetTime(100);
+  Exec("insert into a values (7)");
+  clock_.SetTime(500);
+  Exec("insert into b select * from [select * from a] as z");
+  Table r = Exec("select z.dc_arrival from [select * from b] as z");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.GetRow(0)[0], Value(int64_t{500}));
+}
+
+TEST_F(SqlTest, JoinBasketPeekWithTable) {
+  // A basket read outside brackets joins with a persistent table — the
+  // "streams and persistent tables interchangeably" capability.
+  Exec("create basket readings (sensor int, temp int)");
+  Exec("create table sensors (id int, name string)");
+  Exec("insert into sensors values (1, 'roof'), (2, 'cellar')");
+  Exec("insert into readings values (1, 30), (2, 12), (1, 31)");
+  Table r = Exec(
+      "select s.name, count(*) n from readings r, sensors s "
+      "where r.sensor = s.id group by s.name order by s.name");
+  ASSERT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.GetRow(0)[0], Value("cellar"));
+  EXPECT_EQ(r.GetRow(0)[1], Value(int64_t{1}));
+  EXPECT_EQ(r.GetRow(1)[1], Value(int64_t{2}));
+  // The peek consumed nothing.
+  EXPECT_EQ((*engine_.GetBasket("readings"))->size(), 3u);
+}
+
+TEST_F(SqlTest, AvgOverWindowViaHaving) {
+  Exec("create basket pos (seg int, speed int)");
+  Exec("create table congested (seg int, lav double)");
+  Exec("insert into pos values (1, 30), (1, 34), (2, 80), (2, 90), (3, 20)");
+  Exec("insert into congested select z.seg, avg(z.speed) lav from "
+       "[select * from pos] as z group by z.seg having avg(z.speed) < 40");
+  Table r = Exec("select seg from congested order by seg");
+  ASSERT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.GetRow(0)[0], Value(1));
+  EXPECT_EQ(r.GetRow(1)[0], Value(3));
+  EXPECT_EQ((*engine_.GetBasket("pos"))->size(), 0u);
+}
+
+TEST_F(SqlTest, ConstantFoldingInPredicate) {
+  Exec("create table t (a int)");
+  Exec("insert into t values (100), (4000)");
+  Table r = Exec("select a from t where a > 10 * 60 + 400");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.GetRow(0)[0], Value(4000));
+}
+
+TEST_F(SqlTest, ContinuousQueryChain) {
+  // Query chain topology (§6.1): src -> q1 -> mid -> q2 -> out.
+  Exec("create basket src (payload int)");
+  Exec("create basket mid (payload int)");
+  Exec("create basket outb (payload int)");
+  ASSERT_TRUE(session_
+                  .RegisterContinuousQuery(
+                      "q1", "insert into mid select * from [select * from src "
+                            "where src.payload > 10] as s")
+                  .ok());
+  ASSERT_TRUE(session_
+                  .RegisterContinuousQuery(
+                      "q2", "insert into outb select * from [select * from mid "
+                            "where mid.payload < 100] as s")
+                  .ok());
+  Exec("insert into src values (5), (50), (500)");
+  ASSERT_TRUE(engine_.scheduler().RunUntilQuiescent().ok());
+  auto outb = *engine_.GetBasket("outb");
+  ASSERT_EQ(outb->size(), 1u);
+  EXPECT_EQ(outb->Peek().GetRow(0)[0], Value(50));
+}
+
+}  // namespace
+}  // namespace datacell::sql

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "storage/persist.h"
+
+namespace datacell::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("datacell_storage_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  Table SampleTable() {
+    Table t(Schema({{"id", DataType::kInt64},
+                    {"name", DataType::kString},
+                    {"score", DataType::kDouble},
+                    {"active", DataType::kBool}}));
+    EXPECT_TRUE(
+        t.AppendRow({Value(1), Value("ann|e"), Value(0.5), Value(true)}).ok());
+    EXPECT_TRUE(
+        t.AppendRow({Value(2), Value::Null(), Value(-3.25), Value(false)})
+            .ok());
+    EXPECT_TRUE(
+        t.AppendRow({Value(3), Value("line\nbreak"), Value(1e-9), Value(true)})
+            .ok());
+    return t;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(StorageTest, TableRoundTrip) {
+  fs::create_directories(dir_);
+  const std::string path = (dir_ / "t.dct").string();
+  Table original = SampleTable();
+  ASSERT_TRUE(SaveTable(original, path).ok());
+  auto loaded = LoadTable(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->schema(), original.schema());
+  ASSERT_EQ(loaded->num_rows(), original.num_rows());
+  for (size_t r = 0; r < original.num_rows(); ++r) {
+    EXPECT_EQ(loaded->GetRow(r), original.GetRow(r)) << "row " << r;
+  }
+}
+
+TEST_F(StorageTest, EmptyTableRoundTrip) {
+  fs::create_directories(dir_);
+  const std::string path = (dir_ / "empty.dct").string();
+  Table original(Schema({{"x", DataType::kInt64}}));
+  ASSERT_TRUE(SaveTable(original, path).ok());
+  auto loaded = LoadTable(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_rows(), 0u);
+  EXPECT_EQ(loaded->schema(), original.schema());
+}
+
+TEST_F(StorageTest, LoadMissingFileFails) {
+  auto r = LoadTable((dir_ / "nope.dct").string());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(StorageTest, LoadCorruptFileFails) {
+  fs::create_directories(dir_);
+  const std::string path = (dir_ / "bad.dct").string();
+  {
+    std::ofstream out(path);
+    out << "x:int\n1\nnot_an_int\n";
+  }
+  auto r = LoadTable(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos);
+}
+
+TEST_F(StorageTest, CatalogRoundTrip) {
+  Catalog original;
+  {
+    auto t1 = original.CreateTable("alpha", SampleTable().schema());
+    ASSERT_TRUE(t1.ok());
+    ASSERT_TRUE((*t1)->AppendTable(SampleTable()).ok());
+    auto t2 = original.CreateTable("beta", Schema({{"v", DataType::kInt64}}));
+    ASSERT_TRUE(t2.ok());
+    ASSERT_TRUE((*t2)->AppendRow({Value(42)}).ok());
+  }
+  ASSERT_TRUE(SaveCatalog(original, dir_.string()).ok());
+
+  Catalog loaded;
+  ASSERT_TRUE(LoadCatalog(&loaded, dir_.string()).ok());
+  EXPECT_EQ(loaded.ListTables(), original.ListTables());
+  auto alpha = loaded.GetTable("alpha");
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_EQ((*alpha)->num_rows(), 3u);
+  auto beta = loaded.GetTable("beta");
+  ASSERT_TRUE(beta.ok());
+  EXPECT_EQ((*beta)->GetRow(0)[0], Value(42));
+}
+
+TEST_F(StorageTest, SaveRemovesStaleFiles) {
+  Catalog first;
+  ASSERT_TRUE(first.CreateTable("old", Schema({{"x", DataType::kInt64}})).ok());
+  ASSERT_TRUE(SaveCatalog(first, dir_.string()).ok());
+  Catalog second;
+  ASSERT_TRUE(second.CreateTable("fresh", Schema({{"x", DataType::kInt64}})).ok());
+  ASSERT_TRUE(SaveCatalog(second, dir_.string()).ok());
+  Catalog loaded;
+  ASSERT_TRUE(LoadCatalog(&loaded, dir_.string()).ok());
+  EXPECT_FALSE(loaded.HasTable("old"));
+  EXPECT_TRUE(loaded.HasTable("fresh"));
+}
+
+TEST_F(StorageTest, LoadIntoNonEmptyCatalogConflicts) {
+  Catalog original;
+  ASSERT_TRUE(original.CreateTable("t", Schema({{"x", DataType::kInt64}})).ok());
+  ASSERT_TRUE(SaveCatalog(original, dir_.string()).ok());
+  Catalog loaded;
+  ASSERT_TRUE(loaded.CreateTable("t", Schema({{"y", DataType::kDouble}})).ok());
+  auto st = LoadCatalog(&loaded, dir_.string());
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(StorageTest, LoadMissingDirectoryFails) {
+  Catalog loaded;
+  auto st = LoadCatalog(&loaded, (dir_ / "ghost").string());
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace datacell::storage

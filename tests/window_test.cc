@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "core/metronome.h"
+#include "core/scheduler.h"
+#include "core/window.h"
+#include "util/clock.h"
+
+namespace datacell::core {
+namespace {
+
+Schema StreamSchema() {
+  return Schema({{"seg", DataType::kInt64}, {"speed", DataType::kInt64}});
+}
+
+constexpr Micros kSec = kMicrosPerSecond;
+
+class WindowTest : public ::testing::Test {
+ protected:
+  WindowTest() : clock_(0) {}
+
+  void Build(TumblingWindowSpec spec, bool with_tick = false) {
+    input_ = std::make_shared<Basket>("in", StreamSchema());
+    auto out_schema = TumblingWindowOutputSchema(input_->schema(), spec);
+    ASSERT_TRUE(out_schema.ok()) << out_schema.status().ToString();
+    output_ = std::make_shared<Basket>("out", *out_schema, false);
+    if (with_tick) {
+      tick_ = std::make_shared<Basket>("tick", Schema({{"epoch", DataType::kTimestamp}}));
+    }
+    auto f = MakeTumblingWindowFactory("w", input_, output_, std::move(spec),
+                                       tick_);
+    ASSERT_TRUE(f.ok()) << f.status().ToString();
+    factory_ = *f;
+    sched_ = std::make_unique<Scheduler>(&clock_);
+    sched_->Register(factory_);
+  }
+
+  void Deliver(Micros at, std::initializer_list<std::pair<int64_t, int64_t>> rows) {
+    clock_.SetTime(at);
+    Table t(StreamSchema());
+    for (const auto& [seg, speed] : rows) {
+      ASSERT_TRUE(t.AppendRow({Value(seg), Value(speed)}).ok());
+    }
+    ASSERT_TRUE(input_->Append(t, at).ok());
+    ASSERT_TRUE(sched_->RunUntilQuiescent().ok());
+  }
+
+  SimulatedClock clock_;
+  BasketPtr input_, output_, tick_;
+  FactoryPtr factory_;
+  std::unique_ptr<Scheduler> sched_;
+};
+
+TumblingWindowSpec AvgSpeedSpec() {
+  TumblingWindowSpec spec;
+  spec.window_length = 10 * kSec;
+  spec.aggregates = {{ops::AggFunc::kAvg, Expr::Col("speed"), "avg_speed"},
+                     {ops::AggFunc::kCountStar, nullptr, "n"}};
+  return spec;
+}
+
+TEST_F(WindowTest, OutputSchemaShape) {
+  TumblingWindowSpec spec = AvgSpeedSpec();
+  spec.group_by = {{Expr::Col("seg"), "seg"}};
+  auto schema = TumblingWindowOutputSchema(Basket("b", StreamSchema()).schema(),
+                                           spec);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->ToString(),
+            "(window_start timestamp, window_end timestamp, seg int, "
+            "avg_speed double, n int)");
+}
+
+TEST_F(WindowTest, WindowStaysOpenUntilTimePasses) {
+  Build(AvgSpeedSpec());
+  Deliver(2 * kSec, {{1, 50}});
+  Deliver(8 * kSec, {{1, 70}});
+  // The [0,10s) window has not closed: nothing emitted, tuples retained.
+  EXPECT_EQ(output_->size(), 0u);
+  EXPECT_EQ(input_->size(), 2u);
+  // A tuple at t=11s closes it.
+  Deliver(11 * kSec, {{1, 99}});
+  ASSERT_EQ(output_->size(), 1u);
+  Table out = output_->Peek();
+  EXPECT_EQ(out.GetRow(0)[0], Value(int64_t{0}));
+  EXPECT_EQ(out.GetRow(0)[1], Value(10 * kSec));
+  EXPECT_EQ(out.GetRow(0)[2], Value(60.0));       // avg(50, 70)
+  EXPECT_EQ(out.GetRow(0)[3], Value(int64_t{2}));
+  // Only the new-window tuple remains.
+  EXPECT_EQ(input_->size(), 1u);
+}
+
+TEST_F(WindowTest, MultipleClosedWindowsEmitInOrder) {
+  Build(AvgSpeedSpec());
+  Deliver(1 * kSec, {{1, 10}});
+  clock_.SetTime(35 * kSec);
+  Deliver(35 * kSec, {{1, 30}});  // closes [0,10) — and nothing else had data
+  ASSERT_EQ(output_->size(), 1u);
+  // Backfill: two tuples arrive late in the same batch as a fresh one is
+  // impossible (arrival stamped now), so windows close one per batch here.
+  Deliver(45 * kSec, {{1, 40}});  // closes [30,40)
+  ASSERT_EQ(output_->size(), 2u);
+  Table out = output_->Peek();
+  EXPECT_EQ(out.GetRow(0)[0], Value(int64_t{0}));
+  EXPECT_EQ(out.GetRow(1)[0], Value(30 * kSec));
+}
+
+TEST_F(WindowTest, GroupedWindows) {
+  TumblingWindowSpec spec = AvgSpeedSpec();
+  spec.group_by = {{Expr::Col("seg"), "seg"}};
+  Build(std::move(spec));
+  Deliver(2 * kSec, {{7, 20}, {8, 60}, {7, 40}});
+  Deliver(12 * kSec, {{7, 99}});
+  ASSERT_EQ(output_->size(), 2u);
+  Table out = output_->Peek();
+  // Group rows for seg 7 (avg 30, n 2) and seg 8 (avg 60, n 1).
+  std::map<int64_t, std::pair<double, int64_t>> got;
+  for (size_t r = 0; r < out.num_rows(); ++r) {
+    got[out.GetRow(r)[2].int_value()] = {out.GetRow(r)[3].double_value(),
+                                         out.GetRow(r)[4].int_value()};
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_DOUBLE_EQ(got[7].first, 30.0);
+  EXPECT_EQ(got[7].second, 2);
+  EXPECT_DOUBLE_EQ(got[8].first, 60.0);
+  EXPECT_EQ(got[8].second, 1);
+}
+
+TEST_F(WindowTest, TickClosesWindowWithoutNewTuples) {
+  Build(AvgSpeedSpec(), /*with_tick=*/true);
+  Metronome metronome("m", tick_, 10 * kSec, 10 * kSec);
+  sched_->Register(std::make_shared<Metronome>(metronome));
+  Deliver(3 * kSec, {{1, 42}});
+  EXPECT_EQ(output_->size(), 0u);
+  // No further tuples; the metronome tick at t=10s closes the window.
+  clock_.SetTime(10 * kSec);
+  ASSERT_TRUE(sched_->RunUntilQuiescent().ok());
+  ASSERT_EQ(output_->size(), 1u);
+  EXPECT_EQ(output_->Peek().GetRow(0)[3], Value(int64_t{1}));
+  EXPECT_EQ(input_->size(), 0u);
+}
+
+TEST_F(WindowTest, EmptyWindowsProduceNoRows) {
+  Build(AvgSpeedSpec());
+  Deliver(2 * kSec, {{1, 10}});
+  // Jump far ahead: windows [10,20)... had no tuples; only [0,10) emits.
+  Deliver(95 * kSec, {{1, 20}});
+  EXPECT_EQ(output_->size(), 1u);
+}
+
+TEST_F(WindowTest, RejectsBadSpecs) {
+  auto input = std::make_shared<Basket>("in", StreamSchema());
+  auto output = std::make_shared<Basket>("out", StreamSchema(), false);
+  TumblingWindowSpec spec = AvgSpeedSpec();
+  // Wrong output schema.
+  EXPECT_FALSE(MakeTumblingWindowFactory("w", input, output, spec).ok());
+  // Non-positive window.
+  spec.window_length = 0;
+  EXPECT_FALSE(MakeTumblingWindowFactory("w", input, output, spec).ok());
+  // Basket without arrival column.
+  auto no_arrival = std::make_shared<Basket>("na", StreamSchema(), false);
+  spec.window_length = kSec;
+  EXPECT_FALSE(MakeTumblingWindowFactory("w", no_arrival, output, spec).ok());
+}
+
+}  // namespace
+}  // namespace datacell::core

@@ -1,0 +1,39 @@
+// Standalone actuator tool (§6.1): listens for one producer (the DataCell
+// emitter or a sensor), receives tuples until EOF and reports latency
+// statistics.
+//
+//   actuator [port]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "net/actuator.h"
+#include "util/clock.h"
+
+int main(int argc, char** argv) {
+  datacell::net::Actuator actuator(datacell::SystemClock::Get());
+  const uint16_t port =
+      argc > 1 ? static_cast<uint16_t>(std::atoi(argv[1])) : 0;
+  datacell::Status st = actuator.Start(port);
+  if (!st.ok()) {
+    std::fprintf(stderr, "actuator failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("actuator: listening on port %u\n", actuator.port());
+  std::fflush(stdout);
+  actuator.WaitFinished();
+  const datacell::net::Actuator::Stats stats = actuator.stats();
+  std::printf(
+      "actuator: %llu tuples, mean latency %.3f ms, max %.3f ms, elapsed "
+      "%.3f s, throughput %.0f tuples/s\n",
+      static_cast<unsigned long long>(stats.tuples),
+      stats.MeanLatency() / 1000.0,
+      static_cast<double>(stats.latency_max) / 1000.0,
+      static_cast<double>(stats.Elapsed()) / datacell::kMicrosPerSecond,
+      stats.Elapsed() > 0
+          ? static_cast<double>(stats.tuples) /
+                (static_cast<double>(stats.Elapsed()) /
+                 datacell::kMicrosPerSecond)
+          : 0.0);
+  return 0;
+}

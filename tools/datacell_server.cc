@@ -1,0 +1,110 @@
+// Standalone DataCell kernel (§6.1 topology): accepts a sensor stream on
+// one TCP port, runs a chain of continuous `select *` queries through the
+// Petri-net scheduler, and forwards results to an actuator — the paper's
+// three-process experiment, runnable for real:
+//
+//   terminal 1: actuator 9001
+//   terminal 2: datacell_server 9000 127.0.0.1 9001 16
+//   terminal 3: sensor 127.0.0.1 9000 100000
+//
+//   datacell_server <listen_port> <actuator_host> <actuator_port> [queries]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/basket.h"
+#include "core/factory.h"
+#include "core/receptor.h"
+#include "core/scheduler.h"
+#include "net/gateway.h"
+#include "net/sensor.h"
+#include "util/clock.h"
+
+int main(int argc, char** argv) {
+  using datacell::Status;
+  using datacell::Table;
+  namespace core = datacell::core;
+  namespace net = datacell::net;
+
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: %s <listen_port> <actuator_host> <actuator_port> "
+                 "[queries]\n",
+                 argv[0]);
+    return 2;
+  }
+  const uint16_t listen_port = static_cast<uint16_t>(std::atoi(argv[1]));
+  const char* actuator_host = argv[2];
+  const uint16_t actuator_port = static_cast<uint16_t>(std::atoi(argv[3]));
+  const int queries = argc > 4 ? std::atoi(argv[4]) : 8;
+
+  datacell::SystemClock* clock = datacell::SystemClock::Get();
+  const datacell::Schema stream = net::Sensor::StreamSchema();
+
+  // Query chain b0 -> q1 -> b1 -> ... -> bk -> emitter.
+  std::vector<core::BasketPtr> baskets;
+  baskets.push_back(std::make_shared<core::Basket>("b0", stream));
+  core::Scheduler scheduler(clock);
+  for (int i = 1; i <= queries; ++i) {
+    baskets.push_back(std::make_shared<core::Basket>(
+        "b" + std::to_string(i), baskets[0]->schema(), false));
+    core::BasketPtr in = baskets[static_cast<size_t>(i - 1)];
+    core::BasketPtr out = baskets[static_cast<size_t>(i)];
+    auto f = std::make_shared<core::Factory>(
+        "q" + std::to_string(i),
+        [in, out](core::FactoryContext& ctx) -> Status {
+          Table batch = in->TakeAll();
+          if (batch.num_rows() == 0) return Status::OK();
+          auto n = out->AppendAligned(batch, ctx.now());
+          return n.status();
+        });
+    f->AddInput(in);
+    f->AddOutput(out);
+    scheduler.Register(f);
+  }
+
+  auto egress = net::TcpEgress::Connect(actuator_host, actuator_port);
+  if (!egress.ok()) {
+    std::fprintf(stderr, "cannot reach actuator: %s\n",
+                 egress.status().ToString().c_str());
+    return 1;
+  }
+  auto emitter = std::make_shared<core::Emitter>("e", (*egress)->MakeSink());
+  emitter->AddInput(baskets.back());
+  scheduler.Register(emitter);
+
+  auto receptor = std::make_shared<core::Receptor>("r");
+  receptor->AddOutput(baskets.front());
+  net::TcpIngress ingress(receptor, net::Codec(stream), clock);
+  if (Status st = ingress.Start(listen_port); !st.ok()) {
+    std::fprintf(stderr, "cannot listen: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (Status st = scheduler.Start(); !st.ok()) {
+    std::fprintf(stderr, "scheduler failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("datacell: listening on %u, %d-query chain, forwarding to "
+              "%s:%u\n",
+              ingress.port(), queries, actuator_host, actuator_port);
+  std::fflush(stdout);
+
+  // Serve one sensor session, drain, and exit.
+  while (!ingress.finished()) clock->SleepFor(10'000);
+  while (true) {
+    bool empty = true;
+    for (const core::BasketPtr& b : baskets) {
+      if (!b->empty()) empty = false;
+    }
+    if (empty) break;
+    clock->SleepFor(10'000);
+  }
+  clock->SleepFor(50'000);  // let the emitter flush
+  scheduler.Stop();
+  if (Status st = (*egress)->Finish(); !st.ok()) {
+    std::fprintf(stderr, "egress finish: %s\n", st.ToString().c_str());
+  }
+  std::printf("datacell: done (%llu tuples ingested)\n",
+              static_cast<unsigned long long>(ingress.tuples_received()));
+  return 0;
+}
