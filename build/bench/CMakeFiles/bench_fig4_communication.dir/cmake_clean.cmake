@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_communication.dir/bench_fig4_communication.cc.o"
+  "CMakeFiles/bench_fig4_communication.dir/bench_fig4_communication.cc.o.d"
+  "bench_fig4_communication"
+  "bench_fig4_communication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_communication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lroad.dir/bench_lroad.cc.o"
+  "CMakeFiles/bench_lroad.dir/bench_lroad.cc.o.d"
+  "bench_lroad"
+  "bench_lroad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lroad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_sql.dir/stream_sql.cpp.o"
+  "CMakeFiles/stream_sql.dir/stream_sql.cpp.o.d"
+  "stream_sql"
+  "stream_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

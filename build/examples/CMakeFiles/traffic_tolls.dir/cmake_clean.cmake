@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_tolls.dir/traffic_tolls.cpp.o"
+  "CMakeFiles/traffic_tolls.dir/traffic_tolls.cpp.o.d"
+  "traffic_tolls"
+  "traffic_tolls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_tolls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

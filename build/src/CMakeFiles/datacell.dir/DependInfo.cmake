@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/column/catalog.cc" "src/CMakeFiles/datacell.dir/column/catalog.cc.o" "gcc" "src/CMakeFiles/datacell.dir/column/catalog.cc.o.d"
+  "/root/repo/src/column/column.cc" "src/CMakeFiles/datacell.dir/column/column.cc.o" "gcc" "src/CMakeFiles/datacell.dir/column/column.cc.o.d"
+  "/root/repo/src/column/table.cc" "src/CMakeFiles/datacell.dir/column/table.cc.o" "gcc" "src/CMakeFiles/datacell.dir/column/table.cc.o.d"
+  "/root/repo/src/column/type.cc" "src/CMakeFiles/datacell.dir/column/type.cc.o" "gcc" "src/CMakeFiles/datacell.dir/column/type.cc.o.d"
+  "/root/repo/src/column/value.cc" "src/CMakeFiles/datacell.dir/column/value.cc.o" "gcc" "src/CMakeFiles/datacell.dir/column/value.cc.o.d"
+  "/root/repo/src/core/basket.cc" "src/CMakeFiles/datacell.dir/core/basket.cc.o" "gcc" "src/CMakeFiles/datacell.dir/core/basket.cc.o.d"
+  "/root/repo/src/core/basket_expression.cc" "src/CMakeFiles/datacell.dir/core/basket_expression.cc.o" "gcc" "src/CMakeFiles/datacell.dir/core/basket_expression.cc.o.d"
+  "/root/repo/src/core/emitter.cc" "src/CMakeFiles/datacell.dir/core/emitter.cc.o" "gcc" "src/CMakeFiles/datacell.dir/core/emitter.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/datacell.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/datacell.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/factory.cc" "src/CMakeFiles/datacell.dir/core/factory.cc.o" "gcc" "src/CMakeFiles/datacell.dir/core/factory.cc.o.d"
+  "/root/repo/src/core/metronome.cc" "src/CMakeFiles/datacell.dir/core/metronome.cc.o" "gcc" "src/CMakeFiles/datacell.dir/core/metronome.cc.o.d"
+  "/root/repo/src/core/receptor.cc" "src/CMakeFiles/datacell.dir/core/receptor.cc.o" "gcc" "src/CMakeFiles/datacell.dir/core/receptor.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/CMakeFiles/datacell.dir/core/scheduler.cc.o" "gcc" "src/CMakeFiles/datacell.dir/core/scheduler.cc.o.d"
+  "/root/repo/src/core/strategy.cc" "src/CMakeFiles/datacell.dir/core/strategy.cc.o" "gcc" "src/CMakeFiles/datacell.dir/core/strategy.cc.o.d"
+  "/root/repo/src/core/window.cc" "src/CMakeFiles/datacell.dir/core/window.cc.o" "gcc" "src/CMakeFiles/datacell.dir/core/window.cc.o.d"
+  "/root/repo/src/expr/eval.cc" "src/CMakeFiles/datacell.dir/expr/eval.cc.o" "gcc" "src/CMakeFiles/datacell.dir/expr/eval.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/CMakeFiles/datacell.dir/expr/expr.cc.o" "gcc" "src/CMakeFiles/datacell.dir/expr/expr.cc.o.d"
+  "/root/repo/src/lroad/driver.cc" "src/CMakeFiles/datacell.dir/lroad/driver.cc.o" "gcc" "src/CMakeFiles/datacell.dir/lroad/driver.cc.o.d"
+  "/root/repo/src/lroad/generator.cc" "src/CMakeFiles/datacell.dir/lroad/generator.cc.o" "gcc" "src/CMakeFiles/datacell.dir/lroad/generator.cc.o.d"
+  "/root/repo/src/lroad/history.cc" "src/CMakeFiles/datacell.dir/lroad/history.cc.o" "gcc" "src/CMakeFiles/datacell.dir/lroad/history.cc.o.d"
+  "/root/repo/src/lroad/queries.cc" "src/CMakeFiles/datacell.dir/lroad/queries.cc.o" "gcc" "src/CMakeFiles/datacell.dir/lroad/queries.cc.o.d"
+  "/root/repo/src/lroad/queries_sql.cc" "src/CMakeFiles/datacell.dir/lroad/queries_sql.cc.o" "gcc" "src/CMakeFiles/datacell.dir/lroad/queries_sql.cc.o.d"
+  "/root/repo/src/lroad/types.cc" "src/CMakeFiles/datacell.dir/lroad/types.cc.o" "gcc" "src/CMakeFiles/datacell.dir/lroad/types.cc.o.d"
+  "/root/repo/src/lroad/validator.cc" "src/CMakeFiles/datacell.dir/lroad/validator.cc.o" "gcc" "src/CMakeFiles/datacell.dir/lroad/validator.cc.o.d"
+  "/root/repo/src/net/actuator.cc" "src/CMakeFiles/datacell.dir/net/actuator.cc.o" "gcc" "src/CMakeFiles/datacell.dir/net/actuator.cc.o.d"
+  "/root/repo/src/net/codec.cc" "src/CMakeFiles/datacell.dir/net/codec.cc.o" "gcc" "src/CMakeFiles/datacell.dir/net/codec.cc.o.d"
+  "/root/repo/src/net/gateway.cc" "src/CMakeFiles/datacell.dir/net/gateway.cc.o" "gcc" "src/CMakeFiles/datacell.dir/net/gateway.cc.o.d"
+  "/root/repo/src/net/sensor.cc" "src/CMakeFiles/datacell.dir/net/sensor.cc.o" "gcc" "src/CMakeFiles/datacell.dir/net/sensor.cc.o.d"
+  "/root/repo/src/net/socket.cc" "src/CMakeFiles/datacell.dir/net/socket.cc.o" "gcc" "src/CMakeFiles/datacell.dir/net/socket.cc.o.d"
+  "/root/repo/src/ops/aggregate.cc" "src/CMakeFiles/datacell.dir/ops/aggregate.cc.o" "gcc" "src/CMakeFiles/datacell.dir/ops/aggregate.cc.o.d"
+  "/root/repo/src/ops/delete.cc" "src/CMakeFiles/datacell.dir/ops/delete.cc.o" "gcc" "src/CMakeFiles/datacell.dir/ops/delete.cc.o.d"
+  "/root/repo/src/ops/join.cc" "src/CMakeFiles/datacell.dir/ops/join.cc.o" "gcc" "src/CMakeFiles/datacell.dir/ops/join.cc.o.d"
+  "/root/repo/src/ops/project.cc" "src/CMakeFiles/datacell.dir/ops/project.cc.o" "gcc" "src/CMakeFiles/datacell.dir/ops/project.cc.o.d"
+  "/root/repo/src/ops/select.cc" "src/CMakeFiles/datacell.dir/ops/select.cc.o" "gcc" "src/CMakeFiles/datacell.dir/ops/select.cc.o.d"
+  "/root/repo/src/ops/sort.cc" "src/CMakeFiles/datacell.dir/ops/sort.cc.o" "gcc" "src/CMakeFiles/datacell.dir/ops/sort.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/datacell.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/datacell.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/binder.cc" "src/CMakeFiles/datacell.dir/sql/binder.cc.o" "gcc" "src/CMakeFiles/datacell.dir/sql/binder.cc.o.d"
+  "/root/repo/src/sql/executor.cc" "src/CMakeFiles/datacell.dir/sql/executor.cc.o" "gcc" "src/CMakeFiles/datacell.dir/sql/executor.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/datacell.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/datacell.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/datacell.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/datacell.dir/sql/parser.cc.o.d"
+  "/root/repo/src/sql/planner.cc" "src/CMakeFiles/datacell.dir/sql/planner.cc.o" "gcc" "src/CMakeFiles/datacell.dir/sql/planner.cc.o.d"
+  "/root/repo/src/sql/session.cc" "src/CMakeFiles/datacell.dir/sql/session.cc.o" "gcc" "src/CMakeFiles/datacell.dir/sql/session.cc.o.d"
+  "/root/repo/src/sql/token.cc" "src/CMakeFiles/datacell.dir/sql/token.cc.o" "gcc" "src/CMakeFiles/datacell.dir/sql/token.cc.o.d"
+  "/root/repo/src/storage/persist.cc" "src/CMakeFiles/datacell.dir/storage/persist.cc.o" "gcc" "src/CMakeFiles/datacell.dir/storage/persist.cc.o.d"
+  "/root/repo/src/util/clock.cc" "src/CMakeFiles/datacell.dir/util/clock.cc.o" "gcc" "src/CMakeFiles/datacell.dir/util/clock.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/datacell.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/datacell.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/datacell.dir/util/random.cc.o" "gcc" "src/CMakeFiles/datacell.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/datacell.dir/util/status.cc.o" "gcc" "src/CMakeFiles/datacell.dir/util/status.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/CMakeFiles/datacell.dir/util/strings.cc.o" "gcc" "src/CMakeFiles/datacell.dir/util/strings.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lroad_sql_test.dir/lroad_sql_test.cc.o"
+  "CMakeFiles/lroad_sql_test.dir/lroad_sql_test.cc.o.d"
+  "lroad_sql_test"
+  "lroad_sql_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lroad_sql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lroad_test.dir/lroad_test.cc.o"
+  "CMakeFiles/lroad_test.dir/lroad_test.cc.o.d"
+  "lroad_test"
+  "lroad_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lroad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actuator_main.dir/actuator_main.cc.o"
+  "CMakeFiles/actuator_main.dir/actuator_main.cc.o.d"
+  "actuator"
+  "actuator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actuator_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

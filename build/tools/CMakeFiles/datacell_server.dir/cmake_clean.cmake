@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacell_server.dir/datacell_server.cc.o"
+  "CMakeFiles/datacell_server.dir/datacell_server.cc.o.d"
+  "datacell_server"
+  "datacell_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacell_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_main.dir/sensor_main.cc.o"
+  "CMakeFiles/sensor_main.dir/sensor_main.cc.o.d"
+  "sensor"
+  "sensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
