@@ -21,6 +21,28 @@ void Basket::AddConstraint(ExprPtr predicate) {
   constraints_.push_back(std::move(predicate));
 }
 
+size_t Basket::AddListener(Listener listener) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  const size_t id = next_listener_id_++;
+  listeners_.emplace_back(id, std::move(listener));
+  return id;
+}
+
+void Basket::RemoveListener(size_t id) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  for (auto it = listeners_.begin(); it != listeners_.end(); ++it) {
+    if (it->first == id) {
+      listeners_.erase(it);
+      return;
+    }
+  }
+}
+
+void Basket::Touch() {
+  version_.fetch_add(1, std::memory_order_acq_rel);
+  for (const auto& [id, fn] : listeners_) fn();
+}
+
 Result<SelVector> Basket::ApplyConstraints(const Table& tuples) const {
   SelVector sel(tuples.num_rows());
   for (size_t i = 0; i < sel.size(); ++i) sel[i] = static_cast<uint32_t>(i);
@@ -33,15 +55,16 @@ Result<SelVector> Basket::ApplyConstraints(const Table& tuples) const {
 
 Result<size_t> Basket::Append(const Table& tuples, Micros now) {
   if (!enabled_.load()) {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
-    stats_.dropped += tuples.num_rows();
+    dropped_.fetch_add(tuples.num_rows(), std::memory_order_relaxed);
     return size_t{0};
   }
-  // Widen to the full schema by stamping the arrival column.
+  // Widen to the full schema by stamping the arrival column. Arity checks
+  // go through the immutable schema_, not data_, which another thread may
+  // be consuming (data_ is only touched under mu_).
   if (!has_arrival_) return AppendAligned(tuples, now);
-  if (tuples.num_columns() + 1 != data_.num_columns()) {
+  if (tuples.num_columns() + 1 != schema_.num_fields()) {
     return Status::TypeMismatch("basket '" + name_ + "' expects " +
-                                std::to_string(data_.num_columns() - 1) +
+                                std::to_string(schema_.num_fields() - 1) +
                                 " user columns, got " +
                                 std::to_string(tuples.num_columns()));
   }
@@ -57,24 +80,26 @@ Result<size_t> Basket::Append(const Table& tuples, Micros now) {
 Result<size_t> Basket::AppendAligned(const Table& tuples, Micros now) {
   (void)now;
   if (!enabled_.load()) {
-    std::lock_guard<std::recursive_mutex> lock(mu_);
-    stats_.dropped += tuples.num_rows();
+    dropped_.fetch_add(tuples.num_rows(), std::memory_order_relaxed);
     return size_t{0};
   }
-  if (tuples.num_columns() != data_.num_columns()) {
+  if (tuples.num_columns() != schema_.num_fields()) {
     return Status::TypeMismatch("aligned append arity mismatch on basket '" +
                                 name_ + "'");
   }
   std::lock_guard<std::recursive_mutex> lock(mu_);
   if (constraints_.empty()) {
     RETURN_NOT_OK(data_.AppendTable(tuples));
-    stats_.appended += tuples.num_rows();
+    appended_.fetch_add(tuples.num_rows(), std::memory_order_relaxed);
+    if (tuples.num_rows() > 0) Touch();
     return tuples.num_rows();
   }
   ASSIGN_OR_RETURN(SelVector keep, ApplyConstraints(tuples));
   RETURN_NOT_OK(data_.AppendTableRows(tuples, keep));
-  stats_.appended += keep.size();
-  stats_.dropped += tuples.num_rows() - keep.size();
+  appended_.fetch_add(keep.size(), std::memory_order_relaxed);
+  dropped_.fetch_add(tuples.num_rows() - keep.size(),
+                     std::memory_order_relaxed);
+  if (!keep.empty()) Touch();
   return keep.size();
 }
 
@@ -107,7 +132,8 @@ Table Basket::TakeAll() {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   Table out = std::move(data_);
   data_ = Table(schema_);
-  stats_.consumed += out.num_rows();
+  consumed_.fetch_add(out.num_rows(), std::memory_order_relaxed);
+  if (out.num_rows() > 0) Touch();
   return out;
 }
 
@@ -115,14 +141,16 @@ Result<Table> Basket::TakeRows(const SelVector& sorted_sel) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   Table out = data_.Take(sorted_sel);
   RETURN_NOT_OK(data_.EraseRows(sorted_sel));
-  stats_.consumed += sorted_sel.size();
+  consumed_.fetch_add(sorted_sel.size(), std::memory_order_relaxed);
+  if (!sorted_sel.empty()) Touch();
   return out;
 }
 
 Status Basket::EraseRows(const SelVector& sorted_sel) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   RETURN_NOT_OK(data_.EraseRows(sorted_sel));
-  stats_.consumed += sorted_sel.size();
+  consumed_.fetch_add(sorted_sel.size(), std::memory_order_relaxed);
+  if (!sorted_sel.empty()) Touch();
   return Status::OK();
 }
 
@@ -136,13 +164,18 @@ Status Basket::ErasePrefix(size_t n) {
 
 void Basket::Clear() {
   std::lock_guard<std::recursive_mutex> lock(mu_);
-  stats_.consumed += data_.num_rows();
+  const size_t n = data_.num_rows();
+  consumed_.fetch_add(n, std::memory_order_relaxed);
   data_.Clear();
+  if (n > 0) Touch();
 }
 
 Basket::Stats Basket::stats() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  return stats_;
+  Stats s;
+  s.appended = appended_.load(std::memory_order_relaxed);
+  s.dropped = dropped_.load(std::memory_order_relaxed);
+  s.consumed = consumed_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace datacell::core

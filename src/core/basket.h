@@ -3,9 +3,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "column/table.h"
@@ -46,6 +48,12 @@ class Basket {
     uint64_t dropped = 0;   // tuples silently dropped by constraints/disable
     uint64_t consumed = 0;  // tuples removed by queries
   };
+
+  /// Watcher invoked after every content mutation (append/take/erase/clear),
+  /// with the basket lock held. Listeners must be cheap and must not call
+  /// back into any basket — they exist so a scheduler can wake the
+  /// transitions watching this place.
+  using Listener = std::function<void()>;
 
   /// Creates a basket over `schema`. When `add_arrival_ts` is set (the
   /// default) a kArrivalColumn timestamp field is appended to the schema
@@ -112,6 +120,17 @@ class Basket {
     return std::unique_lock<std::recursive_mutex>(mu_);
   }
 
+  /// --- Change signalling ---------------------------------------------------
+  /// Monotonic counter bumped on every content mutation. A transition
+  /// scheduler can compare versions to detect that a place changed between
+  /// two observations without holding the basket lock.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
+  /// Registers a change watcher; returns an id for RemoveListener. See
+  /// Listener for the (deliberately tight) contract.
+  size_t AddListener(Listener listener);
+  void RemoveListener(size_t id);
+
   Stats stats() const;
 
  private:
@@ -119,15 +138,26 @@ class Basket {
   // row positions. Caller holds mu_.
   Result<SelVector> ApplyConstraints(const Table& tuples) const;
 
+  // Bumps the version and notifies listeners. Caller holds mu_.
+  void Touch();
+
   const std::string name_;
   Schema schema_;
   bool has_arrival_ = false;
   std::atomic<bool> enabled_{true};
 
+  // Counters are atomics so stats() and the factory quiescence check can
+  // read them while another thread is appending/consuming.
+  std::atomic<uint64_t> appended_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> consumed_{0};
+  std::atomic<uint64_t> version_{0};
+
   mutable std::recursive_mutex mu_;
   Table data_;
   std::vector<ExprPtr> constraints_;
-  Stats stats_;
+  size_t next_listener_id_ = 0;
+  std::vector<std::pair<size_t, Listener>> listeners_;
 };
 
 using BasketPtr = std::shared_ptr<Basket>;

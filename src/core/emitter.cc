@@ -15,7 +15,7 @@ Result<bool> Emitter::Fire(Micros) {
     if (b->empty()) continue;
     Table batch = b->TakeAll();
     if (batch.num_rows() == 0) continue;
-    emitted_ += batch.num_rows();
+    emitted_.fetch_add(batch.num_rows(), std::memory_order_relaxed);
     RETURN_NOT_OK(sink_(batch));
     moved = true;
   }

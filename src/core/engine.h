@@ -24,8 +24,11 @@ namespace datacell::core {
 class Engine {
  public:
   /// The engine does not own the clock (tests share a SimulatedClock).
-  explicit Engine(Clock* clock)
-      : clock_(clock), scheduler_(std::make_unique<Scheduler>(clock)) {}
+  /// `num_workers` sizes the scheduler's worker pool for threaded mode
+  /// (cooperative RunOnce/RunUntilQuiescent is unaffected).
+  explicit Engine(Clock* clock, size_t num_workers = 1)
+      : clock_(clock),
+        scheduler_(std::make_unique<Scheduler>(clock, num_workers)) {}
 
   Clock* clock() const { return clock_; }
   Micros Now() const { return clock_->Now(); }

@@ -63,9 +63,9 @@ Result<bool> Factory::Fire(Micros now) {
   RETURN_NOT_OK(body_(ctx));
   const Micros dt = wall->Now() - t0;
 
-  stats_.firings++;
-  stats_.last_exec = dt;
-  stats_.total_exec += dt;
+  firings_.fetch_add(1, std::memory_order_relaxed);
+  last_exec_.store(dt, std::memory_order_relaxed);
+  total_exec_.fetch_add(dt, std::memory_order_relaxed);
 
   const uint64_t after_stats = [&]() {
     uint64_t c = 0;

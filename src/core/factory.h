@@ -1,7 +1,9 @@
 #ifndef DATACELL_CORE_FACTORY_H_
 #define DATACELL_CORE_FACTORY_H_
 
+#include <atomic>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,10 +14,19 @@
 
 namespace datacell::core {
 
+/// Sentinel for Transition::next_deadline: the transition is not
+/// time-driven.
+inline constexpr Micros kNoDeadline = std::numeric_limits<Micros>::max();
+
 /// A Petri-net transition (§4.1): receptors, emitters and factories all
 /// implement this interface. Baskets are the token places; a transition may
 /// fire when its firing condition over its input places holds, and firing
 /// is atomic.
+///
+/// Transitions declare their place sets (input_places/output_places) so the
+/// scheduler can see the dataflow graph instead of only the opaque CanFire
+/// predicate: a basket signal wakes exactly the transitions reading from
+/// it, and two transitions with disjoint place sets may fire in parallel.
 class Transition {
  public:
   virtual ~Transition() = default;
@@ -28,6 +39,24 @@ class Transition {
   /// Executes one atomic firing. Returns true if it did useful work (moved
   /// or produced tuples); the scheduler uses this for quiescence detection.
   virtual Result<bool> Fire(Micros now) = 0;
+
+  /// The places this transition consumes from. A transition with no
+  /// declared input places is self-scheduled: the scheduler polls it (pull
+  /// receptors) or waits on its next_deadline (metronomes) instead of
+  /// waiting for a basket signal.
+  virtual std::vector<BasketPtr> input_places() const { return {}; }
+
+  /// The places this transition produces into (part of its conflict set:
+  /// two transitions sharing any place never fire concurrently).
+  virtual std::vector<BasketPtr> output_places() const { return {}; }
+
+  /// Earliest time a time-driven transition may next fire, or kNoDeadline
+  /// for purely data-driven/polled transitions. Must be cheap and
+  /// thread-safe: the scheduler calls it without claiming the transition.
+  virtual Micros next_deadline(Micros now) const {
+    (void)now;
+    return kNoDeadline;
+  }
 };
 
 using TransitionPtr = std::shared_ptr<Transition>;
@@ -91,13 +120,22 @@ class Factory : public Transition {
   const std::string& name() const override { return name_; }
   bool CanFire(Micros now) const override;
   Result<bool> Fire(Micros now) override;
+  std::vector<BasketPtr> input_places() const override { return inputs_; }
+  std::vector<BasketPtr> output_places() const override { return outputs_; }
 
   size_t num_inputs() const { return inputs_.size(); }
   size_t num_outputs() const { return outputs_.size(); }
   const BasketPtr& input(size_t i) const { return inputs_[i]; }
   const BasketPtr& output(size_t i) const { return outputs_[i]; }
 
-  Stats stats() const { return stats_; }
+  /// Safe to call while a scheduler thread is firing the factory.
+  Stats stats() const {
+    Stats s;
+    s.firings = firings_.load(std::memory_order_relaxed);
+    s.total_exec = total_exec_.load(std::memory_order_relaxed);
+    s.last_exec = last_exec_.load(std::memory_order_relaxed);
+    return s;
+  }
 
  private:
   const std::string name_;
@@ -105,7 +143,9 @@ class Factory : public Transition {
   std::vector<BasketPtr> inputs_;
   std::vector<size_t> min_tuples_;
   std::vector<BasketPtr> outputs_;
-  Stats stats_;
+  std::atomic<uint64_t> firings_{0};
+  std::atomic<Micros> total_exec_{0};
+  std::atomic<Micros> last_exec_{0};
 };
 
 using FactoryPtr = std::shared_ptr<Factory>;

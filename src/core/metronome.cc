@@ -15,18 +15,23 @@ Metronome::Metronome(std::string name, BasketPtr output, Micros start,
 }
 
 Result<bool> Metronome::Fire(Micros now) {
+  // Only one scheduler worker fires a transition at a time, so the local
+  // tick cursor is race-free; the atomic store publishes it to concurrent
+  // CanFire/next_deadline readers.
+  Micros tick = next_tick_.load(std::memory_order_acquire);
   bool emitted = false;
-  while (now >= next_tick_) {
+  while (now >= tick) {
     Row row;
     if (row_factory_ != nullptr) {
-      row = row_factory_(next_tick_);
+      row = row_factory_(tick);
     } else {
       const size_t user_fields =
           output_->schema().num_fields() - (output_->has_arrival_column() ? 1 : 0);
       row.assign(user_fields, Value::Null());
     }
-    RETURN_NOT_OK(output_->AppendRow(row, next_tick_));
-    next_tick_ += interval_;
+    RETURN_NOT_OK(output_->AppendRow(row, tick));
+    tick += interval_;
+    next_tick_.store(tick, std::memory_order_release);
     emitted = true;
   }
   return emitted;

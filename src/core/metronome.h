@@ -1,6 +1,7 @@
 #ifndef DATACELL_CORE_METRONOME_H_
 #define DATACELL_CORE_METRONOME_H_
 
+#include <atomic>
 #include <functional>
 #include <string>
 
@@ -26,20 +27,35 @@ class Metronome : public Transition {
   Metronome(std::string name, BasketPtr output, Micros start, Micros interval,
             RowFactory row_factory = nullptr);
 
+  /// Copyable (the atomic tick cursor is copied by value).
+  Metronome(const Metronome& other)
+      : name_(other.name_),
+        output_(other.output_),
+        next_tick_(other.next_tick()),
+        interval_(other.interval_),
+        row_factory_(other.row_factory_) {}
+
   const std::string& name() const override { return name_; }
-  bool CanFire(Micros now) const override { return now >= next_tick_; }
+  bool CanFire(Micros now) const override { return now >= next_tick(); }
 
   /// Emits one marker per elapsed interval (catching up if the scheduler
   /// was delayed), so downstream epochs are never skipped — this is the
   /// heartbeat guarantee of §5.
   Result<bool> Fire(Micros now) override;
 
-  Micros next_tick() const { return next_tick_; }
+  /// Time-driven: no input places, and the scheduler's idle wait is bounded
+  /// by the next tick instead of blind polling.
+  std::vector<BasketPtr> output_places() const override { return {output_}; }
+  Micros next_deadline(Micros) const override { return next_tick(); }
+
+  Micros next_tick() const {
+    return next_tick_.load(std::memory_order_acquire);
+  }
 
  private:
   const std::string name_;
   BasketPtr output_;
-  Micros next_tick_;
+  std::atomic<Micros> next_tick_;
   const Micros interval_;
   RowFactory row_factory_;
 };

@@ -1,6 +1,7 @@
 #ifndef DATACELL_CORE_RECEPTOR_H_
 #define DATACELL_CORE_RECEPTOR_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -51,6 +52,10 @@ class Receptor : public Transition {
   bool CanFire(Micros now) const override;
   Result<bool> Fire(Micros now) override;
 
+  /// No input places: the source is outside the Petri net, so the
+  /// scheduler polls pull receptors instead of waiting for a signal.
+  std::vector<BasketPtr> output_places() const override { return outputs_; }
+
   const std::vector<BasketPtr>& outputs() const { return outputs_; }
 
  private:
@@ -81,13 +86,18 @@ class Emitter : public Transition {
   /// Takes everything from each non-empty input and hands it to the sink.
   Result<bool> Fire(Micros now) override;
 
-  uint64_t tuples_emitted() const { return emitted_; }
+  /// The sink is outside the Petri net, so only input places are declared.
+  std::vector<BasketPtr> input_places() const override { return inputs_; }
+
+  uint64_t tuples_emitted() const {
+    return emitted_.load(std::memory_order_relaxed);
+  }
 
  private:
   const std::string name_;
   Sink sink_;
   std::vector<BasketPtr> inputs_;
-  uint64_t emitted_ = 0;
+  std::atomic<uint64_t> emitted_{0};
 };
 
 using EmitterPtr = std::shared_ptr<Emitter>;

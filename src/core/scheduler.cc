@@ -1,34 +1,169 @@
 #include "core/scheduler.h"
 
+#include <algorithm>
+#include <chrono>
+
 #include "util/logging.h"
 
 namespace datacell::core {
 
-Scheduler::~Scheduler() { Stop(); }
+namespace {
+// Poll cadence for self-scheduled transitions with no deadline (pull
+// receptors), matching the seed scheduler's idle park.
+constexpr Micros kPollIntervalMicros = 100;
+// Upper bound on any idle wait: the fallback-sweep cadence that re-checks
+// every transition the classic way, catching eligibility changes that
+// bypassed the basket signal path (e.g. direct mutable_contents() edits).
+constexpr Micros kIdleWaitMicros = 10'000;
+constexpr Micros kMinParkMicros = 20;
+}  // namespace
+
+Scheduler::Scheduler(Clock* clock, size_t num_workers)
+    : clock_(clock), num_workers_(std::max<size_t>(num_workers, 1)) {}
+
+Scheduler::~Scheduler() {
+  Stop();
+  for (const auto& node : nodes_) {
+    for (const auto& [basket, id] : node->subscriptions) {
+      basket->RemoveListener(id);
+    }
+  }
+}
 
 void Scheduler::Register(TransitionPtr transition) {
-  std::lock_guard<std::mutex> lock(mu_);
-  transitions_.push_back(std::move(transition));
+  auto node = std::make_unique<Node>();
+  node->t = std::move(transition);
+  const std::vector<BasketPtr> inputs = node->t->input_places();
+  const std::vector<BasketPtr> outputs = node->t->output_places();
+  node->data_driven = !inputs.empty();
+  node->places.reserve(inputs.size() + outputs.size());
+  for (const BasketPtr& b : inputs) node->places.push_back(b.get());
+  for (const BasketPtr& b : outputs) node->places.push_back(b.get());
+  std::sort(node->places.begin(), node->places.end());
+  node->places.erase(std::unique(node->places.begin(), node->places.end()),
+                     node->places.end());
+
+  Node* raw = node.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    raw->index = nodes_.size();
+    nodes_.push_back(std::move(node));
+  }
+  // Subscribe outside mu_: AddListener takes the basket lock and the
+  // listener itself takes mu_, so subscribing under mu_ would invert the
+  // basket-then-scheduler lock order used on the signal path.
+  std::unordered_set<Basket*> seen;
+  for (const BasketPtr& b : inputs) {
+    if (!seen.insert(b.get()).second) continue;
+    const size_t id = b->AddListener([this, raw] { OnPlaceSignal(raw); });
+    raw->subscriptions.emplace_back(b, id);
+  }
+  // A new transition starts ready: its places may already hold tokens.
+  OnPlaceSignal(raw);
+}
+
+void Scheduler::OnPlaceSignal(Node* node) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EnqueueLocked(node);
+  }
+}
+
+void Scheduler::EnqueueLocked(Node* node) {
+  node->park_until = 0;
+  if (node->queued) return;
+  node->queued = true;
+  ready_.push_back(node);
+  cv_.notify_one();
+}
+
+bool Scheduler::ConflictsLocked(const Node& node) const {
+  if (node.firing) return true;
+  for (Basket* b : node.places) {
+    if (firing_places_.count(b) > 0) return true;
+  }
+  return false;
 }
 
 size_t Scheduler::num_transitions() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return transitions_.size();
+  return nodes_.size();
+}
+
+Status Scheduler::set_num_workers(size_t n) {
+  if (n == 0) return Status::InvalidArgument("worker count must be >= 1");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_.load()) {
+    return Status::Internal("cannot resize a running scheduler");
+  }
+  num_workers_ = n;
+  return Status::OK();
+}
+
+size_t Scheduler::num_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_workers_;
+}
+
+Status Scheduler::last_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return error_;
+}
+
+Result<bool> Scheduler::FireIfEligible(Node* node, bool* fired) {
+  *fired = false;
+  const Micros now = clock_->Now();
+  if (!node->t->CanFire(now)) return false;
+  *fired = true;
+  return node->t->Fire(clock_->Now());
 }
 
 Result<bool> Scheduler::RunOnce() {
-  // Snapshot under the lock; firing happens outside it so transitions can
-  // be registered concurrently.
-  std::vector<TransitionPtr> snapshot;
+  // Drain the ready set in registration order. Self-scheduled transitions
+  // (no input places: pull receptors, metronomes) never receive basket
+  // signals, so they join every round — exactly the seed poll loop's view
+  // of them.
+  std::vector<Node*> round;
+  uint64_t serial;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    snapshot = transitions_;
+    serial = ++round_serial_;
+    round.reserve(nodes_.size());
+    for (const auto& n : nodes_) {
+      if (n->queued || !n->data_driven) {
+        n->queued = false;
+        round.push_back(n.get());
+      }
+    }
+    ready_.clear();
   }
+  // Firing happens outside mu_ so Register from another thread never blocks
+  // behind a long factory body.
   bool any_work = false;
-  const Micros now = clock_->Now();
-  for (const TransitionPtr& t : snapshot) {
-    if (!t->CanFire(now)) continue;
-    ASSIGN_OR_RETURN(bool worked, t->Fire(clock_->Now()));
+  for (Node* n : round) {
+    bool fired = false;
+    ASSIGN_OR_RETURN(bool worked, FireIfEligible(n, &fired));
+    if (fired) n->fired_in_round = serial;
+    any_work = any_work || worked;
+  }
+  if (any_work) return true;
+
+  // Safety sweep: the ready set produced no work, so fall back to the
+  // classic full scan before declaring the round idle. This keeps the
+  // seed's exact quiescence semantics even for eligibility changes that
+  // bypass basket signals (clock advances gating a factory body, direct
+  // mutable_contents() edits).
+  std::vector<Node*> sweep;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sweep.reserve(nodes_.size());
+    for (const auto& n : nodes_) {
+      if (n->fired_in_round != serial) sweep.push_back(n.get());
+    }
+  }
+  for (Node* n : sweep) {
+    bool fired = false;
+    ASSIGN_OR_RETURN(bool worked, FireIfEligible(n, &fired));
     any_work = any_work || worked;
   }
   return any_work;
@@ -45,35 +180,140 @@ Result<size_t> Scheduler::RunUntilQuiescent(size_t max_rounds) {
 }
 
 Status Scheduler::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (running_.load()) return Status::Internal("scheduler already running");
   stop_requested_.store(false);
+  error_ = Status::OK();
   running_.store(true);
-  thread_ = std::thread([this] { ThreadLoop(); });
+  workers_.reserve(num_workers_);
+  for (size_t i = 0; i < num_workers_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
   return Status::OK();
 }
 
 void Scheduler::Stop() {
-  // Join unconditionally: the loop may already have exited on an error
-  // (running_ false) while the thread object is still joinable.
-  stop_requested_.store(true);
-  if (thread_.joinable()) thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_.store(true);
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
   running_.store(false);
 }
 
-void Scheduler::ThreadLoop() {
+void Scheduler::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
   while (!stop_requested_.load()) {
-    Result<bool> worked = RunOnce();
-    if (!worked.ok()) {
-      DC_LOG(Error) << "scheduler stopping on error: "
-                    << worked.status().ToString();
-      break;
+    // Claim the oldest ready transition whose place set is disjoint from
+    // everything currently firing. No basket is touched under mu_.
+    Node* claimed = nullptr;
+    for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+      if (!ConflictsLocked(**it)) {
+        claimed = *it;
+        ready_.erase(it);
+        break;
+      }
     }
-    if (!*worked) {
-      // Nothing fired this round; park briefly instead of spinning.
-      SystemClock::Get()->SleepFor(100);  // 0.1 ms
+    if (claimed != nullptr) {
+      claimed->queued = false;
+      claimed->firing = true;
+      for (Basket* b : claimed->places) firing_places_.insert(b);
+      lock.unlock();
+
+      bool fired = false;
+      Result<bool> worked = FireIfEligible(claimed, &fired);
+      const Micros done_at = clock_->Now();
+
+      lock.lock();
+      claimed->firing = false;
+      for (Basket* b : claimed->places) firing_places_.erase(b);
+      if (!worked.ok()) {
+        DC_LOG(Error) << "scheduler worker stopping on error: "
+                      << worked.status().ToString();
+        if (error_.ok()) error_ = worked.status();
+        stop_requested_.store(true);
+        running_.store(false);
+        cv_.notify_all();
+        break;
+      }
+      if (fired && *worked) {
+        // It produced: it may be able to fire again. Data-driven nodes
+        // usually re-signal themselves by consuming input, but pollers
+        // (no input places) only come back through here.
+        EnqueueLocked(claimed);
+      } else if (!claimed->data_driven && fired) {
+        // Dry poll: back off instead of spinning on the source.
+        claimed->park_until = done_at + kPollIntervalMicros;
+      }
+      // A completed firing may unblock conflicting ready transitions.
+      if (!ready_.empty()) cv_.notify_all();
+      continue;
     }
+
+    if (!ready_.empty()) {
+      // Everything ready conflicts with an in-flight firing; its
+      // completion will notify.
+      cv_.wait(lock);
+      continue;
+    }
+
+    // Idle: poll self-scheduled transitions and compute the wait bound.
+    std::vector<std::pair<Node*, Micros>> self;  // node, park_until
+    for (const auto& n : nodes_) {
+      if (!n->data_driven && !n->queued && !n->firing) {
+        self.emplace_back(n.get(), n->park_until);
+      }
+    }
+    lock.unlock();
+    const Micros now = clock_->Now();
+    Micros wait = kIdleWaitMicros;
+    std::vector<Node*> due;
+    for (const auto& [n, park_until] : self) {
+      const Micros dl = n->t->next_deadline(now);
+      if (dl == kNoDeadline) {
+        if (now >= park_until) {
+          if (n->t->CanFire(now)) due.push_back(n);
+        } else {
+          wait = std::min(wait, park_until - now);
+        }
+      } else if (dl <= now) {
+        due.push_back(n);
+      } else {
+        wait = std::min(wait, dl - now);
+      }
+    }
+    lock.lock();
+    if (stop_requested_.load()) break;
+    if (!due.empty()) {
+      for (Node* n : due) EnqueueLocked(n);
+      continue;
+    }
+    if (!ready_.empty()) continue;  // a signal arrived while we scanned
+    const std::cv_status wait_status = cv_.wait_for(
+        lock, std::chrono::microseconds(
+                  std::clamp(wait, kMinParkMicros, kIdleWaitMicros)));
+    if (stop_requested_.load()) break;
+    if (!ready_.empty() || wait_status != std::cv_status::timeout) continue;
+
+    // Fallback sweep (see kIdleWaitMicros): re-check data-driven
+    // transitions that might have become eligible without a signal.
+    std::vector<Node*> sweep;
+    for (const auto& n : nodes_) {
+      if (n->data_driven && !n->queued && !n->firing) sweep.push_back(n.get());
+    }
+    lock.unlock();
+    const Micros snow = clock_->Now();
+    std::vector<Node*> hits;
+    for (Node* n : sweep) {
+      if (n->t->CanFire(snow)) hits.push_back(n);
+    }
+    lock.lock();
+    for (Node* n : hits) EnqueueLocked(n);
   }
-  running_.store(false);
 }
 
 }  // namespace datacell::core

@@ -2,10 +2,14 @@
 #define DATACELL_CORE_SCHEDULER_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/factory.h"
@@ -14,30 +18,45 @@
 
 namespace datacell::core {
 
-/// The DataCell scheduler (§4.1): runs an infinite loop and at every
-/// iteration checks which transitions can fire by analyzing their inputs.
+/// The DataCell scheduler (§4.1). The paper describes it as an infinite
+/// loop that "checks which transitions can fire by analyzing their inputs";
+/// we keep that contract but make it event-driven: transitions declare
+/// their place sets (Transition::input_places / output_places), every
+/// basket mutation signals the transitions watching that place, and the
+/// signalled transitions enter a ready-queue instead of being found by a
+/// blind poll over everything.
 ///
-/// Two execution modes:
+/// Two execution modes share the ready-queue:
 ///  * Cooperative — the caller drives rounds on its own thread
-///    (RunOnce / RunUntilQuiescent). Deterministic; used by tests, the
-///    latency benchmarks and the Linear Road driver.
-///  * Threaded — Start() spawns a scheduler thread that keeps polling,
-///    parking briefly when a full round fires nothing. Used together with
-///    receptor/emitter threads in the network experiments.
+///    (RunOnce / RunUntilQuiescent). Deterministic: each round drains the
+///    ready set in registration order, and a round that does no work falls
+///    back to the classic full scan, so quiescence detection is exactly the
+///    poll-loop semantics. Used by tests, the latency benchmarks and the
+///    Linear Road driver.
+///  * Threaded — Start() spawns `num_workers` worker threads. A worker
+///    claims the oldest ready transition whose place set does not overlap
+///    any currently-firing transition's (the conflict rule; canonical-order
+///    basket locking inside Factory::Fire stays as the safety net), fires
+///    it outside the scheduler lock, and parks on a condition variable when
+///    idle. Metronomes bound the park with their next deadline; pull
+///    receptors are polled on a short interval, everything else wakes on
+///    basket signals.
 class Scheduler {
  public:
-  explicit Scheduler(Clock* clock) : clock_(clock) {}
+  explicit Scheduler(Clock* clock, size_t num_workers = 1);
   ~Scheduler();
 
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
-  /// Registers a transition. Round order is registration order (the
-  /// Petri-net model leaves firing order undefined; we pick a stable one).
+  /// Registers a transition and subscribes it to its declared input
+  /// places. Round order is registration order (the Petri-net model leaves
+  /// firing order undefined; we pick a stable one). Thread-safe, including
+  /// while workers are running or another thread is inside RunOnce.
   void Register(TransitionPtr transition);
 
-  /// One pass over all transitions, firing each eligible one once.
-  /// Returns true if any firing did work.
+  /// One pass, firing each eligible ready transition once (registration
+  /// order). Returns true if any firing did work.
   Result<bool> RunOnce();
 
   /// Loops RunOnce until a full round does no work, or `max_rounds` is hit.
@@ -49,17 +68,56 @@ class Scheduler {
   void Stop();
   bool running() const { return running_.load(); }
 
+  /// Worker-pool size used by Start(). May only change while stopped.
+  Status set_num_workers(size_t n);
+  size_t num_workers() const;
+
   size_t num_transitions() const;
 
+  /// First error that stopped the worker pool (OK while healthy).
+  Status last_error() const;
+
  private:
-  void ThreadLoop();
+  // Per-transition scheduling state. Nodes are owned by nodes_ and never
+  // move, so raw Node* pointers stay valid in listeners and queues.
+  struct Node {
+    TransitionPtr t;
+    size_t index = 0;                  // registration order
+    std::vector<Basket*> places;       // sorted unique input ∪ output set
+    bool data_driven = false;          // has declared input places
+    bool queued = false;               // in ready_
+    bool firing = false;               // claimed by a worker
+    Micros park_until = 0;             // poller back-off (threaded mode)
+    uint64_t fired_in_round = 0;       // cooperative-round dedup marker
+    // Listener registrations to undo on scheduler destruction.
+    std::vector<std::pair<BasketPtr, size_t>> subscriptions;
+  };
+
+  // A basket watched by `node` changed; make the node claimable.
+  void OnPlaceSignal(Node* node);
+  // Caller holds mu_.
+  void EnqueueLocked(Node* node);
+  bool ConflictsLocked(const Node& node) const;
+
+  void WorkerLoop();
+  // Fires `node` if eligible. Returns whether the body did work; sets
+  // *fired when CanFire held and the transition actually ran.
+  Result<bool> FireIfEligible(Node* node, bool* fired);
 
   Clock* clock_;
+
   mutable std::mutex mu_;
-  std::vector<TransitionPtr> transitions_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::deque<Node*> ready_;
+  std::unordered_set<Basket*> firing_places_;
+  size_t num_workers_;
+  uint64_t round_serial_ = 0;  // cooperative round counter
+  Status error_ = Status::OK();
+
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
-  std::thread thread_;
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace datacell::core

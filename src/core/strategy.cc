@@ -225,9 +225,15 @@ Result<QueryNetwork> BuildPartialDeleteChain(
         });
     factory->AddInput(my_token, 1);
     // Only the chain head waits for a full batch; the rest run on the
-    // token alone (the batch is already in the basket).
+    // token alone (the batch is already in the basket) — but every chain
+    // member deletes from `shared` in place, so it must be in the declared
+    // place set. Declaring it as an output keeps the firing rule intact
+    // (outputs never gate eligibility) while telling the scheduler that
+    // chain members conflict on the shared basket.
     if (i == 0) {
       factory->AddInput(shared, batch_size);
+    } else {
+      factory->AddOutput(shared);
     }
     factory->AddOutput(output);
     factory->AddOutput(next_token);

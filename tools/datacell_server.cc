@@ -7,10 +7,16 @@
 //   terminal 2: datacell_server 9000 127.0.0.1 9001 16
 //   terminal 3: sensor 127.0.0.1 9000 100000
 //
-//   datacell_server <listen_port> <actuator_host> <actuator_port> [queries]
+//   datacell_server <listen_port> <actuator_host> <actuator_port> \
+//       [queries] [workers]
+//
+// `workers` sizes the scheduler's worker pool (default: the hardware
+// concurrency); independent query-chain segments fire in parallel.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 #include "core/basket.h"
 #include "core/factory.h"
@@ -29,7 +35,7 @@ int main(int argc, char** argv) {
   if (argc < 4) {
     std::fprintf(stderr,
                  "usage: %s <listen_port> <actuator_host> <actuator_port> "
-                 "[queries]\n",
+                 "[queries] [workers]\n",
                  argv[0]);
     return 2;
   }
@@ -37,6 +43,10 @@ int main(int argc, char** argv) {
   const char* actuator_host = argv[2];
   const uint16_t actuator_port = static_cast<uint16_t>(std::atoi(argv[3]));
   const int queries = argc > 4 ? std::atoi(argv[4]) : 8;
+  const int workers_arg = argc > 5 ? std::atoi(argv[5]) : 0;
+  const size_t workers =
+      workers_arg > 0 ? static_cast<size_t>(workers_arg)
+                      : std::max(1u, std::thread::hardware_concurrency());
 
   datacell::SystemClock* clock = datacell::SystemClock::Get();
   const datacell::Schema stream = net::Sensor::StreamSchema();
@@ -44,7 +54,7 @@ int main(int argc, char** argv) {
   // Query chain b0 -> q1 -> b1 -> ... -> bk -> emitter.
   std::vector<core::BasketPtr> baskets;
   baskets.push_back(std::make_shared<core::Basket>("b0", stream));
-  core::Scheduler scheduler(clock);
+  core::Scheduler scheduler(clock, workers);
   for (int i = 1; i <= queries; ++i) {
     baskets.push_back(std::make_shared<core::Basket>(
         "b" + std::to_string(i), baskets[0]->schema(), false));
@@ -84,9 +94,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "scheduler failed: %s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("datacell: listening on %u, %d-query chain, forwarding to "
-              "%s:%u\n",
-              ingress.port(), queries, actuator_host, actuator_port);
+  std::printf("datacell: listening on %u, %d-query chain, %zu workers, "
+              "forwarding to %s:%u\n",
+              ingress.port(), queries, workers, actuator_host, actuator_port);
   std::fflush(stdout);
 
   // Serve one sensor session, drain, and exit.
