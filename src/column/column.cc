@@ -10,62 +10,129 @@ bool PhysicalIsInt(DataType t) {
   return t == DataType::kInt64 || t == DataType::kTimestamp;
 }
 
-}  // namespace
+// A consumed prefix shorter than this is never worth compacting: the copy
+// would cost more than the memory it reclaims.
+constexpr size_t kCompactMinRows = 256;
 
-Column::Column(DataType type) : type_(type) {
-  switch (type) {
-    case DataType::kInt64:
-    case DataType::kTimestamp:
-      data_ = std::vector<int64_t>();
-      break;
-    case DataType::kDouble:
-      data_ = std::vector<double>();
-      break;
-    case DataType::kBool:
-      data_ = std::vector<uint8_t>();
-      break;
-    case DataType::kString:
-      data_ = std::vector<std::string>();
-      break;
-  }
+template <typename It>
+It At(It begin, size_t offset) {
+  return begin + static_cast<typename std::iterator_traits<It>::difference_type>(
+                     offset);
 }
 
-size_t Column::size() const {
-  return std::visit([](const auto& v) { return v.size(); }, data_);
+}  // namespace
+
+Column::Column(DataType type) : type_(type) { ResetBuffers(); }
+
+void Column::ResetBuffers() {
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      data_ = std::make_shared<std::vector<int64_t>>();
+      break;
+    case DataType::kDouble:
+      data_ = std::make_shared<std::vector<double>>();
+      break;
+    case DataType::kBool:
+      data_ = std::make_shared<std::vector<uint8_t>>();
+      break;
+    case DataType::kString:
+      data_ = std::make_shared<std::vector<std::string>>();
+      break;
+  }
+  valid_.reset();
+  head_ = 0;
+}
+
+size_t Column::PhysicalSize() const {
+  return std::visit([](const auto& b) { return b->size(); }, data_);
+}
+
+bool Column::Shared() const {
+  if (valid_ != nullptr && valid_.use_count() > 1) return true;
+  return std::visit([](const auto& b) { return b.use_count() > 1; }, data_);
+}
+
+bool Column::SharesStorageWith(const Column& other) const {
+  return std::visit(
+      [&](const auto& buf) {
+        using P = std::decay_t<decltype(buf)>;
+        const P* o = std::get_if<P>(&other.data_);
+        return o != nullptr && buf.get() == o->get();
+      },
+      data_);
+}
+
+void Column::Detach(bool compact) {
+  const bool shared = Shared();
+  if (!shared && (!compact || head_ == 0)) return;
+  std::visit(
+      [&](auto& buf) {
+        using Vec = typename std::decay_t<decltype(buf)>::element_type;
+        if (shared) {
+          // Copy only the live rows; the snapshot keeps the old buffer.
+          buf = std::make_shared<Vec>(At(buf->begin(), head_), buf->end());
+          if (valid_ != nullptr) {
+            valid_ = std::make_shared<std::vector<uint8_t>>(
+                At(valid_->begin(), head_), valid_->end());
+          }
+        } else {
+          // Exclusive owner with a stale prefix: reclaim it in place.
+          buf->erase(buf->begin(), At(buf->begin(), head_));
+          if (valid_ != nullptr) {
+            valid_->erase(valid_->begin(), At(valid_->begin(), head_));
+          }
+        }
+        head_ = 0;
+      },
+      data_);
+}
+
+void Column::MaybeCompact() {
+  if (head_ < kCompactMinRows || head_ * 2 < PhysicalSize()) return;
+  if (Shared()) return;  // a snapshot pins the buffer; reclaim later
+  Detach(/*compact=*/true);
 }
 
 void Column::EnsureValidity() {
-  if (valid_.empty()) valid_.assign(size(), 1);
+  if (valid_ == nullptr) {
+    valid_ = std::make_shared<std::vector<uint8_t>>(PhysicalSize(), 1);
+  }
 }
 
 void Column::AppendInt(int64_t v) {
   DC_DCHECK(PhysicalIsInt(type_));
-  ints().push_back(v);
-  if (!valid_.empty()) valid_.push_back(1);
+  Detach(false);
+  std::get<BufPtr<int64_t>>(data_)->push_back(v);
+  if (valid_ != nullptr) valid_->push_back(1);
 }
 
 void Column::AppendDouble(double v) {
   DC_DCHECK(type_ == DataType::kDouble);
-  doubles().push_back(v);
-  if (!valid_.empty()) valid_.push_back(1);
+  Detach(false);
+  std::get<BufPtr<double>>(data_)->push_back(v);
+  if (valid_ != nullptr) valid_->push_back(1);
 }
 
 void Column::AppendBool(bool v) {
   DC_DCHECK(type_ == DataType::kBool);
-  bools().push_back(v ? 1 : 0);
-  if (!valid_.empty()) valid_.push_back(1);
+  Detach(false);
+  std::get<BufPtr<uint8_t>>(data_)->push_back(v ? 1 : 0);
+  if (valid_ != nullptr) valid_->push_back(1);
 }
 
 void Column::AppendString(std::string v) {
   DC_DCHECK(type_ == DataType::kString);
-  strings().push_back(std::move(v));
-  if (!valid_.empty()) valid_.push_back(1);
+  Detach(false);
+  std::get<BufPtr<std::string>>(data_)->push_back(std::move(v));
+  if (valid_ != nullptr) valid_->push_back(1);
 }
 
 void Column::AppendNull() {
+  Detach(false);
   EnsureValidity();
-  std::visit([](auto& v) { v.emplace_back(); }, data_);
-  valid_.push_back(0);
+  std::visit([](auto& b) { b->emplace_back(); }, data_);
+  valid_->push_back(0);
 }
 
 Status Column::AppendValue(const Value& v) {
@@ -108,21 +175,22 @@ Status Column::AppendColumn(const Column& other) {
                                 DataTypeName(other.type_) + " vs " +
                                 DataTypeName(type_));
   }
-  const size_t old_size = size();
+  Detach(false);
+  if (other.has_nulls()) EnsureValidity();
   std::visit(
-      [&other](auto& dst) {
-        using Vec = std::decay_t<decltype(dst)>;
-        const Vec& src = std::get<Vec>(other.data_);
-        dst.insert(dst.end(), src.begin(), src.end());
+      [&](auto& dst) {
+        using P = std::decay_t<decltype(dst)>;
+        const auto& src = *std::get<P>(other.data_);
+        dst->insert(dst->end(), At(src.begin(), other.head_), src.end());
       },
       data_);
-  if (other.has_nulls()) {
-    if (valid_.empty()) {
-      valid_.assign(old_size, 1);
+  if (valid_ != nullptr) {
+    if (other.has_nulls()) {
+      valid_->insert(valid_->end(), At(other.valid_->begin(), other.head_),
+                     other.valid_->end());
+    } else {
+      valid_->insert(valid_->end(), other.size(), 1);
     }
-    valid_.insert(valid_.end(), other.valid_.begin(), other.valid_.end());
-  } else if (!valid_.empty()) {
-    valid_.insert(valid_.end(), other.size(), 1);
   }
   return Status::OK();
 }
@@ -133,20 +201,24 @@ Status Column::AppendColumnRows(const Column& other, const SelVector& sel) {
                                 DataTypeName(other.type_) + " vs " +
                                 DataTypeName(type_));
   }
-  const size_t old_size = size();
+  Detach(false);
+  if (other.has_nulls()) EnsureValidity();
   std::visit(
       [&](auto& dst) {
-        using Vec = std::decay_t<decltype(dst)>;
-        const Vec& src = std::get<Vec>(other.data_);
-        dst.reserve(dst.size() + sel.size());
-        for (uint32_t r : sel) dst.push_back(src[r]);
+        using P = std::decay_t<decltype(dst)>;
+        const auto& src = *std::get<P>(other.data_);
+        dst->reserve(dst->size() + sel.size());
+        for (uint32_t r : sel) dst->push_back(src[other.head_ + r]);
       },
       data_);
-  if (other.has_nulls()) {
-    if (valid_.empty()) valid_.assign(old_size, 1);
-    for (uint32_t r : sel) valid_.push_back(other.valid_[r]);
-  } else if (!valid_.empty()) {
-    valid_.insert(valid_.end(), sel.size(), 1);
+  if (valid_ != nullptr) {
+    if (other.has_nulls()) {
+      for (uint32_t r : sel) {
+        valid_->push_back((*other.valid_)[other.head_ + r]);
+      }
+    } else {
+      valid_->insert(valid_->end(), sel.size(), 1);
+    }
   }
   return Status::OK();
 }
@@ -205,19 +277,37 @@ void Column::KeepRowsIn(Vec& v, const SelVector& sorted_sel) {
 
 void Column::EraseRows(const SelVector& sorted_sel) {
   if (sorted_sel.empty()) return;
-  std::visit([&](auto& v) { EraseRowsIn(v, sorted_sel); }, data_);
-  if (!valid_.empty()) EraseRowsIn(valid_, sorted_sel);
+  // An ascending unique selection whose maximum is k-1 is exactly the
+  // prefix {0..k-1}: consume it by advancing the head instead of shifting.
+  if (static_cast<size_t>(sorted_sel.back()) + 1 == sorted_sel.size()) {
+    ErasePrefix(sorted_sel.size());
+    return;
+  }
+  Detach(/*compact=*/true);
+  std::visit([&](auto& b) { EraseRowsIn(*b, sorted_sel); }, data_);
+  if (valid_ != nullptr) EraseRowsIn(*valid_, sorted_sel);
 }
 
 void Column::KeepRows(const SelVector& sorted_sel) {
-  std::visit([&](auto& v) { KeepRowsIn(v, sorted_sel); }, data_);
-  if (!valid_.empty()) KeepRowsIn(valid_, sorted_sel);
+  Detach(/*compact=*/true);
+  std::visit([&](auto& b) { KeepRowsIn(*b, sorted_sel); }, data_);
+  if (valid_ != nullptr) KeepRowsIn(*valid_, sorted_sel);
 }
 
-void Column::Clear() {
-  std::visit([](auto& v) { v.clear(); }, data_);
-  valid_.clear();
+void Column::ErasePrefix(size_t n) {
+  n = std::min(n, size());
+  if (n == 0) return;
+  head_ += n;
+  if (head_ == PhysicalSize()) {
+    // Everything consumed: drop our reference to the buffer entirely
+    // (snapshots, if any, keep theirs).
+    ResetBuffers();
+    return;
+  }
+  MaybeCompact();
 }
+
+void Column::Clear() { ResetBuffers(); }
 
 std::string Column::ValueToString(size_t i) const {
   return GetValue(i).ToString();

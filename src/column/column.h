@@ -1,7 +1,9 @@
 #ifndef DATACELL_COLUMN_COLUMN_H_
 #define DATACELL_COLUMN_COLUMN_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <variant>
 #include <vector>
@@ -18,11 +20,59 @@ namespace datacell {
 /// lists).
 using SelVector = std::vector<uint32_t>;
 
+/// Read-only view over the live rows of a column's backing buffer —
+/// the MonetDB candidate-friendly answer to handing out the raw vector.
+/// Indexing is logical: view[0] is the column's first live row even when
+/// a consumed prefix is still physically present.
+template <typename T>
+class ColumnView {
+ public:
+  using value_type = T;
+  using const_iterator = const T*;
+
+  ColumnView() = default;
+  ColumnView(const T* data, size_t size) : data_(data), size_(size) {}
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T* data() const { return data_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  friend bool operator==(const ColumnView& a, const std::vector<T>& b) {
+    return a.size_ == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator==(const std::vector<T>& a, const ColumnView& b) {
+    return b == a;
+  }
+  friend bool operator==(const ColumnView& a, const ColumnView& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
 /// A single typed column — the DataCell analogue of a MonetDB BAT tail.
 ///
 /// Row identity is positional: the i-th entries of all columns of a table
 /// form tuple i (the paper's tuple-order alignment). The head/key column of
 /// a BAT is therefore virtual, exactly as in MonetDB.
+///
+/// Storage is shared copy-on-write, mirroring MonetDB's shared immutable
+/// BAT tails: copying a Column is an O(1) refcount bump, so a basket
+/// snapshot (`Basket::Peek`) shares buffers with the basket instead of
+/// duplicating the stream. Any mutation first *detaches* — if another
+/// owner holds the buffer, the live rows are copied into a private one —
+/// so snapshots are immutable no matter what the writer does next.
+///
+/// FIFO consumption is O(1): the column keeps a logical head offset and
+/// `ErasePrefix` merely advances it. The consumed prefix is physically
+/// reclaimed by amortized compaction once it exceeds half the buffer
+/// (skipped while snapshots pin the storage; the next exclusive mutation
+/// reclaims it).
 ///
 /// Nulls are tracked in an optional validity vector that is only
 /// materialized once the first null is appended.
@@ -31,35 +81,32 @@ class Column {
   explicit Column(DataType type);
 
   DataType type() const { return type_; }
-  size_t size() const;
+  size_t size() const { return PhysicalSize() - head_; }
   bool empty() const { return size() == 0; }
 
-  /// Direct typed access to the backing vector. The alternative must match
+  /// Read-only typed views of the live rows (logical indexing). Cheap to
+  /// construct; used by operators for vector-at-a-time processing.
+  ColumnView<int64_t> ints() const { return View<int64_t>(); }
+  ColumnView<double> doubles() const { return View<double>(); }
+  ColumnView<uint8_t> bools() const { return View<uint8_t>(); }
+  ColumnView<std::string> strings() const { return View<std::string>(); }
+
+  /// Direct mutable access to the backing vector. Detaches from any
+  /// snapshot and compacts the head offset first, so physical and logical
+  /// indexing coincide for the returned vector. The alternative must match
   /// the column's physical type (int64 for kInt64/kTimestamp, uint8_t for
-  /// kBool). Used by operators for vector-at-a-time processing.
-  std::vector<int64_t>& ints() { return std::get<std::vector<int64_t>>(data_); }
-  const std::vector<int64_t>& ints() const {
-    return std::get<std::vector<int64_t>>(data_);
-  }
-  std::vector<double>& doubles() { return std::get<std::vector<double>>(data_); }
-  const std::vector<double>& doubles() const {
-    return std::get<std::vector<double>>(data_);
-  }
-  std::vector<uint8_t>& bools() { return std::get<std::vector<uint8_t>>(data_); }
-  const std::vector<uint8_t>& bools() const {
-    return std::get<std::vector<uint8_t>>(data_);
-  }
-  std::vector<std::string>& strings() {
-    return std::get<std::vector<std::string>>(data_);
-  }
-  const std::vector<std::string>& strings() const {
-    return std::get<std::vector<std::string>>(data_);
-  }
+  /// kBool).
+  std::vector<int64_t>& ints() { return Mutable<int64_t>(); }
+  std::vector<double>& doubles() { return Mutable<double>(); }
+  std::vector<uint8_t>& bools() { return Mutable<uint8_t>(); }
+  std::vector<std::string>& strings() { return Mutable<std::string>(); }
 
   /// True if any row is null.
-  bool has_nulls() const { return !valid_.empty(); }
+  bool has_nulls() const { return valid_ != nullptr; }
   /// Validity of row i (true = non-null).
-  bool IsValid(size_t i) const { return valid_.empty() || valid_[i] != 0; }
+  bool IsValid(size_t i) const {
+    return valid_ == nullptr || (*valid_)[head_ + i] != 0;
+  }
 
   /// Typed appends (hot path, no Value boxing). The value slot appended for
   /// AppendNull holds a zero/empty placeholder.
@@ -86,33 +133,82 @@ class Column {
 
   /// Removes the rows in `sorted_sel` (ascending, unique) by shifting the
   /// survivors down in a single pass — the paper's custom "delete a set of
-  /// tuples in one go" kernel operator (§6.2).
+  /// tuples in one go" kernel operator (§6.2). A selection that is exactly
+  /// the prefix {0..k-1} is routed through the O(1) head advance instead.
   void EraseRows(const SelVector& sorted_sel);
 
   /// Keeps only the rows in `sorted_sel` (ascending, unique), compacting in
   /// place; complement of EraseRows.
   void KeepRows(const SelVector& sorted_sel);
 
-  /// Drops all rows.
+  /// Removes the first n rows in O(1) by advancing the head offset;
+  /// physical compaction is amortized (and deferred while snapshots share
+  /// the buffer).
+  void ErasePrefix(size_t n);
+
+  /// Drops all rows. O(1) even when snapshots share the storage (they keep
+  /// the old buffer; this column starts a fresh one).
   void Clear();
 
   /// Rendering of row i for the codec and debugging.
   std::string ValueToString(size_t i) const;
 
+  /// --- Storage introspection (tests, benches, compaction policy) --------
+  /// Rows physically present, including the consumed-but-uncompacted
+  /// prefix.
+  size_t PhysicalSize() const;
+  /// Consumed rows not yet physically reclaimed.
+  size_t head() const { return head_; }
+  /// True if this column and `other` share the same backing buffer (i.e.
+  /// one is a zero-copy snapshot of the other).
+  bool SharesStorageWith(const Column& other) const;
+
  private:
+  template <typename T>
+  using BufPtr = std::shared_ptr<std::vector<T>>;
+
+  template <typename T>
+  ColumnView<T> View() const {
+    const auto& v = *std::get<BufPtr<T>>(data_);
+    return ColumnView<T>(v.data() + head_, v.size() - head_);
+  }
+
+  template <typename T>
+  std::vector<T>& Mutable() {
+    Detach(/*compact=*/true);
+    return *std::get<BufPtr<T>>(data_);
+  }
+
+  // True when another Column shares either buffer.
+  bool Shared() const;
+
+  // Ensures exclusive ownership of the buffers. With `compact` the head
+  // offset is also folded away (required before handing out raw vectors or
+  // shifting rows); without it an already-exclusive buffer keeps its head
+  // untouched, so appends after prefix consumption stay O(1).
+  void Detach(bool compact);
+
+  // Amortized reclamation of the consumed prefix; no-op while shared.
+  void MaybeCompact();
+
+  // Replaces the storage with fresh empty buffers.
+  void ResetBuffers();
+
   template <typename Vec>
   static void EraseRowsIn(Vec& v, const SelVector& sorted_sel);
   template <typename Vec>
   static void KeepRowsIn(Vec& v, const SelVector& sorted_sel);
 
   // Lazily materializes the validity vector (all rows currently valid).
+  // Caller must have detached already.
   void EnsureValidity();
 
   DataType type_;
-  std::variant<std::vector<int64_t>, std::vector<double>,
-               std::vector<uint8_t>, std::vector<std::string>>
+  std::variant<BufPtr<int64_t>, BufPtr<double>, BufPtr<uint8_t>,
+               BufPtr<std::string>>
       data_;
-  std::vector<uint8_t> valid_;  // empty = all valid
+  BufPtr<uint8_t> valid_;  // null = all valid; aligned with the buffer
+  size_t head_ = 0;        // first live physical row
 };
 
 }  // namespace datacell

@@ -1,5 +1,6 @@
 #include "column/table.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "util/logging.h"
@@ -108,6 +109,13 @@ Status Table::EraseRows(const SelVector& sorted_sel) {
 Status Table::KeepRows(const SelVector& sorted_sel) {
   RETURN_NOT_OK(CheckSortedSelection(sorted_sel));
   for (Column& c : columns_) c.KeepRows(sorted_sel);
+  return Status::OK();
+}
+
+Status Table::ErasePrefix(size_t n) {
+  n = std::min(n, num_rows());
+  if (n == 0) return Status::OK();
+  for (Column& c : columns_) c.ErasePrefix(n);
   return Status::OK();
 }
 

@@ -16,6 +16,10 @@ namespace datacell {
 /// Tables are value types used both for persistent relations (via Catalog)
 /// and for intermediate operator results. Baskets (core/basket.h) wrap a
 /// Table and add the stream-specific semantics.
+///
+/// Copying a Table is a zero-copy snapshot: columns share their backing
+/// buffers copy-on-write (see Column), so the copy costs O(#columns)
+/// refcount bumps and both sides detach lazily on their next mutation.
 class Table {
  public:
   Table() = default;
@@ -52,10 +56,14 @@ class Table {
   Table Take(const SelVector& sel) const;
 
   /// Removes the given rows (ascending, unique) from every column in one
-  /// shifting pass.
+  /// shifting pass. A selection that is exactly the prefix {0..k-1} is
+  /// consumed in O(1) per column via ErasePrefix.
   Status EraseRows(const SelVector& sorted_sel);
   /// Keeps only the given rows (ascending, unique).
   Status KeepRows(const SelVector& sorted_sel);
+  /// Removes the first n rows (FIFO window consumption) in O(1) per column
+  /// by advancing the logical head; physical reclamation is amortized.
+  Status ErasePrefix(size_t n);
 
   /// Drops all rows, keeping the schema.
   void Clear();

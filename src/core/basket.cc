@@ -13,6 +13,9 @@ Basket::Basket(std::string name, const Schema& schema, bool add_arrival_ts)
   } else {
     has_arrival_ = schema_.FindField(kArrivalColumn) >= 0;
   }
+  user_schema_ = Schema(std::vector<Field>(
+      schema_.fields().begin(),
+      schema_.fields().end() - (has_arrival_ ? 1 : 0)));
   data_ = Table(schema_);
 }
 
@@ -104,9 +107,7 @@ Result<size_t> Basket::AppendAligned(const Table& tuples, Micros now) {
 }
 
 Status Basket::AppendRow(const Row& row, Micros now) {
-  Table t(Schema(std::vector<Field>(
-      schema_.fields().begin(),
-      schema_.fields().end() - (has_arrival_ ? 1 : 0))));
+  Table t(user_schema_);
   RETURN_NOT_OK(t.AppendRow(row));
   ASSIGN_OR_RETURN(size_t n, Append(t, now));
   (void)n;
@@ -157,9 +158,11 @@ Status Basket::EraseRows(const SelVector& sorted_sel) {
 Status Basket::ErasePrefix(size_t n) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   n = std::min(n, data_.num_rows());
-  SelVector sel(n);
-  for (size_t i = 0; i < n; ++i) sel[i] = static_cast<uint32_t>(i);
-  return EraseRows(sel);
+  if (n == 0) return Status::OK();
+  RETURN_NOT_OK(data_.ErasePrefix(n));
+  consumed_.fetch_add(n, std::memory_order_relaxed);
+  Touch();
+  return Status::OK();
 }
 
 void Basket::Clear() {

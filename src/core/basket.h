@@ -93,7 +93,13 @@ class Basket {
   size_t size() const;
   bool empty() const { return size() == 0; }
 
-  /// Copy of the current contents (kConsumeNone reads).
+  /// Zero-copy snapshot of the current contents (kConsumeNone reads): the
+  /// returned table shares the basket's column buffers copy-on-write, so
+  /// this costs O(#columns) refcount bumps, not O(#tuples). The snapshot
+  /// is immutable — later appends/erases/compaction on the basket detach
+  /// from the shared storage and never disturb it — which lets factories
+  /// and the SQL executor evaluate over it without holding the basket
+  /// lock.
   Table Peek() const;
   /// Copy of selected rows without consuming.
   Table PeekRows(const SelVector& sel) const;
@@ -104,7 +110,10 @@ class Basket {
   Result<Table> TakeRows(const SelVector& sorted_sel);
   /// Removes (without returning) the given rows.
   Status EraseRows(const SelVector& sorted_sel);
-  /// Removes the first n tuples (shared-baskets unlocker step).
+  /// Removes the first n tuples (shared-baskets unlocker step, FIFO window
+  /// slides). O(1): advances the columns' logical head offsets; physical
+  /// reclamation is amortized and deferred while snapshots pin the
+  /// buffers.
   Status ErasePrefix(size_t n);
   /// Drops everything.
   void Clear();
@@ -143,6 +152,9 @@ class Basket {
 
   const std::string name_;
   Schema schema_;
+  // schema_ minus the arrival column — cached so single-row appends do not
+  // rebuild a Schema (field-vector copy) per tuple.
+  Schema user_schema_;
   bool has_arrival_ = false;
   std::atomic<bool> enabled_{true};
 

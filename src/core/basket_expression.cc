@@ -8,8 +8,24 @@
 namespace datacell::core {
 
 Result<Table> BasketExpression::Evaluate(const EvalContext& ctx) const {
+  // Snapshot the basket under its lock. The snapshot shares the basket's
+  // column buffers copy-on-write, so it costs O(#columns), and it stays
+  // immutable no matter what producers append afterwards. Policies that do
+  // not erase *specific* rows can therefore release the lock before the
+  // (possibly expensive) window evaluation:
+  //   * kNone never mutates the basket;
+  //   * kBatch consumes exactly the snapshot, so we Clear() up front (O(1);
+  //     the snapshot keeps the rows) — except under `top n`, which must
+  //     consume nothing when the window cannot be filled yet, so it keeps
+  //     the lock like the row-targeted policies;
+  //   * kMatched/kExpired erase rows by index into the snapshot, so the
+  //     basket must not change between snapshot and erase: hold the lock.
   auto lock = source_->AcquireLock();
-  const Table& data = source_->contents();
+  Table data = source_->Peek();
+  const bool consume_upfront =
+      consume_ == ConsumePolicy::kBatch && !top_n_.has_value();
+  if (consume_upfront) source_->Clear();
+  if (consume_ == ConsumePolicy::kNone || consume_upfront) lock.unlock();
 
   // 1. Window predicate.
   SelVector window;
@@ -48,12 +64,14 @@ Result<Table> BasketExpression::Evaluate(const EvalContext& ctx) const {
   // 3. Materialize the result before mutating the basket.
   Table result = data.Take(selected);
 
-  // 4. Consumption side effect.
+  // 4. Consumption side effect (indices refer to the snapshot; for the
+  // row-targeted policies the lock held since the snapshot keeps them
+  // valid against the basket).
   switch (consume_) {
     case ConsumePolicy::kNone:
       break;
     case ConsumePolicy::kBatch:
-      source_->Clear();
+      if (!consume_upfront) source_->Clear();
       break;
     case ConsumePolicy::kMatched: {
       SelVector to_erase = selected;

@@ -131,13 +131,20 @@ Result<QueryNetwork> BuildSharedBaskets(
         [shared, pred, output, flag, done, batch_n](
             FactoryContext& ctx) -> Status {
           flag->Clear();  // consume the trigger token
-          // Read the pinned batch in place — sharing means no per-query
-          // copy of the stream (the whole point of this strategy). The
-          // factory holds the basket lock for the firing, so the direct
-          // contents() scan is safe.
-          auto lock = shared->AcquireLock();
-          const size_t n = std::min(*batch_n, shared->size());
-          const Table& data = shared->contents();
+          // Snapshot the pinned batch — sharing means no per-query copy of
+          // the stream (the whole point of this strategy), and the COW
+          // snapshot shares the shared basket's buffers, so this is
+          // O(#columns). The lock is dropped before predicate evaluation:
+          // k readers can then scan the same pinned prefix concurrently,
+          // and the unlocker's O(1) ErasePrefix head-advance never
+          // disturbs snapshots already taken.
+          size_t n;
+          Table data;
+          {
+            auto lock = shared->AcquireLock();
+            n = std::min(*batch_n, shared->size());
+            data = shared->contents();
+          }
           SelVector prefix(n);
           for (size_t r = 0; r < n; ++r) prefix[r] = static_cast<uint32_t>(r);
           SelVector sel = std::move(prefix);
@@ -159,8 +166,9 @@ Result<QueryNetwork> BuildSharedBaskets(
     net.transitions.push_back(factory);
   }
 
-  // Unlocker U: once every query finished, drop the pinned batch and
-  // re-arm the locker.
+  // Unlocker U: once every query finished, drop the pinned batch (an O(1)
+  // head advance; any reader snapshot still in flight keeps the physical
+  // rows alive) and re-arm the locker.
   auto unlocker = std::make_shared<Factory>(
       "unlocker",
       [shared, dones, ready, batch_n](FactoryContext& ctx) -> Status {

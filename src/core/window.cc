@@ -55,9 +55,16 @@ Result<FactoryPtr> MakeTumblingWindowFactory(const std::string& name,
     const Micros closed_end = (ctx.now() / len) * len;
     if (closed_end <= 0) return Status::OK();
 
-    auto lock = input->AcquireLock();
-    const Table& data = input->contents();
-    const auto& arrival = data.column(arrival_idx).ints();
+    // Zero-copy snapshot; the aggregation below runs without the basket
+    // lock so producers keep appending concurrently. The scheduler's
+    // place-set conflict rule makes this factory the only consumer of
+    // `input` while it fires, and appends only add rows *past* the
+    // snapshot, so the `consumed` row indices collected here are still
+    // valid for the erase at the end. Since tuples arrive in time order
+    // that selection is normally the prefix {0..k-1}, which EraseRows
+    // routes through the O(1) head advance.
+    Table data = input->Peek();
+    const auto arrival = data.column(arrival_idx).ints();
     // Bucket closed-window rows by window id.
     std::map<Micros, SelVector> windows;
     SelVector consumed;

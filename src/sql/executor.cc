@@ -252,7 +252,9 @@ Result<Executor::Source> Executor::EvalFromItem(const FromItem& item,
   if (engine_->HasBasket(name)) {
     ASSIGN_OR_RETURN(core::BasketPtr b, engine_->GetBasket(name));
     // A basket inspected outside a basket expression behaves as a
-    // temporary table: tuples are not removed (§3.4).
+    // temporary table: tuples are not removed (§3.4). Peek is a zero-copy
+    // COW snapshot, so the rest of the query runs over a stable view
+    // without copying the stream or holding the basket lock.
     return Source{b->Peek(), alias};
   }
   ASSIGN_OR_RETURN(auto table, engine_->catalog().GetTable(name));
@@ -343,7 +345,10 @@ Result<Table> Executor::EvalBasketExpr(const SelectStmt& stmt,
   const std::string ralias =
       stmt.from[1].alias.empty() ? stmt.from[1].relation : stmt.from[1].alias;
 
-  // Lock both baskets for the whole read-join-delete sequence.
+  // Lock both baskets for the whole read-join-delete sequence: the matched
+  // row indices computed against the snapshots below must still describe
+  // the baskets when the deletes run. The snapshots themselves are
+  // zero-copy, so holding the locks costs contention, not copying.
   auto llock = left->AcquireLock();
   auto rlock = right->AcquireLock();
   Table ltab = left->Peek();

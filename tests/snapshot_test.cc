@@ -1,0 +1,328 @@
+// Snapshot-isolation coverage for the zero-copy basket hot path: COW
+// column snapshots must stay immutable under every writer-side mutation
+// (append, erase, prefix consumption, compaction, clear), and FIFO prefix
+// consumption must be an O(1) head advance with amortized physical
+// reclamation.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "column/column.h"
+#include "column/table.h"
+#include "core/basket.h"
+#include "core/basket_expression.h"
+
+namespace datacell {
+namespace {
+
+Column IntColumn(int64_t first, size_t n) {
+  Column c(DataType::kInt64);
+  for (size_t i = 0; i < n; ++i) c.AppendInt(first + static_cast<int64_t>(i));
+  return c;
+}
+
+std::vector<int64_t> ToVector(const ColumnView<int64_t>& v) {
+  return std::vector<int64_t>(v.begin(), v.end());
+}
+
+// --- Column-level COW ------------------------------------------------------
+
+TEST(ColumnCowTest, CopyIsZeroCopyUntilMutation) {
+  Column base = IntColumn(0, 100);
+  Column snap = base;
+  EXPECT_TRUE(snap.SharesStorageWith(base));
+  // Reading does not detach.
+  EXPECT_EQ(snap.size(), 100u);
+  EXPECT_TRUE(snap.SharesStorageWith(base));
+  // Writer mutation detaches the writer, not the snapshot.
+  base.AppendInt(100);
+  EXPECT_FALSE(snap.SharesStorageWith(base));
+  EXPECT_EQ(base.size(), 101u);
+  EXPECT_EQ(snap.size(), 100u);
+}
+
+TEST(ColumnCowTest, SnapshotUnaffectedByWriterAppends) {
+  Column base = IntColumn(0, 10);
+  const Column snap = base;
+  const std::vector<int64_t> before = ToVector(snap.ints());
+  for (int64_t v = 10; v < 50; ++v) base.AppendInt(v);
+  EXPECT_EQ(ToVector(snap.ints()), before);
+}
+
+TEST(ColumnCowTest, SnapshotUnaffectedByWriterEraseAndClear) {
+  Column base = IntColumn(0, 20);
+  const Column snap = base;
+  base.EraseRows({0, 1, 2, 5, 7});
+  base.Clear();
+  EXPECT_EQ(base.size(), 0u);
+  ASSERT_EQ(snap.size(), 20u);
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(snap.ints()[i], static_cast<int64_t>(i));
+  }
+}
+
+TEST(ColumnCowTest, SnapshotOfHeadOffsetColumnSeesLiveRowsOnly) {
+  Column base = IntColumn(0, 100);
+  base.ErasePrefix(40);  // below compaction threshold: head advances
+  ASSERT_EQ(base.head(), 40u);
+  const Column snap = base;
+  EXPECT_EQ(snap.size(), 60u);
+  EXPECT_EQ(snap.ints()[0], 40);
+  // The writer consuming further does not move the snapshot's view.
+  base.ErasePrefix(10);
+  EXPECT_EQ(snap.ints()[0], 40);
+  EXPECT_EQ(base.ints()[0], 50);
+}
+
+TEST(ColumnCowTest, ValidityVectorIsSnapshotIsolatedToo) {
+  Column base(DataType::kInt64);
+  base.AppendInt(1);
+  base.AppendNull();
+  base.AppendInt(3);
+  const Column snap = base;
+  base.AppendNull();
+  base.EraseRows({1});
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_TRUE(snap.IsValid(0));
+  EXPECT_FALSE(snap.IsValid(1));
+  EXPECT_TRUE(snap.IsValid(2));
+  ASSERT_EQ(base.size(), 3u);
+  EXPECT_TRUE(base.IsValid(0));
+  EXPECT_TRUE(base.IsValid(1));
+  EXPECT_FALSE(base.IsValid(2));
+}
+
+TEST(ColumnCowTest, StringColumnsShareAndDetach) {
+  Column base(DataType::kString);
+  base.AppendString("alpha");
+  base.AppendString("beta");
+  Column snap = base;
+  EXPECT_TRUE(snap.SharesStorageWith(base));
+  base.AppendString("gamma");
+  EXPECT_FALSE(snap.SharesStorageWith(base));
+  EXPECT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap.strings()[1], "beta");
+}
+
+// --- O(1) prefix consumption and compaction --------------------------------
+
+TEST(ColumnHeadTest, ErasePrefixAdvancesHeadWithoutCopy) {
+  Column c = IntColumn(0, 100);
+  c.ErasePrefix(30);
+  EXPECT_EQ(c.size(), 70u);
+  EXPECT_EQ(c.head(), 30u);
+  EXPECT_EQ(c.PhysicalSize(), 100u);  // nothing reclaimed yet
+  EXPECT_EQ(c.ints()[0], 30);
+  EXPECT_EQ(c.GetValue(0), Value(int64_t{30}));
+}
+
+TEST(ColumnHeadTest, FullConsumptionResetsStorage) {
+  Column c = IntColumn(0, 1000);
+  c.ErasePrefix(1000);
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.head(), 0u);
+  EXPECT_EQ(c.PhysicalSize(), 0u);
+}
+
+TEST(ColumnHeadTest, CompactionReclaimsLargeConsumedPrefix) {
+  // Consume more than half of a large buffer: the amortized compaction
+  // must fold the head away.
+  Column c = IntColumn(0, 1000);
+  c.ErasePrefix(600);
+  EXPECT_EQ(c.size(), 400u);
+  EXPECT_EQ(c.head(), 0u);
+  EXPECT_EQ(c.PhysicalSize(), 400u);
+  EXPECT_EQ(c.ints()[0], 600);
+}
+
+TEST(ColumnHeadTest, CompactionDeferredWhileSnapshotPinsBuffer) {
+  Column c = IntColumn(0, 1000);
+  const Column snap = c;
+  c.ErasePrefix(600);
+  // Shared storage: the head advances but physical reclamation waits.
+  EXPECT_EQ(c.size(), 400u);
+  EXPECT_EQ(c.head(), 600u);
+  EXPECT_EQ(c.PhysicalSize(), 1000u);
+  EXPECT_TRUE(c.SharesStorageWith(snap));
+  EXPECT_EQ(snap.size(), 1000u);
+  // The writer's next mutation detaches and drops the stale prefix.
+  c.AppendInt(1000);
+  EXPECT_FALSE(c.SharesStorageWith(snap));
+  EXPECT_EQ(c.head(), 0u);
+  EXPECT_EQ(c.PhysicalSize(), 401u);
+  EXPECT_EQ(c.ints()[0], 600);
+  EXPECT_EQ(c.ints()[400], 1000);
+  EXPECT_EQ(snap.size(), 1000u);
+  EXPECT_EQ(snap.ints()[0], 0);
+}
+
+TEST(ColumnHeadTest, EraseRowsDetectsPrefixSelection) {
+  Column c = IntColumn(0, 500);
+  SelVector prefix(300);
+  for (uint32_t i = 0; i < 300; ++i) prefix[i] = i;
+  c.EraseRows(prefix);
+  // Routed through ErasePrefix: compaction policy applies (600 > 256 and
+  // more than half the buffer), so this also reclaims.
+  EXPECT_EQ(c.size(), 200u);
+  EXPECT_EQ(c.ints()[0], 300);
+}
+
+TEST(ColumnHeadTest, NonPrefixEraseStillWorksWithHeadOffset) {
+  Column c = IntColumn(0, 10);
+  c.ErasePrefix(4);  // live rows 4..9
+  c.EraseRows({1, 3});  // logical rows: values 5 and 7
+  const Column& view = c;
+  EXPECT_EQ(ToVector(view.ints()), (std::vector<int64_t>{4, 6, 8, 9}));
+}
+
+TEST(ColumnHeadTest, MutableAccessorFoldsHeadAway) {
+  Column c = IntColumn(0, 10);
+  c.ErasePrefix(4);
+  std::vector<int64_t>& raw = c.ints();
+  // Physical and logical indexing must coincide for the raw vector.
+  ASSERT_EQ(raw.size(), 6u);
+  EXPECT_EQ(raw[0], 4);
+  EXPECT_EQ(c.head(), 0u);
+}
+
+TEST(ColumnHeadTest, AppendAfterPrefixConsumptionKeepsHead) {
+  // Steady-state FIFO: append after consume must not trigger a physical
+  // shift per append (the typed append path leaves the head in place).
+  Column c = IntColumn(0, 100);
+  c.ErasePrefix(50);
+  ASSERT_EQ(c.head(), 50u);
+  c.AppendInt(100);
+  EXPECT_EQ(c.head(), 50u);
+  EXPECT_EQ(c.size(), 51u);
+  EXPECT_EQ(c.ints()[50], 100);
+}
+
+// --- Table-level snapshots --------------------------------------------------
+
+TEST(TableSnapshotTest, CopySharesAllColumns) {
+  Table t(Schema({{"a", DataType::kInt64}, {"b", DataType::kString}}));
+  ASSERT_TRUE(t.AppendRow({Value(int64_t{1}), Value("x")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(int64_t{2}), Value("y")}).ok());
+  const Table snap = t;
+  EXPECT_TRUE(snap.column(0).SharesStorageWith(t.column(0)));
+  EXPECT_TRUE(snap.column(1).SharesStorageWith(t.column(1)));
+  ASSERT_TRUE(t.AppendRow({Value(int64_t{3}), Value("z")}).ok());
+  EXPECT_EQ(snap.num_rows(), 2u);
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(snap.GetRow(1)[1], Value("y"));
+}
+
+TEST(TableSnapshotTest, ErasePrefixIsUniformAcrossColumns) {
+  Table t(Schema({{"a", DataType::kInt64}, {"b", DataType::kDouble}}));
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value(i), Value(i * 0.5)}).ok());
+  }
+  ASSERT_TRUE(t.ErasePrefix(4).ok());
+  EXPECT_EQ(t.num_rows(), 6u);
+  EXPECT_EQ(t.GetRow(0)[0], Value(int64_t{4}));
+  EXPECT_EQ(t.GetRow(0)[1], Value(2.0));
+  // Over-long prefixes clamp.
+  ASSERT_TRUE(t.ErasePrefix(100).ok());
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+// --- Basket-level snapshots -------------------------------------------------
+
+core::BasketPtr MakeBasket(const std::string& name) {
+  return std::make_shared<core::Basket>(
+      name, Schema({{"v", DataType::kInt64}}), /*add_arrival_ts=*/false);
+}
+
+Table OneColBatch(int64_t first, size_t n) {
+  Table t(Schema({{"v", DataType::kInt64}}));
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(t.AppendRow({Value(first + static_cast<int64_t>(i))}).ok());
+  }
+  return t;
+}
+
+TEST(BasketSnapshotTest, PeekIsZeroCopyAndImmutable) {
+  auto b = MakeBasket("b");
+  ASSERT_TRUE(b->Append(OneColBatch(0, 100), 0).ok());
+  const Table snap = b->Peek();
+  EXPECT_TRUE(snap.column(0).SharesStorageWith(b->contents().column(0)));
+
+  // Appends, prefix consumption, and a full clear: the snapshot holds.
+  ASSERT_TRUE(b->Append(OneColBatch(100, 50), 0).ok());
+  ASSERT_TRUE(b->ErasePrefix(80).ok());
+  b->Clear();
+  EXPECT_EQ(b->size(), 0u);
+  ASSERT_EQ(snap.num_rows(), 100u);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(snap.column(0).ints()[i], static_cast<int64_t>(i));
+  }
+}
+
+TEST(BasketSnapshotTest, ErasePrefixIsHeadAdvance) {
+  auto b = MakeBasket("b");
+  ASSERT_TRUE(b->Append(OneColBatch(0, 100), 0).ok());
+  ASSERT_TRUE(b->ErasePrefix(30).ok());
+  EXPECT_EQ(b->size(), 70u);
+  EXPECT_EQ(b->contents().column(0).head(), 30u);
+  EXPECT_EQ(b->stats().consumed, 30u);
+  // Version must bump so scheduler wakeups still fire on consumption.
+  const uint64_t v = b->version();
+  ASSERT_TRUE(b->ErasePrefix(10).ok());
+  EXPECT_GT(b->version(), v);
+  // Consuming nothing does not signal.
+  const uint64_t v2 = b->version();
+  ASSERT_TRUE(b->ErasePrefix(0).ok());
+  EXPECT_EQ(b->version(), v2);
+}
+
+TEST(BasketSnapshotTest, TakeAllAfterSnapshotLeavesSnapshotIntact) {
+  auto b = MakeBasket("b");
+  ASSERT_TRUE(b->Append(OneColBatch(0, 10), 0).ok());
+  const Table snap = b->Peek();
+  Table taken = b->TakeAll();
+  EXPECT_EQ(taken.num_rows(), 10u);
+  EXPECT_EQ(snap.num_rows(), 10u);
+  EXPECT_EQ(b->size(), 0u);
+  // The moved-out table still shares with the snapshot until mutated.
+  EXPECT_TRUE(taken.column(0).SharesStorageWith(snap.column(0)));
+}
+
+TEST(BasketSnapshotTest, BatchConsumeEvaluatesOnSnapshot) {
+  auto b = MakeBasket("b");
+  ASSERT_TRUE(b->Append(OneColBatch(0, 50), 0).ok());
+  core::BasketExpression be(b);
+  be.Consume(core::ConsumePolicy::kBatch);
+  EvalContext ctx;
+  auto result = be.Evaluate(ctx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 50u);
+  EXPECT_EQ(b->size(), 0u);  // batch fully consumed
+  EXPECT_EQ(result->column(0).ints()[49], 49);
+}
+
+TEST(BasketSnapshotTest, TopNBatchDoesNotConsumeUnderfilledWindow) {
+  auto b = MakeBasket("b");
+  ASSERT_TRUE(b->Append(OneColBatch(0, 3), 0).ok());
+  core::BasketExpression be(b);
+  be.Consume(core::ConsumePolicy::kBatch);
+  be.OrderBy({{Expr::Col("v"), /*ascending=*/false}});
+  be.Top(5);
+  EvalContext ctx;
+  auto result = be.Evaluate(ctx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_rows(), 0u);
+  // The early-clear optimization must not fire for top-n windows.
+  EXPECT_EQ(b->size(), 3u);
+  // Once fillable, it consumes the whole batch.
+  ASSERT_TRUE(b->Append(OneColBatch(3, 4), 0).ok());
+  auto full = be.Evaluate(ctx);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->num_rows(), 5u);
+  EXPECT_EQ(full->column(0).ints()[0], 6);
+  EXPECT_EQ(b->size(), 0u);
+}
+
+}  // namespace
+}  // namespace datacell

@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Runs every bench binary from the build tree and collects the BENCH_*.json
+# reports next to this repo's root. Usage:
+#   tools/run_benches.sh [build-dir]     # default build dir: ./build
+# Set DATACELL_QUICK=1 for the fast (CI-sized) parameterizations.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+if [ ! -d "$build_dir/bench" ]; then
+  echo "no bench binaries in $build_dir — build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+cd "$build_dir"
+for b in bench/bench_*; do
+  [ -x "$b" ] || continue
+  echo "== $b =="
+  "./$b"
+  echo
+done
+
+found=0
+for j in BENCH_*.json; do
+  [ -e "$j" ] || continue
+  cp -f "$j" "$repo_root/$j"
+  echo "collected $j -> $repo_root/$j"
+  found=1
+done
+[ "$found" = 1 ] || echo "note: no BENCH_*.json emitted" >&2
