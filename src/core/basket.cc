@@ -19,6 +19,31 @@ Basket::Basket(std::string name, const Schema& schema, bool add_arrival_ts)
   data_ = Table(schema_);
 }
 
+void Basket::SetCapacity(size_t high_watermark, size_t low_watermark) {
+  if (high_watermark == 0) {
+    capacity_.store(0, std::memory_order_relaxed);
+    low_watermark_.store(0, std::memory_order_relaxed);
+    return;
+  }
+  if (low_watermark == 0) low_watermark = high_watermark / 2;
+  low_watermark = std::min(low_watermark, high_watermark);
+  capacity_.store(high_watermark, std::memory_order_relaxed);
+  low_watermark_.store(low_watermark, std::memory_order_relaxed);
+}
+
+size_t Basket::CreditRemaining() const {
+  const size_t cap = capacity_.load(std::memory_order_relaxed);
+  if (cap == 0) return SIZE_MAX;
+  const size_t n = size();
+  return n >= cap ? 0 : cap - n;
+}
+
+bool Basket::Drained() const {
+  const size_t cap = capacity_.load(std::memory_order_relaxed);
+  if (cap == 0) return true;
+  return size() <= low_watermark_.load(std::memory_order_relaxed);
+}
+
 void Basket::AddConstraint(ExprPtr predicate) {
   std::lock_guard<std::recursive_mutex> lock(mu_);
   constraints_.push_back(std::move(predicate));
@@ -44,6 +69,15 @@ void Basket::RemoveListener(size_t id) {
 void Basket::Touch() {
   version_.fetch_add(1, std::memory_order_acq_rel);
   for (const auto& [id, fn] : listeners_) fn();
+}
+
+void Basket::UpdatePeak() {
+  // Caller holds mu_, so appends are serialized and a plain max-store is
+  // race-free against concurrent stats() readers.
+  const uint64_t rows = data_.num_rows();
+  if (rows > peak_rows_.load(std::memory_order_relaxed)) {
+    peak_rows_.store(rows, std::memory_order_relaxed);
+  }
 }
 
 Result<SelVector> Basket::ApplyConstraints(const Table& tuples) const {
@@ -94,6 +128,7 @@ Result<size_t> Basket::AppendAligned(const Table& tuples, Micros now) {
   if (constraints_.empty()) {
     RETURN_NOT_OK(data_.AppendTable(tuples));
     appended_.fetch_add(tuples.num_rows(), std::memory_order_relaxed);
+    UpdatePeak();
     if (tuples.num_rows() > 0) Touch();
     return tuples.num_rows();
   }
@@ -102,6 +137,7 @@ Result<size_t> Basket::AppendAligned(const Table& tuples, Micros now) {
   appended_.fetch_add(keep.size(), std::memory_order_relaxed);
   dropped_.fetch_add(tuples.num_rows() - keep.size(),
                      std::memory_order_relaxed);
+  UpdatePeak();
   if (!keep.empty()) Touch();
   return keep.size();
 }
@@ -178,6 +214,7 @@ Basket::Stats Basket::stats() const {
   s.appended = appended_.load(std::memory_order_relaxed);
   s.dropped = dropped_.load(std::memory_order_relaxed);
   s.consumed = consumed_.load(std::memory_order_relaxed);
+  s.peak_rows = peak_rows_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -44,9 +44,10 @@ inline constexpr const char* kArrivalColumn = "dc_arrival";
 class Basket {
  public:
   struct Stats {
-    uint64_t appended = 0;  // tuples accepted
-    uint64_t dropped = 0;   // tuples silently dropped by constraints/disable
-    uint64_t consumed = 0;  // tuples removed by queries
+    uint64_t appended = 0;   // tuples accepted
+    uint64_t dropped = 0;    // tuples silently dropped by constraints/disable
+    uint64_t consumed = 0;   // tuples removed by queries
+    uint64_t peak_rows = 0;  // high-water mark of resident rows
   };
 
   /// Watcher invoked after every content mutation (append/take/erase/clear),
@@ -72,6 +73,29 @@ class Basket {
   void Enable() { enabled_.store(true); }
   void Disable() { enabled_.store(false); }
   bool enabled() const { return enabled_.load(); }
+
+  /// --- Capacity / backpressure --------------------------------------------
+  /// Disable() keeps the paper's semantics — the stream is blocked and
+  /// tuples are *dropped* — while a capacity bound yields *push-back*: a
+  /// producer that respects CreditRemaining() (the gateway) stops reading
+  /// its channel when the basket reaches `high_watermark` resident rows and
+  /// resumes once consumers drain it to `low_watermark` (hysteresis so the
+  /// valve does not chatter). Appends themselves are never rejected by the
+  /// bound; enforcement lives with cooperating producers.
+  ///
+  /// `high_watermark` 0 removes the bound; `low_watermark` 0 defaults to
+  /// high/2.
+  void SetCapacity(size_t high_watermark, size_t low_watermark = 0);
+  size_t capacity() const { return capacity_.load(std::memory_order_relaxed); }
+  size_t low_watermark() const {
+    return low_watermark_.load(std::memory_order_relaxed);
+  }
+  /// Rows a credit-respecting producer may still append before hitting the
+  /// high watermark; SIZE_MAX when unbounded.
+  size_t CreditRemaining() const;
+  /// True when no bound is set or the basket has drained to (or below) the
+  /// low watermark — the point where paused producers resume.
+  bool Drained() const;
 
   /// --- Integrity ----------------------------------------------------------
   /// Adds a constraint predicate over the basket schema. Tuples violating
@@ -149,6 +173,8 @@ class Basket {
 
   // Bumps the version and notifies listeners. Caller holds mu_.
   void Touch();
+  // Refreshes peak_rows_ from data_. Caller holds mu_.
+  void UpdatePeak();
 
   const std::string name_;
   Schema schema_;
@@ -157,6 +183,8 @@ class Basket {
   Schema user_schema_;
   bool has_arrival_ = false;
   std::atomic<bool> enabled_{true};
+  std::atomic<size_t> capacity_{0};       // 0 = unbounded
+  std::atomic<size_t> low_watermark_{0};  // resume point (hysteresis)
 
   // Counters are atomics so stats() and the factory quiescence check can
   // read them while another thread is appending/consuming.
@@ -164,6 +192,7 @@ class Basket {
   std::atomic<uint64_t> dropped_{0};
   std::atomic<uint64_t> consumed_{0};
   std::atomic<uint64_t> version_{0};
+  std::atomic<uint64_t> peak_rows_{0};
 
   mutable std::recursive_mutex mu_;
   Table data_;

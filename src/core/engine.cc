@@ -17,6 +17,17 @@ Result<BasketPtr> Engine::CreateBasket(const std::string& name,
   return basket;
 }
 
+Result<BasketPtr> Engine::CreateBoundedBasket(const std::string& name,
+                                              const Schema& schema,
+                                              size_t capacity,
+                                              size_t low_watermark,
+                                              bool add_arrival_ts) {
+  ASSIGN_OR_RETURN(BasketPtr basket,
+                   CreateBasket(name, schema, add_arrival_ts));
+  basket->SetCapacity(capacity, low_watermark);
+  return basket;
+}
+
 Result<BasketPtr> Engine::GetBasket(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = baskets_.find(name);

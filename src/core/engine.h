@@ -39,6 +39,13 @@ class Engine {
   /// --- Baskets ------------------------------------------------------------
   Result<BasketPtr> CreateBasket(const std::string& name, const Schema& schema,
                                  bool add_arrival_ts = true);
+  /// As above, additionally installing a capacity bound (resident-row high
+  /// watermark) for credit-based backpressure at the ingestion edge;
+  /// `low_watermark` 0 defaults to capacity/2. See Basket::SetCapacity.
+  Result<BasketPtr> CreateBoundedBasket(const std::string& name,
+                                        const Schema& schema, size_t capacity,
+                                        size_t low_watermark = 0,
+                                        bool add_arrival_ts = true);
   Result<BasketPtr> GetBasket(const std::string& name) const;
   bool HasBasket(const std::string& name) const;
   Status DropBasket(const std::string& name);

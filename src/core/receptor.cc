@@ -1,5 +1,7 @@
 #include "core/receptor.h"
 
+#include <algorithm>
+
 namespace datacell::core {
 
 Result<size_t> Receptor::Deliver(const Table& tuples, Micros now) {
@@ -9,6 +11,28 @@ Result<size_t> Receptor::Deliver(const Table& tuples, Micros now) {
     if (i == 0) first_accepted = n;
   }
   return first_accepted;
+}
+
+size_t Receptor::CreditRemaining() const {
+  size_t credit = SIZE_MAX;
+  for (const BasketPtr& b : outputs_) {
+    credit = std::min(credit, b->CreditRemaining());
+  }
+  return credit;
+}
+
+bool Receptor::BackpressureReleased() const {
+  for (const BasketPtr& b : outputs_) {
+    if (!b->Drained()) return false;
+  }
+  return true;
+}
+
+bool Receptor::HasCapacityBound() const {
+  for (const BasketPtr& b : outputs_) {
+    if (b->capacity() > 0) return true;
+  }
+  return false;
 }
 
 bool Receptor::CanFire(Micros) const {

@@ -46,6 +46,18 @@ class Receptor : public Transition {
   /// first basket (constraint drops apply per basket).
   Result<size_t> Deliver(const Table& tuples, Micros now);
 
+  /// --- Credit-based backpressure ------------------------------------------
+  /// Rows the most constrained capacity-bounded output can still take
+  /// before its high watermark; SIZE_MAX when no output is bounded. A
+  /// cooperating channel adapter (the gateway) delivers at most this many
+  /// rows and stops reading its socket at zero.
+  size_t CreditRemaining() const;
+  /// True once every capacity-bounded output has drained to its low
+  /// watermark — the hysteresis point where paused channels resume.
+  bool BackpressureReleased() const;
+  /// True if any output declares a capacity bound.
+  bool HasCapacityBound() const;
+
   const std::string& name() const override { return name_; }
 
   /// Pull mode only: fires by polling the source once.

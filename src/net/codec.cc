@@ -6,6 +6,14 @@ namespace datacell::net {
 
 namespace {
 
+// Wire marker for SQL NULL. A *string* whose value is literally "NULL"
+// encodes as the bare four characters, so the two are unambiguous on
+// decode: only the marker (backslash-N, which EscapeInto can never emit
+// for a value — it escapes every backslash) means null. The bare word
+// "NULL" is still accepted as null for non-string fields, where no legal
+// value collides with it, keeping old encoders readable.
+constexpr const char kNullField[] = "\\N";
+
 void EscapeInto(const std::string& s, std::string* out) {
   for (char c : s) {
     switch (c) {
@@ -78,7 +86,7 @@ std::string Codec::EncodeSchemaHeader() const {
   std::string out;
   for (size_t i = 0; i < schema_.num_fields(); ++i) {
     if (i > 0) out.push_back('|');
-    out += schema_.field(i).name;
+    EscapeInto(schema_.field(i).name, &out);
     out.push_back(':');
     out += DataTypeName(schema_.field(i).type);
   }
@@ -87,13 +95,20 @@ std::string Codec::EncodeSchemaHeader() const {
 
 Result<Schema> Codec::DecodeSchemaHeader(const std::string& line) {
   Schema schema;
-  for (const std::string& part : SplitString(line, '|')) {
+  // Field names travel escaped exactly like string values, so the header
+  // must split on *unescaped* pipes — a name containing "\p" must not
+  // desync the handshake.
+  for (const std::string& part : SplitFields(line)) {
     size_t colon = part.rfind(':');
     if (colon == std::string::npos) {
       return Status::ParseError("bad schema header field: " + part);
     }
     ASSIGN_OR_RETURN(DataType type, DataTypeFromName(part.substr(colon + 1)));
-    RETURN_NOT_OK(schema.AddField({part.substr(0, colon), type}));
+    std::string name = Unescape(part.substr(0, colon));
+    if (name.empty()) {
+      return Status::ParseError("empty field name in schema header: " + line);
+    }
+    RETURN_NOT_OK(schema.AddField({std::move(name), type}));
   }
   return schema;
 }
@@ -107,7 +122,7 @@ Result<std::string> Codec::EncodeRow(const Table& table, size_t i) const {
     if (c > 0) out.push_back('|');
     const Column& col = table.column(c);
     if (!col.IsValid(i)) {
-      out.append("NULL");
+      out.append(kNullField);
       continue;
     }
     switch (col.type()) {
@@ -149,7 +164,8 @@ Result<Row> Codec::DecodeRow(const std::string& line) const {
   row.reserve(fields.size());
   for (size_t i = 0; i < fields.size(); ++i) {
     const std::string& f = fields[i];
-    if (f == "NULL") {
+    if (f == kNullField ||
+        (f == "NULL" && schema_.field(i).type != DataType::kString)) {
       row.push_back(Value::Null());
       continue;
     }

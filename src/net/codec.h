@@ -10,8 +10,9 @@ namespace datacell::net {
 
 /// The DataCell interchange format (§3.1): a purposely simple textual
 /// protocol for flat relational tuples. One tuple per line, fields
-/// separated by '|'; NULL spelled literally; '\', '|' and newline escaped
-/// in strings. Doubles round-trip via %.17g.
+/// separated by '|'; SQL NULL spelled "\N" (a string whose value is the
+/// word NULL encodes unescaped and stays a string); '\', '|' and newline
+/// escaped in strings and field names. Doubles round-trip via %.17g.
 class Codec {
  public:
   explicit Codec(Schema schema) : schema_(std::move(schema)) {}

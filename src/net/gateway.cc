@@ -1,83 +1,294 @@
 #include "net/gateway.h"
 
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
 #include "util/logging.h"
 
 namespace datacell::net {
+
+namespace {
+
+// Reactor poll timeouts. The self-pipe carries every wakeup that matters
+// (Stop, basket drained past the low watermark); the timeouts only bound
+// recovery from lost races, so they can be long.
+constexpr int kPollIdleMs = 500;
+constexpr int kPollPausedMs = 20;
+
+}  // namespace
 
 TcpIngress::~TcpIngress() { Stop(); }
 
 Status TcpIngress::Start(uint16_t port) {
   ASSIGN_OR_RETURN(listener_, TcpListener::Bind(port));
   port_ = listener_.port();
-  thread_ = std::thread([this] { ReadLoop(); });
+  RETURN_NOT_OK(listener_.SetNonBlocking(true));
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) {
+    listener_.Close();
+    return Status::IOError("pipe: " + std::string(std::strerror(errno)));
+  }
+  wake_r_ = pipefd[0];
+  wake_w_ = pipefd[1];
+  // Both ends non-blocking: the reactor drains the pipe with a read loop,
+  // and WakeReactor must never park a basket consumer on a full pipe.
+  ::fcntl(wake_r_, F_SETFL, ::fcntl(wake_r_, F_GETFL, 0) | O_NONBLOCK);
+  ::fcntl(wake_w_, F_SETFL, ::fcntl(wake_w_, F_GETFL, 0) | O_NONBLOCK);
+  // Backpressure release signal: any mutation on a capacity-bounded output
+  // may be the drain that re-opens the valve. The listener runs under the
+  // basket lock, so it only flips an atomic and pokes the self-pipe.
+  for (const core::BasketPtr& b : receptor_->outputs()) {
+    size_t id = b->AddListener([this] {
+      if (paused_.load(std::memory_order_relaxed)) WakeReactor();
+    });
+    subscriptions_.emplace_back(b, id);
+  }
+  stop_.store(false);
+  started_.store(true);
+  thread_ = std::thread([this] { ReactorLoop(); });
   return Status::OK();
 }
 
 void TcpIngress::Stop() {
-  listener_.Close();
+  if (!started_.exchange(false)) return;
+  stop_.store(true);
+  WakeReactor();
   if (thread_.joinable()) thread_.join();
+  for (const auto& [basket, id] : subscriptions_) basket->RemoveListener(id);
+  subscriptions_.clear();
+  listener_.Close();
+  if (wake_r_ >= 0) ::close(wake_r_);
+  if (wake_w_ >= 0) ::close(wake_w_);
+  wake_r_ = wake_w_ = -1;
 }
 
-void TcpIngress::ReadLoop() {
-  Result<TcpStream> conn = listener_.Accept();
-  if (!conn.ok()) {
-    DC_LOG(Warn) << "ingress accept failed: " << conn.status().ToString();
-    finished_.store(true);
-    return;
-  }
-  TcpStream stream = std::move(conn).value();
+void TcpIngress::WakeReactor() {
+  if (wake_pending_.exchange(true)) return;
+  const char byte = 0;
+  ssize_t n = ::write(wake_w_, &byte, 1);
+  (void)n;  // pipe full means a wakeup is already pending
+}
 
-  // Handshake: schema header.
-  Result<std::string> header = stream.ReadLine();
-  if (!header.ok()) {
-    DC_LOG(Warn) << "ingress: no schema header: " << header.status().ToString();
-    finished_.store(true);
-    return;
-  }
-  Result<Schema> peer_schema = Codec::DecodeSchemaHeader(*header);
-  if (!peer_schema.ok() || !(*peer_schema == codec_.schema())) {
-    DC_LOG(Warn) << "ingress: schema mismatch, got '" << *header << "'";
-    finished_.store(true);
-    return;
-  }
-
-  Table batch(codec_.schema());
-  auto flush = [&]() -> Status {
-    if (batch.num_rows() == 0) return Status::OK();
-    ASSIGN_OR_RETURN(size_t n, receptor_->Deliver(batch, clock_->Now()));
-    (void)n;
-    batch.Clear();
-    return Status::OK();
-  };
-
-  while (true) {
-    // Block for the first line of a burst...
-    Result<std::string> line = stream.ReadLine();
-    if (!line.ok()) break;  // EOF or error
-    Status st = codec_.DecodeInto(*line, &batch);
-    if (!st.ok()) {
-      // Structural validation failure: silently drop the event (baskets'
-      // silent-filter semantics start at the adapter boundary).
-      DC_LOG(Debug) << "ingress dropping malformed tuple: " << st.ToString();
-    } else {
-      tuples_.fetch_add(1);
+void TcpIngress::ReactorLoop() {
+  std::vector<pollfd> pfds;
+  std::vector<Conn*> pumped;  // conns indexed alongside pfds
+  while (!stop_.load()) {
+    // Re-open the valve once every bounded output drained to its low
+    // watermark; connections may hold buffered lines to finish parsing.
+    bool resume_pump = false;
+    if (paused_.load() && receptor_->BackpressureReleased()) {
+      paused_.store(false);
+      resume_pump = true;
     }
-    // ...then drain whatever else already arrived, up to the batch bound.
-    while (batch.num_rows() < max_batch_rows_) {
-      Result<std::optional<std::string>> more = stream.TryReadLine();
-      if (!more.ok() || !more->has_value()) break;
-      st = codec_.DecodeInto(**more, &batch);
-      if (st.ok()) tuples_.fetch_add(1);
+
+    if (resume_pump) {
+      for (size_t i = 0; i < conns_.size();) {
+        if (!PumpConn(conns_[i].get())) {
+          conns_.erase(conns_.begin() + static_cast<long>(i));
+        } else {
+          ++i;
+        }
+      }
+      active_.store(conns_.size());
+      if (accepted_.load() > 0 && conns_.empty()) finished_.store(true);
+      if (paused_.load()) continue;  // valve closed again mid-resume
     }
-    st = flush();
-    if (!st.ok()) {
-      DC_LOG(Error) << "ingress deliver failed: " << st.ToString();
+
+    pfds.clear();
+    pumped.clear();
+    pfds.push_back({wake_r_, POLLIN, 0});
+    const bool accepting = conns_.size() < max_connections_;
+    if (accepting) pfds.push_back({listener_.fd(), POLLIN, 0});
+    const bool paused = paused_.load();
+    for (const auto& conn : conns_) {
+      // While paused we stop reading tuple sockets (TCP push-back), but
+      // handshakes stay responsive — a header line is not stream volume.
+      if (paused && conn->handshaken) continue;
+      pfds.push_back({conn->stream.fd(), POLLIN, 0});
+      pumped.push_back(conn.get());
+    }
+
+    int rc = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                    paused ? kPollPausedMs : kPollIdleMs);
+    if (rc < 0 && errno != EINTR) {
+      DC_LOG(Error) << "ingress poll: " << std::strerror(errno);
       break;
     }
+    if (stop_.load()) break;
+
+    if (pfds[0].revents & POLLIN) {
+      char buf[64];
+      while (::read(wake_r_, buf, sizeof(buf)) > 0) {
+      }
+      wake_pending_.store(false);
+    }
+
+    size_t base = 1;
+    if (accepting) {
+      if (pfds[1].revents & (POLLIN | POLLERR)) AcceptPending();
+      base = 2;
+    }
+    bool removed = false;
+    for (size_t i = 0; i < pumped.size(); ++i) {
+      if ((pfds[base + i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+        continue;
+      }
+      if (!PumpConn(pumped[i])) {
+        for (size_t j = 0; j < conns_.size(); ++j) {
+          if (conns_[j].get() == pumped[i]) {
+            conns_.erase(conns_.begin() + static_cast<long>(j));
+            break;
+          }
+        }
+        removed = true;
+      }
+    }
+    if (removed || !conns_.empty() || accepted_.load() > 0) {
+      active_.store(conns_.size());
+      finished_.store(accepted_.load() > 0 && conns_.empty());
+    }
   }
-  Status st = flush();
-  if (!st.ok()) DC_LOG(Error) << "ingress final flush: " << st.ToString();
+
+  // Shut down every accepted stream so peers see EOF promptly.
+  for (auto& conn : conns_) conn->stream.Close();
+  conns_.clear();
+  active_.store(0);
   finished_.store(true);
+}
+
+void TcpIngress::AcceptPending() {
+  while (conns_.size() < max_connections_) {
+    Result<std::optional<TcpStream>> next = listener_.TryAccept();
+    if (!next.ok()) {
+      DC_LOG(Warn) << "ingress accept failed: " << next.status().ToString();
+      return;
+    }
+    if (!next->has_value()) return;
+    auto conn = std::make_unique<Conn>();
+    conn->stream = std::move(**next);
+    if (Status st = conn->stream.SetNonBlocking(true); !st.ok()) {
+      DC_LOG(Warn) << "ingress: " << st.ToString();
+      continue;
+    }
+    conns_.push_back(std::move(conn));
+    accepted_.fetch_add(1);
+    active_.store(conns_.size());
+    finished_.store(false);
+  }
+}
+
+bool TcpIngress::PumpConn(Conn* conn) {
+  while (!stop_.load()) {
+    Drain state = DrainBuffered(conn);
+    if (state == Drain::kClose) return false;
+    if (state == Drain::kPaused) return true;  // buffered bytes keep
+    if (conn->eof) return false;               // fully drained
+    Result<size_t> n = conn->stream.FillFromSocket();
+    if (!n.ok()) {
+      if (n.status().code() == StatusCode::kNotFound) {
+        conn->eof = true;  // clean half-close: drain the buffered tail
+        continue;
+      }
+      // Mid-stream disconnect (RST etc.): keep what was already delivered,
+      // drop the rest of this connection.
+      DC_LOG(Warn) << "ingress connection error: " << n.status().ToString();
+      return false;
+    }
+    if (*n == 0) return true;  // would block; poll() will call back
+  }
+  return true;
+}
+
+TcpIngress::Drain TcpIngress::DrainBuffered(Conn* conn) {
+  while (true) {
+    if (!conn->handshaken) {
+      std::optional<std::string> line = NextLine(conn);
+      if (!line.has_value()) {
+        if (conn->eof) {
+          DC_LOG(Warn) << "ingress: connection closed before schema header";
+          return Drain::kClose;
+        }
+        return Drain::kIdle;
+      }
+      if (!Handshake(conn, *line)) return Drain::kClose;
+      continue;
+    }
+
+    size_t credit = receptor_->CreditRemaining();
+    if (credit == 0) {
+      if (EngagePause()) return Drain::kPaused;
+      credit = receptor_->CreditRemaining();
+    }
+    const size_t allowed = std::min(max_batch_rows_, credit);
+    Table batch(codec_.schema());
+    while (batch.num_rows() < allowed) {
+      std::optional<std::string> line = NextLine(conn);
+      if (!line.has_value()) break;
+      DecodeCount(*line, &batch);
+    }
+    if (batch.num_rows() == 0) return Drain::kIdle;
+    Result<size_t> delivered = receptor_->Deliver(batch, clock_->Now());
+    if (!delivered.ok()) {
+      DC_LOG(Error) << "ingress deliver failed: "
+                    << delivered.status().ToString();
+      return Drain::kClose;
+    }
+  }
+}
+
+std::optional<std::string> TcpIngress::NextLine(Conn* conn) {
+  if (std::optional<std::string> line = conn->stream.PopBufferedLine()) {
+    return line;
+  }
+  if (conn->eof) {
+    // Torn partial line at EOF: decode what arrived; the codec decides
+    // whether it happens to be a whole tuple or counts as dropped.
+    std::string tail = conn->stream.TakeBufferedRemainder();
+    if (!tail.empty()) return tail;
+  }
+  return std::nullopt;
+}
+
+bool TcpIngress::Handshake(Conn* conn, const std::string& line) {
+  Result<Schema> peer = Codec::DecodeSchemaHeader(line);
+  if (!peer.ok() || !(*peer == codec_.schema())) {
+    DC_LOG(Warn) << "ingress: schema mismatch, got '" << line << "'";
+    return false;
+  }
+  conn->handshaken = true;
+  return true;
+}
+
+void TcpIngress::DecodeCount(const std::string& line, Table* batch) {
+  Status st = codec_.DecodeInto(line, batch);
+  if (st.ok()) {
+    tuples_.fetch_add(1);
+  } else {
+    // Structural validation failure: the tuple acts as if never sent (the
+    // baskets' silent-filter semantics start at the adapter boundary), but
+    // the operator can see it happened.
+    dropped_.fetch_add(1);
+    DC_LOG(Debug) << "ingress dropping malformed tuple: " << st.ToString();
+  }
+}
+
+bool TcpIngress::EngagePause() {
+  // Set the flag first, then re-check: a consumer draining concurrently
+  // either restores credit before the re-check (we unpause here) or fires
+  // the basket listener after it saw paused_ == true (the self-pipe wakes
+  // the poll loop). Either way no release is lost.
+  const bool was_paused = paused_.exchange(true);
+  if (receptor_->BackpressureReleased()) {
+    paused_.store(false);
+    return false;
+  }
+  if (!was_paused) bp_engaged_.fetch_add(1);
+  return true;
 }
 
 Result<std::unique_ptr<TcpEgress>> TcpEgress::Connect(const std::string& host,

@@ -1,6 +1,7 @@
 #include "net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -125,6 +126,44 @@ Result<std::optional<std::string>> TcpStream::TryReadLine() {
   }
 }
 
+Status TcpStream::SetNonBlocking(bool enabled) {
+  if (fd_ < 0) return Status::InvalidArgument("stream not open");
+  int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  flags = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_, F_SETFL, flags) < 0) return Errno("fcntl(F_SETFL)");
+  return Status::OK();
+}
+
+Result<size_t> TcpStream::FillFromSocket() {
+  char chunk[16384];
+  while (true) {
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return size_t{0};
+      return Errno("recv");
+    }
+    if (n == 0) return Status::NotFound("eof");
+    buffer_.append(chunk, static_cast<size_t>(n));
+    return static_cast<size_t>(n);
+  }
+}
+
+std::optional<std::string> TcpStream::PopBufferedLine() {
+  size_t pos = buffer_.find('\n');
+  if (pos == std::string::npos) return std::nullopt;
+  std::string line = buffer_.substr(0, pos);
+  buffer_.erase(0, pos + 1);
+  return line;
+}
+
+std::string TcpStream::TakeBufferedRemainder() {
+  std::string out = std::move(buffer_);
+  buffer_.clear();
+  return out;
+}
+
 Status TcpStream::ShutdownWrite() {
   if (fd_ >= 0 && ::shutdown(fd_, SHUT_WR) != 0) return Errno("shutdown");
   return Status::OK();
@@ -167,7 +206,9 @@ Result<TcpListener> TcpListener::Bind(uint16_t port) {
     ::close(fd);
     return Errno("bind");
   }
-  if (::listen(fd, 16) != 0) {
+  // Deep backlog: the gateway multiplexes many sensors on one port, and a
+  // fleet connecting at once must not see SYN drops.
+  if (::listen(fd, 128) != 0) {
     ::close(fd);
     return Errno("listen");
   }
@@ -192,6 +233,31 @@ Result<TcpStream> TcpListener::Accept() {
     int one = 1;
     ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     return TcpStream(cfd);
+  }
+}
+
+Status TcpListener::SetNonBlocking(bool enabled) {
+  if (fd_ < 0) return Status::InvalidArgument("listener not open");
+  int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  flags = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_, F_SETFL, flags) < 0) return Errno("fcntl(F_SETFL)");
+  return Status::OK();
+}
+
+Result<std::optional<TcpStream>> TcpListener::TryAccept() {
+  while (true) {
+    int cfd = ::accept(fd_, nullptr, nullptr);
+    if (cfd < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return std::optional<TcpStream>();
+      }
+      return Errno("accept");
+    }
+    int one = 1;
+    ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return std::optional<TcpStream>(TcpStream(cfd));
   }
 }
 

@@ -40,6 +40,27 @@ class TcpStream {
   /// drain bursts into one batch after a blocking ReadLine.
   Result<std::optional<std::string>> TryReadLine();
 
+  /// --- Reactor-mode primitives (gateway event loop) -----------------------
+  /// Raw descriptor for poll(); -1 when invalid.
+  int fd() const { return fd_; }
+
+  /// Sets O_NONBLOCK on the descriptor.
+  Status SetNonBlocking(bool enabled);
+
+  /// One non-blocking recv() appended to the read-ahead buffer. Returns the
+  /// number of bytes read, 0 when the read would block, NotFound on clean
+  /// EOF, IOError otherwise. Never loops: the caller's poll() decides when
+  /// to try again.
+  Result<size_t> FillFromSocket();
+
+  /// Extracts the next complete ('\n'-terminated) line from the read-ahead
+  /// buffer without touching the socket; nullopt when none is buffered.
+  std::optional<std::string> PopBufferedLine();
+
+  /// Drains whatever trails the last newline — the torn partial line a peer
+  /// leaves behind when it disconnects mid-tuple.
+  std::string TakeBufferedRemainder();
+
   /// Half-closes the write side, signalling EOF to the peer.
   Status ShutdownWrite();
 
@@ -68,6 +89,16 @@ class TcpListener {
 
   /// Blocks until a client connects.
   Result<TcpStream> Accept();
+
+  /// Raw descriptor for poll(); -1 when closed.
+  int fd() const { return fd_; }
+
+  /// Sets O_NONBLOCK so Accept-style calls never park the reactor.
+  Status SetNonBlocking(bool enabled);
+
+  /// Accepts a pending connection, or nullopt when none is queued. Never
+  /// blocks (pair with poll() on fd()).
+  Result<std::optional<TcpStream>> TryAccept();
 
   void Close();
 

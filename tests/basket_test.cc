@@ -245,5 +245,56 @@ TEST(BasketExprTest, OrderByWithoutTopSortsWindow) {
   EXPECT_EQ(b->size(), 0u);
 }
 
+TEST(BasketCapacityTest, CreditAndWatermarks) {
+  Basket b("s", StreamSchema());
+  // Unbounded by default.
+  EXPECT_EQ(b.capacity(), 0u);
+  EXPECT_EQ(b.CreditRemaining(), SIZE_MAX);
+  EXPECT_TRUE(b.Drained());
+
+  b.SetCapacity(10);  // low watermark defaults to high/2
+  EXPECT_EQ(b.capacity(), 10u);
+  EXPECT_EQ(b.low_watermark(), 5u);
+  ASSERT_TRUE(b.Append(MakeBatch({1, 2, 3, 4, 5, 6, 7}), 0).ok());
+  EXPECT_EQ(b.CreditRemaining(), 3u);
+  EXPECT_FALSE(b.Drained());  // 7 > low watermark
+
+  ASSERT_TRUE(b.Append(MakeBatch({8, 9, 10, 11, 12}), 0).ok());
+  EXPECT_EQ(b.size(), 12u);  // cooperative bound: appends never rejected
+  EXPECT_EQ(b.CreditRemaining(), 0u);
+  EXPECT_EQ(b.stats().dropped, 0u);
+
+  ASSERT_TRUE(b.ErasePrefix(7).ok());
+  EXPECT_TRUE(b.Drained());  // 5 <= low watermark
+  EXPECT_EQ(b.CreditRemaining(), 5u);
+  EXPECT_EQ(b.stats().peak_rows, 12u);
+
+  b.SetCapacity(0);  // bound removed
+  EXPECT_EQ(b.CreditRemaining(), SIZE_MAX);
+  EXPECT_TRUE(b.Drained());
+}
+
+TEST(BasketCapacityTest, ExplicitLowWatermarkClampedToHigh) {
+  Basket b("s", StreamSchema());
+  b.SetCapacity(4, 100);
+  EXPECT_EQ(b.low_watermark(), 4u);
+  b.SetCapacity(8, 2);
+  EXPECT_EQ(b.low_watermark(), 2u);
+}
+
+TEST(BasketCapacityTest, DisableStillDropsWhileCapacityPushesBack) {
+  // Disable() keeps the paper's drop semantics independent of the bound.
+  Basket b("s", StreamSchema());
+  b.SetCapacity(2);
+  b.Disable();
+  ASSERT_TRUE(b.Append(MakeBatch({1, 2, 3}), 0).ok());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.stats().dropped, 3u);
+  b.Enable();
+  ASSERT_TRUE(b.Append(MakeBatch({4, 5, 6}), 0).ok());
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.stats().dropped, 3u);
+}
+
 }  // namespace
 }  // namespace datacell::core

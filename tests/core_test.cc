@@ -261,6 +261,16 @@ TEST(EngineTest, BasketLifecycle) {
   EXPECT_FALSE(engine.HasBasket("s"));
 }
 
+TEST(EngineTest, CreateBoundedBasketInstallsCapacity) {
+  SimulatedClock clock;
+  Engine engine(&clock);
+  auto b = engine.CreateBoundedBasket("s", StreamSchema(), /*capacity=*/64);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*b)->capacity(), 64u);
+  EXPECT_EQ((*b)->low_watermark(), 32u);
+  EXPECT_EQ(engine.GetBasket("s")->get(), b->get());
+}
+
 TEST(EngineTest, BasketAndTableNamesCollide) {
   SimulatedClock clock;
   Engine engine(&clock);

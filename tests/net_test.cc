@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
+#include <chrono>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "core/receptor.h"
 #include "core/scheduler.h"
@@ -230,6 +235,300 @@ TEST(EndToEndTest, SensorDirectToActuator) {
   ASSERT_TRUE(Sensor::Run("127.0.0.1", actuator.port(), opts, clock).ok());
   actuator.WaitFinished();
   EXPECT_EQ(actuator.stats().tuples, 300u);
+}
+
+// ---------------------------------------------------------------------------
+// Codec correctness fixes
+// ---------------------------------------------------------------------------
+
+TEST(CodecTest, LiteralNullStringIsNotSqlNull) {
+  Schema s({{"a", DataType::kString}, {"b", DataType::kString}});
+  Codec codec(s);
+  Table t(s);
+  ASSERT_TRUE(t.AppendRow({Value("NULL"), Value::Null()}).ok());
+  auto line = codec.EncodeRow(t, 0);
+  ASSERT_TRUE(line.ok());
+  auto row = codec.DecodeRow(*line);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[0], Value("NULL"));  // the string survives as a string
+  EXPECT_TRUE((*row)[1].is_null());     // the null survives as a null
+}
+
+TEST(CodecTest, NullMarkerLookalikeStringsRoundTrip) {
+  // Strings that collide with the wire spelling of null must not decode as
+  // null: "\N" (the marker itself), "N", and "NULL" are all plain values.
+  Schema s({{"a", DataType::kString}});
+  Codec codec(s);
+  for (const std::string& v : {"\\N", "N", "NULL", "\\NULL", "\\n"}) {
+    Table t(s);
+    ASSERT_TRUE(t.AppendRow({Value(v)}).ok());
+    auto line = codec.EncodeRow(t, 0);
+    ASSERT_TRUE(line.ok());
+    auto row = codec.DecodeRow(*line);
+    ASSERT_TRUE(row.ok()) << v;
+    EXPECT_EQ((*row)[0], Value(v));
+  }
+}
+
+TEST(CodecTest, BareNullWordStillNullForNonStringFields) {
+  // Backward compatibility with pre-\N encoders, where no legal value
+  // collides with the word.
+  Codec codec(StreamSchema());
+  auto row = codec.DecodeRow("NULL|7");
+  ASSERT_TRUE(row.ok());
+  EXPECT_TRUE((*row)[0].is_null());
+  EXPECT_EQ((*row)[1], Value(7));
+}
+
+TEST(CodecTest, SchemaHeaderEscapedFieldNames) {
+  Schema s({{"pipe|name", DataType::kInt64},
+            {"back\\slash", DataType::kString},
+            {"plain", DataType::kDouble}});
+  Codec codec(s);
+  std::string header = codec.EncodeSchemaHeader();
+  auto decoded = Codec::DecodeSchemaHeader(header);
+  ASSERT_TRUE(decoded.ok()) << header;
+  EXPECT_EQ(*decoded, s);
+}
+
+TEST(CodecTest, SchemaHeaderEmptyFieldNameRejected) {
+  EXPECT_FALSE(Codec::DecodeSchemaHeader(":int|b:int").ok());
+  EXPECT_FALSE(Codec::DecodeSchemaHeader("a:int|:string").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Gateway: multi-client fan-in, fault injection, flow control
+// ---------------------------------------------------------------------------
+
+struct GatewayFixture {
+  explicit GatewayFixture(size_t max_batch_rows = 1024)
+      : clock(SystemClock::Get()),
+        basket(std::make_shared<core::Basket>("in", StreamSchema())),
+        receptor(std::make_shared<core::Receptor>("r")),
+        ingress(receptor, Codec(StreamSchema()), SystemClock::Get(),
+                max_batch_rows) {
+    receptor->AddOutput(basket);
+  }
+
+  bool WaitFinished(int timeout_ms = 5000) {
+    for (int i = 0; i < timeout_ms && !ingress.finished(); ++i) {
+      clock->SleepFor(1000);
+    }
+    return ingress.finished();
+  }
+
+  SystemClock* clock;
+  core::BasketPtr basket;
+  core::ReceptorPtr receptor;
+  TcpIngress ingress;
+};
+
+TEST(GatewayTest, MultiClientFanIn) {
+  GatewayFixture fx;
+  ASSERT_TRUE(fx.ingress.Start().ok());
+
+  constexpr int kClients = 8;
+  constexpr uint64_t kPerClient = 200;
+  std::vector<std::thread> sensors;
+  for (int c = 0; c < kClients; ++c) {
+    sensors.emplace_back([&, c] {
+      Sensor::Options opts;
+      opts.num_tuples = kPerClient;
+      opts.tuples_per_write = 17;
+      opts.seed = static_cast<uint64_t>(c) + 1;
+      ASSERT_TRUE(
+          Sensor::Run("127.0.0.1", fx.ingress.port(), opts, fx.clock).ok());
+    });
+  }
+  for (auto& t : sensors) t.join();
+  ASSERT_TRUE(fx.WaitFinished());
+
+  EXPECT_EQ(fx.ingress.connections_accepted(), kClients);
+  EXPECT_EQ(fx.ingress.tuples_received(), kClients * kPerClient);
+  EXPECT_EQ(fx.ingress.tuples_dropped(), 0u);
+  EXPECT_EQ(fx.basket->size(), kClients * kPerClient);
+  fx.ingress.Stop();
+}
+
+TEST(GatewayTest, StopWithConnectedIdleClientReturnsQuickly) {
+  GatewayFixture fx;
+  ASSERT_TRUE(fx.ingress.Start().ok());
+
+  // A sensor that connects and then says nothing — the regression that used
+  // to leave Stop() hanging in join() behind a blocked ReadLine.
+  auto idle = TcpStream::Connect("127.0.0.1", fx.ingress.port());
+  ASSERT_TRUE(idle.ok());
+  for (int i = 0; i < 2000 && fx.ingress.active_connections() == 0; ++i) {
+    fx.clock->SleepFor(1000);
+  }
+  ASSERT_EQ(fx.ingress.active_connections(), 1u);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  fx.ingress.Stop();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::seconds(1));
+  // The accepted stream was shut down, not leaked: the idle client sees EOF.
+  auto line = idle->ReadLine();
+  EXPECT_FALSE(line.ok());
+}
+
+TEST(GatewayTest, MalformedBurstCountedNotSilent) {
+  GatewayFixture fx;
+  ASSERT_TRUE(fx.ingress.Start().ok());
+  auto conn = TcpStream::Connect("127.0.0.1", fx.ingress.port());
+  ASSERT_TRUE(conn.ok());
+  Codec codec(StreamSchema());
+  // One write so the whole burst lands in the drain loop together; valid
+  // and malformed lines interleave.
+  ASSERT_TRUE(conn->WriteAll(codec.EncodeSchemaHeader() +
+                             "\n1|10\ngarbage\n2|20\n3|not_an_int\n4|40\n"
+                             "5|\n6|60\n")
+                  .ok());
+  ASSERT_TRUE(conn->ShutdownWrite().ok());
+  ASSERT_TRUE(fx.WaitFinished());
+  EXPECT_EQ(fx.ingress.tuples_received(), 4u);
+  EXPECT_EQ(fx.ingress.tuples_dropped(), 3u);
+  EXPECT_EQ(fx.basket->size(), 4u);
+  fx.ingress.Stop();
+}
+
+TEST(GatewayTest, MidStreamDisconnectKeepsServingOthers) {
+  GatewayFixture fx;
+  ASSERT_TRUE(fx.ingress.Start().ok());
+  Codec codec(StreamSchema());
+
+  // Client 1 dies mid-stream with a hard reset (SO_LINGER 0 => RST).
+  {
+    auto doomed = TcpStream::Connect("127.0.0.1", fx.ingress.port());
+    ASSERT_TRUE(doomed.ok());
+    ASSERT_TRUE(
+        doomed->WriteAll(codec.EncodeSchemaHeader() + "\n1|10\n2|2").ok());
+    struct linger lg = {1, 0};
+    ::setsockopt(doomed->fd(), SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    doomed->Close();
+  }
+
+  // Client 2 streams normally and must be unaffected.
+  auto ok_client = TcpStream::Connect("127.0.0.1", fx.ingress.port());
+  ASSERT_TRUE(ok_client.ok());
+  ASSERT_TRUE(ok_client
+                  ->WriteAll(codec.EncodeSchemaHeader() +
+                             "\n7|70\n8|80\n9|90\n")
+                  .ok());
+  ASSERT_TRUE(ok_client->ShutdownWrite().ok());
+  ASSERT_TRUE(fx.WaitFinished());
+  // Whatever the reset connection managed to deliver is kept; client 2's
+  // three tuples all arrive.
+  EXPECT_GE(fx.ingress.tuples_received(), 3u);
+  EXPECT_GE(fx.basket->size(), 3u);
+  Table contents = fx.basket->Peek();
+  int from_ok_client = 0;
+  for (size_t i = 0; i < contents.num_rows(); ++i) {
+    const int64_t payload = contents.GetRow(i)[1].int_value();
+    if (payload == 70 || payload == 80 || payload == 90) ++from_ok_client;
+  }
+  EXPECT_EQ(from_ok_client, 3);
+  fx.ingress.Stop();
+}
+
+TEST(GatewayTest, TornCompleteLineAtEofDelivered) {
+  GatewayFixture fx;
+  ASSERT_TRUE(fx.ingress.Start().ok());
+  auto conn = TcpStream::Connect("127.0.0.1", fx.ingress.port());
+  ASSERT_TRUE(conn.ok());
+  Codec codec(StreamSchema());
+  // The final line is missing its newline; it is still a whole tuple.
+  ASSERT_TRUE(
+      conn->WriteAll(codec.EncodeSchemaHeader() + "\n5|50\n7|7").ok());
+  ASSERT_TRUE(conn->ShutdownWrite().ok());
+  ASSERT_TRUE(fx.WaitFinished());
+  EXPECT_EQ(fx.ingress.tuples_received(), 2u);
+  EXPECT_EQ(fx.ingress.tuples_dropped(), 0u);
+  fx.ingress.Stop();
+}
+
+TEST(GatewayTest, TornPartialLineAtEofCountedDropped) {
+  GatewayFixture fx;
+  ASSERT_TRUE(fx.ingress.Start().ok());
+  auto conn = TcpStream::Connect("127.0.0.1", fx.ingress.port());
+  ASSERT_TRUE(conn.ok());
+  Codec codec(StreamSchema());
+  // The connection tears in the middle of the second tuple's payload.
+  ASSERT_TRUE(
+      conn->WriteAll(codec.EncodeSchemaHeader() + "\n5|50\n8|").ok());
+  ASSERT_TRUE(conn->ShutdownWrite().ok());
+  ASSERT_TRUE(fx.WaitFinished());
+  EXPECT_EQ(fx.ingress.tuples_received(), 1u);
+  EXPECT_EQ(fx.ingress.tuples_dropped(), 1u);
+  fx.ingress.Stop();
+}
+
+TEST(GatewayTest, BackpressureEngagesAndReleasesWithoutLoss) {
+  GatewayFixture fx(/*max_batch_rows=*/4);
+  fx.basket->SetCapacity(/*high_watermark=*/8, /*low_watermark=*/4);
+  ASSERT_TRUE(fx.ingress.Start().ok());
+
+  constexpr uint64_t kTuples = 50;
+  auto conn = TcpStream::Connect("127.0.0.1", fx.ingress.port());
+  ASSERT_TRUE(conn.ok());
+  Codec codec(StreamSchema());
+  std::string payload = codec.EncodeSchemaHeader() + "\n";
+  for (uint64_t i = 0; i < kTuples; ++i) {
+    payload += std::to_string(i) + "|" + std::to_string(i * 10) + "\n";
+  }
+  ASSERT_TRUE(conn->WriteAll(payload).ok());
+  ASSERT_TRUE(conn->ShutdownWrite().ok());
+
+  // With no consumer the valve must close at the high watermark: the
+  // basket holds at most 8 rows and the gateway stops reading.
+  for (int i = 0; i < 5000 && !fx.ingress.backpressured(); ++i) {
+    fx.clock->SleepFor(1000);
+  }
+  EXPECT_TRUE(fx.ingress.backpressured());
+  EXPECT_LE(fx.basket->size(), 8u);
+  EXPECT_LT(fx.ingress.tuples_received(), kTuples);
+
+  // Draining past the low watermark releases it; every tuple eventually
+  // arrives and none were dropped anywhere (push-back, not drop).
+  uint64_t taken = 0;
+  for (int i = 0; i < 5000 && !fx.ingress.finished(); ++i) {
+    taken += fx.basket->TakeAll().num_rows();
+    fx.clock->SleepFor(1000);
+  }
+  ASSERT_TRUE(fx.ingress.finished());
+  taken += fx.basket->TakeAll().num_rows();
+
+  EXPECT_EQ(taken, kTuples);
+  EXPECT_EQ(fx.ingress.tuples_received(), kTuples);
+  EXPECT_EQ(fx.ingress.tuples_dropped(), 0u);
+  EXPECT_EQ(fx.basket->stats().dropped, 0u);
+  EXPECT_LE(fx.basket->stats().peak_rows, 8u);
+  EXPECT_GE(fx.ingress.backpressure_engagements(), 1u);
+  EXPECT_FALSE(fx.ingress.backpressured());
+  fx.ingress.Stop();
+}
+
+TEST(GatewayTest, HandshakeFailureDropsOnlyThatConnection) {
+  GatewayFixture fx;
+  ASSERT_TRUE(fx.ingress.Start().ok());
+  Codec codec(StreamSchema());
+
+  auto bad = TcpStream::Connect("127.0.0.1", fx.ingress.port());
+  ASSERT_TRUE(bad.ok());
+  ASSERT_TRUE(bad->WriteAll("wrong:int|schema:string\n1|x\n").ok());
+  ASSERT_TRUE(bad->ShutdownWrite().ok());
+
+  auto good = TcpStream::Connect("127.0.0.1", fx.ingress.port());
+  ASSERT_TRUE(good.ok());
+  ASSERT_TRUE(
+      good->WriteAll(codec.EncodeSchemaHeader() + "\n1|10\n2|20\n").ok());
+  ASSERT_TRUE(good->ShutdownWrite().ok());
+
+  ASSERT_TRUE(fx.WaitFinished());
+  EXPECT_EQ(fx.ingress.connections_accepted(), 2u);
+  EXPECT_EQ(fx.ingress.tuples_received(), 2u);
+  EXPECT_EQ(fx.basket->size(), 2u);
+  fx.ingress.Stop();
 }
 
 }  // namespace

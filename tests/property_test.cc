@@ -434,5 +434,80 @@ TEST_P(TablePartitionTest, EraseKeepComplement) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TablePartitionTest, ::testing::Range(1, 9));
 
+// ---------------------------------------------------------------------------
+// Codec null-ambiguity round trip: the identity must hold even for strings
+// built from the protocol's own spellings — "NULL", "\N", escapes — which
+// the generic alphabet above can never produce.
+// ---------------------------------------------------------------------------
+
+class CodecNullAmbiguityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodecNullAmbiguityTest, AnyRowSurvivesTheWire) {
+  Random rng(static_cast<uint64_t>(GetParam()) * 77 + 5);
+  Schema schema({{"i", DataType::kInt64},
+                 {"d", DataType::kDouble},
+                 {"b", DataType::kBool},
+                 {"s", DataType::kString}});
+  net::Codec codec(schema);
+  const std::vector<std::string> tokens = {
+      "NULL", "\\N", "N", "|", "\\", "\n", "\\p", "a", "xyz", ":", ""};
+  for (int iter = 0; iter < 200; ++iter) {
+    Row row;
+    row.push_back(rng.Bernoulli(0.15)
+                      ? Value::Null()
+                      : Value(rng.UniformRange(-1'000'000, 1'000'000)));
+    row.push_back(rng.Bernoulli(0.15) ? Value::Null()
+                                      : Value(rng.NextDouble() * 1e6 - 5e5));
+    row.push_back(rng.Bernoulli(0.15) ? Value::Null()
+                                      : Value(rng.Bernoulli(0.5)));
+    if (rng.Bernoulli(0.15)) {
+      row.push_back(Value::Null());
+    } else {
+      std::string s;
+      const size_t pieces = rng.Uniform(5);
+      for (size_t p = 0; p < pieces; ++p) s += tokens[rng.Uniform(tokens.size())];
+      row.push_back(Value(s));
+    }
+    Table t(schema);
+    ASSERT_TRUE(t.AppendRow(row).ok());
+    auto line = codec.EncodeRow(t, 0);
+    ASSERT_TRUE(line.ok());
+    ASSERT_EQ(line->find('\n'), std::string::npos);
+    auto decoded = codec.DecodeRow(*line);
+    ASSERT_TRUE(decoded.ok()) << *line;
+    EXPECT_EQ(*decoded, row) << *line;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecNullAmbiguityTest, ::testing::Range(1, 9));
+
+// Schema headers round-trip for any field name (escaped like values).
+class SchemaHeaderRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchemaHeaderRoundTripTest, AnyFieldNameSurvivesTheHandshake) {
+  Random rng(static_cast<uint64_t>(GetParam()) * 131 + 17);
+  const std::string alphabet = "ab|\\:npq";
+  for (int iter = 0; iter < 100; ++iter) {
+    Schema schema;
+    const size_t nfields = 1 + rng.Uniform(4);
+    for (size_t f = 0; f < nfields; ++f) {
+      std::string name;
+      const size_t len = 1 + rng.Uniform(6);
+      for (size_t c = 0; c < len; ++c) {
+        name.push_back(alphabet[rng.Uniform(alphabet.size())]);
+      }
+      name += std::to_string(f);  // keep names unique
+      ASSERT_TRUE(schema.AddField({name, DataType::kInt64}).ok());
+    }
+    net::Codec codec(schema);
+    auto decoded = net::Codec::DecodeSchemaHeader(codec.EncodeSchemaHeader());
+    ASSERT_TRUE(decoded.ok()) << codec.EncodeSchemaHeader();
+    EXPECT_EQ(*decoded, schema);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchemaHeaderRoundTripTest,
+                         ::testing::Range(1, 5));
+
 }  // namespace
 }  // namespace datacell

@@ -1,17 +1,23 @@
-// Standalone DataCell kernel (§6.1 topology): accepts a sensor stream on
+// Standalone DataCell kernel (§6.1 topology): accepts sensor streams on
 // one TCP port, runs a chain of continuous `select *` queries through the
 // Petri-net scheduler, and forwards results to an actuator — the paper's
-// three-process experiment, runnable for real:
+// three-process experiment, runnable for real. The gateway multiplexes
+// any number of concurrent sensors on the listen port; start several
+// `sensor` processes in parallel to fan in:
 //
 //   terminal 1: actuator 9001
 //   terminal 2: datacell_server 9000 127.0.0.1 9001 16
-//   terminal 3: sensor 127.0.0.1 9000 100000
+//   terminal 3+: sensor 127.0.0.1 9000 100000   (as many as you like)
 //
 //   datacell_server <listen_port> <actuator_host> <actuator_port> \
-//       [queries] [workers]
+//       [queries] [workers] [capacity]
 //
 // `workers` sizes the scheduler's worker pool (default: the hardware
 // concurrency); independent query-chain segments fire in parallel.
+// `capacity` (rows, default 0 = unbounded) bounds the ingress basket:
+// when resident rows reach it the gateway stops reading the sensor
+// sockets (TCP push-back, no drops) and resumes once the query chain
+// drains the basket below the low watermark (capacity/2).
 
 #include <algorithm>
 #include <cstdio>
@@ -35,7 +41,7 @@ int main(int argc, char** argv) {
   if (argc < 4) {
     std::fprintf(stderr,
                  "usage: %s <listen_port> <actuator_host> <actuator_port> "
-                 "[queries] [workers]\n",
+                 "[queries] [workers] [capacity]\n",
                  argv[0]);
     return 2;
   }
@@ -47,6 +53,9 @@ int main(int argc, char** argv) {
   const size_t workers =
       workers_arg > 0 ? static_cast<size_t>(workers_arg)
                       : std::max(1u, std::thread::hardware_concurrency());
+  const long capacity_arg = argc > 6 ? std::atol(argv[6]) : 0;
+  const size_t capacity =
+      capacity_arg > 0 ? static_cast<size_t>(capacity_arg) : 0;
 
   datacell::SystemClock* clock = datacell::SystemClock::Get();
   const datacell::Schema stream = net::Sensor::StreamSchema();
@@ -54,6 +63,7 @@ int main(int argc, char** argv) {
   // Query chain b0 -> q1 -> b1 -> ... -> bk -> emitter.
   std::vector<core::BasketPtr> baskets;
   baskets.push_back(std::make_shared<core::Basket>("b0", stream));
+  if (capacity > 0) baskets[0]->SetCapacity(capacity);
   core::Scheduler scheduler(clock, workers);
   for (int i = 1; i <= queries; ++i) {
     baskets.push_back(std::make_shared<core::Basket>(
@@ -94,12 +104,20 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "scheduler failed: %s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("datacell: listening on %u, %d-query chain, %zu workers, "
-              "forwarding to %s:%u\n",
-              ingress.port(), queries, workers, actuator_host, actuator_port);
+  if (capacity > 0) {
+    std::printf("datacell: listening on %u, %d-query chain, %zu workers, "
+                "basket bound %zu rows, forwarding to %s:%u\n",
+                ingress.port(), queries, workers, capacity, actuator_host,
+                actuator_port);
+  } else {
+    std::printf("datacell: listening on %u, %d-query chain, %zu workers, "
+                "forwarding to %s:%u\n",
+                ingress.port(), queries, workers, actuator_host,
+                actuator_port);
+  }
   std::fflush(stdout);
 
-  // Serve one sensor session, drain, and exit.
+  // Serve until every connected sensor has disconnected, drain, and exit.
   while (!ingress.finished()) clock->SleepFor(10'000);
   while (true) {
     bool empty = true;
@@ -114,7 +132,11 @@ int main(int argc, char** argv) {
   if (Status st = (*egress)->Finish(); !st.ok()) {
     std::fprintf(stderr, "egress finish: %s\n", st.ToString().c_str());
   }
-  std::printf("datacell: done (%llu tuples ingested)\n",
-              static_cast<unsigned long long>(ingress.tuples_received()));
+  std::printf("datacell: done (%llu tuples ingested, %llu malformed dropped, "
+              "%llu backpressure engagements)\n",
+              static_cast<unsigned long long>(ingress.tuples_received()),
+              static_cast<unsigned long long>(ingress.tuples_dropped()),
+              static_cast<unsigned long long>(
+                  ingress.backpressure_engagements()));
   return 0;
 }
