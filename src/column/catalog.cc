@@ -4,7 +4,7 @@ namespace datacell {
 
 Result<std::shared_ptr<Table>> Catalog::CreateTable(const std::string& name,
                                                     Schema schema) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (tables_.count(name) > 0) {
     return Status::AlreadyExists("table '" + name + "' already exists");
   }
@@ -14,7 +14,7 @@ Result<std::shared_ptr<Table>> Catalog::CreateTable(const std::string& name,
 }
 
 Result<std::shared_ptr<Table>> Catalog::GetTable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("no table named '" + name + "'");
@@ -23,12 +23,12 @@ Result<std::shared_ptr<Table>> Catalog::GetTable(const std::string& name) const 
 }
 
 bool Catalog::HasTable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return tables_.count(name) > 0;
 }
 
 Status Catalog::DropTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (tables_.erase(name) == 0) {
     return Status::NotFound("no table named '" + name + "'");
   }
@@ -36,7 +36,7 @@ Status Catalog::DropTable(const std::string& name) {
 }
 
 std::vector<std::string> Catalog::ListTables() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, _] : tables_) names.push_back(name);

@@ -3,12 +3,13 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "column/table.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace datacell {
 
@@ -40,8 +41,8 @@ class Catalog {
   std::vector<std::string> ListTables() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<Table>> tables_;
+  mutable Mutex mu_{LockRank::kCatalog};
+  std::map<std::string, std::shared_ptr<Table>> tables_ DC_GUARDED_BY(mu_);
 };
 
 }  // namespace datacell

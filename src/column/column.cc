@@ -50,7 +50,24 @@ size_t Column::PhysicalSize() const {
 
 bool Column::Shared() const {
   if (valid_ != nullptr && valid_.use_count() > 1) return true;
-  return std::visit([](const auto& b) { return b.use_count() > 1; }, data_);
+  const bool shared =
+      std::visit([](const auto& b) { return b.use_count() > 1; }, data_);
+  if (!shared) {
+    // use_count() is a relaxed load. Observing 1 may mean a snapshot on
+    // another thread released its reference moments ago; callers take
+    // "not shared" as licence to mutate the buffer in place, so those
+    // writes must be ordered after that reader's final buffer reads.
+    // Take the acquire edge through the refcount itself: copy/destroy of
+    // the owner runs acq_rel RMWs on the count, which synchronize with
+    // the release half of the snapshot destructor's decrement. (A bare
+    // std::atomic_thread_fence(acquire) would also be correct, but TSan
+    // does not model fences, so the RMW form keeps sanitizer runs clean.)
+    std::visit([](const auto& b) { auto pin = b; }, data_);
+    if (valid_ != nullptr) {
+      auto pin = valid_;
+    }
+  }
+  return shared;
 }
 
 bool Column::SharesStorageWith(const Column& other) const {

@@ -45,19 +45,19 @@ bool Basket::Drained() const {
 }
 
 void Basket::AddConstraint(ExprPtr predicate) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   constraints_.push_back(std::move(predicate));
 }
 
 size_t Basket::AddListener(Listener listener) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   const size_t id = next_listener_id_++;
   listeners_.emplace_back(id, std::move(listener));
   return id;
 }
 
 void Basket::RemoveListener(size_t id) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   for (auto it = listeners_.begin(); it != listeners_.end(); ++it) {
     if (it->first == id) {
       listeners_.erase(it);
@@ -67,6 +67,7 @@ void Basket::RemoveListener(size_t id) {
 }
 
 void Basket::Touch() {
+  num_rows_.store(data_.num_rows(), std::memory_order_release);
   version_.fetch_add(1, std::memory_order_acq_rel);
   for (const auto& [id, fn] : listeners_) fn();
 }
@@ -124,7 +125,7 @@ Result<size_t> Basket::AppendAligned(const Table& tuples, Micros now) {
     return Status::TypeMismatch("aligned append arity mismatch on basket '" +
                                 name_ + "'");
   }
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   if (constraints_.empty()) {
     RETURN_NOT_OK(data_.AppendTable(tuples));
     appended_.fetch_add(tuples.num_rows(), std::memory_order_relaxed);
@@ -150,23 +151,18 @@ Status Basket::AppendRow(const Row& row, Micros now) {
   return Status::OK();
 }
 
-size_t Basket::size() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  return data_.num_rows();
-}
-
 Table Basket::Peek() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   return data_;
 }
 
 Table Basket::PeekRows(const SelVector& sel) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   return data_.Take(sel);
 }
 
 Table Basket::TakeAll() {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   Table out = std::move(data_);
   data_ = Table(schema_);
   consumed_.fetch_add(out.num_rows(), std::memory_order_relaxed);
@@ -175,7 +171,7 @@ Table Basket::TakeAll() {
 }
 
 Result<Table> Basket::TakeRows(const SelVector& sorted_sel) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   Table out = data_.Take(sorted_sel);
   RETURN_NOT_OK(data_.EraseRows(sorted_sel));
   consumed_.fetch_add(sorted_sel.size(), std::memory_order_relaxed);
@@ -184,7 +180,7 @@ Result<Table> Basket::TakeRows(const SelVector& sorted_sel) {
 }
 
 Status Basket::EraseRows(const SelVector& sorted_sel) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   RETURN_NOT_OK(data_.EraseRows(sorted_sel));
   consumed_.fetch_add(sorted_sel.size(), std::memory_order_relaxed);
   if (!sorted_sel.empty()) Touch();
@@ -192,7 +188,7 @@ Status Basket::EraseRows(const SelVector& sorted_sel) {
 }
 
 Status Basket::ErasePrefix(size_t n) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   n = std::min(n, data_.num_rows());
   if (n == 0) return Status::OK();
   RETURN_NOT_OK(data_.ErasePrefix(n));
@@ -202,7 +198,7 @@ Status Basket::ErasePrefix(size_t n) {
 }
 
 void Basket::Clear() {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  RecursiveMutexLock lock(&mu_);
   const size_t n = data_.num_rows();
   consumed_.fetch_add(n, std::memory_order_relaxed);
   data_.Clear();

@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -14,7 +13,9 @@
 #include "expr/eval.h"
 #include "expr/expr.h"
 #include "util/clock.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace datacell::core {
 
@@ -38,9 +39,12 @@ inline constexpr const char* kArrivalColumn = "dc_arrival";
 ///    continuous queries; there is no a-priori arrival order requirement.
 ///
 /// All public methods are internally synchronized via a recursive mutex, so
-/// multi-step factory sequences can additionally hold AcquireLock() across
+/// multi-step factory sequences can additionally hold a BasketLock across
 /// statements (mirroring Algorithm 1's basket.lock/unlock) while still
-/// calling the public API.
+/// calling the public API. The mutex carries LockRank::kBasket — the
+/// outermost rank in the documented hierarchy — and multiple baskets must
+/// be locked in ascending address order (Factory::Fire's canonical order),
+/// which the debug lock-rank checker enforces.
 class Basket {
  public:
   struct Stats {
@@ -114,7 +118,11 @@ class Basket {
   Status AppendRow(const Row& row, Micros now);
 
   /// --- Consumer side ------------------------------------------------------
-  size_t size() const;
+  /// Lock-free resident-row count (maintained under mu_, read anywhere):
+  /// eligibility checks and firing bodies may probe any basket's size
+  /// without touching its lock, so a probe can never invert the basket
+  /// lock order.
+  size_t size() const { return num_rows_.load(std::memory_order_acquire); }
   bool empty() const { return size() == 0; }
 
   /// Zero-copy snapshot of the current contents (kConsumeNone reads): the
@@ -143,15 +151,15 @@ class Basket {
   void Clear();
 
   /// Direct access to the backing table for operator evaluation. Callers
-  /// that need multi-step atomicity must hold AcquireLock() for the whole
-  /// sequence.
-  const Table& contents() const { return data_; }
-  Table* mutable_contents() { return &data_; }
+  /// must hold the basket lock (BasketLock / Lock()) for the whole
+  /// sequence that uses the reference — enforced by the analysis.
+  const Table& contents() const DC_REQUIRES(mu_) { return data_; }
 
-  /// Explicit lock spanning several operations (factory firing).
-  std::unique_lock<std::recursive_mutex> AcquireLock() const {
-    return std::unique_lock<std::recursive_mutex>(mu_);
-  }
+  /// Explicit lock spanning several operations (Algorithm 1's
+  /// basket.lock/unlock). Prefer the scoped BasketLock; these exist for
+  /// the annotated lock-set acquisition in Factory::Fire.
+  void Lock() const DC_ACQUIRE(mu_) { mu_.Lock(); }
+  void Unlock() const DC_RELEASE(mu_) { mu_.Unlock(); }
 
   /// --- Change signalling ---------------------------------------------------
   /// Monotonic counter bumped on every content mutation. A transition
@@ -167,14 +175,18 @@ class Basket {
   Stats stats() const;
 
  private:
-  // Filters `tuples` (full schema) through constraints; returns accepted
-  // row positions. Caller holds mu_.
-  Result<SelVector> ApplyConstraints(const Table& tuples) const;
+  friend class BasketLock;
 
-  // Bumps the version and notifies listeners. Caller holds mu_.
-  void Touch();
-  // Refreshes peak_rows_ from data_. Caller holds mu_.
-  void UpdatePeak();
+  // Filters `tuples` (full schema) through constraints; returns accepted
+  // row positions.
+  Result<SelVector> ApplyConstraints(const Table& tuples) const
+      DC_REQUIRES(mu_);
+
+  // Refreshes the lock-free row count, bumps the version and notifies
+  // listeners.
+  void Touch() DC_REQUIRES(mu_);
+  // Refreshes peak_rows_ from data_.
+  void UpdatePeak() DC_REQUIRES(mu_);
 
   const std::string name_;
   Schema schema_;
@@ -193,12 +205,46 @@ class Basket {
   std::atomic<uint64_t> consumed_{0};
   std::atomic<uint64_t> version_{0};
   std::atomic<uint64_t> peak_rows_{0};
+  // Resident-row count mirrored from data_ on every mutation (Touch), so
+  // size() — and with it Factory::CanFire, credit accounting, and firing
+  // bodies probing a basket they did not lock — never takes mu_. Taking a
+  // basket lock just to read the size is how the SplitPlan firing path
+  // once inverted the basket lock order.
+  std::atomic<size_t> num_rows_{0};
 
-  mutable std::recursive_mutex mu_;
-  Table data_;
-  std::vector<ExprPtr> constraints_;
-  size_t next_listener_id_ = 0;
-  std::vector<std::pair<size_t, Listener>> listeners_;
+  mutable RecursiveMutex mu_{LockRank::kBasket};
+  Table data_ DC_GUARDED_BY(mu_);
+  std::vector<ExprPtr> constraints_ DC_GUARDED_BY(mu_);
+  size_t next_listener_id_ DC_GUARDED_BY(mu_) = 0;
+  std::vector<std::pair<size_t, Listener>> listeners_ DC_GUARDED_BY(mu_);
+};
+
+/// Scoped basket lock: the annotated replacement for the old
+/// AcquireLock() escape hatch. Holds the basket's recursive mutex for a
+/// multi-step sequence; Unlock() releases early (snapshot-then-evaluate
+/// paths).
+class DC_SCOPED_CAPABILITY BasketLock {
+ public:
+  explicit BasketLock(const Basket* basket) DC_ACQUIRE(basket->mu_)
+      : basket_(basket), held_(true) {
+    basket_->mu_.Lock();
+  }
+
+  ~BasketLock() DC_RELEASE() {
+    if (held_) basket_->mu_.Unlock();
+  }
+
+  BasketLock(const BasketLock&) = delete;
+  BasketLock& operator=(const BasketLock&) = delete;
+
+  void Unlock() DC_RELEASE() {
+    basket_->mu_.Unlock();
+    held_ = false;
+  }
+
+ private:
+  const Basket* const basket_;
+  bool held_;
 };
 
 using BasketPtr = std::shared_ptr<Basket>;

@@ -20,12 +20,28 @@ Result<Table> BasketExpression::Evaluate(const EvalContext& ctx) const {
   //     the lock like the row-targeted policies;
   //   * kMatched/kExpired erase rows by index into the snapshot, so the
   //     basket must not change between snapshot and erase: hold the lock.
-  auto lock = source_->AcquireLock();
-  Table data = source_->Peek();
+  // The two branches keep the lock state balanced on every path, which is
+  // what the thread-safety analysis can follow.
   const bool consume_upfront =
       consume_ == ConsumePolicy::kBatch && !top_n_.has_value();
-  if (consume_upfront) source_->Clear();
-  if (consume_ == ConsumePolicy::kNone || consume_upfront) lock.unlock();
+  if (consume_ == ConsumePolicy::kNone || consume_upfront) {
+    Table data;
+    {
+      BasketLock lock(source_.get());
+      data = source_->Peek();
+      if (consume_upfront) source_->Clear();
+    }
+    return EvaluateSnapshot(data, ctx);
+  }
+  BasketLock lock(source_.get());
+  Table data = source_->Peek();
+  return EvaluateSnapshot(data, ctx);
+}
+
+Result<Table> BasketExpression::EvaluateSnapshot(const Table& data,
+                                                const EvalContext& ctx) const {
+  const bool consume_upfront =
+      consume_ == ConsumePolicy::kBatch && !top_n_.has_value();
 
   // 1. Window predicate.
   SelVector window;
@@ -65,8 +81,8 @@ Result<Table> BasketExpression::Evaluate(const EvalContext& ctx) const {
   Table result = data.Take(selected);
 
   // 4. Consumption side effect (indices refer to the snapshot; for the
-  // row-targeted policies the lock held since the snapshot keeps them
-  // valid against the basket).
+  // row-targeted policies the lock held by Evaluate since the snapshot
+  // keeps them valid against the basket).
   switch (consume_) {
     case ConsumePolicy::kNone:
       break;

@@ -83,6 +83,12 @@ class BasketExpression {
   size_t MinTuples() const { return top_n_.value_or(1); }
 
  private:
+  // Window evaluation + consumption over an immutable snapshot of the
+  // basket (steps shared by both locking disciplines in Evaluate). For the
+  // row-targeted policies the caller holds the basket lock so the snapshot
+  // indices stay valid against the live basket.
+  Result<Table> EvaluateSnapshot(const Table& data, const EvalContext& ctx) const;
+
   BasketPtr source_;
   ExprPtr predicate_;
   std::vector<ops::SortKey> order_by_;

@@ -5,7 +5,7 @@ namespace datacell::core {
 Result<BasketPtr> Engine::CreateBasket(const std::string& name,
                                        const Schema& schema,
                                        bool add_arrival_ts) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (baskets_.count(name) > 0) {
     return Status::AlreadyExists("basket '" + name + "' already exists");
   }
@@ -29,7 +29,7 @@ Result<BasketPtr> Engine::CreateBoundedBasket(const std::string& name,
 }
 
 Result<BasketPtr> Engine::GetBasket(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = baskets_.find(name);
   if (it == baskets_.end()) {
     return Status::NotFound("no basket named '" + name + "'");
@@ -38,12 +38,12 @@ Result<BasketPtr> Engine::GetBasket(const std::string& name) const {
 }
 
 bool Engine::HasBasket(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return baskets_.count(name) > 0;
 }
 
 Status Engine::DropBasket(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (baskets_.erase(name) == 0) {
     return Status::NotFound("no basket named '" + name + "'");
   }
@@ -51,7 +51,7 @@ Status Engine::DropBasket(const std::string& name) {
 }
 
 std::vector<std::string> Engine::ListBaskets() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(baskets_.size());
   for (const auto& [name, _] : baskets_) names.push_back(name);
@@ -59,12 +59,12 @@ std::vector<std::string> Engine::ListBaskets() const {
 }
 
 void Engine::SetVariable(const std::string& name, Value value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   variables_[name] = std::move(value);
 }
 
 Result<Value> Engine::GetVariable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = variables_.find(name);
   if (it == variables_.end()) {
     return Status::NotFound("no variable named '" + name + "'");
@@ -73,12 +73,12 @@ Result<Value> Engine::GetVariable(const std::string& name) const {
 }
 
 bool Engine::HasVariable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return variables_.count(name) > 0;
 }
 
 std::map<std::string, Value> Engine::VariablesSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return variables_;
 }
 

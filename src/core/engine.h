@@ -3,7 +3,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,7 +10,9 @@
 #include "core/basket.h"
 #include "core/scheduler.h"
 #include "util/clock.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace datacell::core {
 
@@ -70,9 +71,9 @@ class Engine {
   Catalog catalog_;
   std::unique_ptr<Scheduler> scheduler_;
 
-  mutable std::mutex mu_;
-  std::map<std::string, BasketPtr> baskets_;
-  std::map<std::string, Value> variables_;
+  mutable Mutex mu_{LockRank::kEngine};
+  std::map<std::string, BasketPtr> baskets_ DC_GUARDED_BY(mu_);
+  std::map<std::string, Value> variables_ DC_GUARDED_BY(mu_);
 };
 
 }  // namespace datacell::core

@@ -6,6 +6,36 @@
 
 namespace datacell::core {
 
+namespace {
+
+// Holds a canonically-ordered (ascending address) set of basket locks for
+// the duration of a firing. The set is dynamic, which Clang Thread Safety
+// Analysis cannot model, so acquisition/release are exempted; the debug
+// lock-rank checker still validates the ascending-address discipline at
+// runtime, and the body only reaches guarded state through the baskets'
+// internally-synchronized public API.
+class BasketLockSet {
+ public:
+  explicit BasketLockSet(const std::vector<Basket*>& sorted)
+      DC_NO_THREAD_SAFETY_ANALYSIS : baskets_(sorted) {
+    for (Basket* b : baskets_) b->Lock();
+  }
+
+  ~BasketLockSet() DC_NO_THREAD_SAFETY_ANALYSIS {
+    for (auto it = baskets_.rbegin(); it != baskets_.rend(); ++it) {
+      (*it)->Unlock();
+    }
+  }
+
+  BasketLockSet(const BasketLockSet&) = delete;
+  BasketLockSet& operator=(const BasketLockSet&) = delete;
+
+ private:
+  const std::vector<Basket*>& baskets_;
+};
+
+}  // namespace
+
 Factory& Factory::AddInput(BasketPtr basket, size_t min_tuples) {
   DC_CHECK(basket != nullptr);
   inputs_.push_back(std::move(basket));
@@ -40,9 +70,7 @@ Result<bool> Factory::Fire(Micros now) {
   std::sort(involved.begin(), involved.end());
   involved.erase(std::unique(involved.begin(), involved.end()),
                  involved.end());
-  std::vector<std::unique_lock<std::recursive_mutex>> locks;
-  locks.reserve(involved.size());
-  for (Basket* b : involved) locks.push_back(b->AcquireLock());
+  BasketLockSet locks(involved);
 
   // Track movement for quiescence detection.
   auto total_size = [&]() {

@@ -1,7 +1,6 @@
 #include "core/scheduler.h"
 
 #include <algorithm>
-#include <chrono>
 
 #include "util/logging.h"
 
@@ -13,7 +12,8 @@ namespace {
 constexpr Micros kPollIntervalMicros = 100;
 // Upper bound on any idle wait: the fallback-sweep cadence that re-checks
 // every transition the classic way, catching eligibility changes that
-// bypassed the basket signal path (e.g. direct mutable_contents() edits).
+// bypassed the basket signal path (e.g. a clock advance gating a factory
+// body).
 constexpr Micros kIdleWaitMicros = 10'000;
 constexpr Micros kMinParkMicros = 20;
 }  // namespace
@@ -23,6 +23,8 @@ Scheduler::Scheduler(Clock* clock, size_t num_workers)
 
 Scheduler::~Scheduler() {
   Stop();
+  // Teardown is single-threaded once Stop() has joined the workers, so
+  // nodes_ needs no lock here (and the analysis skips destructors anyway).
   for (const auto& node : nodes_) {
     for (const auto& [basket, id] : node->subscriptions) {
       basket->RemoveListener(id);
@@ -45,7 +47,7 @@ void Scheduler::Register(TransitionPtr transition) {
 
   Node* raw = node.get();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     raw->index = nodes_.size();
     nodes_.push_back(std::move(node));
   }
@@ -63,10 +65,8 @@ void Scheduler::Register(TransitionPtr transition) {
 }
 
 void Scheduler::OnPlaceSignal(Node* node) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    EnqueueLocked(node);
-  }
+  MutexLock lock(&mu_);
+  EnqueueLocked(node);
 }
 
 void Scheduler::EnqueueLocked(Node* node) {
@@ -74,7 +74,7 @@ void Scheduler::EnqueueLocked(Node* node) {
   if (node->queued) return;
   node->queued = true;
   ready_.push_back(node);
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 bool Scheduler::ConflictsLocked(const Node& node) const {
@@ -86,13 +86,22 @@ bool Scheduler::ConflictsLocked(const Node& node) const {
 }
 
 size_t Scheduler::num_transitions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return nodes_.size();
+}
+
+bool Scheduler::Idle() const {
+  MutexLock lock(&mu_);
+  if (!ready_.empty()) return false;
+  for (const auto& n : nodes_) {
+    if (n->firing) return false;
+  }
+  return true;
 }
 
 Status Scheduler::set_num_workers(size_t n) {
   if (n == 0) return Status::InvalidArgument("worker count must be >= 1");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (running_.load()) {
     return Status::Internal("cannot resize a running scheduler");
   }
@@ -101,12 +110,12 @@ Status Scheduler::set_num_workers(size_t n) {
 }
 
 size_t Scheduler::num_workers() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return num_workers_;
 }
 
 Status Scheduler::last_error() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return error_;
 }
 
@@ -126,7 +135,7 @@ Result<bool> Scheduler::RunOnce() {
   std::vector<Node*> round;
   uint64_t serial;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     serial = ++round_serial_;
     round.reserve(nodes_.size());
     for (const auto& n : nodes_) {
@@ -151,11 +160,10 @@ Result<bool> Scheduler::RunOnce() {
   // Safety sweep: the ready set produced no work, so fall back to the
   // classic full scan before declaring the round idle. This keeps the
   // seed's exact quiescence semantics even for eligibility changes that
-  // bypass basket signals (clock advances gating a factory body, direct
-  // mutable_contents() edits).
+  // bypass basket signals (e.g. clock advances gating a factory body).
   std::vector<Node*> sweep;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     sweep.reserve(nodes_.size());
     for (const auto& n : nodes_) {
       if (n->fired_in_round != serial) sweep.push_back(n.get());
@@ -180,7 +188,7 @@ Result<size_t> Scheduler::RunUntilQuiescent(size_t max_rounds) {
 }
 
 Status Scheduler::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (running_.load()) return Status::Internal("scheduler already running");
   stop_requested_.store(false);
   error_ = Status::OK();
@@ -193,20 +201,25 @@ Status Scheduler::Start() {
 }
 
 void Scheduler::Stop() {
+  // Move the worker threads out under the lock, join them without it:
+  // workers take mu_ on every iteration, so joining under mu_ would
+  // deadlock.
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_requested_.store(true);
+    workers = std::move(workers_);
+    workers_.clear();
   }
-  cv_.notify_all();
-  for (std::thread& w : workers_) {
+  cv_.NotifyAll();
+  for (std::thread& w : workers) {
     if (w.joinable()) w.join();
   }
-  workers_.clear();
   running_.store(false);
 }
 
 void Scheduler::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   while (!stop_requested_.load()) {
     // Claim the oldest ready transition whose place set is disjoint from
     // everything currently firing. No basket is touched under mu_.
@@ -222,13 +235,13 @@ void Scheduler::WorkerLoop() {
       claimed->queued = false;
       claimed->firing = true;
       for (Basket* b : claimed->places) firing_places_.insert(b);
-      lock.unlock();
+      lock.Unlock();
 
       bool fired = false;
       Result<bool> worked = FireIfEligible(claimed, &fired);
       const Micros done_at = clock_->Now();
 
-      lock.lock();
+      lock.Lock();
       claimed->firing = false;
       for (Basket* b : claimed->places) firing_places_.erase(b);
       if (!worked.ok()) {
@@ -237,7 +250,7 @@ void Scheduler::WorkerLoop() {
         if (error_.ok()) error_ = worked.status();
         stop_requested_.store(true);
         running_.store(false);
-        cv_.notify_all();
+        cv_.NotifyAll();
         break;
       }
       if (fired && *worked) {
@@ -250,14 +263,14 @@ void Scheduler::WorkerLoop() {
         claimed->park_until = done_at + kPollIntervalMicros;
       }
       // A completed firing may unblock conflicting ready transitions.
-      if (!ready_.empty()) cv_.notify_all();
+      if (!ready_.empty()) cv_.NotifyAll();
       continue;
     }
 
     if (!ready_.empty()) {
       // Everything ready conflicts with an in-flight firing; its
       // completion will notify.
-      cv_.wait(lock);
+      cv_.Wait(&mu_);
       continue;
     }
 
@@ -268,7 +281,7 @@ void Scheduler::WorkerLoop() {
         self.emplace_back(n.get(), n->park_until);
       }
     }
-    lock.unlock();
+    lock.Unlock();
     const Micros now = clock_->Now();
     Micros wait = kIdleWaitMicros;
     std::vector<Node*> due;
@@ -286,18 +299,17 @@ void Scheduler::WorkerLoop() {
         wait = std::min(wait, dl - now);
       }
     }
-    lock.lock();
+    lock.Lock();
     if (stop_requested_.load()) break;
     if (!due.empty()) {
       for (Node* n : due) EnqueueLocked(n);
       continue;
     }
     if (!ready_.empty()) continue;  // a signal arrived while we scanned
-    const std::cv_status wait_status = cv_.wait_for(
-        lock, std::chrono::microseconds(
-                  std::clamp(wait, kMinParkMicros, kIdleWaitMicros)));
+    const bool notified =
+        cv_.WaitFor(&mu_, std::clamp(wait, kMinParkMicros, kIdleWaitMicros));
     if (stop_requested_.load()) break;
-    if (!ready_.empty() || wait_status != std::cv_status::timeout) continue;
+    if (!ready_.empty() || notified) continue;
 
     // Fallback sweep (see kIdleWaitMicros): re-check data-driven
     // transitions that might have become eligible without a signal.
@@ -305,13 +317,13 @@ void Scheduler::WorkerLoop() {
     for (const auto& n : nodes_) {
       if (n->data_driven && !n->queued && !n->firing) sweep.push_back(n.get());
     }
-    lock.unlock();
+    lock.Unlock();
     const Micros snow = clock_->Now();
     std::vector<Node*> hits;
     for (Node* n : sweep) {
       if (n->t->CanFire(snow)) hits.push_back(n);
     }
-    lock.lock();
+    lock.Lock();
     for (Node* n : hits) EnqueueLocked(n);
   }
 }

@@ -2,10 +2,8 @@
 #define DATACELL_CORE_SCHEDULER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_set>
@@ -14,7 +12,9 @@
 
 #include "core/factory.h"
 #include "util/clock.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace datacell::core {
 
@@ -41,6 +41,12 @@ namespace datacell::core {
 ///    idle. Metronomes bound the park with their next deadline; pull
 ///    receptors are polled on a short interval, everything else wakes on
 ///    basket signals.
+///
+/// Locking: mu_ (rank kScheduler) protects the scheduling state. Firing
+/// bodies take basket locks (rank kBasket, which out-ranks kScheduler), so
+/// transitions always fire with mu_ released; the basket→scheduler signal
+/// path (Basket::Touch → listener → OnPlaceSignal) is the only place both
+/// are held together, in the hierarchy's basket-then-scheduler order.
 class Scheduler {
  public:
   explicit Scheduler(Clock* clock, size_t num_workers = 1);
@@ -74,12 +80,22 @@ class Scheduler {
 
   size_t num_transitions() const;
 
+  /// True when no transition is queued or firing. Basket sizes are
+  /// lock-free reads that can observe the transient state inside a firing
+  /// (inputs already taken, outputs not yet appended), so a drain test is
+  /// `places empty && Idle()` — tokens in flight keep Idle() false.
+  bool Idle() const;
+
   /// First error that stopped the worker pool (OK while healthy).
   Status last_error() const;
 
  private:
   // Per-transition scheduling state. Nodes are owned by nodes_ and never
-  // move, so raw Node* pointers stay valid in listeners and queues.
+  // move, so raw Node* pointers stay valid in listeners and queues. The
+  // mutable fields (queued, firing, park_until, fired_in_round) are
+  // guarded by the scheduler's mu_; the analysis cannot express a guard
+  // living in the owning object, so that part of the contract is enforced
+  // by review plus the runtime rank checker, not by annotations.
   struct Node {
     TransitionPtr t;
     size_t index = 0;                  // registration order
@@ -93,31 +109,35 @@ class Scheduler {
     std::vector<std::pair<BasketPtr, size_t>> subscriptions;
   };
 
-  // A basket watched by `node` changed; make the node claimable.
-  void OnPlaceSignal(Node* node);
-  // Caller holds mu_.
-  void EnqueueLocked(Node* node);
-  bool ConflictsLocked(const Node& node) const;
+  // A basket watched by `node` changed; make the node claimable. Runs on
+  // the signal path (basket lock held), so it must not already hold mu_.
+  void OnPlaceSignal(Node* node) DC_EXCLUDES(mu_);
+  void EnqueueLocked(Node* node) DC_REQUIRES(mu_);
+  bool ConflictsLocked(const Node& node) const DC_REQUIRES(mu_);
 
   void WorkerLoop();
   // Fires `node` if eligible. Returns whether the body did work; sets
-  // *fired when CanFire held and the transition actually ran.
-  Result<bool> FireIfEligible(Node* node, bool* fired);
+  // *fired when CanFire held and the transition actually ran. Must run
+  // with mu_ released: firing bodies take basket locks, which out-rank
+  // the scheduler lock.
+  Result<bool> FireIfEligible(Node* node, bool* fired) DC_EXCLUDES(mu_);
 
   Clock* clock_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<std::unique_ptr<Node>> nodes_;
-  std::deque<Node*> ready_;
-  std::unordered_set<Basket*> firing_places_;
-  size_t num_workers_;
-  uint64_t round_serial_ = 0;  // cooperative round counter
-  Status error_ = Status::OK();
+  mutable Mutex mu_{LockRank::kScheduler};
+  CondVar cv_;
+  std::vector<std::unique_ptr<Node>> nodes_ DC_GUARDED_BY(mu_);
+  std::deque<Node*> ready_ DC_GUARDED_BY(mu_);
+  std::unordered_set<Basket*> firing_places_ DC_GUARDED_BY(mu_);
+  size_t num_workers_ DC_GUARDED_BY(mu_);
+  uint64_t round_serial_ DC_GUARDED_BY(mu_) = 0;  // cooperative round counter
+  Status error_ DC_GUARDED_BY(mu_) = Status::OK();
+  // Joined outside mu_ (workers take mu_); Stop() moves the vector out
+  // under the lock first.
+  std::vector<std::thread> workers_ DC_GUARDED_BY(mu_);
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
-  std::vector<std::thread> workers_;
 };
 
 }  // namespace datacell::core

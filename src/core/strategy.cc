@@ -141,9 +141,10 @@ Result<QueryNetwork> BuildSharedBaskets(
           size_t n;
           Table data;
           {
-            auto lock = shared->AcquireLock();
-            n = std::min(*batch_n, shared->size());
-            data = shared->contents();
+            const Basket* s = shared.get();
+            BasketLock lock(s);
+            n = std::min(*batch_n, s->size());
+            data = s->contents();
           }
           SelVector prefix(n);
           for (size_t r = 0; r < n; ++r) prefix[r] = static_cast<uint32_t>(r);

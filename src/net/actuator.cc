@@ -23,7 +23,7 @@ void Actuator::WaitFinished() {
 }
 
 Actuator::Stats Actuator::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
@@ -56,7 +56,7 @@ void Actuator::ReadLoop() {
     if (fields.size() <= tag_index) continue;
     Result<int64_t> created = ParseInt64(fields[tag_index]);
     if (!created.ok()) continue;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stats_.tuples == 0) {
       stats_.first_receive = received;
       stats_.first_created = *created;

@@ -3,13 +3,14 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "net/socket.h"
 #include "util/clock.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace datacell::net {
 
@@ -67,8 +68,8 @@ class Actuator {
   std::thread thread_;
   std::atomic<bool> finished_{false};
 
-  mutable std::mutex mu_;
-  Stats stats_;
+  mutable Mutex mu_{LockRank::kActuator};
+  Stats stats_ DC_GUARDED_BY(mu_);
 };
 
 }  // namespace datacell::net

@@ -31,7 +31,7 @@ Status TcpIngress::Start(uint16_t port) {
   int pipefd[2];
   if (::pipe(pipefd) != 0) {
     listener_.Close();
-    return Status::IOError("pipe: " + std::string(std::strerror(errno)));
+    return Status::IOError("pipe: " + ErrnoString(errno));
   }
   wake_r_ = pipefd[0];
   wake_w_ = pipefd[1];
@@ -116,7 +116,7 @@ void TcpIngress::ReactorLoop() {
     int rc = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
                     paused ? kPollPausedMs : kPollIdleMs);
     if (rc < 0 && errno != EINTR) {
-      DC_LOG(Error) << "ingress poll: " << std::strerror(errno);
+      DC_LOG(Error) << "ingress poll: " << ErrnoString(errno);
       break;
     }
     if (stop_.load()) break;

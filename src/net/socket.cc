@@ -14,11 +14,24 @@ namespace datacell::net {
 
 namespace {
 
+// strerror_r comes in two flavours; overload resolution picks the right
+// unpacking. GNU returns the message pointer (not always `buf`), XSI
+// fills `buf` and returns 0 on success.
+std::string ErrnoMessage(const char* ret, const char* /*buf*/) { return ret; }
+std::string ErrnoMessage(int ret, const char* buf) {
+  return ret == 0 ? buf : "unknown error";
+}
+
 Status Errno(const std::string& what) {
-  return Status::IOError(what + ": " + std::strerror(errno));
+  return Status::IOError(what + ": " + ErrnoString(errno));
 }
 
 }  // namespace
+
+std::string ErrnoString(int err) {
+  char buf[128] = "unknown error";
+  return ErrnoMessage(strerror_r(err, buf, sizeof(buf)), buf);
+}
 
 TcpStream::~TcpStream() { Close(); }
 

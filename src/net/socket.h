@@ -10,6 +10,10 @@
 
 namespace datacell::net {
 
+/// Thread-safe spelling of strerror(err): strerror's static buffer makes
+/// it unusable from concurrent gateway/actuator threads.
+std::string ErrnoString(int err);
+
 /// A connected TCP byte stream with line-oriented helpers. Move-only; the
 /// destructor closes the descriptor.
 class TcpStream {

@@ -348,9 +348,14 @@ Result<Table> Executor::EvalBasketExpr(const SelectStmt& stmt,
   // Lock both baskets for the whole read-join-delete sequence: the matched
   // row indices computed against the snapshots below must still describe
   // the baskets when the deletes run. The snapshots themselves are
-  // zero-copy, so holding the locks costs contention, not copying.
-  auto llock = left->AcquireLock();
-  auto rlock = right->AcquireLock();
+  // zero-copy, so holding the locks costs contention, not copying. The
+  // locks are taken in ascending address order — the canonical basket-lock
+  // order (Factory::Fire) — so two sessions merging the same pair with
+  // opposite FROM orders cannot deadlock.
+  core::Basket* const lo = std::min(left.get(), right.get());
+  core::Basket* const hi = std::max(left.get(), right.get());
+  core::BasketLock lock_lo(lo);
+  core::BasketLock lock_hi(hi);
   Table ltab = left->Peek();
   Table rtab = right->Peek();
 

@@ -1,0 +1,124 @@
+#include "util/lock_rank.h"
+
+#ifdef DATACELL_LOCK_RANK_CHECKS
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define DC_LOCK_RANK_HAVE_BACKTRACE 1
+#endif
+#endif
+
+namespace datacell::lock_rank {
+
+namespace {
+
+constexpr int kMaxFrames = 24;
+
+struct HeldLock {
+  const void* mu;
+  LockRank rank;
+  bool recursive;
+#ifdef DC_LOCK_RANK_HAVE_BACKTRACE
+  void* frames[kMaxFrames];
+  int num_frames;
+#endif
+};
+
+// The checker must not use DC_LOG: logging takes a ranked mutex itself,
+// and a violation report has to work no matter which locks are held.
+// Everything below writes straight to stderr and aborts.
+thread_local std::vector<HeldLock>* t_held = nullptr;
+
+std::vector<HeldLock>& Held() {
+  // Leaked on thread exit by design: checker builds are debug-only and the
+  // alternative (destruction order vs. late lock use) is worse.
+  if (t_held == nullptr) t_held = new std::vector<HeldLock>();
+  return *t_held;
+}
+
+void PrintStack(const char* title, const HeldLock* held) {
+  std::fprintf(stderr, "%s\n", title);
+#ifdef DC_LOCK_RANK_HAVE_BACKTRACE
+  if (held != nullptr) {
+    backtrace_symbols_fd(held->frames, held->num_frames, 2);
+    return;
+  }
+  void* frames[kMaxFrames];
+  const int n = backtrace(frames, kMaxFrames);
+  backtrace_symbols_fd(frames, n, 2);
+#else
+  (void)held;
+  std::fprintf(stderr, "  (no backtrace support on this platform)\n");
+#endif
+}
+
+[[noreturn]] void Violation(const char* what, const void* mu, LockRank rank,
+                            const HeldLock& conflicting) {
+  std::fprintf(stderr,
+               "lock_rank: %s: acquiring mutex %p (rank %d) while holding "
+               "mutex %p (rank %d)\n",
+               what, mu, static_cast<int>(rank), conflicting.mu,
+               static_cast<int>(conflicting.rank));
+  PrintStack("lock_rank: held lock was acquired at:", &conflicting);
+  PrintStack("lock_rank: current acquisition at:", nullptr);
+  std::abort();
+}
+
+}  // namespace
+
+void NoteAcquire(const void* mu, LockRank rank, bool recursive) {
+  std::vector<HeldLock>& held = Held();
+  for (const HeldLock& h : held) {
+    if (h.mu == mu) {
+      // Re-entry by the holding thread: fine for recursive mutexes, a
+      // guaranteed self-deadlock for plain ones.
+      if (!recursive) Violation("self-deadlock (non-recursive re-entry)", mu,
+                                rank, h);
+      goto record;
+    }
+  }
+  for (const HeldLock& h : held) {
+    if (static_cast<int>(rank) > static_cast<int>(h.rank)) {
+      Violation("hierarchy inversion", mu, rank, h);
+    }
+    if (rank == h.rank) {
+      // Equal rank: only baskets, and only ascending by address (the
+      // canonical multi-basket order of Factory::Fire).
+      if (rank != LockRank::kBasket || mu < h.mu) {
+        Violation("same-rank order violation", mu, rank, h);
+      }
+    }
+  }
+record:
+  HeldLock entry;
+  entry.mu = mu;
+  entry.rank = rank;
+  entry.recursive = recursive;
+#ifdef DC_LOCK_RANK_HAVE_BACKTRACE
+  entry.num_frames = backtrace(entry.frames, kMaxFrames);
+#endif
+  held.push_back(entry);
+}
+
+void NoteRelease(const void* mu) {
+  std::vector<HeldLock>& held = Held();
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (it->mu == mu) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+  std::fprintf(stderr, "lock_rank: releasing mutex %p this thread does not hold\n",
+               mu);
+  PrintStack("lock_rank: release at:", nullptr);
+  std::abort();
+}
+
+}  // namespace datacell::lock_rank
+
+#endif  // DATACELL_LOCK_RANK_CHECKS

@@ -4,7 +4,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "util/mutex.h"
 
 namespace datacell {
 
@@ -12,9 +13,11 @@ namespace {
 
 std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
 
-// Serializes writes so concurrent threads do not interleave lines.
-std::mutex& LogMutex() {
-  static std::mutex* mu = new std::mutex();
+// Serializes writes so concurrent threads do not interleave lines. Rank
+// kLogging (innermost): a log line may be emitted while holding any other
+// lock in the system.
+Mutex& LogMutex() {
+  static Mutex* mu = new Mutex(LockRank::kLogging);
   return *mu;
 }
 
@@ -52,7 +55,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   {
-    std::lock_guard<std::mutex> lock(LogMutex());
+    MutexLock lock(&LogMutex());
     std::fprintf(stderr, "%s\n", stream_.str().c_str());
     std::fflush(stderr);
   }

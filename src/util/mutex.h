@@ -1,0 +1,163 @@
+#ifndef DATACELL_UTIL_MUTEX_H_
+#define DATACELL_UTIL_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/clock.h"
+#include "util/lock_rank.h"
+#include "util/thread_annotations.h"
+
+namespace datacell {
+
+/// Annotated std::mutex wrapper: a Clang Thread Safety Analysis capability
+/// with an integrated lock rank (see lock_rank.h). All mutexes in the
+/// concurrent core go through this wrapper (or RecursiveMutex) so that
+///  * fields marked DC_GUARDED_BY(mu_) cannot be touched without the lock
+///    (compile-time, clang), and
+///  * acquisition order violations of the documented hierarchy abort with
+///    both stacks (runtime, debug builds).
+class DC_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(LockRank rank) : rank_(rank) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DC_ACQUIRE() {
+    lock_rank::NoteAcquire(this, rank_, /*recursive=*/false);
+    mu_.lock();
+  }
+
+  void Unlock() DC_RELEASE() {
+    mu_.unlock();
+    lock_rank::NoteRelease(this);
+  }
+
+ private:
+  friend class CondVar;
+
+  std::mutex mu_;
+  const LockRank rank_;
+};
+
+/// Annotated std::recursive_mutex wrapper. Used where a multi-step
+/// sequence must hold the lock across calls into the same object's public
+/// API (the basket protocol of Algorithm 1).
+class DC_CAPABILITY("mutex") RecursiveMutex {
+ public:
+  explicit RecursiveMutex(LockRank rank) : rank_(rank) {}
+
+  RecursiveMutex(const RecursiveMutex&) = delete;
+  RecursiveMutex& operator=(const RecursiveMutex&) = delete;
+
+  void Lock() DC_ACQUIRE() {
+    lock_rank::NoteAcquire(this, rank_, /*recursive=*/true);
+    mu_.lock();
+  }
+
+  void Unlock() DC_RELEASE() {
+    mu_.unlock();
+    lock_rank::NoteRelease(this);
+  }
+
+ private:
+  std::recursive_mutex mu_;
+  const LockRank rank_;
+};
+
+/// Scoped holder for Mutex, with explicit Unlock/Lock for code that
+/// releases around a blocking region (the scheduler worker loop). The
+/// analysis tracks the lock state through those calls.
+class DC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) DC_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_->Lock();
+  }
+
+  ~MutexLock() DC_RELEASE() {
+    if (held_) mu_->Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void Unlock() DC_RELEASE() {
+    mu_->Unlock();
+    held_ = false;
+  }
+
+  void Lock() DC_ACQUIRE() {
+    mu_->Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex* const mu_;
+  bool held_;
+};
+
+/// Scoped holder for RecursiveMutex, with early Unlock for snapshot-then-
+/// evaluate paths (BasketExpression).
+class DC_SCOPED_CAPABILITY RecursiveMutexLock {
+ public:
+  explicit RecursiveMutexLock(RecursiveMutex* mu) DC_ACQUIRE(mu)
+      : mu_(mu), held_(true) {
+    mu_->Lock();
+  }
+
+  ~RecursiveMutexLock() DC_RELEASE() {
+    if (held_) mu_->Unlock();
+  }
+
+  RecursiveMutexLock(const RecursiveMutexLock&) = delete;
+  RecursiveMutexLock& operator=(const RecursiveMutexLock&) = delete;
+
+  void Unlock() DC_RELEASE() {
+    mu_->Unlock();
+    held_ = false;
+  }
+
+ private:
+  RecursiveMutex* const mu_;
+  bool held_;
+};
+
+/// Condition variable bound to a Mutex at wait time. The wait functions
+/// take the mutex expression directly so the analysis can check the
+/// caller holds it; the internal release/reacquire balances out, so the
+/// lock-rank bookkeeping (which considers the mutex held for the whole
+/// wait) stays consistent.
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex* mu) DC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu->mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  /// Returns false on timeout.
+  bool WaitFor(Mutex* mu, Micros timeout) DC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu->mu_, std::adopt_lock);
+    const std::cv_status st =
+        cv_.wait_for(native, std::chrono::microseconds(timeout));
+    native.release();
+    return st != std::cv_status::timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace datacell
+
+#endif  // DATACELL_UTIL_MUTEX_H_

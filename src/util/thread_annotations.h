@@ -1,0 +1,76 @@
+#ifndef DATACELL_UTIL_THREAD_ANNOTATIONS_H_
+#define DATACELL_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Portable Clang Thread Safety Analysis annotations.
+///
+/// Under clang (-Wthread-safety, enforced with -Werror in CI) these expand
+/// to the capability attributes, turning the locking conventions of the
+/// concurrent core — every shared field names its mutex with
+/// DC_GUARDED_BY, every lock-requiring helper carries DC_REQUIRES — into
+/// compile-time errors instead of TSan reports. Under GCC and other
+/// compilers they compile away entirely.
+///
+/// See DESIGN.md "Concurrency invariants" for the conventions and how to
+/// read a -Wthread-safety failure.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define DC_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef DC_THREAD_ANNOTATION
+#define DC_THREAD_ANNOTATION(x)
+#endif
+
+/// Declares a class to be a capability (a lockable type).
+#define DC_CAPABILITY(x) DC_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define DC_SCOPED_CAPABILITY DC_THREAD_ANNOTATION(scoped_lockable)
+
+/// The field may only be accessed while holding the given capability.
+#define DC_GUARDED_BY(x) DC_THREAD_ANNOTATION(guarded_by(x))
+
+/// The pointed-to data may only be accessed while holding the capability.
+#define DC_PT_GUARDED_BY(x) DC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function may only be called while holding the given capabilities;
+/// it does not acquire or release them.
+#define DC_REQUIRES(...) DC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function acquires the capabilities and holds them on return.
+#define DC_ACQUIRE(...) DC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases capabilities the caller holds.
+#define DC_RELEASE(...) DC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function attempts to acquire the capability, returning the first
+/// argument's value on success.
+#define DC_TRY_ACQUIRE(...) \
+  DC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the capabilities (deadlock documentation; only
+/// enforced under -Wthread-safety-negative).
+#define DC_EXCLUDES(...) DC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Asserts at runtime that the capability is held, teaching the analysis
+/// that it is from here on.
+#define DC_ASSERT_CAPABILITY(x) DC_THREAD_ANNOTATION(assert_capability(x))
+
+/// Documents lock-ordering relationships to the analysis.
+#define DC_ACQUIRED_BEFORE(...) \
+  DC_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define DC_ACQUIRED_AFTER(...) DC_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// The function returns a reference to the given capability.
+#define DC_RETURN_CAPABILITY(x) DC_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: turns the analysis off for one function. Reserved for
+/// dynamic lock sets the analysis cannot model (Factory::Fire's canonical
+/// multi-basket acquisition); the runtime lock-rank checker still covers
+/// these paths in debug builds.
+#define DC_NO_THREAD_SAFETY_ANALYSIS \
+  DC_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // DATACELL_UTIL_THREAD_ANNOTATIONS_H_

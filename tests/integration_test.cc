@@ -412,7 +412,11 @@ TEST(ConcurrencyTest, SharedBasketTwoFactoriesNoDeadlock) {
   }
   ASSERT_TRUE(a->Append(seed, clock->Now()).ok());
   // Every tuple ping-pongs 16 times then evaporates; wait for quiescence.
-  for (int i = 0; i < 20000 && (a->size() > 0 || b->size() > 0); ++i) {
+  // size() is a lock-free read, so both baskets can look empty while a
+  // firing holds the tuples in flight — require the scheduler idle too.
+  for (int i = 0;
+       i < 20000 && !(a->size() == 0 && b->size() == 0 && sched.Idle());
+       ++i) {
     clock->SleepFor(1000);
   }
   sched.Stop();

@@ -474,7 +474,9 @@ TEST(DriverTest, MultipleExpressways) {
   // Accidents are scattered across expressways.
   std::set<int64_t> xways;
   for (const auto& acc : report->injected_accidents) xways.insert(acc.xway);
-  if (report->injected_accidents.size() >= 4) EXPECT_GT(xways.size(), 1u);
+  if (report->injected_accidents.size() >= 4) {
+    EXPECT_GT(xways.size(), 1u);
+  }
 }
 
 TEST_F(NetworkTest, AccidentLifecycleEndToEnd) {

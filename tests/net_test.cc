@@ -259,7 +259,7 @@ TEST(CodecTest, NullMarkerLookalikeStringsRoundTrip) {
   // null: "\N" (the marker itself), "N", and "NULL" are all plain values.
   Schema s({{"a", DataType::kString}});
   Codec codec(s);
-  for (const std::string& v : {"\\N", "N", "NULL", "\\NULL", "\\n"}) {
+  for (const std::string v : {"\\N", "N", "NULL", "\\NULL", "\\n"}) {
     Table t(s);
     ASSERT_TRUE(t.AppendRow({Value(v)}).ok());
     auto line = codec.EncodeRow(t, 0);

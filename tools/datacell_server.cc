@@ -9,7 +9,7 @@
 //   terminal 2: datacell_server 9000 127.0.0.1 9001 16
 //   terminal 3+: sensor 127.0.0.1 9000 100000   (as many as you like)
 //
-//   datacell_server <listen_port> <actuator_host> <actuator_port> \
+//   datacell_server <listen_port> <actuator_host> <actuator_port>
 //       [queries] [workers] [capacity]
 //
 // `workers` sizes the scheduler's worker pool (default: the hardware

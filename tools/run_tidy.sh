@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# clang-tidy gate over the library and tool sources.
+#
+#   tools/run_tidy.sh [build-dir] [-- extra clang-tidy args]
+#
+# Uses the compile_commands.json that every CMake configure now exports
+# (CMAKE_EXPORT_COMPILE_COMMANDS is on by default in the top-level
+# CMakeLists). Checks and per-check rationale live in .clang-tidy at the
+# repo root; WarningsAsErrors is '*' there, so any finding fails this
+# script — fix the code, don't NOLINT, unless the finding is a true
+# false positive (and then justify the NOLINT inline).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+[ "${1:-}" = "--" ] && shift
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "error: $build_dir/compile_commands.json not found." >&2
+  echo "Configure first: cmake -B $build_dir -S $repo_root" >&2
+  exit 2
+fi
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" > /dev/null; then
+  echo "error: $TIDY not on PATH (set CLANG_TIDY to override)." >&2
+  exit 2
+fi
+
+# Library and tool translation units only; tests are exempt (see
+# .clang-tidy header comment).
+mapfile -t sources < <(find "$repo_root/src" "$repo_root/tools" \
+  -name '*.cc' | sort)
+
+echo "clang-tidy over ${#sources[@]} files ($($TIDY --version | head -1))"
+
+# run-clang-tidy parallelises when available; fall back to a loop.
+if command -v run-clang-tidy > /dev/null; then
+  run-clang-tidy -clang-tidy-binary "$TIDY" -p "$build_dir" -quiet "$@" \
+    "${sources[@]/#/^}" > /tmp/tidy.log 2>&1 || {
+    grep -E "warning:|error:" /tmp/tidy.log >&2
+    exit 1
+  }
+  grep -E "warning:|error:" /tmp/tidy.log >&2 || true
+else
+  fail=0
+  for f in "${sources[@]}"; do
+    "$TIDY" -p "$build_dir" -quiet "$@" "$f" || fail=1
+  done
+  [ "$fail" -eq 0 ]
+fi
+echo "clang-tidy: clean"
