@@ -20,6 +20,7 @@
 #include "core/receptor.h"
 #include "net/gateway.h"
 #include "net/sensor.h"
+#include "obs/metrics.h"
 #include "util/clock.h"
 
 namespace datacell {
@@ -48,6 +49,9 @@ struct RunResult {
   uint64_t basket_dropped = 0;
   uint64_t engagements = 0;
   uint64_t connections = 0;
+  /// End-to-end tuple latency: sensor stamps the `tag` column at send time;
+  /// the consumer records now - tag when it takes the tuple out.
+  obs::HistogramSnapshot latency;
 };
 
 RunResult Run(const Config& cfg) {
@@ -68,12 +72,20 @@ RunResult Run(const Config& cfg) {
 
   std::atomic<bool> stop_consumer{false};
   std::atomic<uint64_t> consumed{0};
+  obs::Histogram latency;
   std::thread consumer([&] {
+    SelVector sel;
     while (true) {
       const size_t n = std::min(basket->size(), cfg.drain_chunk);
       if (n > 0) {
-        if (!basket->ErasePrefix(n).ok()) break;
-        consumed.fetch_add(n);
+        sel.resize(n);
+        for (size_t i = 0; i < n; ++i) sel[i] = static_cast<uint32_t>(i);
+        Result<Table> chunk = basket->TakeRows(sel);
+        if (!chunk.ok()) break;
+        const Micros now = clock->Now();
+        const auto& tags = chunk->column(0).ints();
+        for (int64_t tag : tags) latency.Record(now - tag);
+        consumed.fetch_add(chunk->num_rows());
       } else if (stop_consumer.load()) {
         break;
       }
@@ -113,6 +125,7 @@ RunResult Run(const Config& cfg) {
   r.basket_dropped = basket->stats().dropped;
   r.engagements = ingress.backpressure_engagements();
   r.connections = ingress.connections_accepted();
+  r.latency = latency.Snapshot();
   return r;
 }
 
@@ -156,6 +169,10 @@ int main() {
               static_cast<unsigned long long>(r.malformed_dropped),
               static_cast<unsigned long long>(r.basket_dropped),
               lossless ? "lossless" : "LOSS");
+  std::printf("e2e tuple latency    p50=%.0f us p95=%.0f us p99=%.0f us "
+              "max=%lld us\n",
+              r.latency.p50(), r.latency.p95(), r.latency.p99(),
+              static_cast<long long>(r.latency.max));
 
   FILE* out = std::fopen("BENCH_gateway_fanin.json", "w");
   if (out == nullptr) {
@@ -181,6 +198,11 @@ int main() {
                "  \"tuples_consumed\": %llu,\n"
                "  \"tuples_dropped_malformed\": %llu,\n"
                "  \"tuples_dropped_basket\": %llu,\n"
+               "  \"latency_p50_us\": %.1f,\n"
+               "  \"latency_p95_us\": %.1f,\n"
+               "  \"latency_p99_us\": %.1f,\n"
+               "  \"latency_max_us\": %lld,\n"
+               "  \"latency_mean_us\": %.1f,\n"
                "  \"lossless\": %s\n"
                "}\n",
                cfg.sensors,
@@ -195,6 +217,8 @@ int main() {
                static_cast<unsigned long long>(r.consumed),
                static_cast<unsigned long long>(r.malformed_dropped),
                static_cast<unsigned long long>(r.basket_dropped),
+               r.latency.p50(), r.latency.p95(), r.latency.p99(),
+               static_cast<long long>(r.latency.max), r.latency.Mean(),
                lossless ? "true" : "false");
   std::fclose(out);
   std::printf("wrote BENCH_gateway_fanin.json\n");

@@ -17,6 +17,13 @@ Basket::Basket(std::string name, const Schema& schema, bool add_arrival_ts)
       schema_.fields().begin(),
       schema_.fields().end() - (has_arrival_ ? 1 : 0)));
   data_ = Table(schema_);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  const std::string prefix = "basket." + name_ + ".";
+  m_appended_ = reg.GetCounter(prefix + "appended");
+  m_dropped_ = reg.GetCounter(prefix + "dropped");
+  m_consumed_ = reg.GetCounter(prefix + "consumed");
+  m_credit_stalls_ = reg.GetCounter(prefix + "credit_stalls");
+  m_rows_ = reg.GetGauge(prefix + "rows");
 }
 
 void Basket::SetCapacity(size_t high_watermark, size_t low_watermark) {
@@ -67,8 +74,12 @@ void Basket::RemoveListener(size_t id) {
 }
 
 void Basket::Touch() {
-  num_rows_.store(data_.num_rows(), std::memory_order_release);
+  const size_t rows = data_.num_rows();
+  num_rows_.store(rows, std::memory_order_release);
   version_.fetch_add(1, std::memory_order_acq_rel);
+  if (obs::MetricsRegistry::enabled()) {
+    m_rows_->Set(static_cast<int64_t>(rows));
+  }
   for (const auto& [id, fn] : listeners_) fn();
 }
 
@@ -93,7 +104,7 @@ Result<SelVector> Basket::ApplyConstraints(const Table& tuples) const {
 
 Result<size_t> Basket::Append(const Table& tuples, Micros now) {
   if (!enabled_.load()) {
-    dropped_.fetch_add(tuples.num_rows(), std::memory_order_relaxed);
+    CountDropped(tuples.num_rows());
     return size_t{0};
   }
   // Widen to the full schema by stamping the arrival column. Arity checks
@@ -118,7 +129,7 @@ Result<size_t> Basket::Append(const Table& tuples, Micros now) {
 Result<size_t> Basket::AppendAligned(const Table& tuples, Micros now) {
   (void)now;
   if (!enabled_.load()) {
-    dropped_.fetch_add(tuples.num_rows(), std::memory_order_relaxed);
+    CountDropped(tuples.num_rows());
     return size_t{0};
   }
   if (tuples.num_columns() != schema_.num_fields()) {
@@ -128,16 +139,15 @@ Result<size_t> Basket::AppendAligned(const Table& tuples, Micros now) {
   RecursiveMutexLock lock(&mu_);
   if (constraints_.empty()) {
     RETURN_NOT_OK(data_.AppendTable(tuples));
-    appended_.fetch_add(tuples.num_rows(), std::memory_order_relaxed);
+    CountAppended(tuples.num_rows());
     UpdatePeak();
     if (tuples.num_rows() > 0) Touch();
     return tuples.num_rows();
   }
   ASSIGN_OR_RETURN(SelVector keep, ApplyConstraints(tuples));
   RETURN_NOT_OK(data_.AppendTableRows(tuples, keep));
-  appended_.fetch_add(keep.size(), std::memory_order_relaxed);
-  dropped_.fetch_add(tuples.num_rows() - keep.size(),
-                     std::memory_order_relaxed);
+  CountAppended(keep.size());
+  CountDropped(tuples.num_rows() - keep.size());
   UpdatePeak();
   if (!keep.empty()) Touch();
   return keep.size();
@@ -165,7 +175,7 @@ Table Basket::TakeAll() {
   RecursiveMutexLock lock(&mu_);
   Table out = std::move(data_);
   data_ = Table(schema_);
-  consumed_.fetch_add(out.num_rows(), std::memory_order_relaxed);
+  CountConsumed(out.num_rows());
   if (out.num_rows() > 0) Touch();
   return out;
 }
@@ -174,7 +184,7 @@ Result<Table> Basket::TakeRows(const SelVector& sorted_sel) {
   RecursiveMutexLock lock(&mu_);
   Table out = data_.Take(sorted_sel);
   RETURN_NOT_OK(data_.EraseRows(sorted_sel));
-  consumed_.fetch_add(sorted_sel.size(), std::memory_order_relaxed);
+  CountConsumed(sorted_sel.size());
   if (!sorted_sel.empty()) Touch();
   return out;
 }
@@ -182,7 +192,7 @@ Result<Table> Basket::TakeRows(const SelVector& sorted_sel) {
 Status Basket::EraseRows(const SelVector& sorted_sel) {
   RecursiveMutexLock lock(&mu_);
   RETURN_NOT_OK(data_.EraseRows(sorted_sel));
-  consumed_.fetch_add(sorted_sel.size(), std::memory_order_relaxed);
+  CountConsumed(sorted_sel.size());
   if (!sorted_sel.empty()) Touch();
   return Status::OK();
 }
@@ -192,7 +202,7 @@ Status Basket::ErasePrefix(size_t n) {
   n = std::min(n, data_.num_rows());
   if (n == 0) return Status::OK();
   RETURN_NOT_OK(data_.ErasePrefix(n));
-  consumed_.fetch_add(n, std::memory_order_relaxed);
+  CountConsumed(n);
   Touch();
   return Status::OK();
 }
@@ -200,7 +210,7 @@ Status Basket::ErasePrefix(size_t n) {
 void Basket::Clear() {
   RecursiveMutexLock lock(&mu_);
   const size_t n = data_.num_rows();
-  consumed_.fetch_add(n, std::memory_order_relaxed);
+  CountConsumed(n);
   data_.Clear();
   if (n > 0) Touch();
 }
@@ -211,6 +221,7 @@ Basket::Stats Basket::stats() const {
   s.dropped = dropped_.load(std::memory_order_relaxed);
   s.consumed = consumed_.load(std::memory_order_relaxed);
   s.peak_rows = peak_rows_.load(std::memory_order_relaxed);
+  s.credit_stalls = credit_stalls_.load(std::memory_order_relaxed);
   return s;
 }
 

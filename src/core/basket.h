@@ -12,6 +12,7 @@
 #include "column/table.h"
 #include "expr/eval.h"
 #include "expr/expr.h"
+#include "obs/metrics.h"
 #include "util/clock.h"
 #include "util/mutex.h"
 #include "util/status.h"
@@ -52,6 +53,9 @@ class Basket {
     uint64_t dropped = 0;    // tuples silently dropped by constraints/disable
     uint64_t consumed = 0;   // tuples removed by queries
     uint64_t peak_rows = 0;  // high-water mark of resident rows
+    // Times a credit-respecting producer hit this basket at zero credit
+    // (counted by the producer via CountCreditStall).
+    uint64_t credit_stalls = 0;
   };
 
   /// Watcher invoked after every content mutation (append/take/erase/clear),
@@ -100,6 +104,12 @@ class Basket {
   /// True when no bound is set or the basket has drained to (or below) the
   /// low watermark — the point where paused producers resume.
   bool Drained() const;
+  /// A cooperating producer (the gateway via Receptor::NoteCreditStall)
+  /// records that it paused its channel because this basket was full.
+  void CountCreditStall() {
+    credit_stalls_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::MetricsRegistry::enabled()) m_credit_stalls_->Increment();
+  }
 
   /// --- Integrity ----------------------------------------------------------
   /// Adds a constraint predicate over the basket schema. Tuples violating
@@ -188,6 +198,23 @@ class Basket {
   // Refreshes peak_rows_ from data_.
   void UpdatePeak() DC_REQUIRES(mu_);
 
+  // Per-instance atomics stay the exact source of truth for stats(); the
+  // process-global registry mirror (`basket.<name>.*`) aggregates
+  // same-named baskets and only advances while MetricsRegistry::enabled()
+  // — one relaxed load plus at most one relaxed RMW per call.
+  void CountAppended(uint64_t n) {
+    appended_.fetch_add(n, std::memory_order_relaxed);
+    if (n > 0 && obs::MetricsRegistry::enabled()) m_appended_->Increment(n);
+  }
+  void CountDropped(uint64_t n) {
+    dropped_.fetch_add(n, std::memory_order_relaxed);
+    if (n > 0 && obs::MetricsRegistry::enabled()) m_dropped_->Increment(n);
+  }
+  void CountConsumed(uint64_t n) {
+    consumed_.fetch_add(n, std::memory_order_relaxed);
+    if (n > 0 && obs::MetricsRegistry::enabled()) m_consumed_->Increment(n);
+  }
+
   const std::string name_;
   Schema schema_;
   // schema_ minus the arrival column — cached so single-row appends do not
@@ -203,8 +230,15 @@ class Basket {
   std::atomic<uint64_t> appended_{0};
   std::atomic<uint64_t> dropped_{0};
   std::atomic<uint64_t> consumed_{0};
+  std::atomic<uint64_t> credit_stalls_{0};
   std::atomic<uint64_t> version_{0};
   std::atomic<uint64_t> peak_rows_{0};
+  // Registry mirrors, resolved once at construction (stable pointers).
+  obs::Counter* m_appended_;
+  obs::Counter* m_dropped_;
+  obs::Counter* m_consumed_;
+  obs::Counter* m_credit_stalls_;
+  obs::Gauge* m_rows_;
   // Resident-row count mirrored from data_ on every mutation (Touch), so
   // size() — and with it Factory::CanFire, credit accounting, and firing
   // bodies probing a basket they did not lock — never takes mu_. Taking a

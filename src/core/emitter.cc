@@ -2,7 +2,15 @@
 
 namespace datacell::core {
 
+Emitter::Emitter(std::string name, Sink sink)
+    : name_(std::move(name)), sink_(std::move(sink)) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  m_tuples_ = reg.GetCounter("emitter." + name_ + ".tuples");
+  m_sink_errors_ = reg.GetCounter("emitter." + name_ + ".sink_errors");
+}
+
 bool Emitter::CanFire(Micros) const {
+  if (pending_rows_.load(std::memory_order_relaxed) > 0) return true;
   for (const BasketPtr& b : inputs_) {
     if (!b->empty()) return true;
   }
@@ -11,12 +19,38 @@ bool Emitter::CanFire(Micros) const {
 
 Result<bool> Emitter::Fire(Micros) {
   bool moved = false;
+  // Retry the staged batch first so a recovered sink sees tuples in the
+  // original order; while it keeps failing no new input is consumed.
+  if (pending_rows_.load(std::memory_order_relaxed) > 0) {
+    if (Status st = sink_(pending_); !st.ok()) {
+      sink_errors_.fetch_add(1, std::memory_order_relaxed);
+      m_sink_errors_->Increment();
+      return st;
+    }
+    const uint64_t n = pending_.num_rows();
+    emitted_.fetch_add(n, std::memory_order_relaxed);
+    m_tuples_->Increment(n);
+    pending_ = Table();
+    pending_rows_.store(0, std::memory_order_relaxed);
+    moved = true;
+  }
   for (const BasketPtr& b : inputs_) {
     if (b->empty()) continue;
     Table batch = b->TakeAll();
-    if (batch.num_rows() == 0) continue;
-    emitted_.fetch_add(batch.num_rows(), std::memory_order_relaxed);
-    RETURN_NOT_OK(sink_(batch));
+    const uint64_t n = batch.num_rows();
+    if (n == 0) continue;
+    if (Status st = sink_(batch); !st.ok()) {
+      // The batch is already out of the basket; stage it so no tuple is
+      // lost and the next firing retries it. The error still propagates
+      // (scheduler policy decides whether to keep running).
+      sink_errors_.fetch_add(1, std::memory_order_relaxed);
+      m_sink_errors_->Increment();
+      pending_ = std::move(batch);
+      pending_rows_.store(n, std::memory_order_relaxed);
+      return st;
+    }
+    emitted_.fetch_add(n, std::memory_order_relaxed);
+    m_tuples_->Increment(n);
     moved = true;
   }
   return moved;

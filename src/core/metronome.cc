@@ -1,17 +1,25 @@
 #include "core/metronome.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace datacell::core {
 
 Metronome::Metronome(std::string name, BasketPtr output, Micros start,
-                     Micros interval, RowFactory row_factory)
+                     Micros interval, RowFactory row_factory,
+                     uint64_t max_ticks_per_fire)
     : name_(std::move(name)),
       output_(std::move(output)),
       next_tick_(start),
       interval_(interval),
-      row_factory_(std::move(row_factory)) {
+      row_factory_(std::move(row_factory)),
+      max_ticks_per_fire_(std::max<uint64_t>(max_ticks_per_fire, 1)) {
   DC_CHECK(interval_ > 0);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  m_ticks_ = reg.GetCounter("metronome." + name_ + ".ticks");
+  m_capped_ = reg.GetCounter("metronome." + name_ + ".capped_firings");
+  m_backlog_ = reg.GetGauge("metronome." + name_ + ".backlog_ticks");
 }
 
 Result<bool> Metronome::Fire(Micros now) {
@@ -19,8 +27,8 @@ Result<bool> Metronome::Fire(Micros now) {
   // tick cursor is race-free; the atomic store publishes it to concurrent
   // CanFire/next_deadline readers.
   Micros tick = next_tick_.load(std::memory_order_acquire);
-  bool emitted = false;
-  while (now >= tick) {
+  uint64_t ticks_emitted = 0;
+  while (now >= tick && ticks_emitted < max_ticks_per_fire_) {
     Row row;
     if (row_factory_ != nullptr) {
       row = row_factory_(tick);
@@ -32,9 +40,21 @@ Result<bool> Metronome::Fire(Micros now) {
     RETURN_NOT_OK(output_->AppendRow(row, tick));
     tick += interval_;
     next_tick_.store(tick, std::memory_order_release);
-    emitted = true;
+    ++ticks_emitted;
   }
-  return emitted;
+  if (ticks_emitted > 0) m_ticks_->Increment(ticks_emitted);
+  if (now >= tick) {
+    // Catch-up cap hit with ticks still owed. The cursor stays in the past,
+    // so CanFire/next_deadline keep this transition immediately eligible
+    // and the remainder is emitted over subsequent firings — no epoch is
+    // ever skipped, the burst is just paced.
+    capped_firings_.fetch_add(1, std::memory_order_relaxed);
+    m_capped_->Increment();
+    m_backlog_->Set((now - tick) / interval_ + 1);
+  } else {
+    m_backlog_->Set(0);
+  }
+  return ticks_emitted > 0;
 }
 
 TransitionPtr MakeHeartbeat(const std::string& name, BasketPtr hb_basket,

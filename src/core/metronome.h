@@ -7,6 +7,7 @@
 
 #include "core/basket.h"
 #include "core/factory.h"
+#include "obs/metrics.h"
 #include "util/clock.h"
 #include "util/status.h"
 
@@ -22,10 +23,15 @@ class Metronome : public Transition {
  public:
   using RowFactory = std::function<Row(Micros tick)>;
 
+  /// Default bound on markers emitted by a single firing (see Fire).
+  static constexpr uint64_t kDefaultMaxTicksPerFire = 64;
+
   /// Ticks every `interval` microseconds starting at `start`; pass a null
-  /// RowFactory for the all-null marker row.
+  /// RowFactory for the all-null marker row. `max_ticks_per_fire` bounds
+  /// the post-stall catch-up burst of one firing (>= 1).
   Metronome(std::string name, BasketPtr output, Micros start, Micros interval,
-            RowFactory row_factory = nullptr);
+            RowFactory row_factory = nullptr,
+            uint64_t max_ticks_per_fire = kDefaultMaxTicksPerFire);
 
   /// Copyable (the atomic tick cursor is copied by value).
   Metronome(const Metronome& other)
@@ -33,14 +39,22 @@ class Metronome : public Transition {
         output_(other.output_),
         next_tick_(other.next_tick()),
         interval_(other.interval_),
-        row_factory_(other.row_factory_) {}
+        row_factory_(other.row_factory_),
+        max_ticks_per_fire_(other.max_ticks_per_fire_),
+        m_ticks_(other.m_ticks_),
+        m_capped_(other.m_capped_),
+        m_backlog_(other.m_backlog_) {}
 
   const std::string& name() const override { return name_; }
   bool CanFire(Micros now) const override { return now >= next_tick(); }
 
-  /// Emits one marker per elapsed interval (catching up if the scheduler
-  /// was delayed), so downstream epochs are never skipped — this is the
-  /// heartbeat guarantee of §5.
+  /// Emits one marker per elapsed interval, so downstream epochs are never
+  /// skipped — the heartbeat guarantee of §5. After a long stall the
+  /// catch-up is *bounded*: at most max_ticks_per_fire markers per firing,
+  /// with the cursor left in the past so CanFire stays true and the
+  /// scheduler re-fires immediately. Spreading the burst across firings
+  /// lets bounded downstream baskets drain between installments instead of
+  /// being blown past their watermark in one append storm.
   Result<bool> Fire(Micros now) override;
 
   /// Time-driven: no input places, and the scheduler's idle wait is bounded
@@ -52,12 +66,22 @@ class Metronome : public Transition {
     return next_tick_.load(std::memory_order_acquire);
   }
 
+  /// Firings that hit the catch-up cap with ticks still owed.
+  uint64_t capped_firings() const {
+    return capped_firings_.load(std::memory_order_relaxed);
+  }
+
  private:
   const std::string name_;
   BasketPtr output_;
   std::atomic<Micros> next_tick_;
   const Micros interval_;
   RowFactory row_factory_;
+  uint64_t max_ticks_per_fire_ = kDefaultMaxTicksPerFire;
+  std::atomic<uint64_t> capped_firings_{0};
+  obs::Counter* m_ticks_;   // metronome.<name>.ticks
+  obs::Counter* m_capped_;  // metronome.<name>.capped_firings
+  obs::Gauge* m_backlog_;   // metronome.<name>.backlog_ticks
 };
 
 /// Builds the §5 heartbeat pattern: a dedicated "HB" basket fed by a

@@ -4,12 +4,21 @@
 
 namespace datacell::core {
 
+Receptor::Receptor(std::string name, Source source)
+    : name_(std::move(name)), source_(std::move(source)) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  m_batches_ = reg.GetCounter("receptor." + name_ + ".batches");
+  m_tuples_ = reg.GetCounter("receptor." + name_ + ".tuples");
+}
+
 Result<size_t> Receptor::Deliver(const Table& tuples, Micros now) {
   size_t first_accepted = 0;
   for (size_t i = 0; i < outputs_.size(); ++i) {
     ASSIGN_OR_RETURN(size_t n, outputs_[i]->Append(tuples, now));
     if (i == 0) first_accepted = n;
   }
+  m_batches_->Increment();
+  m_tuples_->Increment(tuples.num_rows());
   return first_accepted;
 }
 
@@ -33,6 +42,12 @@ bool Receptor::HasCapacityBound() const {
     if (b->capacity() > 0) return true;
   }
   return false;
+}
+
+void Receptor::NoteCreditStall() const {
+  for (const BasketPtr& b : outputs_) {
+    if (b->capacity() > 0 && b->CreditRemaining() == 0) b->CountCreditStall();
+  }
 }
 
 bool Receptor::CanFire(Micros) const {

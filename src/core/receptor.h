@@ -10,6 +10,7 @@
 
 #include "core/basket.h"
 #include "core/factory.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace datacell::core {
@@ -32,9 +33,8 @@ class Receptor : public Transition {
   /// pending, or an error.
   using Source = std::function<Result<std::optional<Table>>()>;
 
-  explicit Receptor(std::string name) : name_(std::move(name)) {}
-  Receptor(std::string name, Source source)
-      : name_(std::move(name)), source_(std::move(source)) {}
+  explicit Receptor(std::string name) : Receptor(std::move(name), nullptr) {}
+  Receptor(std::string name, Source source);
 
   Receptor& AddOutput(BasketPtr basket) {
     outputs_.push_back(std::move(basket));
@@ -57,6 +57,9 @@ class Receptor : public Transition {
   bool BackpressureReleased() const;
   /// True if any output declares a capacity bound.
   bool HasCapacityBound() const;
+  /// The channel adapter reports that it paused its channel on zero
+  /// credit; each currently-full bounded output records a credit stall.
+  void NoteCreditStall() const;
 
   const std::string& name() const override { return name_; }
 
@@ -74,19 +77,26 @@ class Receptor : public Transition {
   const std::string name_;
   Source source_;
   std::vector<BasketPtr> outputs_;
+  obs::Counter* m_batches_;  // receptor.<name>.batches
+  obs::Counter* m_tuples_;   // receptor.<name>.tuples
 };
 
 using ReceptorPtr = std::shared_ptr<Receptor>;
 
 /// An emitter (§3.1): picks up result tuples from its input baskets and
 /// delivers them to subscribed clients through a sink callback.
+///
+/// Delivery is at-least-once across transient sink failures: a batch whose
+/// sink call fails is *staged* inside the emitter (not re-appended to the
+/// basket, which would race with concurrent producers and break FIFO
+/// order) and retried on the next firing before any new input is taken.
+/// tuples_emitted() counts only batches the sink accepted.
 class Emitter : public Transition {
  public:
   /// Receives each outgoing batch (full basket schema).
   using Sink = std::function<Status(const Table&)>;
 
-  Emitter(std::string name, Sink sink)
-      : name_(std::move(name)), sink_(std::move(sink)) {}
+  Emitter(std::string name, Sink sink);
 
   Emitter& AddInput(BasketPtr basket) {
     inputs_.push_back(std::move(basket));
@@ -94,8 +104,10 @@ class Emitter : public Transition {
   }
 
   const std::string& name() const override { return name_; }
+  /// True when a staged batch awaits retry or any input holds tuples.
   bool CanFire(Micros now) const override;
-  /// Takes everything from each non-empty input and hands it to the sink.
+  /// Retries the staged batch (if any), then takes everything from each
+  /// non-empty input and hands it to the sink.
   Result<bool> Fire(Micros now) override;
 
   /// The sink is outside the Petri net, so only input places are declared.
@@ -104,12 +116,28 @@ class Emitter : public Transition {
   uint64_t tuples_emitted() const {
     return emitted_.load(std::memory_order_relaxed);
   }
+  /// Sink calls that failed (each leaves its batch staged for retry).
+  uint64_t sink_errors() const {
+    return sink_errors_.load(std::memory_order_relaxed);
+  }
+  /// Tuples currently staged awaiting a sink retry.
+  uint64_t tuples_pending() const {
+    return pending_rows_.load(std::memory_order_relaxed);
+  }
 
  private:
   const std::string name_;
   Sink sink_;
   std::vector<BasketPtr> inputs_;
   std::atomic<uint64_t> emitted_{0};
+  std::atomic<uint64_t> sink_errors_{0};
+  // Staged batch from a failed sink call. Only Fire touches pending_ (the
+  // scheduler never fires one transition concurrently); the row count is
+  // mirrored atomically for cross-thread CanFire/tuples_pending reads.
+  Table pending_;
+  std::atomic<uint64_t> pending_rows_{0};
+  obs::Counter* m_tuples_;       // emitter.<name>.tuples
+  obs::Counter* m_sink_errors_;  // emitter.<name>.sink_errors
 };
 
 using EmitterPtr = std::shared_ptr<Emitter>;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace datacell::core {
@@ -38,6 +39,15 @@ void Scheduler::Register(TransitionPtr transition) {
   const std::vector<BasketPtr> inputs = node->t->input_places();
   const std::vector<BasketPtr> outputs = node->t->output_places();
   node->data_driven = !inputs.empty();
+  node->in_places = inputs;
+  node->out_places = outputs;
+  if (!inputs.empty()) node->trigger = inputs.front()->name();
+  {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    const std::string prefix = "transition." + node->t->name() + ".";
+    node->firings_metric = reg.GetCounter(prefix + "firings");
+    node->fire_hist = reg.GetHistogram(prefix + "fire_us");
+  }
   node->places.reserve(inputs.size() + outputs.size());
   for (const BasketPtr& b : inputs) node->places.push_back(b.get());
   for (const BasketPtr& b : outputs) node->places.push_back(b.get());
@@ -119,12 +129,74 @@ Status Scheduler::last_error() const {
   return error_;
 }
 
+namespace {
+
+// Token movement observed around one firing: input places count consumed
+// tuples, output places count appended. Relaxed reads; concurrent firings
+// on disjoint places cannot touch these baskets (the conflict rule), so
+// the deltas attribute cleanly to this firing.
+uint64_t SumConsumed(const std::vector<BasketPtr>& baskets) {
+  uint64_t total = 0;
+  for (const BasketPtr& b : baskets) total += b->stats().consumed;
+  return total;
+}
+
+uint64_t SumAppended(const std::vector<BasketPtr>& baskets) {
+  uint64_t total = 0;
+  for (const BasketPtr& b : baskets) total += b->stats().appended;
+  return total;
+}
+
+}  // namespace
+
 Result<bool> Scheduler::FireIfEligible(Node* node, bool* fired) {
   *fired = false;
   const Micros now = clock_->Now();
   if (!node->t->CanFire(now)) return false;
   *fired = true;
-  return node->t->Fire(clock_->Now());
+  // The always-on cost per firing: two wall-clock reads, one counter
+  // increment and one histogram record — all relaxed atomics. The trace
+  // path costs one extra relaxed load while disabled.
+  obs::TraceLog& trace = obs::TraceLog::Global();
+  const bool tracing = trace.enabled();
+  uint64_t in_before = 0;
+  uint64_t out_before = 0;
+  if (tracing) {
+    in_before = SumConsumed(node->in_places);
+    out_before = SumAppended(node->out_places);
+  }
+  SystemClock* wall = SystemClock::Get();
+  const Micros fire_start = wall->Now();
+  Result<bool> worked = node->t->Fire(clock_->Now());
+  const Micros duration = wall->Now() - fire_start;
+  node->firings_metric->Increment();
+  node->fire_hist->Record(duration);
+  if (tracing) {
+    obs::TraceEvent e;
+    e.at = now;
+    e.transition = node->t->name();
+    e.trigger = node->trigger;
+    e.rows_in = SumConsumed(node->in_places) - in_before;
+    e.rows_out = SumAppended(node->out_places) - out_before;
+    e.duration_us = duration;
+    trace.Record(std::move(e));
+  }
+  return worked;
+}
+
+std::vector<Scheduler::TransitionStats> Scheduler::TransitionStatsSnapshot()
+    const {
+  std::vector<TransitionStats> out;
+  MutexLock lock(&mu_);
+  out.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    TransitionStats ts;
+    ts.name = node->t->name();
+    ts.firings = node->firings_metric->value();
+    ts.latency = node->fire_hist->Snapshot();
+    out.push_back(std::move(ts));
+  }
+  return out;
 }
 
 Result<bool> Scheduler::RunOnce() {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/factory.h"
+#include "obs/metrics.h"
 #include "util/clock.h"
 #include "util/mutex.h"
 #include "util/status.h"
@@ -89,6 +90,18 @@ class Scheduler {
   /// First error that stopped the worker pool (OK while healthy).
   Status last_error() const;
 
+  /// Per-transition firing stats (dc_transitions). `firings` counts
+  /// eligible firings (CanFire held and the body ran, worked or not);
+  /// `latency` is the wall-clock body duration histogram. Both come from
+  /// the process-global registry (`transition.<name>.firings` /
+  /// `.fire_us`), so same-named transitions share a row's counters.
+  struct TransitionStats {
+    std::string name;
+    uint64_t firings = 0;
+    obs::HistogramSnapshot latency;
+  };
+  std::vector<TransitionStats> TransitionStatsSnapshot() const;
+
  private:
   // Per-transition scheduling state. Nodes are owned by nodes_ and never
   // move, so raw Node* pointers stay valid in listeners and queues. The
@@ -100,6 +113,16 @@ class Scheduler {
     TransitionPtr t;
     size_t index = 0;                  // registration order
     std::vector<Basket*> places;       // sorted unique input ∪ output set
+    // Distinct input/output place sets for the trace's consumed/produced
+    // deltas, plus the name of the first input place (the trace trigger).
+    // Immutable after Register, read without mu_.
+    std::vector<BasketPtr> in_places;
+    std::vector<BasketPtr> out_places;
+    std::string trigger;
+    // Registry metrics, resolved at Register (stable pointers; hot-path
+    // updates are relaxed atomics).
+    obs::Counter* firings_metric = nullptr;  // transition.<name>.firings
+    obs::Histogram* fire_hist = nullptr;     // transition.<name>.fire_us
     bool data_driven = false;          // has declared input places
     bool queued = false;               // in ready_
     bool firing = false;               // claimed by a worker

@@ -19,6 +19,7 @@ Result<Driver::Report> Driver::Run(const Options& options,
 
   Report report;
   report.history_seed = options.network.history_seed;
+  obs::Histogram batch_latency;
 
   // Per-collection bookkeeping for the current sample window.
   struct WindowStats {
@@ -50,8 +51,9 @@ Result<Driver::Report> Driver::Run(const Options& options,
     RETURN_NOT_OK(network->DeliverInput(batch));
     ASSIGN_OR_RETURN(size_t rounds, engine.scheduler().RunUntilQuiescent());
     (void)rounds;
-    const double batch_ms =
-        static_cast<double>(wall->Now() - wall0) / kMicrosPerMilli;
+    const Micros batch_us = wall->Now() - wall0;
+    batch_latency.Record(batch_us);
+    const double batch_ms = static_cast<double>(batch_us) / kMicrosPerMilli;
     report.max_batch_wall_ms = std::max(report.max_batch_wall_ms, batch_ms);
     if (batch_ms > kDeadlineTollSec * 1000.0) ++report.deadline_violations;
 
@@ -167,6 +169,7 @@ Result<Driver::Report> Driver::Run(const Options& options,
   report.total_tuples = generator.tuples_generated();
   report.injected_accidents = generator.injected_accidents();
   report.final_balances = network->accounts();
+  report.batch_latency = batch_latency.Snapshot();
   return report;
 }
 

@@ -9,6 +9,7 @@
 
 #include "lroad/generator.h"
 #include "lroad/queries.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace datacell::lroad {
@@ -69,6 +70,12 @@ class Driver {
     /// batch takes longer than 5 s of wall time end to end.
     double max_batch_wall_ms = 0;
     uint64_t deadline_violations = 0;
+    /// Full distribution of per-batch wall time (DeliverInput through
+    /// quiescence, microseconds). Each batch is one simulated second of
+    /// input, and every tuple's end-to-end response time is bounded by its
+    /// batch's value, so the histogram's p50/p95/p99 are the reportable
+    /// end-to-end tuple-latency percentiles.
+    obs::HistogramSnapshot batch_latency;
 
     // Validation inputs.
     std::vector<Generator::InjectedAccident> injected_accidents;

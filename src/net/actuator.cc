@@ -23,8 +23,15 @@ void Actuator::WaitFinished() {
 }
 
 Actuator::Stats Actuator::stats() const {
+  const obs::HistogramSnapshot h = latency_.Snapshot();
   MutexLock lock(&mu_);
-  return stats_;
+  Stats s = stats_;
+  s.latency_sum = h.sum > static_cast<uint64_t>(INT64_MAX)
+                      ? INT64_MAX
+                      : static_cast<Micros>(h.sum);
+  s.latency_max = h.max;
+  s.mean_latency = h.Mean();
+  return s;
 }
 
 void Actuator::ReadLoop() {
@@ -56,15 +63,15 @@ void Actuator::ReadLoop() {
     if (fields.size() <= tag_index) continue;
     Result<int64_t> created = ParseInt64(fields[tag_index]);
     if (!created.ok()) continue;
+    // The distribution is recorded lock-free; the mutex only covers the
+    // first/last bookkeeping.
+    latency_.Record(received - *created);
     MutexLock lock(&mu_);
     if (stats_.tuples == 0) {
       stats_.first_receive = received;
       stats_.first_created = *created;
     }
     stats_.tuples++;
-    const Micros latency = received - *created;
-    stats_.latency_sum += latency;
-    stats_.latency_max = std::max(stats_.latency_max, latency);
     stats_.last_receive = received;
   }
   finished_.store(true);

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "net/socket.h"
+#include "obs/metrics.h"
 #include "util/clock.h"
 #include "util/mutex.h"
 #include "util/status.h"
@@ -24,9 +25,14 @@ namespace datacell::net {
 /// local receive time.
 class Actuator {
  public:
+  /// Latency lives in a full obs::Histogram (the per-instance
+  /// latency_histogram() below); these fields are shims derived from its
+  /// snapshot, kept so existing callers compile unchanged. The histogram's
+  /// uint64 sum replaces the old raw `Micros latency_sum` accumulator,
+  /// which could overflow on long runs; the shim saturates instead.
   struct Stats {
     uint64_t tuples = 0;
-    Micros latency_sum = 0;
+    Micros latency_sum = 0;  // saturated at INT64_MAX
     Micros latency_max = 0;
     /// D(t_first) and D(t_last): receive times of first and last tuple.
     Micros first_receive = 0;
@@ -34,13 +40,11 @@ class Actuator {
     /// C(t_1): creation time of the first tuple (for elapsed time E(b)).
     Micros first_created = 0;
 
-    double MeanLatency() const {
-      return tuples == 0 ? 0.0
-                         : static_cast<double>(latency_sum) /
-                               static_cast<double>(tuples);
-    }
+    double MeanLatency() const { return mean_latency; }
     /// E(b) = D(t_k) - C(t_1), the paper's per-batch elapsed time.
     Micros Elapsed() const { return last_receive - first_created; }
+
+    double mean_latency = 0;  // exact histogram mean (sum/count)
   };
 
   explicit Actuator(Clock* clock) : clock_(clock) {}
@@ -59,6 +63,13 @@ class Actuator {
 
   Stats stats() const;
 
+  /// Full per-tuple L(t) = D(t) - C(t) distribution (p50/p95/p99/max).
+  /// Per-instance — concurrent or sequential actuators do not share it —
+  /// and lock-free to read while the read loop is still recording.
+  obs::HistogramSnapshot latency_histogram() const {
+    return latency_.Snapshot();
+  }
+
  private:
   void ReadLoop();
 
@@ -67,6 +78,7 @@ class Actuator {
   uint16_t port_ = 0;
   std::thread thread_;
   std::atomic<bool> finished_{false};
+  obs::Histogram latency_;
 
   mutable Mutex mu_{LockRank::kActuator};
   Stats stats_ DC_GUARDED_BY(mu_);

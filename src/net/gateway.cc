@@ -95,7 +95,9 @@ void TcpIngress::ReactorLoop() {
         }
       }
       active_.store(conns_.size());
-      if (accepted_.load() > 0 && conns_.empty()) finished_.store(true);
+      if (accepted_.load() > scrapes_.load() && conns_.empty()) {
+        finished_.store(true);
+      }
       if (paused_.load()) continue;  // valve closed again mid-resume
     }
 
@@ -150,7 +152,7 @@ void TcpIngress::ReactorLoop() {
     }
     if (removed || !conns_.empty() || accepted_.load() > 0) {
       active_.store(conns_.size());
-      finished_.store(accepted_.load() > 0 && conns_.empty());
+      finished_.store(accepted_.load() > scrapes_.load() && conns_.empty());
     }
   }
 
@@ -177,6 +179,7 @@ void TcpIngress::AcceptPending() {
     }
     conns_.push_back(std::move(conn));
     accepted_.fetch_add(1);
+    m_connections_->Increment();
     active_.store(conns_.size());
     finished_.store(false);
   }
@@ -255,6 +258,16 @@ std::optional<std::string> TcpIngress::NextLine(Conn* conn) {
 }
 
 bool TcpIngress::Handshake(Conn* conn, const std::string& line) {
+  if (line == "STATS") {
+    // Scrape request: answer with one line and close. The reply is a few
+    // hundred bytes — far below the socket send buffer — so the single
+    // non-blocking WriteAll cannot short-write in practice; if it ever
+    // does, the scraper just sees a truncated line.
+    scrapes_.fetch_add(1);
+    Status st = conn->stream.WriteAll(StatsLine());
+    if (!st.ok()) DC_LOG(Debug) << "ingress STATS reply: " << st.ToString();
+    return false;
+  }
   Result<Schema> peer = Codec::DecodeSchemaHeader(line);
   if (!peer.ok() || !(*peer == codec_.schema())) {
     DC_LOG(Warn) << "ingress: schema mismatch, got '" << line << "'";
@@ -264,15 +277,40 @@ bool TcpIngress::Handshake(Conn* conn, const std::string& line) {
   return true;
 }
 
+std::string TcpIngress::StatsLine() const {
+  std::string out = "STATS";
+  const auto field = [&out](const std::string& key, uint64_t v) {
+    out += " " + key + "=" + std::to_string(v);
+  };
+  field("tuples_received", tuples_.load());
+  field("tuples_dropped", dropped_.load());
+  field("connections_accepted", accepted_.load());
+  field("active_connections", active_.load());
+  field("backpressure_engagements", bp_engaged_.load());
+  field("backpressured", paused_.load() ? 1 : 0);
+  for (const core::BasketPtr& b : receptor_->outputs()) {
+    const core::Basket::Stats s = b->stats();
+    const std::string prefix = "basket." + b->name() + ".";
+    field(prefix + "rows", b->size());
+    field(prefix + "appended", s.appended);
+    field(prefix + "dropped", s.dropped);
+    field(prefix + "credit_stalls", s.credit_stalls);
+  }
+  out += "\n";
+  return out;
+}
+
 void TcpIngress::DecodeCount(const std::string& line, Table* batch) {
   Status st = codec_.DecodeInto(line, batch);
   if (st.ok()) {
     tuples_.fetch_add(1);
+    m_tuples_->Increment();
   } else {
     // Structural validation failure: the tuple acts as if never sent (the
     // baskets' silent-filter semantics start at the adapter boundary), but
     // the operator can see it happened.
     dropped_.fetch_add(1);
+    m_dropped_->Increment();
     DC_LOG(Debug) << "ingress dropping malformed tuple: " << st.ToString();
   }
 }
@@ -287,7 +325,12 @@ bool TcpIngress::EngagePause() {
     paused_.store(false);
     return false;
   }
-  if (!was_paused) bp_engaged_.fetch_add(1);
+  if (!was_paused) {
+    bp_engaged_.fetch_add(1);
+    m_bp_engaged_->Increment();
+    // Attribute the stall to the basket(s) that ran out of credit.
+    receptor_->NoteCreditStall();
+  }
   return true;
 }
 

@@ -13,6 +13,7 @@
 #include "core/receptor.h"
 #include "net/codec.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
 #include "util/clock.h"
 #include "util/status.h"
 
@@ -36,6 +37,11 @@ namespace datacell::net {
 /// drain to their low watermark (signalled through the basket listener
 /// hooks). Basket::Disable() keeps its paper semantics: a disabled basket
 /// still *drops*.
+///
+/// Scraping: a connection whose first line is `STATS` (instead of a schema
+/// header) receives one key=value line of ingress and basket state and is
+/// closed — `echo STATS | nc host port` monitors a live server without
+/// touching the stream path.
 class TcpIngress {
  public:
   TcpIngress(core::ReceptorPtr receptor, Codec codec, Clock* clock,
@@ -44,7 +50,13 @@ class TcpIngress {
         codec_(std::move(codec)),
         clock_(clock),
         max_batch_rows_(max_batch_rows == 0 ? 1 : max_batch_rows),
-        max_connections_(max_connections == 0 ? 1 : max_connections) {}
+        max_connections_(max_connections == 0 ? 1 : max_connections) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    m_tuples_ = reg.GetCounter("gateway.tuples_received");
+    m_dropped_ = reg.GetCounter("gateway.tuples_dropped");
+    m_connections_ = reg.GetCounter("gateway.connections");
+    m_bp_engaged_ = reg.GetCounter("gateway.backpressure_engagements");
+  }
   ~TcpIngress();
 
   TcpIngress(const TcpIngress&) = delete;
@@ -57,6 +69,8 @@ class TcpIngress {
   /// True once at least one sensor connected, every accepted connection has
   /// closed, and every decoded tuple has been delivered to the baskets
   /// (also set unconditionally when the reactor exits after Stop()).
+  /// STATS scrape connections are excluded: a monitoring probe against an
+  /// otherwise idle gateway never reads as a completed sensor session.
   bool finished() const { return finished_.load(); }
 
   uint64_t tuples_received() const { return tuples_.load(); }
@@ -92,8 +106,11 @@ class TcpIngress {
   Drain DrainBuffered(Conn* conn);
   /// Next complete line, including the torn EOF tail once the peer closed.
   std::optional<std::string> NextLine(Conn* conn);
-  /// Validates the schema-header line; false → drop the connection.
+  /// Validates the schema-header line; false → drop the connection. A
+  /// `STATS` first line is answered with StatsLine() and also closes.
   bool Handshake(Conn* conn, const std::string& line);
+  /// One-line key=value snapshot of ingress counters and per-basket depth.
+  std::string StatsLine() const;
   /// Decodes one tuple line into `batch`, counting received vs dropped.
   void DecodeCount(const std::string& line, Table* batch);
   /// Closes the credit valve; returns false if credit reappeared (raced
@@ -125,8 +142,16 @@ class TcpIngress {
   std::atomic<uint64_t> tuples_{0};
   std::atomic<uint64_t> dropped_{0};
   std::atomic<uint64_t> accepted_{0};
+  // STATS scrape connections answered; accepted_ - scrapes_ is the data
+  // session count the finished() logic watches.
+  std::atomic<uint64_t> scrapes_{0};
   std::atomic<size_t> active_{0};
   std::atomic<uint64_t> bp_engaged_{0};
+  // Registry mirrors (gateway.*), resolved in the constructor.
+  obs::Counter* m_tuples_;
+  obs::Counter* m_dropped_;
+  obs::Counter* m_connections_;
+  obs::Counter* m_bp_engaged_;
 };
 
 /// Kernel-side egress: connects to an actuator and provides an

@@ -1,0 +1,144 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace datacell::obs {
+
+std::atomic<bool> MetricsRegistry::enabled_{true};
+
+size_t Histogram::BucketIndex(Micros v) {
+  if (v < 1) return 0;
+  const size_t width = std::bit_width(static_cast<uint64_t>(v));
+  return std::min(width, kBuckets - 1);
+}
+
+uint64_t Histogram::BucketLowerBound(size_t i) {
+  return i <= 1 ? 0 : uint64_t{1} << (i - 1);
+}
+
+uint64_t Histogram::BucketUpperBound(size_t i) {
+  return i == 0 ? 1 : uint64_t{1} << i;
+}
+
+void Histogram::Record(Micros v) {
+  counts_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v < 0 ? 0 : static_cast<uint64_t>(v),
+                 std::memory_order_relaxed);
+  Micros cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    s.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    s.count += s.counts[i];
+  }
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  return s;
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    const uint64_t next = cum + counts[i];
+    if (static_cast<double>(next) >= target) {
+      const double lo = static_cast<double>(Histogram::BucketLowerBound(i));
+      const double hi = static_cast<double>(Histogram::BucketUpperBound(i));
+      const double frac = (target - static_cast<double>(cum)) /
+                          static_cast<double>(counts[i]);
+      // Interpolated position within the landing bucket, clamped to the
+      // exact observed max so p99 never exceeds a real value.
+      return std::min(lo + frac * (hi - lo), static_cast<double>(max));
+    }
+    cum = next;
+  }
+  return static_cast<double>(max);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Deliberately leaked: metrics outlive every component that holds a
+  // pointer into the registry, including statics destroyed after main.
+  static MetricsRegistry* global = new MetricsRegistry();
+  return *global;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  MutexLock lock(&mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  MutexLock lock(&mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  MutexLock lock(&mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+size_t MetricsRegistry::size() const {
+  MutexLock lock(&mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::vector<MetricSnapshot> out;
+  MutexLock lock(&mu_);
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  auto c = counters_.begin();
+  auto g = gauges_.begin();
+  auto h = histograms_.begin();
+  // Three-way sorted merge so the result is ordered by name regardless of
+  // which map a metric lives in.
+  while (c != counters_.end() || g != gauges_.end() || h != histograms_.end()) {
+    const std::string* cn = c != counters_.end() ? &c->first : nullptr;
+    const std::string* gn = g != gauges_.end() ? &g->first : nullptr;
+    const std::string* hn = h != histograms_.end() ? &h->first : nullptr;
+    const std::string* next = cn;
+    if (next == nullptr || (gn != nullptr && *gn < *next)) next = gn;
+    if (next == nullptr || (hn != nullptr && *hn < *next)) next = hn;
+    MetricSnapshot m;
+    m.name = *next;
+    if (cn != nullptr && *cn == *next) {
+      m.kind = MetricKind::kCounter;
+      m.count = c->second->value();
+      m.value = static_cast<double>(m.count);
+      ++c;
+    } else if (gn != nullptr && *gn == *next) {
+      m.kind = MetricKind::kGauge;
+      m.value = static_cast<double>(g->second->value());
+      ++g;
+    } else {
+      m.kind = MetricKind::kHistogram;
+      const HistogramSnapshot s = h->second->Snapshot();
+      m.count = s.count;
+      m.sum = s.sum;
+      m.value = static_cast<double>(s.count);
+      m.p50 = s.p50();
+      m.p95 = s.p95();
+      m.p99 = s.p99();
+      m.max = s.max;
+      ++h;
+    }
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace datacell::obs

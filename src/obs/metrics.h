@@ -1,0 +1,165 @@
+#ifndef DATACELL_OBS_METRICS_H_
+#define DATACELL_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+/// Engine-wide observability primitives (DESIGN.md §10).
+///
+/// Every hot-path operation on these types is a relaxed atomic — no locks,
+/// no allocation, no syscalls — so components can instrument append/fire
+/// paths unconditionally. The registry mutex (rank LockRank::kMetrics,
+/// inner to everything but logging) is taken only on registration and
+/// snapshot, both cold paths.
+///
+/// Naming convention: `<component>.<instance>.<what>` with `_us` suffixed
+/// on microsecond histograms, e.g. `basket.in.appended`,
+/// `transition.q1.fire_us`, `gateway.tuples_received`. Metrics are
+/// process-global and keyed by name: two instances registering the same
+/// name share one counter (components with per-instance exact counters —
+/// Basket::Stats — keep those as the source of truth and treat the
+/// registry as the queryable mirror).
+namespace datacell::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (depths, backlogs).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Point-in-time view of a Histogram, with percentile estimation over the
+/// log-scale buckets (linear interpolation within the landing bucket,
+/// clamped to the exact observed max).
+struct HistogramSnapshot {
+  static constexpr size_t kBuckets = 48;
+
+  uint64_t count = 0;
+  uint64_t sum = 0;  // saturating
+  Micros max = 0;
+  uint64_t counts[kBuckets] = {};
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// q in [0,1]; returns 0 when empty.
+  double Percentile(double q) const;
+  double p50() const { return Percentile(0.50); }
+  double p95() const { return Percentile(0.95); }
+  double p99() const { return Percentile(0.99); }
+};
+
+/// Fixed-bucket log2-scale latency histogram. Bucket 0 holds values < 1;
+/// bucket i (i >= 1) holds [2^(i-1), 2^i) microseconds; the top bucket
+/// absorbs everything above ~2^46 us. Record() is 3 relaxed fetch_adds
+/// plus a CAS-max; Snapshot() is wait-free reads.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = HistogramSnapshot::kBuckets;
+
+  void Record(Micros v);
+  HistogramSnapshot Snapshot() const;
+
+  /// Inclusive lower bound of bucket i (0 for buckets 0 and 1).
+  static uint64_t BucketLowerBound(size_t i);
+  /// Exclusive upper bound of bucket i.
+  static uint64_t BucketUpperBound(size_t i);
+  static size_t BucketIndex(Micros v);
+
+ private:
+  std::atomic<uint64_t> counts_[kBuckets] = {};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<Micros> max_{0};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One row of MetricsRegistry::Snapshot() (and of the dc_metrics virtual
+/// table). `value` carries the counter/gauge value (the histogram count
+/// for histograms); percentile fields are 0 for non-histograms.
+struct MetricSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  Micros max = 0;
+};
+
+/// Process-global named-metric registry. Get-or-create returns stable
+/// pointers (metrics never move or die), so components resolve their
+/// metrics once at construction and touch only the atomics afterwards.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// Global kill switch for *optional* instrumentation (per-basket registry
+  /// mirrors, trace capture). Core counters keep counting regardless; the
+  /// flag exists so the hot-path overhead can be measured and disabled.
+  static void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+
+  Counter* GetCounter(const std::string& name) DC_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) DC_EXCLUDES(mu_);
+  Histogram* GetHistogram(const std::string& name) DC_EXCLUDES(mu_);
+
+  /// All registered metrics, sorted by name (counters, then gauges, then
+  /// histograms for duplicate names across kinds).
+  std::vector<MetricSnapshot> Snapshot() const DC_EXCLUDES(mu_);
+
+  size_t size() const DC_EXCLUDES(mu_);
+
+ private:
+  MetricsRegistry() = default;
+
+  static std::atomic<bool> enabled_;
+
+  mutable Mutex mu_{LockRank::kMetrics};
+  std::map<std::string, std::unique_ptr<Counter>> counters_ DC_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ DC_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      DC_GUARDED_BY(mu_);
+};
+
+inline const char* MetricKindName(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace datacell::obs
+
+#endif  // DATACELL_OBS_METRICS_H_

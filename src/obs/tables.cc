@@ -1,0 +1,117 @@
+#include "obs/tables.h"
+
+#include <utility>
+#include <vector>
+
+#include "core/basket.h"
+#include "core/engine.h"
+#include "core/scheduler.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace datacell::obs {
+
+namespace {
+
+Result<Table> MetricsTable() {
+  Table t(Schema({{"name", DataType::kString},
+                  {"kind", DataType::kString},
+                  {"value", DataType::kDouble},
+                  {"count", DataType::kInt64},
+                  {"sum", DataType::kInt64},
+                  {"p50_us", DataType::kDouble},
+                  {"p95_us", DataType::kDouble},
+                  {"p99_us", DataType::kDouble},
+                  {"max_us", DataType::kInt64}}));
+  for (const MetricSnapshot& m : MetricsRegistry::Global().Snapshot()) {
+    RETURN_NOT_OK(t.AppendRow({Value(m.name), Value(MetricKindName(m.kind)),
+                               Value(m.value),
+                               Value(static_cast<int64_t>(m.count)),
+                               Value(static_cast<int64_t>(m.sum)), Value(m.p50),
+                               Value(m.p95), Value(m.p99), Value(m.max)}));
+  }
+  return t;
+}
+
+Result<Table> BasketsTable(core::Engine* engine) {
+  Table t(Schema({{"name", DataType::kString},
+                  {"rows", DataType::kInt64},
+                  {"enabled", DataType::kBool},
+                  {"capacity", DataType::kInt64},
+                  {"low_watermark", DataType::kInt64},
+                  {"appended", DataType::kInt64},
+                  {"dropped", DataType::kInt64},
+                  {"consumed", DataType::kInt64},
+                  {"peak_rows", DataType::kInt64},
+                  {"credit_stalls", DataType::kInt64}}));
+  for (const std::string& name : engine->ListBaskets()) {
+    ASSIGN_OR_RETURN(core::BasketPtr b, engine->GetBasket(name));
+    const core::Basket::Stats s = b->stats();
+    RETURN_NOT_OK(
+        t.AppendRow({Value(b->name()), Value(static_cast<int64_t>(b->size())),
+                     Value(b->enabled()),
+                     Value(static_cast<int64_t>(b->capacity())),
+                     Value(static_cast<int64_t>(b->low_watermark())),
+                     Value(static_cast<int64_t>(s.appended)),
+                     Value(static_cast<int64_t>(s.dropped)),
+                     Value(static_cast<int64_t>(s.consumed)),
+                     Value(static_cast<int64_t>(s.peak_rows)),
+                     Value(static_cast<int64_t>(s.credit_stalls))}));
+  }
+  return t;
+}
+
+Result<Table> TransitionsTable(core::Engine* engine) {
+  Table t(Schema({{"name", DataType::kString},
+                  {"firings", DataType::kInt64},
+                  {"mean_us", DataType::kDouble},
+                  {"p50_us", DataType::kDouble},
+                  {"p95_us", DataType::kDouble},
+                  {"p99_us", DataType::kDouble},
+                  {"max_us", DataType::kInt64},
+                  {"total_us", DataType::kInt64}}));
+  for (const core::Scheduler::TransitionStats& ts :
+       engine->scheduler().TransitionStatsSnapshot()) {
+    RETURN_NOT_OK(
+        t.AppendRow({Value(ts.name), Value(static_cast<int64_t>(ts.firings)),
+                     Value(ts.latency.Mean()), Value(ts.latency.p50()),
+                     Value(ts.latency.p95()), Value(ts.latency.p99()),
+                     Value(ts.latency.max),
+                     Value(static_cast<int64_t>(ts.latency.sum))}));
+  }
+  return t;
+}
+
+Result<Table> TraceTable() {
+  Table t(Schema({{"seq", DataType::kInt64},
+                  {"at", DataType::kTimestamp},
+                  {"transition", DataType::kString},
+                  {"trigger", DataType::kString},
+                  {"rows_in", DataType::kInt64},
+                  {"rows_out", DataType::kInt64},
+                  {"duration_us", DataType::kInt64}}));
+  for (const TraceEvent& e : TraceLog::Global().Snapshot()) {
+    RETURN_NOT_OK(t.AppendRow(
+        {Value(static_cast<int64_t>(e.seq)), Value(e.at), Value(e.transition),
+         Value(e.trigger), Value(static_cast<int64_t>(e.rows_in)),
+         Value(static_cast<int64_t>(e.rows_out)), Value(e.duration_us)}));
+  }
+  return t;
+}
+
+}  // namespace
+
+bool IsVirtualTable(const std::string& name) {
+  return name == "dc_metrics" || name == "dc_baskets" ||
+         name == "dc_transitions" || name == "dc_trace";
+}
+
+Result<Table> VirtualTable(core::Engine* engine, const std::string& name) {
+  if (name == "dc_metrics") return MetricsTable();
+  if (name == "dc_baskets") return BasketsTable(engine);
+  if (name == "dc_transitions") return TransitionsTable(engine);
+  if (name == "dc_trace") return TraceTable();
+  return Status::NotFound("unknown virtual table '" + name + "'");
+}
+
+}  // namespace datacell::obs

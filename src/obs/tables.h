@@ -1,0 +1,37 @@
+#ifndef DATACELL_OBS_TABLES_H_
+#define DATACELL_OBS_TABLES_H_
+
+#include <string>
+
+#include "column/table.h"
+#include "util/status.h"
+
+namespace datacell::core {
+class Engine;
+}  // namespace datacell::core
+
+/// Relational views over the observability layer (the R-GMA move: the
+/// monitoring data is just more relations). The SQL executor resolves
+/// these names as a fallback after WITH temps, baskets and catalog tables,
+/// so a user relation with the same name shadows the virtual one.
+///
+///   dc_metrics     — every registered counter/gauge/histogram
+///   dc_baskets     — live per-basket state (engine-registered baskets)
+///   dc_transitions — per-transition firing counts + duration percentiles
+///   dc_trace       — the firing-event ring (enable with SET dc_trace = 1)
+///
+/// Each SELECT materializes a fresh snapshot table; there is no consumption
+/// semantics (these are tables, not baskets).
+namespace datacell::obs {
+
+/// True for the dc_* names above.
+bool IsVirtualTable(const std::string& name);
+
+/// Materializes the named virtual table against `engine` (which supplies
+/// the basket registry and scheduler; the metrics registry and trace log
+/// are process-global).
+Result<Table> VirtualTable(core::Engine* engine, const std::string& name);
+
+}  // namespace datacell::obs
+
+#endif  // DATACELL_OBS_TABLES_H_

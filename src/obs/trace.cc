@@ -1,0 +1,53 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace datacell::obs {
+
+TraceLog& TraceLog::Global() {
+  // Leaked for the same reason as the metrics registry: recording paths
+  // (scheduler workers) may outlive any static destruction order.
+  static TraceLog* global = new TraceLog(kDefaultCapacity);
+  return *global;
+}
+
+void TraceLog::Reset(size_t capacity) {
+  MutexLock lock(&mu_);
+  if (capacity > 0) capacity_ = capacity;
+  ring_.clear();
+  ring_.reserve(capacity_);
+  next_seq_ = 0;
+}
+
+void TraceLog::Record(TraceEvent event) {
+  if (!enabled()) return;
+  MutexLock lock(&mu_);
+  event.seq = next_seq_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[event.seq % capacity_] = std::move(event);
+  }
+}
+
+std::vector<TraceEvent> TraceLog::Snapshot() const {
+  MutexLock lock(&mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (next_seq_ <= capacity_) {
+    out = ring_;  // not yet wrapped: slots are already oldest-first
+  } else {
+    const size_t head = next_seq_ % capacity_;  // oldest resident slot
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(head + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+uint64_t TraceLog::recorded() const {
+  MutexLock lock(&mu_);
+  return next_seq_;
+}
+
+}  // namespace datacell::obs

@@ -1,0 +1,76 @@
+#ifndef DATACELL_OBS_TRACE_H_
+#define DATACELL_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace datacell::obs {
+
+/// One Petri-net firing event: which transition fired, which place
+/// triggered it, how many tokens it consumed/produced, and how long the
+/// body ran.
+struct TraceEvent {
+  uint64_t seq = 0;        // global firing order (monotonic)
+  Micros at = 0;           // engine-clock time the firing was scheduled
+  std::string transition;  // transition name
+  std::string trigger;     // first input place ("" for self-scheduled)
+  uint64_t rows_in = 0;    // tokens consumed from input places
+  uint64_t rows_out = 0;   // tokens appended to output places
+  Micros duration_us = 0;  // wall-clock body duration
+};
+
+/// Bounded ring buffer of firing events, off by default. The scheduler
+/// checks enabled() (one relaxed load — the only always-on cost) before
+/// assembling an event, so disabled tracing costs nothing measurable; when
+/// enabled, recording takes the ring mutex (rank kMetrics) briefly.
+///
+/// Toggle at runtime with `SET dc_trace = 1` through any SQL session, or
+/// programmatically. The ring keeps the newest `capacity` events;
+/// Snapshot() returns them oldest-first, and the `seq` numbers expose how
+/// many were overwritten.
+class TraceLog {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  static TraceLog& Global();
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Drops recorded events and resizes the ring (capacity 0 keeps the
+  /// current one).
+  void Reset(size_t capacity = 0) DC_EXCLUDES(mu_);
+
+  /// Appends an event, assigning its seq. The caller should check
+  /// enabled() first; Record itself does too (racing toggles just lose or
+  /// gain a boundary event).
+  void Record(TraceEvent event) DC_EXCLUDES(mu_);
+
+  /// Events still resident, oldest first.
+  std::vector<TraceEvent> Snapshot() const DC_EXCLUDES(mu_);
+
+  /// Total events ever recorded (>= Snapshot().size()).
+  uint64_t recorded() const DC_EXCLUDES(mu_);
+
+ private:
+  explicit TraceLog(size_t capacity) : capacity_(capacity) {
+    ring_.reserve(capacity_);
+  }
+
+  std::atomic<bool> enabled_{false};
+
+  mutable Mutex mu_{LockRank::kMetrics};
+  size_t capacity_ DC_GUARDED_BY(mu_);
+  uint64_t next_seq_ DC_GUARDED_BY(mu_) = 0;
+  std::vector<TraceEvent> ring_ DC_GUARDED_BY(mu_);  // slot = seq % capacity_
+};
+
+}  // namespace datacell::obs
+
+#endif  // DATACELL_OBS_TRACE_H_

@@ -5,6 +5,9 @@
 #include "core/basket.h"
 #include "core/basket_expression.h"
 #include "expr/eval.h"
+#include "obs/metrics.h"
+#include "obs/tables.h"
+#include "obs/trace.h"
 #include "ops/aggregate.h"
 #include "ops/join.h"
 #include "ops/project.h"
@@ -245,7 +248,8 @@ Result<Executor::Source> Executor::EvalFromItem(const FromItem& item,
   }
   const std::string& name = item.relation;
   const std::string alias = item.alias.empty() ? name : item.alias;
-  // Resolution order: WITH-block temp, basket (peek), catalog table.
+  // Resolution order: WITH-block temp, basket (peek), catalog table,
+  // dc_* observability virtual table (so a user relation shadows it).
   if (auto it = temps_.find(name); it != temps_.end()) {
     return Source{it->second, alias};
   }
@@ -256,6 +260,12 @@ Result<Executor::Source> Executor::EvalFromItem(const FromItem& item,
     // COW snapshot, so the rest of the query runs over a stable view
     // without copying the stream or holding the basket lock.
     return Source{b->Peek(), alias};
+  }
+  if (!engine_->catalog().HasTable(name) && obs::IsVirtualTable(name)) {
+    // Each SELECT materializes a fresh snapshot of the engine's metrics /
+    // trace state — the R-GMA pattern of monitoring-as-relations.
+    ASSIGN_OR_RETURN(Table t, obs::VirtualTable(engine_, name));
+    return Source{std::move(t), alias};
   }
   ASSIGN_OR_RETURN(auto table, engine_->catalog().GetTable(name));
   return Source{*table, alias};
@@ -801,6 +811,26 @@ Result<Table> Executor::ExecSet(const SetStmt& stmt, const Subqueries* subs) {
   EvalContext ctx = MakeEvalContext();
   ASSIGN_OR_RETURN(ExprPtr e, InlineSubqueries(stmt.value, subs));
   ASSIGN_OR_RETURN(Value v, EvalConst(*e, ctx));
+  // Observability toggles ride the SET statement: `SET dc_trace = 1`
+  // starts capturing firing events into the dc_trace ring, `SET
+  // dc_metrics = 0` turns off the optional hot-path instrumentation.
+  // The variable is still stored, so `SELECT` of it reflects the toggle.
+  if (stmt.name == "dc_trace" || stmt.name == "dc_metrics") {
+    bool on = false;
+    if (v.is_int()) {
+      on = v.int_value() != 0;
+    } else if (v.is_bool()) {
+      on = v.bool_value();
+    } else {
+      return Status::InvalidArgument("SET " + stmt.name +
+                                     " expects 0/1 or a boolean");
+    }
+    if (stmt.name == "dc_trace") {
+      obs::TraceLog::Global().set_enabled(on);
+    } else {
+      obs::MetricsRegistry::set_enabled(on);
+    }
+  }
   engine_->SetVariable(stmt.name, std::move(v));
   return Table();
 }

@@ -114,6 +114,57 @@ TEST(EmitterFailureTest, SinkErrorPropagates) {
   EXPECT_EQ(result.status().code(), StatusCode::kIOError);
 }
 
+TEST(EmitterFailureTest, SinkFailureLosesNoTuplesAndCountsHonestly) {
+  // Regression: the emitter used to count a batch as emitted before the
+  // sink call, so a sink failure both inflated tuples_emitted() and lost
+  // the batch (TakeAll had already drained the basket). Now a failed batch
+  // is staged, retried before new input, and counted only on success.
+  auto b = std::make_shared<core::Basket>("b", StreamSchema());
+  int failures_left = 2;
+  std::vector<int64_t> delivered;
+  core::Emitter e("e_zeroloss", [&](const Table& batch) -> Status {
+    if (failures_left > 0) {
+      --failures_left;
+      return Status::IOError("transient sink outage");
+    }
+    for (int64_t v : batch.column(1).ints()) delivered.push_back(v);
+    return Status::OK();
+  });
+  e.AddInput(b);
+
+  ASSERT_TRUE(b->Append(OneTuple(1), 0).ok());
+  ASSERT_TRUE(b->Append(OneTuple(2), 0).ok());
+  // First firing: sink fails. Nothing emitted, the batch is staged, the
+  // count stays honest.
+  ASSERT_FALSE(e.Fire(0).ok());
+  EXPECT_EQ(e.tuples_emitted(), 0u);
+  EXPECT_EQ(e.sink_errors(), 1u);
+  EXPECT_EQ(e.tuples_pending(), 2u);
+  EXPECT_EQ(b->size(), 0u);       // input was drained into the stage
+  EXPECT_TRUE(e.CanFire(0));      // staged work keeps the transition hot
+
+  // More input arrives while the staged batch waits.
+  ASSERT_TRUE(b->Append(OneTuple(3), 0).ok());
+  // Second firing: the staged retry fails again, before any new input is
+  // taken — tuple 3 stays safely in the basket.
+  ASSERT_FALSE(e.Fire(0).ok());
+  EXPECT_EQ(e.sink_errors(), 2u);
+  EXPECT_EQ(e.tuples_pending(), 2u);
+  EXPECT_EQ(b->size(), 1u);
+
+  // Third firing: the sink recovers. The staged batch goes out first, then
+  // the new input — FIFO order, zero loss, counts match deliveries.
+  ASSERT_TRUE(e.Fire(0).ok());
+  EXPECT_EQ(e.tuples_emitted(), 3u);
+  EXPECT_EQ(e.tuples_pending(), 0u);
+  EXPECT_EQ(b->size(), 0u);
+  ASSERT_EQ(delivered.size(), 3u);
+  EXPECT_EQ(delivered[0], 1);
+  EXPECT_EQ(delivered[1], 2);
+  EXPECT_EQ(delivered[2], 3);
+  EXPECT_FALSE(e.CanFire(0));
+}
+
 TEST(ReceptorFailureTest, SourceErrorPropagates) {
   auto r = std::make_shared<core::Receptor>(
       "r", []() -> Result<std::optional<Table>> {

@@ -18,6 +18,15 @@
 // when resident rows reach it the gateway stops reading the sensor
 // sockets (TCP push-back, no drops) and resumes once the query chain
 // drains the basket below the low watermark (capacity/2).
+//
+// While the server runs, the listen port doubles as a stats endpoint:
+// a connection whose first line is `STATS` (instead of a schema header)
+// gets back one `key=value ...` line — ingress/drop/backpressure counters
+// plus per-basket occupancy — and is closed. Scrape it with
+// `echo STATS | nc 127.0.0.1 <listen_port>`. At shutdown the server
+// prints per-transition firing counts and latency percentiles from the
+// observability registry (docs/SQL.md describes the same data exposed
+// through SQL as dc_* virtual tables).
 
 #include <algorithm>
 #include <cstdio>
@@ -138,5 +147,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(ingress.tuples_dropped()),
               static_cast<unsigned long long>(
                   ingress.backpressure_engagements()));
+  std::printf("transition      firings      p50us      p95us      p99us"
+              "      maxus\n");
+  for (const core::Scheduler::TransitionStats& t :
+       scheduler.TransitionStatsSnapshot()) {
+    std::printf("%-12s %10llu %10.0f %10.0f %10.0f %10lld\n",
+                t.name.c_str(), static_cast<unsigned long long>(t.firings),
+                t.latency.p50(), t.latency.p95(), t.latency.p99(),
+                static_cast<long long>(t.latency.max));
+  }
   return 0;
 }

@@ -30,3 +30,12 @@ for j in BENCH_*.json; do
   found=1
 done
 [ "$found" = 1 ] || echo "note: no BENCH_*.json emitted" >&2
+
+# The latency-reporting benches must carry percentile fields (DESIGN.md §10).
+for j in BENCH_lroad.json BENCH_gateway_fanin.json; do
+  [ -e "$j" ] || continue
+  if ! grep -q '"latency_p99_us"' "$j"; then
+    echo "ERROR: $j is missing latency_p99_us" >&2
+    exit 1
+  fi
+done
