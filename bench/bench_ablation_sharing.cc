@@ -1,36 +1,42 @@
-// Ablations for the §4.3 research directions DESIGN.md calls out:
+// Multi-query sharing ablation (DESIGN.md §11): the same standing SQL
+// query set is registered through the Session twice — once with the
+// optimizer's common-prefix factoring ON (trie of conjunct fingerprints,
+// one shared stage chain per common prefix) and once with factoring OFF
+// (the shared net still replicates the stream to every per-query leaf but
+// evaluates nothing upstream: every query re-runs its whole predicate).
 //
-//  A. Shared execution prefixes — queries with a common selective
-//     predicate evaluated once by an auxiliary factory vs. independently
-//     by every query (separate baskets). Sharing should win and the gap
-//     should widen with the query count.
+// Queries share a selective prefix (payload < 1000, ~10%) plus a private
+// one-percent residual range, so factoring should win and the gap should
+// widen with the query count. Reported per count: aggregate throughput
+// (input tuples x standing queries / wall seconds) and the peak resident
+// rows across the optimizer's stage + leaf baskets and the source basket.
 //
-//  B. Query-plan splitting — a slow query sharing a basket with a fast
-//     one blocks the stream until it finishes; splitting its plan into a
-//     cheap loader + background worker releases the shared basket
-//     immediately ("eliminating the need for a fast query to wait for a
-//     slow one").
+// Emits BENCH_ablation_sharing.json. DATACELL_QUICK=1 shrinks the run.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
-#include "core/basket_expression.h"
-#include "core/scheduler.h"
-#include "core/strategy.h"
-#include "ops/sort.h"
+#include "core/engine.h"
+#include "sql/session.h"
 #include "util/clock.h"
 #include "util/random.h"
 
 namespace datacell {
 namespace {
 
-Schema StreamSchema() {
-  return Schema({{"tag", DataType::kTimestamp}, {"payload", DataType::kInt64}});
-}
+struct CaseResult {
+  double elapsed_s = 0;
+  double aggregate_tps = 0;
+  uint64_t peak_rows = 0;
+  size_t rows_emitted = 0;
+};
 
 Table MakeTuples(size_t n) {
   Random rng(7);
-  Table t(StreamSchema());
+  Table t(Schema({{"tag", DataType::kInt64}, {"payload", DataType::kInt64}}));
   for (size_t i = 0; i < n; ++i) {
     t.column(0).AppendInt(static_cast<int64_t>(i));
     t.column(1).AppendInt(static_cast<int64_t>(rng.Uniform(10'000)));
@@ -38,184 +44,148 @@ Table MakeTuples(size_t n) {
   return t;
 }
 
-// Queries: shared prefix payload < 1000 (10% selectivity), residual
-// one-permille ranges inside it.
-ExprPtr SharedPredicate() {
-  return Expr::Bin(BinaryOp::kLt, Expr::Col("payload"), Expr::Lit(1000));
+// Shared prefix payload < 1000 plus a private one-percent residual range.
+std::string QuerySql(int i) {
+  Random rng(13 + i);
+  const int64_t lo = static_cast<int64_t>(rng.Uniform(990));
+  return "select * from [select * from s where payload < 1000 and payload >= " +
+         std::to_string(lo) + " and payload < " + std::to_string(lo + 10) +
+         "]";
 }
 
-std::vector<core::ContinuousQuery> ResidualQueries(int count) {
-  Random rng(13);
-  std::vector<core::ContinuousQuery> out;
-  for (int i = 0; i < count; ++i) {
-    const int64_t lo = static_cast<int64_t>(rng.Uniform(990));
-    out.push_back({"q" + std::to_string(i),
-                   Expr::Bin(BinaryOp::kAnd,
-                             Expr::Bin(BinaryOp::kGe, Expr::Col("payload"),
-                                       Expr::Lit(lo)),
-                             Expr::Bin(BinaryOp::kLt, Expr::Col("payload"),
-                                       Expr::Lit(lo + 10)))});
-  }
-  return out;
-}
-
-Result<double> RunNetwork(core::QueryNetwork net, size_t batch) {
+Result<CaseResult> RunCase(bool factoring, int queries, size_t tuples,
+                           size_t chunk) {
   SimulatedClock clock(0);
-  core::Scheduler sched(&clock);
-  net.RegisterAll(&sched);
-  Table tuples = MakeTuples(batch);
+  core::Engine engine(&clock);
+  sql::Session session(&engine);
+  session.set_sharing_enabled(true);
+  session.optimizer().set_factoring_enabled(factoring);
+  ASSIGN_OR_RETURN(Table created,
+                   session.Execute("create basket s (tag int, payload int)"));
+  (void)created;
+
+  size_t emitted = 0;
+  for (int i = 0; i < queries; ++i) {
+    auto f = session.RegisterContinuousSelect(
+        "q" + std::to_string(i), QuerySql(i),
+        [&emitted](const Table& t) -> Status {
+          emitted += t.num_rows();
+          return Status::OK();
+        });
+    RETURN_NOT_OK(f.status());
+  }
+
+  ASSIGN_OR_RETURN(core::BasketPtr source, engine.GetBasket("s"));
+  const Table feed = MakeTuples(tuples);
+
   SystemClock* wall = SystemClock::Get();
   const Micros t0 = wall->Now();
-  ASSIGN_OR_RETURN(size_t n, net.receptor->Deliver(tuples, clock.Now()));
-  (void)n;
-  ASSIGN_OR_RETURN(size_t rounds, sched.RunUntilQuiescent());
-  (void)rounds;
-  return static_cast<double>(wall->Now() - t0) / kMicrosPerSecond;
-}
-
-Status PartA() {
-  const size_t batch = 100'000;
-  std::printf("--- A: shared selection prefix vs separate evaluation ---\n");
-  std::printf("%10s %18s %18s %10s\n", "queries", "separate(s)", "shared(s)",
-              "speedup");
-  for (int q : {4, 16, 64, 256}) {
-    // Separate: every query evaluates prefix AND residual on its own copy.
-    std::vector<core::ContinuousQuery> full = ResidualQueries(q);
-    for (core::ContinuousQuery& query : full) {
-      query.predicate = Expr::Bin(BinaryOp::kAnd, SharedPredicate(),
-                                  query.predicate);
-    }
-    ASSIGN_OR_RETURN(core::QueryNetwork separate,
-                     core::BuildSeparateBaskets(StreamSchema(), full, batch));
-    ASSIGN_OR_RETURN(double sep_s, RunNetwork(std::move(separate), batch));
-
-    core::SharedPrefixGroup group{"g", SharedPredicate(), ResidualQueries(q)};
-    ASSIGN_OR_RETURN(core::QueryNetwork shared,
-                     core::BuildSharedPrefix(StreamSchema(), {group}, batch));
-    ASSIGN_OR_RETURN(double sh_s, RunNetwork(std::move(shared), batch));
-    std::printf("%10d %18.4f %18.4f %9.1fx\n", q, sep_s, sh_s,
-                sh_s > 0 ? sep_s / sh_s : 0.0);
+  for (size_t off = 0; off < tuples; off += chunk) {
+    const size_t n = std::min(chunk, tuples - off);
+    SelVector sel(n);
+    for (size_t i = 0; i < n; ++i) sel[i] = off + i;
+    Table batch = feed.Take(sel);
+    ASSIGN_OR_RETURN(size_t appended, source->Append(batch, clock.Now()));
+    (void)appended;
+    ASSIGN_OR_RETURN(size_t rounds, engine.scheduler().RunUntilQuiescent());
+    (void)rounds;
+    clock.Advance(1000);
   }
-  return Status::OK();
+  const Micros t1 = wall->Now();
+
+  CaseResult r;
+  r.elapsed_s = static_cast<double>(t1 - t0) / kMicrosPerSecond;
+  r.aggregate_tps =
+      r.elapsed_s > 0
+          ? static_cast<double>(tuples) * queries / r.elapsed_s
+          : 0;
+  r.peak_rows = std::max(session.optimizer().PeakResidentRows(),
+                         source->stats().peak_rows);
+  r.rows_emitted = emitted;
+  return r;
 }
 
-// Heavy work: repeatedly sort the staged batch.
-Status HeavyWork(const Table& batch) {
-  EvalContext ctx;
-  for (int i = 0; i < 40; ++i) {
-    auto sorted = ops::SortIndices(
-        batch, {{Expr::Col("payload"), (i % 2) == 0}}, ctx);
-    RETURN_NOT_OK(sorted.status());
-  }
-  return Status::OK();
-}
+Status Run() {
+  const bool quick = std::getenv("DATACELL_QUICK") != nullptr;
+  const size_t tuples = quick ? 10'000 : 50'000;
+  const size_t chunk = 4'096;
+  const std::vector<int> counts =
+      quick ? std::vector<int>{4, 16} : std::vector<int>{16, 64, 128};
 
-// Returns wall seconds until the shared input basket is released (empty).
-Result<double> RunSplitCase(bool split, size_t batch) {
-  SimulatedClock clock(0);
-  auto input = std::make_shared<core::Basket>("in", StreamSchema());
-  auto fast_out = std::make_shared<core::Basket>("fast_out", input->schema(),
-                                                 false);
-  auto token = std::make_shared<core::Basket>(
-      "tok", Schema({{"flag", DataType::kBool}}), false);
+  std::printf("--- multi-query sharing ablation (%zu tuples/case) ---\n",
+              tuples);
+  std::printf("%8s %16s %16s %8s %14s %14s\n", "queries", "factored(tps)",
+              "unfactored(tps)", "speedup", "peak(fact)", "peak(unfact)");
 
-  // Fast query: peeks, raises the token that lets the heavy side consume.
-  auto fast = std::make_shared<core::Factory>(
-      "fast", [input, fast_out, token](core::FactoryContext& ctx) -> Status {
-        core::BasketExpression be(input);
-        be.Where(Expr::Bin(BinaryOp::kLt, Expr::Col("payload"), Expr::Lit(10)));
-        be.Consume(core::ConsumePolicy::kNone);
-        ASSIGN_OR_RETURN(Table r, be.Evaluate(ctx.eval()));
-        if (r.num_rows() > 0) {
-          ASSIGN_OR_RETURN(size_t n, fast_out->AppendAligned(r, ctx.now()));
-          (void)n;
-        }
-        Table t(token->schema());
-        RETURN_NOT_OK(t.AppendRow({Value(true)}));
-        ASSIGN_OR_RETURN(size_t n, token->AppendAligned(t, ctx.now()));
-        (void)n;
-        return Status::OK();
-      });
-  fast->AddInput(input, batch);
-  fast->AddOutput(fast_out);
-  fast->AddOutput(token);
-
-  core::Scheduler sched(&clock);
-  sched.Register(fast);
-
-  SystemClock* wall = SystemClock::Get();
-  Micros released_at = -1;
-  Micros t0 = 0;
-  auto watch_release = [&]() {
-    if (released_at < 0 && input->empty()) released_at = wall->Now();
+  struct RowOut {
+    int queries;
+    CaseResult on, off;
   };
-
-  if (!split) {
-    // Heavy query reads the shared basket in place (shared-basket
-    // semantics) and releases it only once its whole plan has finished —
-    // the situation §4.3 motivates splitting for.
-    auto heavy = std::make_shared<core::Factory>(
-        "heavy", [input, token, &watch_release](core::FactoryContext&) -> Status {
-          token->Clear();
-          Table batch_data = input->Peek();
-          RETURN_NOT_OK(HeavyWork(batch_data));
-          input->Clear();
-          watch_release();
-          return Status::OK();
-        });
-    heavy->AddInput(token, 1);
-    heavy->AddInput(input, 1);
-    sched.Register(heavy);
-  } else {
-    // Split plan: loader releases the basket at once; the worker grinds on
-    // the staged copy afterwards.
-    ASSIGN_OR_RETURN(
-        core::SplitPlan plan,
-        core::SplitQueryPlan("heavy", input, 1,
-                             [](core::FactoryContext& ctx) -> Status {
-                               Table staged = ctx.input(0).TakeAll();
-                               return HeavyWork(staged);
-                             }));
-    // Gate the loader on the fast query's token too.
-    auto loader = std::make_shared<core::Factory>(
-        "gate_load",
-        [input, token, staging = plan.staging,
-         &watch_release](core::FactoryContext& ctx) -> Status {
-          token->Clear();
-          Table b = input->TakeAll();
-          watch_release();
-          if (b.num_rows() == 0) return Status::OK();
-          ASSIGN_OR_RETURN(size_t n, staging->AppendAligned(b, ctx.now()));
-          (void)n;
-          return Status::OK();
-        });
-    loader->AddInput(token, 1);
-    loader->AddInput(input, 1);
-    loader->AddOutput(plan.staging);
-    sched.Register(loader);
-    sched.Register(plan.worker);
+  std::vector<RowOut> rows;
+  for (int q : counts) {
+    ASSIGN_OR_RETURN(CaseResult on, RunCase(true, q, tuples, chunk));
+    ASSIGN_OR_RETURN(CaseResult off, RunCase(false, q, tuples, chunk));
+    if (on.rows_emitted != off.rows_emitted) {
+      return Status::Internal(
+          "ablation divergence at " + std::to_string(q) + " queries: " +
+          std::to_string(on.rows_emitted) + " vs " +
+          std::to_string(off.rows_emitted) + " rows emitted");
+    }
+    std::printf("%8d %16.0f %16.0f %7.1fx %14llu %14llu\n", q,
+                on.aggregate_tps, off.aggregate_tps,
+                off.aggregate_tps > 0 ? on.aggregate_tps / off.aggregate_tps
+                                      : 0.0,
+                static_cast<unsigned long long>(on.peak_rows),
+                static_cast<unsigned long long>(off.peak_rows));
+    rows.push_back({q, on, off});
   }
 
-  Table tuples = MakeTuples(batch);
-  t0 = wall->Now();
-  ASSIGN_OR_RETURN(size_t n, input->Append(tuples, clock.Now()));
-  (void)n;
-  ASSIGN_OR_RETURN(size_t rounds, sched.RunUntilQuiescent());
-  (void)rounds;
-  watch_release();
-  return static_cast<double>(released_at - t0) / kMicrosPerSecond;
-}
+  const RowOut& last = rows.back();
+  const double speedup_at_max =
+      last.off.aggregate_tps > 0
+          ? last.on.aggregate_tps / last.off.aggregate_tps
+          : 0.0;
+  const bool peak_ok = last.on.peak_rows <= last.off.peak_rows;
 
-Status PartB() {
-  std::printf("\n--- B: plan splitting releases the shared basket early ---\n");
-  std::printf("%12s %26s\n", "mode", "stream release time (s)");
-  const size_t batch = 100'000;
-  ASSIGN_OR_RETURN(double monolithic, RunSplitCase(false, batch));
-  std::printf("%12s %26.4f\n", "monolithic", monolithic);
-  ASSIGN_OR_RETURN(double split, RunSplitCase(true, batch));
-  std::printf("%12s %26.4f\n", "split plan", split);
-  std::printf("(the heavy query's total work is identical in both modes; "
-              "only when the stream is released differs)\n");
+  FILE* out = std::fopen("BENCH_ablation_sharing.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_ablation_sharing.json\n");
+    return Status::Internal("fopen failed");
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"ablation_sharing\",\n");
+  std::fprintf(out, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(out, "  \"tuples_per_case\": %zu,\n", tuples);
+  std::fprintf(out, "  \"chunk_rows\": %zu,\n", chunk);
+  std::fprintf(out, "  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const RowOut& r = rows[i];
+    std::fprintf(
+        out,
+        "    {\"queries\": %d, \"sharing_tps\": %.0f, "
+        "\"nosharing_tps\": %.0f, \"speedup\": %.2f, "
+        "\"sharing_peak_rows\": %llu, \"nosharing_peak_rows\": %llu, "
+        "\"rows_emitted\": %zu}%s\n",
+        r.queries, r.on.aggregate_tps, r.off.aggregate_tps,
+        r.off.aggregate_tps > 0 ? r.on.aggregate_tps / r.off.aggregate_tps
+                                : 0.0,
+        static_cast<unsigned long long>(r.on.peak_rows),
+        static_cast<unsigned long long>(r.off.peak_rows), r.on.rows_emitted,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"max_queries\": %d,\n", last.queries);
+  std::fprintf(out, "  \"speedup_at_max_queries\": %.2f,\n", speedup_at_max);
+  std::fprintf(out, "  \"sharing_at_least_2x\": %s,\n",
+               speedup_at_max >= 2.0 ? "true" : "false");
+  std::fprintf(out, "  \"peak_rows_no_higher\": %s\n",
+               peak_ok ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf(
+      "wrote BENCH_ablation_sharing.json (speedup at %d queries: %.2fx, "
+      "peak ok: %s)\n",
+      last.queries, speedup_at_max, peak_ok ? "yes" : "no");
   return Status::OK();
 }
 
@@ -223,12 +193,9 @@ Status PartB() {
 }  // namespace datacell
 
 int main() {
-  std::printf("=== §4.3 ablations: sharing execution cost & plan splitting "
-              "===\n\n");
-  datacell::Status st = datacell::PartA();
-  if (st.ok()) st = datacell::PartB();
-  if (!st.ok()) {
-    std::fprintf(stderr, "ablation failed: %s\n", st.ToString().c_str());
+  datacell::Status s = datacell::Run();
+  if (!s.ok()) {
+    std::fprintf(stderr, "bench failed: %s\n", s.ToString().c_str());
     return 1;
   }
   return 0;

@@ -34,7 +34,7 @@ Scheduler::~Scheduler() {
 }
 
 void Scheduler::Register(TransitionPtr transition) {
-  auto node = std::make_unique<Node>();
+  auto node = std::make_shared<Node>();
   node->t = std::move(transition);
   const std::vector<BasketPtr> inputs = node->t->input_places();
   const std::vector<BasketPtr> outputs = node->t->output_places();
@@ -47,6 +47,8 @@ void Scheduler::Register(TransitionPtr transition) {
     const std::string prefix = "transition." + node->t->name() + ".";
     node->firings_metric = reg.GetCounter(prefix + "firings");
     node->fire_hist = reg.GetHistogram(prefix + "fire_us");
+    node->rows_in_metric = reg.GetCounter(prefix + "rows_in");
+    node->rows_out_metric = reg.GetCounter(prefix + "rows_out");
   }
   node->places.reserve(inputs.size() + outputs.size());
   for (const BasketPtr& b : inputs) node->places.push_back(b.get());
@@ -74,12 +76,52 @@ void Scheduler::Register(TransitionPtr transition) {
   OnPlaceSignal(raw);
 }
 
+Status Scheduler::Unregister(const TransitionPtr& transition) {
+  std::shared_ptr<Node> node;
+  {
+    MutexLock lock(&mu_);
+    for (auto it = nodes_.begin(); it != nodes_.end(); ++it) {
+      if ((*it)->t == transition) {
+        node = *it;
+        nodes_.erase(it);
+        break;
+      }
+    }
+    if (node == nullptr) {
+      return Status::NotFound("transition '" + transition->name() +
+                              "' is not registered");
+    }
+    node->removed = true;  // EnqueueLocked ignores it from here on
+    node->queued = false;
+    for (auto it = ready_.begin(); it != ready_.end();) {
+      it = (*it == node.get()) ? ready_.erase(it) : it + 1;
+    }
+  }
+  // Unsubscribe outside mu_, mirroring Register: RemoveListener takes the
+  // basket lock, and the signal path holds basket-then-scheduler. After
+  // this returns no listener can re-signal the node (Touch invokes
+  // listeners under the basket lock RemoveListener just held).
+  for (const auto& [basket, id] : node->subscriptions) {
+    basket->RemoveListener(id);
+  }
+  node->subscriptions.clear();
+  {
+    // Threaded mode: a worker may have claimed the node before we marked
+    // it removed; wait for that firing to finish so the caller can safely
+    // tear down whatever the body touches.
+    MutexLock lock(&mu_);
+    while (node->firing) cv_.Wait(&mu_);
+  }
+  return Status::OK();
+}
+
 void Scheduler::OnPlaceSignal(Node* node) {
   MutexLock lock(&mu_);
   EnqueueLocked(node);
 }
 
 void Scheduler::EnqueueLocked(Node* node) {
+  if (node->removed) return;
   node->park_until = 0;
   if (node->queued) return;
   node->queued = true;
@@ -154,30 +196,32 @@ Result<bool> Scheduler::FireIfEligible(Node* node, bool* fired) {
   const Micros now = clock_->Now();
   if (!node->t->CanFire(now)) return false;
   *fired = true;
-  // The always-on cost per firing: two wall-clock reads, one counter
-  // increment and one histogram record — all relaxed atomics. The trace
-  // path costs one extra relaxed load while disabled.
+  // The always-on cost per firing: two wall-clock reads, a relaxed-atomic
+  // scan of the place stats, up to four counter increments and one
+  // histogram record. The row deltas used to be trace-only; they are now
+  // unconditional because the cost-based optimizer reads per-transition
+  // rows_in/rows_out as its live selectivity feed.
   obs::TraceLog& trace = obs::TraceLog::Global();
   const bool tracing = trace.enabled();
-  uint64_t in_before = 0;
-  uint64_t out_before = 0;
-  if (tracing) {
-    in_before = SumConsumed(node->in_places);
-    out_before = SumAppended(node->out_places);
-  }
+  const uint64_t in_before = SumConsumed(node->in_places);
+  const uint64_t out_before = SumAppended(node->out_places);
   SystemClock* wall = SystemClock::Get();
   const Micros fire_start = wall->Now();
   Result<bool> worked = node->t->Fire(clock_->Now());
   const Micros duration = wall->Now() - fire_start;
+  const uint64_t rows_in = SumConsumed(node->in_places) - in_before;
+  const uint64_t rows_out = SumAppended(node->out_places) - out_before;
   node->firings_metric->Increment();
   node->fire_hist->Record(duration);
+  if (rows_in > 0) node->rows_in_metric->Increment(rows_in);
+  if (rows_out > 0) node->rows_out_metric->Increment(rows_out);
   if (tracing) {
     obs::TraceEvent e;
     e.at = now;
     e.transition = node->t->name();
     e.trigger = node->trigger;
-    e.rows_in = SumConsumed(node->in_places) - in_before;
-    e.rows_out = SumAppended(node->out_places) - out_before;
+    e.rows_in = rows_in;
+    e.rows_out = rows_out;
     e.duration_us = duration;
     trace.Record(std::move(e));
   }
@@ -193,6 +237,8 @@ std::vector<Scheduler::TransitionStats> Scheduler::TransitionStatsSnapshot()
     TransitionStats ts;
     ts.name = node->t->name();
     ts.firings = node->firings_metric->value();
+    ts.rows_in = node->rows_in_metric->value();
+    ts.rows_out = node->rows_out_metric->value();
     ts.latency = node->fire_hist->Snapshot();
     out.push_back(std::move(ts));
   }
@@ -204,7 +250,10 @@ Result<bool> Scheduler::RunOnce() {
   // (no input places: pull receptors, metronomes) never receive basket
   // signals, so they join every round — exactly the seed poll loop's view
   // of them.
-  std::vector<Node*> round;
+  // The round/sweep vectors hold shared_ptr copies: firing happens with
+  // mu_ released, and a concurrent Unregister may unlink a node while this
+  // round still references it (the removed flag keeps it from re-queueing).
+  std::vector<std::shared_ptr<Node>> round;
   uint64_t serial;
   {
     MutexLock lock(&mu_);
@@ -213,7 +262,7 @@ Result<bool> Scheduler::RunOnce() {
     for (const auto& n : nodes_) {
       if (n->queued || !n->data_driven) {
         n->queued = false;
-        round.push_back(n.get());
+        round.push_back(n);
       }
     }
     ready_.clear();
@@ -221,9 +270,9 @@ Result<bool> Scheduler::RunOnce() {
   // Firing happens outside mu_ so Register from another thread never blocks
   // behind a long factory body.
   bool any_work = false;
-  for (Node* n : round) {
+  for (const auto& n : round) {
     bool fired = false;
-    ASSIGN_OR_RETURN(bool worked, FireIfEligible(n, &fired));
+    ASSIGN_OR_RETURN(bool worked, FireIfEligible(n.get(), &fired));
     if (fired) n->fired_in_round = serial;
     any_work = any_work || worked;
   }
@@ -233,17 +282,17 @@ Result<bool> Scheduler::RunOnce() {
   // classic full scan before declaring the round idle. This keeps the
   // seed's exact quiescence semantics even for eligibility changes that
   // bypass basket signals (e.g. clock advances gating a factory body).
-  std::vector<Node*> sweep;
+  std::vector<std::shared_ptr<Node>> sweep;
   {
     MutexLock lock(&mu_);
     sweep.reserve(nodes_.size());
     for (const auto& n : nodes_) {
-      if (n->fired_in_round != serial) sweep.push_back(n.get());
+      if (n->fired_in_round != serial) sweep.push_back(n);
     }
   }
-  for (Node* n : sweep) {
+  for (const auto& n : sweep) {
     bool fired = false;
-    ASSIGN_OR_RETURN(bool worked, FireIfEligible(n, &fired));
+    ASSIGN_OR_RETURN(bool worked, FireIfEligible(n.get(), &fired));
     any_work = any_work || worked;
   }
   return any_work;
@@ -315,6 +364,10 @@ void Scheduler::WorkerLoop() {
 
       lock.Lock();
       claimed->firing = false;
+      // Unregister blocks on `firing` with an untimed wait; if the node was
+      // unlinked while we fired, that waiter is the only party interested
+      // in this transition and must be woken explicitly.
+      if (claimed->removed) cv_.NotifyAll();
       for (Basket* b : claimed->places) firing_places_.erase(b);
       if (!worked.ok()) {
         DC_LOG(Error) << "scheduler worker stopping on error: "
@@ -347,16 +400,19 @@ void Scheduler::WorkerLoop() {
     }
 
     // Idle: poll self-scheduled transitions and compute the wait bound.
-    std::vector<std::pair<Node*, Micros>> self;  // node, park_until
+    // Scan vectors hold shared_ptr copies: the scan runs with mu_ released
+    // and a concurrent Unregister may unlink a node mid-scan (EnqueueLocked
+    // drops removed nodes on relock, so a stale hit is harmless).
+    std::vector<std::pair<std::shared_ptr<Node>, Micros>> self;
     for (const auto& n : nodes_) {
       if (!n->data_driven && !n->queued && !n->firing) {
-        self.emplace_back(n.get(), n->park_until);
+        self.emplace_back(n, n->park_until);
       }
     }
     lock.Unlock();
     const Micros now = clock_->Now();
     Micros wait = kIdleWaitMicros;
-    std::vector<Node*> due;
+    std::vector<std::shared_ptr<Node>> due;
     for (const auto& [n, park_until] : self) {
       const Micros dl = n->t->next_deadline(now);
       if (dl == kNoDeadline) {
@@ -374,7 +430,7 @@ void Scheduler::WorkerLoop() {
     lock.Lock();
     if (stop_requested_.load()) break;
     if (!due.empty()) {
-      for (Node* n : due) EnqueueLocked(n);
+      for (const auto& n : due) EnqueueLocked(n.get());
       continue;
     }
     if (!ready_.empty()) continue;  // a signal arrived while we scanned
@@ -385,18 +441,18 @@ void Scheduler::WorkerLoop() {
 
     // Fallback sweep (see kIdleWaitMicros): re-check data-driven
     // transitions that might have become eligible without a signal.
-    std::vector<Node*> sweep;
+    std::vector<std::shared_ptr<Node>> sweep;
     for (const auto& n : nodes_) {
-      if (n->data_driven && !n->queued && !n->firing) sweep.push_back(n.get());
+      if (n->data_driven && !n->queued && !n->firing) sweep.push_back(n);
     }
     lock.Unlock();
     const Micros snow = clock_->Now();
-    std::vector<Node*> hits;
-    for (Node* n : sweep) {
+    std::vector<std::shared_ptr<Node>> hits;
+    for (const auto& n : sweep) {
       if (n->t->CanFire(snow)) hits.push_back(n);
     }
     lock.Lock();
-    for (Node* n : hits) EnqueueLocked(n);
+    for (const auto& n : hits) EnqueueLocked(n.get());
   }
 }
 

@@ -62,6 +62,19 @@ class Scheduler {
   /// while workers are running or another thread is inside RunOnce.
   void Register(TransitionPtr transition);
 
+  /// Removes a registered transition: unsubscribes its basket listeners,
+  /// pulls it from the ready queue and, in threaded mode, waits for any
+  /// in-flight firing to complete before returning — after which the
+  /// transition will never fire again. This is the teardown half of the
+  /// multi-query optimizer's shared-subnet rewiring (dropping one query
+  /// must not tear down transitions other queries still use, so the
+  /// planner unregisters exactly the factories it rebuilds). Safe against
+  /// concurrent workers and Register calls; in cooperative mode it must be
+  /// called from the driving thread (the thread running RunOnce), which is
+  /// the Session registration thread in practice. Returns NotFound if the
+  /// transition was never registered (or already unregistered).
+  Status Unregister(const TransitionPtr& transition);
+
   /// One pass, firing each eligible ready transition once (registration
   /// order). Returns true if any firing did work.
   Result<bool> RunOnce();
@@ -92,23 +105,31 @@ class Scheduler {
 
   /// Per-transition firing stats (dc_transitions). `firings` counts
   /// eligible firings (CanFire held and the body ran, worked or not);
-  /// `latency` is the wall-clock body duration histogram. Both come from
-  /// the process-global registry (`transition.<name>.firings` /
-  /// `.fire_us`), so same-named transitions share a row's counters.
+  /// `latency` is the wall-clock body duration histogram; `rows_in` /
+  /// `rows_out` are the token-movement deltas observed around firings
+  /// (input-place consumed / output-place appended) — the live selectivity
+  /// feed the cost-based optimizer reads. All come from the process-global
+  /// registry (`transition.<name>.firings` / `.fire_us` / `.rows_in` /
+  /// `.rows_out`), so same-named transitions share a row's counters.
   struct TransitionStats {
     std::string name;
     uint64_t firings = 0;
+    uint64_t rows_in = 0;
+    uint64_t rows_out = 0;
     obs::HistogramSnapshot latency;
   };
   std::vector<TransitionStats> TransitionStatsSnapshot() const;
 
  private:
-  // Per-transition scheduling state. Nodes are owned by nodes_ and never
-  // move, so raw Node* pointers stay valid in listeners and queues. The
-  // mutable fields (queued, firing, park_until, fired_in_round) are
-  // guarded by the scheduler's mu_; the analysis cannot express a guard
-  // living in the owning object, so that part of the contract is enforced
-  // by review plus the runtime rank checker, not by annotations.
+  // Per-transition scheduling state. Nodes are shared_ptr-owned by nodes_
+  // so worker-loop scan vectors can hold them across the unlocked windows
+  // where Unregister may run; a node unlinked from nodes_ stays alive
+  // until the last scan drops it, and `removed` keeps it from ever being
+  // enqueued again. The mutable fields (queued, firing, removed,
+  // park_until, fired_in_round) are guarded by the scheduler's mu_; the
+  // analysis cannot express a guard living in the owning object, so that
+  // part of the contract is enforced by review plus the runtime rank
+  // checker, not by annotations.
   struct Node {
     TransitionPtr t;
     size_t index = 0;                  // registration order
@@ -123,9 +144,12 @@ class Scheduler {
     // updates are relaxed atomics).
     obs::Counter* firings_metric = nullptr;  // transition.<name>.firings
     obs::Histogram* fire_hist = nullptr;     // transition.<name>.fire_us
+    obs::Counter* rows_in_metric = nullptr;  // transition.<name>.rows_in
+    obs::Counter* rows_out_metric = nullptr;  // transition.<name>.rows_out
     bool data_driven = false;          // has declared input places
     bool queued = false;               // in ready_
     bool firing = false;               // claimed by a worker
+    bool removed = false;              // unregistered; never enqueue again
     Micros park_until = 0;             // poller back-off (threaded mode)
     uint64_t fired_in_round = 0;       // cooperative-round dedup marker
     // Listener registrations to undo on scheduler destruction.
@@ -149,7 +173,7 @@ class Scheduler {
 
   mutable Mutex mu_{LockRank::kScheduler};
   CondVar cv_;
-  std::vector<std::unique_ptr<Node>> nodes_ DC_GUARDED_BY(mu_);
+  std::vector<std::shared_ptr<Node>> nodes_ DC_GUARDED_BY(mu_);
   std::deque<Node*> ready_ DC_GUARDED_BY(mu_);
   std::unordered_set<Basket*> firing_places_ DC_GUARDED_BY(mu_);
   size_t num_workers_ DC_GUARDED_BY(mu_);

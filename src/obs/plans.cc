@@ -1,0 +1,37 @@
+#include "obs/plans.h"
+
+#include <utility>
+
+namespace datacell::obs {
+
+PlansRegistry& PlansRegistry::Global() {
+  static PlansRegistry* instance = new PlansRegistry();
+  return *instance;
+}
+
+void PlansRegistry::Publish(const std::string& query,
+                            std::vector<PlanRow> rows) {
+  MutexLock lock(&mu_);
+  plans_[query] = std::move(rows);
+}
+
+void PlansRegistry::Retract(const std::string& query) {
+  MutexLock lock(&mu_);
+  plans_.erase(query);
+}
+
+std::vector<PlanRow> PlansRegistry::Snapshot() const {
+  std::vector<PlanRow> out;
+  MutexLock lock(&mu_);
+  for (const auto& [query, rows] : plans_) {
+    out.insert(out.end(), rows.begin(), rows.end());
+  }
+  return out;
+}
+
+size_t PlansRegistry::size() const {
+  MutexLock lock(&mu_);
+  return plans_.size();
+}
+
+}  // namespace datacell::obs

@@ -1,0 +1,62 @@
+#ifndef DATACELL_OBS_PLANS_H_
+#define DATACELL_OBS_PLANS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+/// Published view of the multi-query optimizer's compiled net (the
+/// `dc_plans` virtual table). The optimizer pushes plain data rows here
+/// after every rebuild; readers (dc_plans materialization) copy them out
+/// under the registry lock and join the live rows_in/rows_out counters by
+/// transition name at read time. Keeping this a passive mirror — rather
+/// than a callback into planner state — means a factory body that SELECTs
+/// dc_plans while holding basket locks (rank kBasket) only ever descends
+/// to kMetrics, and the optimizer's rebuild path never takes a lock a
+/// reader might hold.
+namespace datacell::obs {
+
+/// One stage of one query's compiled pipeline, in pipeline order.
+struct PlanRow {
+  std::string query;        // registered continuous-query name
+  std::string stage;        // transition name ("" for plan-only rows)
+  std::string kind;         // scan | filter | window | project | leaf | ...
+  std::string detail;       // predicate / projection text
+  std::string fingerprint;  // subtree fingerprint (hex), "" if n/a
+  int64_t shared_by = 1;    // number of standing queries using this stage
+  double est_rows = 0;      // cost-model estimated output cardinality
+};
+
+/// Process-global registry of published plans. Mutex rank kMetrics (same
+/// tier as MetricsRegistry: leaf-ish, safe under basket locks).
+class PlansRegistry {
+ public:
+  static PlansRegistry& Global();
+
+  /// Replaces the published rows for `query`. Called by the optimizer
+  /// after (re)compiling the standing set.
+  void Publish(const std::string& query, std::vector<PlanRow> rows)
+      DC_EXCLUDES(mu_);
+
+  /// Drops the published rows for `query` (query unregistered).
+  void Retract(const std::string& query) DC_EXCLUDES(mu_);
+
+  /// All published rows, grouped by query name (map order), stages in
+  /// publish order within each query.
+  std::vector<PlanRow> Snapshot() const DC_EXCLUDES(mu_);
+
+  size_t size() const DC_EXCLUDES(mu_);
+
+ private:
+  PlansRegistry() = default;
+
+  mutable Mutex mu_{LockRank::kMetrics};
+  std::map<std::string, std::vector<PlanRow>> plans_ DC_GUARDED_BY(mu_);
+};
+
+}  // namespace datacell::obs
+
+#endif  // DATACELL_OBS_PLANS_H_

@@ -7,6 +7,7 @@
 #include "core/engine.h"
 #include "core/scheduler.h"
 #include "obs/metrics.h"
+#include "obs/plans.h"
 #include "obs/trace.h"
 
 namespace datacell::obs {
@@ -64,6 +65,8 @@ Result<Table> BasketsTable(core::Engine* engine) {
 Result<Table> TransitionsTable(core::Engine* engine) {
   Table t(Schema({{"name", DataType::kString},
                   {"firings", DataType::kInt64},
+                  {"rows_in", DataType::kInt64},
+                  {"rows_out", DataType::kInt64},
                   {"mean_us", DataType::kDouble},
                   {"p50_us", DataType::kDouble},
                   {"p95_us", DataType::kDouble},
@@ -74,10 +77,44 @@ Result<Table> TransitionsTable(core::Engine* engine) {
        engine->scheduler().TransitionStatsSnapshot()) {
     RETURN_NOT_OK(
         t.AppendRow({Value(ts.name), Value(static_cast<int64_t>(ts.firings)),
+                     Value(static_cast<int64_t>(ts.rows_in)),
+                     Value(static_cast<int64_t>(ts.rows_out)),
                      Value(ts.latency.Mean()), Value(ts.latency.p50()),
                      Value(ts.latency.p95()), Value(ts.latency.p99()),
                      Value(ts.latency.max),
                      Value(static_cast<int64_t>(ts.latency.sum))}));
+  }
+  return t;
+}
+
+// The optimizer publishes plan rows (plain data) after each rebuild; the
+// live rows_in/rows_out are joined in here by transition name so observed
+// cardinalities sit next to the cost model's estimates.
+Result<Table> PlansTable() {
+  Table t(Schema({{"query", DataType::kString},
+                  {"stage", DataType::kString},
+                  {"kind", DataType::kString},
+                  {"detail", DataType::kString},
+                  {"fingerprint", DataType::kString},
+                  {"shared_by", DataType::kInt64},
+                  {"est_rows", DataType::kDouble},
+                  {"rows_in", DataType::kInt64},
+                  {"rows_out", DataType::kInt64}}));
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  for (const PlanRow& r : PlansRegistry::Global().Snapshot()) {
+    int64_t rows_in = 0;
+    int64_t rows_out = 0;
+    if (!r.stage.empty()) {
+      const std::string prefix = "transition." + r.stage + ".";
+      rows_in =
+          static_cast<int64_t>(reg.GetCounter(prefix + "rows_in")->value());
+      rows_out =
+          static_cast<int64_t>(reg.GetCounter(prefix + "rows_out")->value());
+    }
+    RETURN_NOT_OK(t.AppendRow({Value(r.query), Value(r.stage), Value(r.kind),
+                               Value(r.detail), Value(r.fingerprint),
+                               Value(r.shared_by), Value(r.est_rows),
+                               Value(rows_in), Value(rows_out)}));
   }
   return t;
 }
@@ -103,7 +140,7 @@ Result<Table> TraceTable() {
 
 bool IsVirtualTable(const std::string& name) {
   return name == "dc_metrics" || name == "dc_baskets" ||
-         name == "dc_transitions" || name == "dc_trace";
+         name == "dc_transitions" || name == "dc_trace" || name == "dc_plans";
 }
 
 Result<Table> VirtualTable(core::Engine* engine, const std::string& name) {
@@ -111,6 +148,7 @@ Result<Table> VirtualTable(core::Engine* engine, const std::string& name) {
   if (name == "dc_baskets") return BasketsTable(engine);
   if (name == "dc_transitions") return TransitionsTable(engine);
   if (name == "dc_trace") return TraceTable();
+  if (name == "dc_plans") return PlansTable();
   return Status::NotFound("unknown virtual table '" + name + "'");
 }
 

@@ -17,8 +17,11 @@ class Engine;
 ///
 ///   dc_metrics     — every registered counter/gauge/histogram
 ///   dc_baskets     — live per-basket state (engine-registered baskets)
-///   dc_transitions — per-transition firing counts + duration percentiles
+///   dc_transitions — per-transition firing counts, row deltas + latency
 ///   dc_trace       — the firing-event ring (enable with SET dc_trace = 1)
+///   dc_plans       — the optimizer's compiled net: one row per pipeline
+///                    stage per standing query, with sharing fan-out,
+///                    estimated vs observed cardinalities
 ///
 /// Each SELECT materializes a fresh snapshot table; there is no consumption
 /// semantics (these are tables, not baskets).

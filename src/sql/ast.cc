@@ -41,6 +41,10 @@ void CollectBasketSources(const Statement& stmt,
         CollectBasketSources(*s, out);
       }
       break;
+    case Statement::Kind::kExplain:
+      // EXPLAIN never registers anything; basket sources of the wrapped
+      // statement are the planner's concern, not the registration path's.
+      break;
     default:
       break;
   }
@@ -53,6 +57,69 @@ bool IsContinuous(const Statement& stmt) {
   std::vector<std::string> sources;
   CollectBasketSources(stmt, &sources);
   return !sources.empty();
+}
+
+std::unique_ptr<SelectStmt> CloneSelect(const SelectStmt& stmt) {
+  auto out = std::make_unique<SelectStmt>();
+  out->distinct = stmt.distinct;
+  out->items = stmt.items;  // SelectItem holds shared ExprPtrs
+  out->from.reserve(stmt.from.size());
+  for (const FromItem& f : stmt.from) {
+    FromItem copy;
+    copy.kind = f.kind;
+    copy.relation = f.relation;
+    copy.alias = f.alias;
+    if (f.basket_query != nullptr) copy.basket_query = CloneSelect(*f.basket_query);
+    out->from.push_back(std::move(copy));
+  }
+  out->where = stmt.where;
+  out->group_by = stmt.group_by;
+  out->having = stmt.having;
+  out->order_by = stmt.order_by;
+  out->top_n = stmt.top_n;
+  return out;
+}
+
+StatementPtr CloneStatement(const Statement& stmt) {
+  auto out = std::make_unique<Statement>();
+  out->kind = stmt.kind;
+  if (stmt.select != nullptr) out->select = CloneSelect(*stmt.select);
+  if (stmt.insert != nullptr) {
+    out->insert = std::make_unique<InsertStmt>();
+    out->insert->target = stmt.insert->target;
+    out->insert->columns = stmt.insert->columns;
+    out->insert->values = stmt.insert->values;
+    if (stmt.insert->select != nullptr) {
+      out->insert->select = CloneSelect(*stmt.insert->select);
+    }
+  }
+  if (stmt.create != nullptr) {
+    out->create = std::make_unique<CreateStmt>(*stmt.create);
+  }
+  if (stmt.drop != nullptr) out->drop = std::make_unique<DropStmt>(*stmt.drop);
+  if (stmt.declare != nullptr) {
+    out->declare = std::make_unique<DeclareStmt>(*stmt.declare);
+  }
+  if (stmt.set != nullptr) out->set = std::make_unique<SetStmt>(*stmt.set);
+  if (stmt.with_block != nullptr) {
+    out->with_block = std::make_unique<WithBlockStmt>();
+    out->with_block->binding = stmt.with_block->binding;
+    if (stmt.with_block->basket_query != nullptr) {
+      out->with_block->basket_query =
+          CloneSelect(*stmt.with_block->basket_query);
+    }
+    for (const StatementPtr& s : stmt.with_block->body) {
+      out->with_block->body.push_back(CloneStatement(*s));
+    }
+  }
+  if (stmt.explain_target != nullptr) {
+    out->explain_target = CloneStatement(*stmt.explain_target);
+  }
+  out->subqueries.reserve(stmt.subqueries.size());
+  for (const auto& sub : stmt.subqueries) {
+    out->subqueries.push_back(sub == nullptr ? nullptr : CloneSelect(*sub));
+  }
+  return out;
 }
 
 }  // namespace datacell::sql

@@ -115,6 +115,7 @@ struct Statement {
     kDeclare,
     kSet,
     kWithBlock,
+    kExplain,
   };
   Kind kind;
 
@@ -125,6 +126,8 @@ struct Statement {
   std::unique_ptr<DeclareStmt> declare;
   std::unique_ptr<SetStmt> set;
   std::unique_ptr<WithBlockStmt> with_block;
+  /// EXPLAIN <statement>: the wrapped statement is planned, never executed.
+  StatementPtr explain_target;
 
   /// Scalar subqueries referenced from expressions via
   /// Call("__subquery", {Lit(i)}).
@@ -141,6 +144,15 @@ void CollectBasketSources(const Statement& stmt,
 /// The statement contains at least one basket expression — which is what
 /// distinguishes a continuous query from a one-time query (§3.4).
 bool IsContinuous(const Statement& stmt);
+
+/// Deep copies of the statement tree. Scalar expressions (ExprPtr) are
+/// shared, not copied — Expr nodes are immutable after parse, and every
+/// rewrite pass builds new nodes rather than mutating in place. The
+/// optimizer clones a registered query's statement so the leaf executor
+/// can run a rewritten form (shared conjuncts stripped, FROM redirected to
+/// the shared leaf basket) without touching the registered original.
+std::unique_ptr<SelectStmt> CloneSelect(const SelectStmt& stmt);
+StatementPtr CloneStatement(const Statement& stmt);
 
 }  // namespace datacell::sql
 

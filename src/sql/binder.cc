@@ -45,6 +45,19 @@ bool NameScope::Contains(const std::string& name) const {
   return Resolve(name).ok();
 }
 
+bool NameScope::IsAmbiguous(const std::string& name) const {
+  if (name.find('.') != std::string::npos) return false;
+  const std::string* found = nullptr;
+  for (const Source& s : sources_) {
+    for (const auto& [vis, actual] : s.visible) {
+      if (vis != name) continue;
+      if (found != nullptr && *found != actual) return true;
+      found = &actual;
+    }
+  }
+  return false;
+}
+
 Result<std::vector<std::pair<std::string, std::string>>>
 NameScope::StarColumns(const std::string& qualifier) const {
   std::vector<std::pair<std::string, std::string>> out;
@@ -70,7 +83,8 @@ Result<ExprPtr> ResolveColumns(const ExprPtr& expr, const NameScope& scope,
     if (expr->column == "*") return expr;  // count(*) argument marker
     Result<std::string> actual = scope.Resolve(expr->column);
     if (actual.ok()) return Expr::Col(*actual);
-    if (allow_unresolved && expr->column.find('.') == std::string::npos) {
+    if (allow_unresolved && expr->column.find('.') == std::string::npos &&
+        !scope.IsAmbiguous(expr->column)) {
       return expr;  // may be a session variable
     }
     return actual.status();

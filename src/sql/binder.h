@@ -27,6 +27,11 @@ class NameScope {
   Result<std::string> Resolve(const std::string& name) const;
   bool Contains(const std::string& name) const;
 
+  /// True when the unqualified name matches distinct columns in more than
+  /// one source. Ambiguity is never maskable by allow_unresolved: a name
+  /// that exists in several sources cannot be a session variable.
+  bool IsAmbiguous(const std::string& name) const;
+
   /// Columns for `*` (qualifier empty) or `alias.*` expansion, in order:
   /// (output name, actual name). Internal arrival-timestamp columns are
   /// skipped.

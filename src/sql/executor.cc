@@ -206,6 +206,12 @@ Result<Table> Executor::ExecStatement(const Statement& stmt,
       return ExecSet(*stmt.set, subs);
     case Statement::Kind::kWithBlock:
       return ExecWithBlock(*stmt.with_block, subs);
+    case Statement::Kind::kExplain:
+      // The plan surface lives in the session (it owns the multi-query
+      // optimizer whose sharing decisions EXPLAIN reports); a bare
+      // executor has no standing-query set to explain against.
+      return Status::Unsupported(
+          "EXPLAIN is only available through a Session");
   }
   return Status::Internal("unknown statement kind");
 }

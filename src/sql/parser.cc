@@ -106,6 +106,15 @@ class Parser {
       ASSIGN_OR_RETURN(stmt->with_block, ParseWithBlock());
       return stmt;
     }
+    if (t.IsKeyword("explain")) {
+      Advance();
+      stmt->kind = Statement::Kind::kExplain;
+      // The wrapped statement parses recursively; its subqueries attach to
+      // itself (ParseStatement resets current_), which is where the
+      // planner expects them.
+      ASSIGN_OR_RETURN(stmt->explain_target, ParseStatement());
+      return stmt;
+    }
     return Error("expected a statement");
   }
 

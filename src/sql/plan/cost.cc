@@ -1,0 +1,81 @@
+#include "sql/plan/cost.h"
+
+#include <algorithm>
+
+namespace datacell::sql::plan {
+
+namespace {
+constexpr double kSelEq = 0.10;
+constexpr double kSelNe = 0.90;
+constexpr double kSelRange = 0.33;
+constexpr double kSelOther = 0.75;
+}  // namespace
+
+double CostModel::HeuristicSelectivity(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kBinary:
+      switch (expr.bop) {
+        case BinaryOp::kEq:
+          return kSelEq;
+        case BinaryOp::kNe:
+          return kSelNe;
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          return kSelRange;
+        case BinaryOp::kAnd:
+          return HeuristicSelectivity(*expr.children[0]) *
+                 HeuristicSelectivity(*expr.children[1]);
+        case BinaryOp::kOr:
+          return std::min(1.0, HeuristicSelectivity(*expr.children[0]) +
+                                   HeuristicSelectivity(*expr.children[1]));
+        default:
+          return kSelOther;
+      }
+    case ExprKind::kUnary:
+      if (expr.uop == UnaryOp::kNot) {
+        return 1.0 - HeuristicSelectivity(*expr.children[0]);
+      }
+      return kSelOther;
+    case ExprKind::kIsNull:
+      return expr.negated ? kSelNe : kSelEq;
+    default:
+      return kSelOther;
+  }
+}
+
+double CostModel::EstimateSelectivity(const Expr& expr,
+                                      const std::string& fp) const {
+  const double observed = ObservedSelectivity(fp);
+  if (observed >= 0) return observed;
+  return HeuristicSelectivity(expr);
+}
+
+void CostModel::RecordObserved(const std::string& fp, uint64_t rows_in,
+                               uint64_t rows_out) {
+  Observation& obs = observed_[fp];
+  // Counters are cumulative and monotonic; keep the larger totals so a
+  // stale snapshot never rolls an observation back.
+  obs.rows_in = std::max(obs.rows_in, rows_in);
+  obs.rows_out = std::max(obs.rows_out, rows_out);
+}
+
+double CostModel::ObservedSelectivity(const std::string& fp) const {
+  auto it = observed_.find(fp);
+  if (it == observed_.end() || it->second.rows_in < kMinSample) return -1;
+  const double sel = static_cast<double>(it->second.rows_out) /
+                     static_cast<double>(it->second.rows_in);
+  // Clamp away 0 and 1: a zero estimate would zero every downstream
+  // cardinality and destabilize the ordering.
+  return std::clamp(sel, 0.001, 1.0);
+}
+
+bool CostModel::Drifted(double est_used, const std::string& fp) const {
+  const double observed = ObservedSelectivity(fp);
+  if (observed < 0 || est_used <= 0) return false;
+  return observed > est_used * kDriftRatio ||
+         observed < est_used / kDriftRatio;
+}
+
+}  // namespace datacell::sql::plan

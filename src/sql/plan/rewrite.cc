@@ -1,0 +1,109 @@
+#include "sql/plan/rewrite.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace datacell::sql::plan {
+
+namespace {
+
+bool IsComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+BinaryOp MirrorComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt: return BinaryOp::kGt;
+    case BinaryOp::kLe: return BinaryOp::kGe;
+    case BinaryOp::kGt: return BinaryOp::kLt;
+    case BinaryOp::kGe: return BinaryOp::kLe;
+    default: return op;  // =, <> are symmetric
+  }
+}
+
+bool IsCommutative(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAnd:
+    case BinaryOp::kOr:
+    case BinaryOp::kAdd:
+    case BinaryOp::kMul:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+ExprPtr NormalizePredicate(const ExprPtr& expr) {
+  if (expr == nullptr) return nullptr;
+  // Normalize children first, then this node against the normalized forms.
+  std::vector<ExprPtr> kids;
+  kids.reserve(expr->children.size());
+  bool changed = false;
+  for (const ExprPtr& c : expr->children) {
+    ExprPtr n = NormalizePredicate(c);
+    changed = changed || (n != c);
+    kids.push_back(std::move(n));
+  }
+
+  if (expr->kind == ExprKind::kBinary && kids.size() == 2) {
+    if (IsComparison(expr->bop) && kids[0]->kind == ExprKind::kLiteral &&
+        kids[1]->kind != ExprKind::kLiteral) {
+      return Expr::Bin(MirrorComparison(expr->bop), kids[1], kids[0]);
+    }
+    if (IsCommutative(expr->bop) && kids[1]->ToString() < kids[0]->ToString()) {
+      return Expr::Bin(expr->bop, kids[1], kids[0]);
+    }
+  }
+  if (!changed) return expr;
+  auto clone = std::make_shared<Expr>(*expr);
+  clone->children = std::move(kids);
+  return clone;
+}
+
+void SplitConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind == ExprKind::kBinary && expr->bop == BinaryOp::kAnd) {
+    SplitConjuncts(expr->children[0], out);
+    SplitConjuncts(expr->children[1], out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+ExprPtr AndAll(const std::vector<ExprPtr>& conjuncts) {
+  ExprPtr combined;
+  for (const ExprPtr& c : conjuncts) {
+    combined = Expr::AndMaybe(std::move(combined), c);
+  }
+  return combined;
+}
+
+bool IsStreamStatic(const Expr& expr) {
+  if (expr.kind == ExprKind::kCall && expr.func == "now") return false;
+  for (const ExprPtr& c : expr.children) {
+    if (c != nullptr && !IsStreamStatic(*c)) return false;
+  }
+  return true;
+}
+
+void OrderBySelectivity(std::vector<Conjunct>* conjuncts) {
+  std::stable_sort(conjuncts->begin(), conjuncts->end(),
+                   [](const Conjunct& a, const Conjunct& b) {
+                     if (a.est_sel != b.est_sel) return a.est_sel < b.est_sel;
+                     return a.fp < b.fp;
+                   });
+}
+
+}  // namespace datacell::sql::plan

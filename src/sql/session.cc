@@ -4,6 +4,7 @@
 
 #include "sql/binder.h"
 #include "sql/parser.h"
+#include "sql/plan/builder.h"
 #include "util/logging.h"
 
 namespace datacell::sql {
@@ -187,6 +188,9 @@ Result<std::string> Session::Explain(const std::string& sql) const {
              std::to_string(stmt->with_block->body.size()) +
              " body statements)";
       break;
+    case Statement::Kind::kExplain:
+      out += "EXPLAIN (use Execute for the plan rendering)";
+      break;
   }
   out += IsContinuous(*stmt) ? "  [continuous query]\n" : "  [one-time]\n";
 
@@ -216,15 +220,66 @@ Result<Table> Session::Execute(const std::string& sql) {
   ASSIGN_OR_RETURN(std::vector<StatementPtr> stmts, Parse(sql));
   Table last;
   for (const StatementPtr& stmt : stmts) {
+    if (stmt->kind == Statement::Kind::kExplain) {
+      ASSIGN_OR_RETURN(last, ExplainPlan(*stmt->explain_target));
+      continue;
+    }
     ASSIGN_OR_RETURN(Table result, executor_.Execute(*stmt));
     if (stmt->kind == Statement::Kind::kSelect) last = std::move(result);
   }
   return last;
 }
 
-Result<core::FactoryPtr> Session::MakeFactory(const std::string& name,
-                                              std::shared_ptr<Statement> stmt,
-                                              core::Emitter::Sink sink) {
+Result<Table> Session::ExplainPlan(const Statement& target) {
+  std::string text;
+  // Continuous queries in the plannable subset render the optimizer's
+  // view: pushed-down, selectivity-ordered conjuncts annotated with how
+  // many standing queries share them. Everything else renders the generic
+  // structural plan.
+  auto cloned = std::shared_ptr<Statement>(CloneStatement(target));
+  Result<plan::CompiledQuery> cq = plan::CompileContinuous(
+      engine_, "explain", cloned, optimizer_.cost());
+  if (cq.ok()) {
+    std::vector<std::pair<std::string, size_t>> shared_by;
+    for (const plan::Conjunct& c : cq->shared) {
+      shared_by.emplace_back(
+          c.fp, optimizer_.SharedCount(cq->source_basket, c.fp));
+    }
+    text += "continuous plan (source basket '" + cq->source_basket +
+            "', fires at >= " + std::to_string(cq->min_tuples) +
+            " tuple(s))\n";
+    cq->plan->Render(2, &text, &shared_by);
+    text += std::string("sharing: ") +
+            (optimizer_.sharing_enabled() ? "on" : "off") + "\n";
+    for (const plan::Conjunct& c : cq->shared) {
+      const size_t standing =
+          optimizer_.SharedCount(cq->source_basket, c.fp);
+      text += "  shareable " + c.expr->ToString() + " [fp " + c.fp +
+              "] standing=" + std::to_string(standing) + "\n";
+    }
+  } else {
+    ASSIGN_OR_RETURN(plan::PlanPtr p,
+                     plan::BuildLogicalPlan(engine_, target,
+                                            optimizer_.cost()));
+    text += IsContinuous(target) ? "continuous plan (legacy execution)\n"
+                                 : "one-time plan\n";
+    p->Render(2, &text, nullptr);
+  }
+
+  Table out(Schema({{"plan", DataType::kString}}));
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    RETURN_NOT_OK(out.AppendRow({Value(text.substr(start, end - start))}));
+    start = end + 1;
+  }
+  return out;
+}
+
+Result<core::FactoryPtr> Session::BuildFactory(const std::string& name,
+                                               std::shared_ptr<Statement> stmt,
+                                               core::Emitter::Sink sink) {
   if (!IsContinuous(*stmt)) {
     return Status::InvalidArgument(
         "statement contains no basket expression; it is a one-time query "
@@ -255,15 +310,14 @@ Result<core::FactoryPtr> Session::MakeFactory(const std::string& name,
     ASSIGN_OR_RETURN(core::BasketPtr b, engine_->GetBasket(target));
     factory->AddOutput(b);
   }
-  engine_->scheduler().Register(factory);
   return factory;
 }
 
 Result<core::FactoryPtr> Session::RegisterContinuousQuery(
     const std::string& name, const std::string& sql) {
   ASSIGN_OR_RETURN(StatementPtr stmt, ParseOne(sql));
-  return MakeFactory(name, std::shared_ptr<Statement>(std::move(stmt)),
-                     nullptr);
+  return optimizer_.AddQuery(
+      name, std::shared_ptr<Statement>(std::move(stmt)), nullptr);
 }
 
 Result<core::FactoryPtr> Session::RegisterContinuousSelect(
@@ -274,8 +328,8 @@ Result<core::FactoryPtr> Session::RegisterContinuousSelect(
     return Status::InvalidArgument(
         "RegisterContinuousSelect requires a SELECT statement");
   }
-  return MakeFactory(name, std::shared_ptr<Statement>(std::move(stmt)),
-                     std::move(sink));
+  return optimizer_.AddQuery(
+      name, std::shared_ptr<Statement>(std::move(stmt)), std::move(sink));
 }
 
 }  // namespace datacell::sql

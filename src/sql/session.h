@@ -10,18 +10,30 @@
 #include "core/receptor.h"
 #include "sql/ast.h"
 #include "sql/executor.h"
+#include "sql/plan/optimizer.h"
 #include "util/status.h"
 
 namespace datacell::sql {
 
 /// The SQL entry point of the DataCell: parses scripts, executes one-time
 /// statements immediately, and registers statements containing basket
-/// expressions as continuous queries (factories wired into the engine's
-/// Petri-net scheduler).
+/// expressions as continuous queries. Registration goes through the
+/// multi-query optimizer (sql/plan/optimizer.h): with sharing disabled
+/// (the default) every query gets the legacy one-factory wiring; with
+/// set_sharing_enabled(true) queries inside the plannable subset compile
+/// into shared filter-stage subnets.
 class Session {
  public:
   explicit Session(core::Engine* engine)
-      : engine_(engine), executor_(engine) {}
+      : engine_(engine),
+        executor_(engine),
+        optimizer_(engine,
+                   [this](const std::string& name,
+                          std::shared_ptr<Statement> stmt,
+                          core::Emitter::Sink sink) {
+                     return BuildFactory(name, std::move(stmt),
+                                         std::move(sink));
+                   }) {}
 
   core::Engine* engine() const { return engine_; }
 
@@ -50,16 +62,44 @@ class Session {
   /// ordering. Purely static — nothing is executed.
   Result<std::string> Explain(const std::string& sql) const;
 
+  /// Drops a standing continuous query by registration name: its
+  /// transitions are unregistered (in-flight firings complete first) and,
+  /// when it was part of a shared subnet, the net is rebuilt for the
+  /// remaining queries without disturbing their result streams.
+  Status UnregisterContinuousQuery(const std::string& name) {
+    return optimizer_.RemoveQuery(name);
+  }
+
+  /// Opt-in multi-query sharing for subsequently registered queries (see
+  /// the class comment; default off preserves the legacy wiring exactly).
+  void set_sharing_enabled(bool on) { optimizer_.set_sharing_enabled(on); }
+  bool sharing_enabled() const { return optimizer_.sharing_enabled(); }
+
+  /// Feeds observed selectivities into the cost model and rebuilds any
+  /// shared subnet whose as-built estimates drifted. Returns the number of
+  /// subnets rebuilt.
+  Result<size_t> Reoptimize() { return optimizer_.Reoptimize(); }
+
   /// Direct access for embedding scenarios and tests.
   Executor& executor() { return executor_; }
+  plan::QuerySetOptimizer& optimizer() { return optimizer_; }
 
  private:
-  Result<core::FactoryPtr> MakeFactory(const std::string& name,
-                                       std::shared_ptr<Statement> stmt,
-                                       core::Emitter::Sink sink);
+  /// Builds (without registering) the legacy factory that re-executes the
+  /// whole statement each firing — the optimizer's direct path and the
+  /// leaf of a shared subnet.
+  Result<core::FactoryPtr> BuildFactory(const std::string& name,
+                                        std::shared_ptr<Statement> stmt,
+                                        core::Emitter::Sink sink);
+
+  /// Renders EXPLAIN output for a parsed target statement: the optimized
+  /// logical plan plus the sharing decisions against the standing-query
+  /// set, one line per row in a single-column table.
+  Result<Table> ExplainPlan(const Statement& target);
 
   core::Engine* engine_;
   Executor executor_;
+  plan::QuerySetOptimizer optimizer_;
 };
 
 }  // namespace datacell::sql

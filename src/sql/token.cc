@@ -9,14 +9,14 @@ namespace {
 // Our dialect's reserved words. Type names (int, varchar, ...) and the
 // INTERVAL units (second, minute, hour) are NOT reserved; they are looked
 // up contextually so columns may be named "minute", "day", etc.
-constexpr std::array<const char*, 38> kKeywords = {
+constexpr std::array<const char*, 39> kKeywords = {
     "select", "from",     "where",    "group",    "by",      "order",
     "having", "top",      "limit",    "asc",      "desc",    "and",
     "or",     "not",      "is",       "null",     "true",    "false",
     "insert", "into",     "values",   "create",   "table",   "basket",
     "drop",   "declare",  "set",      "with",     "as",      "begin",
     "end",    "interval", "all",      "distinct", "between", "consume",
-    "union",  "call",
+    "union",  "call",     "explain",
 };
 
 }  // namespace

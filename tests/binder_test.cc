@@ -1,0 +1,98 @@
+// Binder error paths: malformed references must come back as clean Status
+// values — never an abort — whether hit by one-time execution or while
+// registering a continuous query.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/engine.h"
+#include "sql/binder.h"
+#include "sql/session.h"
+#include "util/clock.h"
+
+namespace datacell::sql {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  BinderTest() : clock_(0), engine_(&clock_), session_(&engine_) {}
+
+  void Exec(const std::string& sql) {
+    auto r = session_.Execute(sql);
+    ASSERT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  }
+
+  Status ExecStatus(const std::string& sql) {
+    return session_.Execute(sql).status();
+  }
+
+  SimulatedClock clock_;
+  core::Engine engine_;
+  Session session_;
+};
+
+TEST_F(BinderTest, UnknownTableIsCleanError) {
+  Status s = ExecStatus("select * from no_such_relation");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("no_such_relation"), std::string::npos)
+      << s.ToString();
+}
+
+TEST_F(BinderTest, UnknownColumnIsCleanError) {
+  Exec("create table t (a int)");
+  Exec("insert into t values (1)");
+  EXPECT_FALSE(ExecStatus("select missing_col from t").ok());
+  EXPECT_FALSE(ExecStatus("select a from t where missing_col > 1").ok());
+}
+
+TEST_F(BinderTest, AmbiguousColumnAcrossJoinIsCleanError) {
+  Exec("create table l (id int, v int)");
+  Exec("create table r (id int, w int)");
+  Exec("insert into l values (1, 10)");
+  Exec("insert into r values (1, 20)");
+  // Unqualified `id` exists on both sides.
+  Status s = ExecStatus("select id from l, r where l.id = r.id");
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("ambiguous"), std::string::npos)
+      << s.ToString();
+  // Qualified access works.
+  Exec("select l.id from l, r where l.id = r.id");
+}
+
+TEST_F(BinderTest, TypeMismatchedPredicateIsCleanError) {
+  Exec("create table t (a int, name string)");
+  Exec("insert into t values (1, 'x')");
+  EXPECT_FALSE(ExecStatus("select * from t where a > 'x'").ok());
+  EXPECT_FALSE(ExecStatus("select * from t where name + 1 > 0").ok());
+}
+
+TEST_F(BinderTest, ContinuousRegistrationSurfacesBindErrors) {
+  Exec("create basket s (a int)");
+  // Unknown source basket: clean error at registration.
+  auto missing = session_.RegisterContinuousSelect(
+      "q_missing", "select * from [select * from no_such_basket]", nullptr);
+  EXPECT_FALSE(missing.ok());
+  // A registered query with an unresolvable column errors per firing
+  // without tearing the engine down (the scheduler surfaces the status).
+  auto bad = session_.RegisterContinuousSelect(
+      "q_bad", "select * from [select * from s where zzz > 1]", nullptr);
+  ASSERT_TRUE(bad.ok());
+  Exec("insert into s values (1)");
+  EXPECT_FALSE(engine_.scheduler().RunUntilQuiescent().ok());
+}
+
+TEST_F(BinderTest, NameScopeResolvesAndRejects) {
+  NameScope scope;
+  scope.AddSource("a", {{"x", "x"}, {"y", "y"}});
+  scope.AddSource("b", {{"x", "b_x"}, {"z", "z"}});
+  ASSERT_TRUE(scope.Resolve("y").ok());
+  ASSERT_TRUE(scope.Resolve("a.x").ok());
+  EXPECT_EQ(*scope.Resolve("b.x"), "b_x");
+  EXPECT_FALSE(scope.Resolve("x").ok());        // ambiguous
+  EXPECT_FALSE(scope.Resolve("c.x").ok());      // unknown alias
+  EXPECT_FALSE(scope.Resolve("a.nope").ok());   // unknown column
+}
+
+}  // namespace
+}  // namespace datacell::sql

@@ -39,3 +39,15 @@ for j in BENCH_lroad.json BENCH_gateway_fanin.json; do
     exit 1
   fi
 done
+
+# The sharing ablation must report both arms plus the acceptance summary
+# fields (DESIGN.md §11).
+if [ -e BENCH_ablation_sharing.json ]; then
+  for field in '"sharing_tps"' '"nosharing_tps"' '"speedup_at_max_queries"' \
+               '"sharing_at_least_2x"' '"peak_rows_no_higher"'; do
+    if ! grep -q "$field" BENCH_ablation_sharing.json; then
+      echo "ERROR: BENCH_ablation_sharing.json is missing $field" >&2
+      exit 1
+    fi
+  done
+fi
