@@ -3,16 +3,33 @@
 // handling millions of events per second in the query-chain topology —
 // orders of magnitude above the TCP-bounded Figure 4 numbers, which is the
 // "slack time" observation.
+//
+// Part 2 measures the vectorized execution layer itself (DESIGN.md §12):
+// the same kernel entry points run three ways over identical inputs —
+//   A  scalar     forced-scalar backend, inline morsel grid
+//   B  simd       best SIMD backend for this host, inline morsel grid
+//   C  simd+morsel best backend, morsels dispatched to a worker pool
+// Outputs are asserted byte-identical across arms (the determinism
+// contract), throughput and per-morsel latency percentiles go to
+// BENCH_kernel_throughput.json.
 
+#include <algorithm>
+#include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
 #include <vector>
 
 #include "core/basket.h"
 #include "core/basket_expression.h"
 #include "core/factory.h"
 #include "core/scheduler.h"
+#include "ops/kernels.h"
+#include "ops/morsel.h"
 #include "util/clock.h"
 #include "util/random.h"
+#include "util/simd.h"
 
 namespace datacell {
 namespace {
@@ -92,6 +109,218 @@ double RunChain(int k, size_t batch, size_t total_tuples) {
          (static_cast<double>(exec) / kMicrosPerSecond);
 }
 
+// ---------------------------------------------------------------------------
+// Part 2: vectorized kernel arms.
+
+// Wraps an executor and records each morsel's wall-clock duration. Morsel
+// indices map to distinct slots, so concurrent workers never race on the
+// vector.
+class TimingExecutor : public ops::MorselExecutor {
+ public:
+  explicit TimingExecutor(ops::MorselExecutor* inner) : inner_(inner) {}
+
+  Status Run(size_t n, size_t morsel_rows, const ops::MorselFn& fn) override {
+    const size_t base = latencies_.size();
+    latencies_.resize(base + ops::NumMorsels(n, morsel_rows));
+    const ops::MorselFn timed = [&](size_t m, size_t begin,
+                                    size_t end) -> Status {
+      SystemClock* wall = SystemClock::Get();
+      const Micros t0 = wall->Now();
+      Status st = fn(m, begin, end);
+      latencies_[base + m] = wall->Now() - t0;
+      return st;
+    };
+    return inner_->Run(n, morsel_rows, timed);
+  }
+
+  size_t parallelism() const override { return inner_->parallelism(); }
+
+  std::vector<Micros>& latencies() { return latencies_; }
+
+ private:
+  ops::MorselExecutor* inner_;
+  std::vector<Micros> latencies_;
+};
+
+// Best-of-`reps` throughput in rows/second.
+template <typename Body>
+double BestRate(size_t rows, int reps, const Body& body) {
+  SystemClock* wall = SystemClock::Get();
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const Micros t0 = wall->Now();
+    body();
+    const Micros dt = std::max<Micros>(wall->Now() - t0, 1);
+    best = std::max(best, static_cast<double>(rows) * 1e6 /
+                              static_cast<double>(dt));
+  }
+  return best;
+}
+
+double Percentile(std::vector<Micros> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = std::min(
+      v.size() - 1, static_cast<size_t>(p * static_cast<double>(v.size())));
+  return static_cast<double>(v[idx]);
+}
+
+struct KernelRow {
+  const char* name;
+  double scalar = 0;
+  double simd = 0;
+  double simd_morsel = 0;
+};
+
+int RunKernelArms() {
+  const bool quick = std::getenv("DATACELL_QUICK") != nullptr;
+  const size_t rows = quick ? 1u << 18 : 1'000'000;
+  const int reps = quick ? 2 : 5;
+
+  // Inputs: int64 column at ~50% filter selectivity, a double column, and
+  // a raw int64 key span for the hash kernel.
+  Random rng(4242);
+  Column icol(DataType::kInt64);
+  Column dcol(DataType::kDouble);
+  std::vector<int64_t> keys(rows);
+  icol.ints().reserve(rows);
+  dcol.doubles().reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    const int64_t v = static_cast<int64_t>(rng.Uniform(10000));
+    icol.AppendInt(v);
+    dcol.AppendDouble(static_cast<double>(v) * 0.5);
+    keys[i] = v;
+  }
+  const int64_t threshold = 5000;  // ~50% pass
+
+  // Arm C pool: at least one extra worker so morsels actually dispatch
+  // even on a single-core host (the inline path would otherwise make
+  // C identical to B and record no per-morsel latencies).
+  const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
+  ops::PoolMorselExecutor pool(hw - 1);
+  TimingExecutor timing(&pool);
+
+  KernelRow filter{"filter"}, aggregate{"aggregate"}, hash{"hash"};
+  SelVector sel_a, sel_b, sel_c;
+  simd::FoldState fold_a, fold_b, fold_c;
+  std::vector<uint64_t> hash_a, hash_b, hash_c;
+
+  // A: forced scalar, inline grid.
+  simd::SetForceScalar(true);
+  filter.scalar = BestRate(rows, reps, [&] {
+    sel_a = ops::kern::SelectCmpI64Col(icol, simd::Cmp::kLt, threshold);
+  });
+  aggregate.scalar =
+      BestRate(rows, reps, [&] { fold_a = ops::kern::FoldNumeric(dcol); });
+  hash.scalar = BestRate(rows, reps, [&] {
+    ops::kern::HashI64Span(keys.data(), keys.size(), &hash_a);
+  });
+  simd::SetForceScalar(false);
+
+  // B: best backend, inline grid.
+  filter.simd = BestRate(rows, reps, [&] {
+    sel_b = ops::kern::SelectCmpI64Col(icol, simd::Cmp::kLt, threshold);
+  });
+  aggregate.simd =
+      BestRate(rows, reps, [&] { fold_b = ops::kern::FoldNumeric(dcol); });
+  hash.simd = BestRate(rows, reps, [&] {
+    ops::kern::HashI64Span(keys.data(), keys.size(), &hash_b);
+  });
+
+  // C: best backend, morsels dispatched to the pool.
+  {
+    ops::ScopedMorselExecutor scoped(&timing);
+    filter.simd_morsel = BestRate(rows, reps, [&] {
+      sel_c = ops::kern::SelectCmpI64Col(icol, simd::Cmp::kLt, threshold);
+    });
+    aggregate.simd_morsel =
+        BestRate(rows, reps, [&] { fold_c = ops::kern::FoldNumeric(dcol); });
+    hash.simd_morsel = BestRate(rows, reps, [&] {
+      ops::kern::HashI64Span(keys.data(), keys.size(), &hash_c);
+    });
+  }
+
+  // Determinism contract: every arm must produce byte-identical results.
+  if (sel_a != sel_b || sel_a != sel_c) {
+    std::fprintf(stderr, "FATAL: filter outputs differ across arms\n");
+    return 1;
+  }
+  if (std::memcmp(&fold_a.dsum, &fold_b.dsum, sizeof(double)) != 0 ||
+      std::memcmp(&fold_a.dsum, &fold_c.dsum, sizeof(double)) != 0 ||
+      fold_a.count != fold_c.count ||
+      std::memcmp(&fold_a.dmin, &fold_c.dmin, sizeof(double)) != 0 ||
+      std::memcmp(&fold_a.dmax, &fold_c.dmax, sizeof(double)) != 0) {
+    std::fprintf(stderr, "FATAL: aggregate outputs differ across arms\n");
+    return 1;
+  }
+  if (hash_a != hash_b || hash_a != hash_c) {
+    std::fprintf(stderr, "FATAL: hash outputs differ across arms\n");
+    return 1;
+  }
+
+  const double p50 = Percentile(timing.latencies(), 0.50);
+  const double p95 = Percentile(timing.latencies(), 0.95);
+  const double p99 = Percentile(timing.latencies(), 0.99);
+
+  std::printf("\n=== Vectorized kernels: scalar vs %s vs %s+morsel ===\n",
+              simd::LevelName(simd::ActiveLevel()),
+              simd::LevelName(simd::ActiveLevel()));
+  std::printf("%zu rows, best of %d reps, pool parallelism %zu\n\n", rows,
+              reps, timing.parallelism());
+  std::printf("%10s %14s %14s %14s %9s\n", "kernel", "scalar r/s", "simd r/s",
+              "simd+morsel", "speedup");
+  double best_speedup = 0.0;
+  for (const KernelRow* k : {&filter, &aggregate, &hash}) {
+    const double sp = k->scalar > 0 ? k->simd_morsel / k->scalar : 0.0;
+    best_speedup = std::max(best_speedup, sp);
+    std::printf("%10s %14.3g %14.3g %14.3g %8.2fx\n", k->name, k->scalar,
+                k->simd, k->simd_morsel, sp);
+  }
+  std::printf("\nmorsel latency: p50 %.1f us, p95 %.1f us, p99 %.1f us "
+              "(%zu morsels)\n",
+              p50, p95, p99, timing.latencies().size());
+
+  FILE* out = std::fopen("BENCH_kernel_throughput.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_kernel_throughput.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"kernel_throughput\",\n");
+  std::fprintf(out, "  \"rows\": %zu,\n  \"reps\": %d,\n  \"quick\": %s,\n",
+               rows, reps, quick ? "true" : "false");
+  std::fprintf(out, "  \"simd_level\": \"%s\",\n",
+               simd::LevelName(simd::ActiveLevel()));
+  std::fprintf(out, "  \"pool_parallelism\": %zu,\n", timing.parallelism());
+  std::fprintf(out, "  \"kernels\": [\n");
+  const KernelRow* rows_out[] = {&filter, &aggregate, &hash};
+  for (size_t i = 0; i < 3; ++i) {
+    const KernelRow* k = rows_out[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"scalar_rows_per_s\": %.1f, "
+                 "\"simd_rows_per_s\": %.1f, \"simd_morsel_rows_per_s\": "
+                 "%.1f, \"simd_speedup\": %.3f, \"simd_morsel_speedup\": "
+                 "%.3f}%s\n",
+                 k->name, k->scalar, k->simd, k->simd_morsel,
+                 k->scalar > 0 ? k->simd / k->scalar : 0.0,
+                 k->scalar > 0 ? k->simd_morsel / k->scalar : 0.0,
+                 i + 1 < 3 ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"morsel_count\": %zu,\n", timing.latencies().size());
+  std::fprintf(out, "  \"morsel_p50_us\": %.1f,\n", p50);
+  std::fprintf(out, "  \"morsel_p95_us\": %.1f,\n", p95);
+  std::fprintf(out, "  \"morsel_p99_us\": %.1f,\n", p99);
+  std::fprintf(out, "  \"best_simd_morsel_speedup\": %.3f,\n", best_speedup);
+  std::fprintf(out, "  \"simd_morsel_ge_4x\": %s\n",
+               best_speedup >= 4.0 ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_kernel_throughput.json (best speedup %.2fx)\n",
+              best_speedup);
+  return 0;
+}
+
 }  // namespace
 }  // namespace datacell
 
@@ -101,7 +330,8 @@ int main() {
               "factory\n\n");
   std::printf("%8s %10s %12s %18s\n", "queries", "batch", "tuples",
               "events/s/factory");
-  const size_t total = 2'000'000;
+  const bool quick = std::getenv("DATACELL_QUICK") != nullptr;
+  const size_t total = quick ? 200'000 : 2'000'000;
   for (int k : {1, 4, 8}) {
     for (size_t batch : {10'000ULL, 100'000ULL}) {
       double rate = datacell::RunChain(k, batch, total);
@@ -110,5 +340,5 @@ int main() {
   }
   std::printf("\nshape check (paper): millions of events/s per factory — "
               "orders of magnitude above the TCP path of Figure 4.\n");
-  return 0;
+  return datacell::RunKernelArms();
 }

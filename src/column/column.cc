@@ -1,6 +1,7 @@
 #include "column/column.h"
 
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace datacell {
 
@@ -223,8 +224,27 @@ Status Column::AppendColumnRows(const Column& other, const SelVector& sel) {
   std::visit(
       [&](auto& dst) {
         using P = std::decay_t<decltype(dst)>;
+        using T = typename P::element_type::value_type;
         const auto& src = *std::get<P>(other.data_);
-        dst->reserve(dst->size() + sel.size());
+        const size_t old = dst->size();
+        if constexpr (std::is_same_v<T, int64_t> || std::is_same_v<T, double>) {
+          // Vectorized gather for the numeric fast path (AVX2 i32gather
+          // when available). Falls back to the element loop when source
+          // and destination share a buffer: resize would invalidate the
+          // raw source span.
+          if (dst.get() != &src) {
+            dst->resize(old + sel.size());
+            if constexpr (std::is_same_v<T, int64_t>) {
+              simd::GatherI64(src.data() + other.head_, sel.data(),
+                              sel.size(), dst->data() + old);
+            } else {
+              simd::GatherF64(src.data() + other.head_, sel.data(),
+                              sel.size(), dst->data() + old);
+            }
+            return;
+          }
+        }
+        dst->reserve(old + sel.size());
         for (uint32_t r : sel) dst->push_back(src[other.head_ + r]);
       },
       data_);

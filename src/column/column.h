@@ -107,6 +107,15 @@ class Column {
   bool IsValid(size_t i) const {
     return valid_ == nullptr || (*valid_)[head_ + i] != 0;
   }
+  /// Raw validity bytes of the live rows (1 = valid), aligned with the
+  /// typed views; nullptr when the column has no nulls. Input to the
+  /// vector kernels (util/simd.h). Like the views, the pointer is only
+  /// stable until the next mutation — and after ErasePrefix it starts at
+  /// an arbitrary offset into the backing buffer, which is why the
+  /// kernels use unaligned loads throughout.
+  const uint8_t* raw_validity() const {
+    return valid_ == nullptr ? nullptr : valid_->data() + head_;
+  }
 
   /// Typed appends (hot path, no Value boxing). The value slot appended for
   /// AppendNull holds a zero/empty placeholder.

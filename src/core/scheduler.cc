@@ -49,6 +49,8 @@ void Scheduler::Register(TransitionPtr transition) {
     node->fire_hist = reg.GetHistogram(prefix + "fire_us");
     node->rows_in_metric = reg.GetCounter(prefix + "rows_in");
     node->rows_out_metric = reg.GetCounter(prefix + "rows_out");
+    node->morsels_metric = reg.GetCounter(prefix + "morsels");
+    node->morsel_hist = reg.GetHistogram(prefix + "morsel_us");
   }
   node->places.reserve(inputs.size() + outputs.size());
   for (const BasketPtr& b : inputs) node->places.push_back(b.get());
@@ -154,8 +156,25 @@ bool Scheduler::Idle() const {
 Status Scheduler::set_num_workers(size_t n) {
   if (n == 0) return Status::InvalidArgument("worker count must be >= 1");
   MutexLock lock(&mu_);
-  if (running_.load()) {
-    return Status::Internal("cannot resize a running scheduler");
+  if (!running_.load() || stop_requested_.load()) {
+    // Stopped (or stopping: Stop() has already moved workers_ out for the
+    // join, so spawning here would leak a joinable thread). Next Start()
+    // picks up the new size.
+    num_workers_ = n;
+    return Status::OK();
+  }
+  if (n > num_workers_) {
+    const size_t grow = n - num_workers_;
+    // Recall pending retirements first: a retiree that has not yet reached
+    // the top of its loop can simply keep working.
+    const size_t recalled = std::min(retiring_, grow);
+    retiring_ -= recalled;
+    for (size_t i = 0; i < grow - recalled; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  } else if (n < num_workers_) {
+    retiring_ += num_workers_ - n;
+    cv_.NotifyAll();  // wake parked workers so retirees exit promptly
   }
   num_workers_ = n;
   return Status::OK();
@@ -240,6 +259,8 @@ std::vector<Scheduler::TransitionStats> Scheduler::TransitionStatsSnapshot()
     ts.rows_in = node->rows_in_metric->value();
     ts.rows_out = node->rows_out_metric->value();
     ts.latency = node->fire_hist->Snapshot();
+    ts.morsels = node->morsels_metric->value();
+    ts.morsel_latency = node->morsel_hist->Snapshot();
     out.push_back(std::move(ts));
   }
   return out;
@@ -308,11 +329,105 @@ Result<size_t> Scheduler::RunUntilQuiescent(size_t max_rounds) {
   return rounds;
 }
 
+// Forwards kernel RunMorsels calls issued inside a firing body into the
+// scheduler's worker pool. parallelism() reports the worker count
+// snapshotted when the firing was claimed, so a concurrent resize never
+// changes a firing's dispatch decision mid-flight.
+class Scheduler::FiringMorselExecutor : public ops::MorselExecutor {
+ public:
+  FiringMorselExecutor(Scheduler* scheduler, Node* node, size_t parallelism)
+      : scheduler_(scheduler), node_(node), parallelism_(parallelism) {}
+
+  Status Run(size_t n, size_t morsel_rows, const ops::MorselFn& fn) override {
+    MorselGroup group;
+    group.fn = &fn;
+    group.n = n;
+    group.morsel_rows = morsel_rows;
+    group.num_morsels = ops::NumMorsels(n, morsel_rows);
+    group.morsels_metric = node_->morsels_metric;
+    group.morsel_hist = node_->morsel_hist;
+    return scheduler_->RunMorselGroup(&group);
+  }
+
+  size_t parallelism() const override { return parallelism_; }
+
+ private:
+  Scheduler* scheduler_;
+  Node* node_;
+  size_t parallelism_;
+};
+
+bool Scheduler::HasClaimableMorselLocked() const {
+  for (const MorselGroup* g : morsel_groups_) {
+    if (g->next < g->num_morsels) return true;
+  }
+  return false;
+}
+
+void Scheduler::DrainPendingMorsels() {
+  MutexLock lock(&mu_);
+  for (;;) {
+    MorselGroup* g = nullptr;
+    for (MorselGroup* cand : morsel_groups_) {
+      if (cand->next < cand->num_morsels) {
+        g = cand;
+        break;
+      }
+    }
+    if (g == nullptr) return;
+    const size_t m = g->next++;
+    const size_t begin = m * g->morsel_rows;
+    const size_t end = std::min(begin + g->morsel_rows, g->n);
+    const ops::MorselFn* fn = g->fn;
+    const bool skip = !g->error.ok();  // claim-and-skip after first error
+    lock.Unlock();
+    // The group outlives every claim: RunMorselGroup returns only once
+    // done == num_morsels, so fn and the metric pointers stay valid here.
+    Status st = Status::OK();
+    SystemClock* wall = SystemClock::Get();
+    const Micros start = wall->Now();
+    if (!skip) {
+      // Morsel bodies must not re-enter the pool: a nested RunMorsels
+      // inside a morsel runs inline on the same grid.
+      ops::ScopedMorselExecutor inline_only(nullptr);
+      st = (*fn)(m, begin, end);
+    }
+    const Micros duration = wall->Now() - start;
+    if (g->morsels_metric != nullptr) g->morsels_metric->Increment();
+    if (g->morsel_hist != nullptr) g->morsel_hist->Record(duration);
+    lock.Lock();
+    if (!st.ok() && g->error.ok()) g->error = st;
+    // The finisher of the last morsel wakes the submitter (and anyone
+    // parked in Unregister; spurious wakes are harmless).
+    if (++g->done == g->num_morsels) cv_.NotifyAll();
+  }
+}
+
+Status Scheduler::RunMorselGroup(MorselGroup* group) {
+  if (group->num_morsels == 0) return Status::OK();
+  {
+    MutexLock lock(&mu_);
+    morsel_groups_.push_back(group);
+    cv_.NotifyAll();  // wake idle workers to steal
+  }
+  DrainPendingMorsels();  // the submitter always participates
+  MutexLock lock(&mu_);
+  while (group->done < group->num_morsels) cv_.Wait(&mu_);
+  for (auto it = morsel_groups_.begin(); it != morsel_groups_.end(); ++it) {
+    if (*it == group) {
+      morsel_groups_.erase(it);
+      break;
+    }
+  }
+  return group->error;
+}
+
 Status Scheduler::Start() {
   MutexLock lock(&mu_);
   if (running_.load()) return Status::Internal("scheduler already running");
   stop_requested_.store(false);
   error_ = Status::OK();
+  retiring_ = 0;
   running_.store(true);
   workers_.reserve(num_workers_);
   for (size_t i = 0; i < num_workers_; ++i) {
@@ -342,6 +457,20 @@ void Scheduler::Stop() {
 void Scheduler::WorkerLoop() {
   MutexLock lock(&mu_);
   while (!stop_requested_.load()) {
+    if (retiring_ > 0) {
+      // A live shrink asked for fewer workers: exit at a loop boundary
+      // (never mid-firing or mid-morsel). Stop() joins the thread.
+      --retiring_;
+      return;
+    }
+    // Intra-firing parallelism: help finish in-flight morsel batches
+    // before claiming a new transition.
+    if (HasClaimableMorselLocked()) {
+      lock.Unlock();
+      DrainPendingMorsels();
+      lock.Lock();
+      continue;
+    }
     // Claim the oldest ready transition whose place set is disjoint from
     // everything currently firing. No basket is touched under mu_.
     Node* claimed = nullptr;
@@ -356,10 +485,20 @@ void Scheduler::WorkerLoop() {
       claimed->queued = false;
       claimed->firing = true;
       for (Basket* b : claimed->places) firing_places_.insert(b);
+      const size_t pool_size = num_workers_;  // per-firing snapshot
       lock.Unlock();
 
       bool fired = false;
-      Result<bool> worked = FireIfEligible(claimed, &fired);
+      Result<bool> worked = false;
+      {
+        // Kernels inside the firing body split large spans into morsels
+        // and dispatch them to the pool — but only when a second worker
+        // could actually steal them; alone, they run inline on the same
+        // grid (byte-identical results either way, see DESIGN.md §12).
+        FiringMorselExecutor executor(this, claimed, pool_size);
+        ops::ScopedMorselExecutor scoped(pool_size > 1 ? &executor : nullptr);
+        worked = FireIfEligible(claimed, &fired);
+      }
       const Micros done_at = clock_->Now();
 
       lock.Lock();

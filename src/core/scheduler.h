@@ -12,6 +12,7 @@
 
 #include "core/factory.h"
 #include "obs/metrics.h"
+#include "ops/morsel.h"
 #include "util/clock.h"
 #include "util/mutex.h"
 #include "util/status.h"
@@ -88,7 +89,11 @@ class Scheduler {
   void Stop();
   bool running() const { return running_.load(); }
 
-  /// Worker-pool size used by Start(). May only change while stopped.
+  /// Worker-pool size. May be called at any time, including while the
+  /// pool is running: growing spawns workers immediately, shrinking
+  /// retires workers as they reach the top of their loop (an in-flight
+  /// firing always completes). Morsel dispatch snapshots the count once
+  /// per firing, so a resize never changes a firing's view mid-flight.
   Status set_num_workers(size_t n);
   size_t num_workers() const;
 
@@ -117,6 +122,12 @@ class Scheduler {
     uint64_t rows_in = 0;
     uint64_t rows_out = 0;
     obs::HistogramSnapshot latency;
+    // Intra-firing parallelism: morsels dispatched by this transition's
+    // firings (`transition.<name>.morsels`) and their per-morsel run time
+    // (`.morsel_us`). Zero / empty when firings stay under the morsel
+    // threshold or the pool runs a single worker.
+    uint64_t morsels = 0;
+    obs::HistogramSnapshot morsel_latency;
   };
   std::vector<TransitionStats> TransitionStatsSnapshot() const;
 
@@ -146,6 +157,8 @@ class Scheduler {
     obs::Histogram* fire_hist = nullptr;     // transition.<name>.fire_us
     obs::Counter* rows_in_metric = nullptr;  // transition.<name>.rows_in
     obs::Counter* rows_out_metric = nullptr;  // transition.<name>.rows_out
+    obs::Counter* morsels_metric = nullptr;  // transition.<name>.morsels
+    obs::Histogram* morsel_hist = nullptr;   // transition.<name>.morsel_us
     bool data_driven = false;          // has declared input places
     bool queued = false;               // in ready_
     bool firing = false;               // claimed by a worker
@@ -156,11 +169,43 @@ class Scheduler {
     std::vector<std::pair<BasketPtr, size_t>> subscriptions;
   };
 
+  // One firing's intra-transition morsel batch (DESIGN.md §12): published
+  // to morsel_groups_ by the firing worker, drained work-stealing by idle
+  // workers and the submitter itself, removed by the submitter once every
+  // morsel completed. fn/n/morsel_rows/num_morsels and the metric pointers
+  // are immutable after publication; next/done/error are guarded by mu_
+  // (like Node's mutable fields, the analysis cannot express an external
+  // guard, so the runtime rank checker enforces it).
+  struct MorselGroup {
+    const ops::MorselFn* fn = nullptr;
+    size_t n = 0;
+    size_t morsel_rows = 0;
+    size_t num_morsels = 0;
+    size_t next = 0;  // next unclaimed morsel index
+    size_t done = 0;  // completed morsels
+    Status error;     // first morsel error (claim-and-skip after)
+    obs::Counter* morsels_metric = nullptr;
+    obs::Histogram* morsel_hist = nullptr;
+  };
+
+  // The MorselExecutor a worker installs around Fire: forwards kernel
+  // RunMorsels calls into the scheduler's worker pool with a per-firing
+  // worker-count snapshot.
+  class FiringMorselExecutor;
+
   // A basket watched by `node` changed; make the node claimable. Runs on
   // the signal path (basket lock held), so it must not already hold mu_.
   void OnPlaceSignal(Node* node) DC_EXCLUDES(mu_);
   void EnqueueLocked(Node* node) DC_REQUIRES(mu_);
   bool ConflictsLocked(const Node& node) const DC_REQUIRES(mu_);
+  bool HasClaimableMorselLocked() const DC_REQUIRES(mu_);
+  // Claims and runs pending morsels (any group) until none remain;
+  // acquires mu_ itself and releases it around each morsel body.
+  void DrainPendingMorsels() DC_EXCLUDES(mu_);
+  // Publishes a group, participates in draining it, waits for completion
+  // and returns the first morsel error. Called from a firing body (no
+  // scheduler locks held).
+  Status RunMorselGroup(MorselGroup* group) DC_EXCLUDES(mu_);
 
   void WorkerLoop();
   // Fires `node` if eligible. Returns whether the body did work; sets
@@ -176,7 +221,11 @@ class Scheduler {
   std::vector<std::shared_ptr<Node>> nodes_ DC_GUARDED_BY(mu_);
   std::deque<Node*> ready_ DC_GUARDED_BY(mu_);
   std::unordered_set<Basket*> firing_places_ DC_GUARDED_BY(mu_);
+  std::deque<MorselGroup*> morsel_groups_ DC_GUARDED_BY(mu_);
   size_t num_workers_ DC_GUARDED_BY(mu_);
+  // Workers asked to exit by a live shrink; each retiree decrements at
+  // the top of its loop and returns (Stop() joins the threads).
+  size_t retiring_ DC_GUARDED_BY(mu_) = 0;
   uint64_t round_serial_ DC_GUARDED_BY(mu_) = 0;  // cooperative round counter
   Status error_ DC_GUARDED_BY(mu_) = Status::OK();
   // Joined outside mu_ (workers take mu_); Stop() moves the vector out

@@ -5,7 +5,9 @@
 #include <cstdlib>
 #include <optional>
 
+#include "ops/kernels.h"
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace datacell {
 
@@ -742,13 +744,17 @@ Result<SelVector> SelectColConst(const ColConstCmp& cc,
   if (c.type() == DataType::kDouble &&
       (cc.constant.is_double() || cc.constant.is_int())) {
     ASSIGN_OR_RETURN(double k, cc.constant.AsDouble());
+    // IEEE predicates, matching the dense SIMD kernel (NaN only matches
+    // !=) — see DESIGN.md §12.
+    simd::Cmp op;
+    if (!ops::kern::CmpFromBinaryOp(cc.op, &op)) {
+      return Status::Internal("not a comparison");
+    }
     const auto& v = c.doubles();
     const bool nulls = c.has_nulls();
     for (uint32_t r : candidates) {
       if (nulls && !c.IsValid(r)) continue;
-      double x = v[r];
-      int cmp = x < k ? -1 : (x > k ? 1 : 0);
-      if (CmpMatches(cc.op, cmp)) out.push_back(r);
+      if (simd::CmpMatchesF64(op, v[r], k)) out.push_back(r);
     }
     return out;
   }
@@ -837,6 +843,43 @@ SelVector AllRows(size_t n) {
   return all;
 }
 
+// Dense fast path: runs a column-vs-constant comparison over *all* rows
+// through the vectorized compare kernel (compare-mask + compressed-store,
+// morsel-gridded) instead of walking a materialized AllRows candidate
+// list row by row. Returns nullopt when the type pairing has no kernel
+// (string/bool/mixed numeric) and the caller must fall back.
+std::optional<SelVector> TryDenseColConst(const ColConstCmp& cc) {
+  simd::Cmp op;
+  if (!ops::kern::CmpFromBinaryOp(cc.op, &op)) return std::nullopt;
+  const Column& c = *cc.column;
+  if (cc.constant.is_null()) return SelVector{};  // NULL never matches
+  if (IsIntegerPhysical(c.type()) && cc.constant.is_int()) {
+    return ops::kern::SelectCmpI64Col(c, op, cc.constant.int_value());
+  }
+  if (c.type() == DataType::kDouble &&
+      (cc.constant.is_double() || cc.constant.is_int())) {
+    Result<double> k = cc.constant.AsDouble();
+    if (!k.ok()) return std::nullopt;
+    return ops::kern::SelectCmpF64Col(c, op, k.value());
+  }
+  return std::nullopt;
+}
+
+// Applies every conjunct of an AND-chain except the leftmost leaf (which
+// the dense kernel already turned into `cands`), preserving SelectWhere's
+// left-to-right refinement order.
+Result<SelVector> RefineRestConjuncts(const Table& table, const Expr& e,
+                                      SelVector cands,
+                                      const EvalContext& ctx) {
+  if (e.kind == ExprKind::kBinary && e.bop == BinaryOp::kAnd) {
+    ASSIGN_OR_RETURN(SelVector lhs, RefineRestConjuncts(
+                                        table, *e.children[0],
+                                        std::move(cands), ctx));
+    return SelectWhere(table, *e.children[1], lhs, ctx);
+  }
+  return cands;
+}
+
 }  // namespace
 
 Result<Column> EvalScalar(const Table& table, const Expr& expr,
@@ -847,6 +890,21 @@ Result<Column> EvalScalar(const Table& table, const Expr& expr,
 
 Result<SelVector> EvalPredicate(const Table& table, const Expr& expr,
                                 const EvalContext& ctx) {
+  // Classify the leftmost conjunct: a simple `col <cmp> literal` there
+  // goes through the SIMD compare kernel to produce the initial candidate
+  // list, and only residual conjuncts fall back to expression eval.
+  const Expr* leftmost = &expr;
+  while (leftmost->kind == ExprKind::kBinary &&
+         leftmost->bop == BinaryOp::kAnd) {
+    leftmost = leftmost->children[0].get();
+  }
+  ASSIGN_OR_RETURN(auto cc, MatchColConstCmp(table, *leftmost, ctx));
+  if (cc.has_value()) {
+    if (std::optional<SelVector> dense = TryDenseColConst(*cc)) {
+      if (leftmost == &expr) return std::move(*dense);
+      return RefineRestConjuncts(table, expr, std::move(*dense), ctx);
+    }
+  }
   return SelectWhere(table, expr, AllRows(table.num_rows()), ctx);
 }
 

@@ -72,7 +72,10 @@ Result<Table> TransitionsTable(core::Engine* engine) {
                   {"p95_us", DataType::kDouble},
                   {"p99_us", DataType::kDouble},
                   {"max_us", DataType::kInt64},
-                  {"total_us", DataType::kInt64}}));
+                  {"total_us", DataType::kInt64},
+                  {"morsels", DataType::kInt64},
+                  {"morsel_p50_us", DataType::kDouble},
+                  {"morsel_p99_us", DataType::kDouble}}));
   for (const core::Scheduler::TransitionStats& ts :
        engine->scheduler().TransitionStatsSnapshot()) {
     RETURN_NOT_OK(
@@ -82,7 +85,10 @@ Result<Table> TransitionsTable(core::Engine* engine) {
                      Value(ts.latency.Mean()), Value(ts.latency.p50()),
                      Value(ts.latency.p95()), Value(ts.latency.p99()),
                      Value(ts.latency.max),
-                     Value(static_cast<int64_t>(ts.latency.sum))}));
+                     Value(static_cast<int64_t>(ts.latency.sum)),
+                     Value(static_cast<int64_t>(ts.morsels)),
+                     Value(ts.morsel_latency.p50()),
+                     Value(ts.morsel_latency.p99())}));
   }
   return t;
 }

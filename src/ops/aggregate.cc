@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "ops/kernels.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -77,17 +78,21 @@ Result<DataType> AggOutputType(AggFunc func, DataType arg) {
   return Status::Internal("unreachable");
 }
 
+bool ValueLess(const Value& a, const Value& b) {
+  if (a.is_string()) return a.string_value() < b.string_value();
+  if (a.is_bool()) return a.bool_value() < b.bool_value();
+  double x = a.is_int() ? static_cast<double>(a.int_value()) : a.double_value();
+  double y = b.is_int() ? static_cast<double>(b.int_value()) : b.double_value();
+  return x < y;
+}
+
+void MergeMinMax(const Value& v, Value* min, Value* max) {
+  if (min->is_null() || ValueLess(v, *min)) *min = v;
+  if (max->is_null() || ValueLess(*max, v)) *max = v;
+}
+
 void UpdateMinMax(const Column& col, uint32_t row, Value* min, Value* max) {
-  Value v = col.GetValue(row);
-  auto less = [](const Value& a, const Value& b) {
-    if (a.is_string()) return a.string_value() < b.string_value();
-    if (a.is_bool()) return a.bool_value() < b.bool_value();
-    double x = a.is_int() ? static_cast<double>(a.int_value()) : a.double_value();
-    double y = b.is_int() ? static_cast<double>(b.int_value()) : b.double_value();
-    return x < y;
-  };
-  if (min->is_null() || less(v, *min)) *min = v;
-  if (max->is_null() || less(*max, v)) *max = v;
+  MergeMinMax(col.GetValue(row), min, max);
 }
 
 }  // namespace
@@ -159,6 +164,35 @@ Result<Table> Aggregate(const Table& table, const std::vector<GroupItem>& groups
     const AggItem& item = aggs[a];
     const Column& arg = arg_cols[a];
     auto& st = states[a];
+    // Global (ungrouped) aggregates over numeric arguments go through the
+    // columnar fold kernel: morsel-gridded SIMD count/sum/min/max with
+    // partials merged in morsel order (DESIGN.md §12). Int min/max compare
+    // exactly here (the boxed path compares int64 as double); int avg
+    // derives from the exact integer sum.
+    if (groups.empty() && item.func == AggFunc::kCountStar) {
+      st[0].count = static_cast<int64_t>(n);
+      continue;
+    }
+    if (groups.empty() && IsNumeric(arg.type())) {
+      const simd::FoldState f = kern::FoldNumeric(arg);
+      AggState& s = st[0];
+      s.count = static_cast<int64_t>(f.count);
+      if (arg.type() == DataType::kDouble) {
+        s.dsum = f.dsum;
+        if (f.seen) {
+          s.min = Value(f.dmin);
+          s.max = Value(f.dmax);
+        }
+      } else {
+        s.isum = static_cast<int64_t>(f.isum);
+        s.dsum = static_cast<double>(s.isum);
+        if (f.seen) {
+          s.min = Value(f.imin);
+          s.max = Value(f.imax);
+        }
+      }
+      continue;
+    }
     for (uint32_t i = 0; i < n; ++i) {
       AggState& s = st[row_group[i]];
       if (item.func == AggFunc::kCountStar) {
@@ -246,6 +280,37 @@ Result<Table> Aggregate(const Table& table, const std::vector<GroupItem>& groups
 
 Status RunningAggregate::Update(const Column& column) {
   const size_t n = column.size();
+  if (func_ == AggFunc::kCountStar) {
+    count_ += static_cast<int64_t>(n);
+    return Status::OK();
+  }
+  // Numeric batches fold through the vectorized kernel; the running sum
+  // absorbs one striped per-batch partial instead of n per-row adds
+  // (DESIGN.md §12).
+  if (IsNumeric(column.type())) {
+    const simd::FoldState f = kern::FoldNumeric(column);
+    count_ += static_cast<int64_t>(f.count);
+    if (f.count == 0) return Status::OK();
+    if (column.type() == DataType::kDouble) {
+      if (func_ == AggFunc::kSum || func_ == AggFunc::kAvg) {
+        sum_is_int_ = false;
+        sum_ += f.dsum;
+      } else if (func_ == AggFunc::kMin || func_ == AggFunc::kMax) {
+        MergeMinMax(Value(f.dmin), &min_, &max_);
+        MergeMinMax(Value(f.dmax), &min_, &max_);
+      }
+    } else {
+      const int64_t batch = static_cast<int64_t>(f.isum);
+      if (func_ == AggFunc::kSum || func_ == AggFunc::kAvg) {
+        isum_ += batch;
+        sum_ += static_cast<double>(batch);
+      } else if (func_ == AggFunc::kMin || func_ == AggFunc::kMax) {
+        MergeMinMax(Value(f.imin), &min_, &max_);
+        MergeMinMax(Value(f.imax), &min_, &max_);
+      }
+    }
+    return Status::OK();
+  }
   for (size_t i = 0; i < n; ++i) {
     if (func_ == AggFunc::kCountStar) {
       ++count_;

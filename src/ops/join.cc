@@ -3,7 +3,9 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "ops/kernels.h"
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace datacell::ops {
 
@@ -60,6 +62,52 @@ Result<std::vector<const Column*>> ResolveKeyColumns(
   return cols;
 }
 
+// Fast path for the common stream join: a single int64/timestamp key with
+// no nulls on either side. Keys hash in batch through the vectorized
+// multiply-shift kernel into a chained power-of-two bucket table — no
+// per-row string encoding, no node allocations.
+JoinMatches HashJoinIndicesI64(const Column& build_col,
+                               const Column& probe_col, bool build_left) {
+  const ColumnView<int64_t> bkeys = build_col.ints();
+  const ColumnView<int64_t> pkeys = probe_col.ints();
+  const size_t build_n = bkeys.size();
+  const size_t probe_n = pkeys.size();
+  JoinMatches out;
+  if (build_n == 0 || probe_n == 0) return out;
+
+  int log2b = 1;
+  while ((size_t{1} << log2b) < build_n * 2) ++log2b;
+  const int shift = 64 - log2b;
+
+  std::vector<uint64_t> hashes;
+  kern::HashI64Span(bkeys.data(), build_n, &hashes);
+  std::vector<int32_t> head(size_t{1} << log2b, -1);
+  std::vector<int32_t> next(build_n, -1);
+  // Insert in reverse row order so every chain lists build rows ascending
+  // and each probe's matches come out deterministic in build-row order.
+  for (size_t i = build_n; i-- > 0;) {
+    const size_t b = hashes[i] >> shift;
+    next[i] = head[b];
+    head[b] = static_cast<int32_t>(i);
+  }
+
+  kern::HashI64Span(pkeys.data(), probe_n, &hashes);
+  for (uint32_t i = 0; i < probe_n; ++i) {
+    const int64_t k = pkeys[i];
+    for (int32_t j = head[hashes[i] >> shift]; j >= 0; j = next[j]) {
+      if (bkeys[j] != k) continue;
+      if (build_left) {
+        out.left.push_back(static_cast<uint32_t>(j));
+        out.right.push_back(i);
+      } else {
+        out.left.push_back(i);
+        out.right.push_back(static_cast<uint32_t>(j));
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 Result<JoinMatches> HashJoinIndices(const Table& left, const Table& right,
@@ -91,6 +139,11 @@ Result<JoinMatches> HashJoinIndices(const Table& left, const Table& right,
   const auto& probe_cols = build_left ? right_cols : left_cols;
   const size_t build_n = build_left ? left.num_rows() : right.num_rows();
   const size_t probe_n = build_left ? right.num_rows() : left.num_rows();
+
+  if (keys.size() == 1 && IsIntegerPhysical(build_cols[0]->type()) &&
+      !build_cols[0]->has_nulls() && !probe_cols[0]->has_nulls()) {
+    return HashJoinIndicesI64(*build_cols[0], *probe_cols[0], build_left);
+  }
 
   std::unordered_multimap<std::string, uint32_t> ht;
   ht.reserve(build_n);

@@ -1,0 +1,158 @@
+#include "ops/kernels.h"
+
+namespace datacell::ops::kern {
+
+namespace {
+
+// Runs an index-emitting kernel per morsel into per-morsel chunks and
+// concatenates them in morsel order. EmitChunk(begin, end, base, *chunk)
+// appends ascending indices for rows [begin, end).
+template <typename EmitChunk>
+SelVector SelectChunked(size_t n, EmitChunk emit) {
+  const size_t num = NumMorsels(n);
+  if (num <= 1) {
+    SelVector out;
+    emit(size_t{0}, n, &out);
+    return out;
+  }
+  std::vector<SelVector> chunks(num);
+  // The emitters cannot fail; RunMorsels' Status is for kernels that can.
+  (void)RunMorsels(n, [&](size_t m, size_t begin, size_t end) {
+    emit(begin, end, &chunks[m]);
+    return Status::OK();
+  });
+  size_t total = 0;
+  for (const SelVector& c : chunks) total += c.size();
+  SelVector out;
+  out.reserve(total);
+  for (const SelVector& c : chunks) out.insert(out.end(), c.begin(), c.end());
+  return out;
+}
+
+template <typename FoldChunk>
+simd::FoldState FoldChunked(size_t n, FoldChunk fold) {
+  const size_t num = NumMorsels(n);
+  if (num <= 1) return fold(size_t{0}, n);
+  std::vector<simd::FoldState> parts(num);
+  (void)RunMorsels(n, [&](size_t m, size_t begin, size_t end) {
+    parts[m] = fold(begin, end);
+    return Status::OK();
+  });
+  simd::FoldState acc;
+  // Merge in morsel order — the determinism contract's combine sequence.
+  for (const simd::FoldState& p : parts) acc.MergeFrom(p);
+  return acc;
+}
+
+}  // namespace
+
+bool CmpFromBinaryOp(BinaryOp op, simd::Cmp* out) {
+  switch (op) {
+    case BinaryOp::kEq:
+      *out = simd::Cmp::kEq;
+      return true;
+    case BinaryOp::kNe:
+      *out = simd::Cmp::kNe;
+      return true;
+    case BinaryOp::kLt:
+      *out = simd::Cmp::kLt;
+      return true;
+    case BinaryOp::kLe:
+      *out = simd::Cmp::kLe;
+      return true;
+    case BinaryOp::kGt:
+      *out = simd::Cmp::kGt;
+      return true;
+    case BinaryOp::kGe:
+      *out = simd::Cmp::kGe;
+      return true;
+    default:
+      return false;
+  }
+}
+
+SelVector SelectCmpI64Col(const Column& col, simd::Cmp op, int64_t k) {
+  const ColumnView<int64_t> v = col.ints();
+  const uint8_t* valid = col.raw_validity();
+  return SelectChunked(v.size(), [&](size_t begin, size_t end,
+                                     SelVector* chunk) {
+    simd::SelectCmpI64(v.data() + begin, valid ? valid + begin : nullptr,
+                       end - begin, op, k, static_cast<uint32_t>(begin),
+                       chunk);
+  });
+}
+
+SelVector SelectCmpF64Col(const Column& col, simd::Cmp op, double k) {
+  const ColumnView<double> v = col.doubles();
+  const uint8_t* valid = col.raw_validity();
+  return SelectChunked(v.size(), [&](size_t begin, size_t end,
+                                     SelVector* chunk) {
+    simd::SelectCmpF64(v.data() + begin, valid ? valid + begin : nullptr,
+                       end - begin, op, k, static_cast<uint32_t>(begin),
+                       chunk);
+  });
+}
+
+SelVector SelectRangeI64Col(const Column& col, int64_t a, int64_t b) {
+  const ColumnView<int64_t> v = col.ints();
+  const uint8_t* valid = col.raw_validity();
+  return SelectChunked(v.size(), [&](size_t begin, size_t end,
+                                     SelVector* chunk) {
+    simd::SelectRangeI64(v.data() + begin, valid ? valid + begin : nullptr,
+                         end - begin, a, b, static_cast<uint32_t>(begin),
+                         chunk);
+  });
+}
+
+SelVector SelectRangeF64Col(const Column& col, double lo, bool lo_inclusive,
+                            double hi, bool hi_inclusive) {
+  const ColumnView<double> v = col.doubles();
+  const uint8_t* valid = col.raw_validity();
+  return SelectChunked(v.size(), [&](size_t begin, size_t end,
+                                     SelVector* chunk) {
+    simd::SelectRangeF64(v.data() + begin, valid ? valid + begin : nullptr,
+                         end - begin, lo, lo_inclusive, hi, hi_inclusive,
+                         static_cast<uint32_t>(begin), chunk);
+  });
+}
+
+simd::FoldState FoldNumeric(const Column& col) {
+  const uint8_t* valid = col.raw_validity();
+  if (col.type() == DataType::kDouble) {
+    const ColumnView<double> v = col.doubles();
+    return FoldChunked(v.size(), [&](size_t begin, size_t end) {
+      return simd::FoldF64(v.data() + begin, valid ? valid + begin : nullptr,
+                           end - begin);
+    });
+  }
+  const ColumnView<int64_t> v = col.ints();
+  return FoldChunked(v.size(), [&](size_t begin, size_t end) {
+    return simd::FoldI64(v.data() + begin, valid ? valid + begin : nullptr,
+                         end - begin);
+  });
+}
+
+simd::FoldState FoldNumericSel(const Column& col, const SelVector& sel) {
+  const uint8_t* valid = col.raw_validity();
+  if (col.type() == DataType::kDouble) {
+    const ColumnView<double> v = col.doubles();
+    return FoldChunked(sel.size(), [&](size_t begin, size_t end) {
+      return simd::FoldF64Sel(v.data(), valid, sel.data() + begin,
+                              end - begin);
+    });
+  }
+  const ColumnView<int64_t> v = col.ints();
+  return FoldChunked(sel.size(), [&](size_t begin, size_t end) {
+    return simd::FoldI64Sel(v.data(), valid, sel.data() + begin, end - begin);
+  });
+}
+
+void HashI64Span(const int64_t* d, size_t n, std::vector<uint64_t>* out) {
+  out->resize(n);
+  (void)RunMorsels(n, [&](size_t, size_t begin, size_t end) {
+    simd::HashI64(d + begin, end - begin, out->data() + begin);
+    return Status::OK();
+  });
+}
+
+}  // namespace datacell::ops::kern

@@ -1,0 +1,148 @@
+#include "ops/morsel.h"
+
+#include <thread>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace datacell::ops {
+
+namespace {
+
+thread_local MorselExecutor* t_current_executor = nullptr;
+
+}  // namespace
+
+MorselExecutor* CurrentMorselExecutor() { return t_current_executor; }
+
+ScopedMorselExecutor::ScopedMorselExecutor(MorselExecutor* exec)
+    : prev_(t_current_executor) {
+  t_current_executor = exec;
+}
+
+ScopedMorselExecutor::~ScopedMorselExecutor() { t_current_executor = prev_; }
+
+Status RunMorsels(size_t n, const MorselFn& fn) {
+  if (n == 0) return Status::OK();
+  const size_t num = NumMorsels(n);
+  MorselExecutor* exec = t_current_executor;
+  if (exec != nullptr && num > 1 && exec->parallelism() > 1) {
+    return exec->Run(n, kMorselRows, fn);
+  }
+  // Inline path walks the same grid so partial-merge order (and therefore
+  // every FP rounding step) is identical to the parallel path.
+  for (size_t m = 0; m < num; ++m) {
+    const size_t begin = m * kMorselRows;
+    const size_t end = (begin + kMorselRows < n) ? begin + kMorselRows : n;
+    Status st = fn(m, begin, end);
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// PoolMorselExecutor
+// ---------------------------------------------------------------------------
+
+struct PoolMorselExecutor::Impl {
+  // kActuator: leaf-ish rank, below scheduler/basket (morsel fns may run
+  // under an engine context that already holds those) and above metrics/
+  // logging, which morsel bodies are allowed to touch. The mutex is never
+  // held while fn runs.
+  Mutex mu{LockRank::kActuator};
+  CondVar work_cv;  // workers wait for a job or shutdown
+  CondVar done_cv;  // Run() waits for the last morsel
+  std::vector<std::thread> threads;
+
+  // Current job; valid while job_fn != nullptr.
+  const MorselFn* job_fn DC_GUARDED_BY(mu) = nullptr;
+  size_t job_n DC_GUARDED_BY(mu) = 0;
+  size_t job_rows DC_GUARDED_BY(mu) = 0;
+  size_t job_morsels DC_GUARDED_BY(mu) = 0;
+  size_t next DC_GUARDED_BY(mu) = 0;
+  size_t done DC_GUARDED_BY(mu) = 0;
+  Status error DC_GUARDED_BY(mu);
+  bool stopping DC_GUARDED_BY(mu) = false;
+
+  // Claims and runs morsels of the current job until none remain.
+  // Returns with mu held; caller decides whether to wait or return.
+  void DrainLocked() DC_REQUIRES(mu) {
+    while (job_fn != nullptr && next < job_morsels) {
+      const size_t m = next++;
+      const size_t begin = m * job_rows;
+      const size_t end =
+          (begin + job_rows < job_n) ? begin + job_rows : job_n;
+      const MorselFn* fn = job_fn;
+      const bool skip = !error.ok();
+      mu.Unlock();
+      Status st = Status::OK();
+      if (!skip) {
+        // Inline-force inside the morsel: a kernel that itself calls
+        // RunMorsels must not re-enter this pool from a worker.
+        ScopedMorselExecutor inline_only(nullptr);
+        st = (*fn)(m, begin, end);
+      }
+      mu.Lock();
+      if (!st.ok() && error.ok()) error = st;
+      ++done;
+      if (done == job_morsels) done_cv.NotifyAll();
+    }
+  }
+
+  void WorkerLoop() {
+    MutexLock lock(&mu);
+    while (true) {
+      if (stopping) return;
+      if (job_fn != nullptr && next < job_morsels) {
+        DrainLocked();
+        continue;
+      }
+      work_cv.Wait(&mu);
+    }
+  }
+};
+
+PoolMorselExecutor::PoolMorselExecutor(size_t extra_threads)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->threads.reserve(extra_threads);
+  for (size_t i = 0; i < extra_threads; ++i) {
+    impl_->threads.emplace_back([impl = impl_.get()] { impl->WorkerLoop(); });
+  }
+}
+
+PoolMorselExecutor::~PoolMorselExecutor() {
+  {
+    MutexLock lock(&impl_->mu);
+    impl_->stopping = true;
+    impl_->work_cv.NotifyAll();
+  }
+  for (std::thread& t : impl_->threads) t.join();
+}
+
+size_t PoolMorselExecutor::parallelism() const {
+  return impl_->threads.size() + 1;
+}
+
+Status PoolMorselExecutor::Run(size_t n, size_t morsel_rows,
+                               const MorselFn& fn) {
+  if (n == 0) return Status::OK();
+  Impl* impl = impl_.get();
+  MutexLock lock(&impl->mu);
+  impl->job_fn = &fn;
+  impl->job_n = n;
+  impl->job_rows = morsel_rows;
+  impl->job_morsels = NumMorsels(n, morsel_rows);
+  impl->next = 0;
+  impl->done = 0;
+  impl->error = Status::OK();
+  impl->work_cv.NotifyAll();
+  // The submitting thread participates — with zero extra threads this
+  // degenerates to the inline loop.
+  impl->DrainLocked();
+  while (impl->done < impl->job_morsels) impl->done_cv.Wait(&impl->mu);
+  impl->job_fn = nullptr;
+  return impl->error;
+}
+
+}  // namespace datacell::ops

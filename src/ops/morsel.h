@@ -1,0 +1,103 @@
+#ifndef DATACELL_OPS_MORSEL_H_
+#define DATACELL_OPS_MORSEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "util/status.h"
+
+/// Morsel-parallel execution for the ops kernels (DESIGN.md §12).
+///
+/// A large firing splits its input span into fixed-size morsels and runs
+/// them on whatever executor the surrounding context installed: inside a
+/// threaded Scheduler firing that is the scheduler's own worker pool
+/// (work-stealing from a per-firing morsel queue), in benches/tests it is
+/// a PoolMorselExecutor, and with no executor installed the morsels run
+/// inline on the calling thread.
+///
+/// Determinism: the morsel grid is a pure function of the span length —
+/// morsel m covers [m*kMorselRows, min((m+1)*kMorselRows, n)) — and
+/// RunMorsels *always* applies it, inline or parallel. Kernels produce
+/// per-morsel partials (selection-vector chunks, FoldStates) into
+/// per-morsel slots and merge them in morsel order afterwards, so the
+/// result is byte-identical no matter how many workers ran (see the
+/// contract in util/simd.h).
+namespace datacell::ops {
+
+/// Rows per morsel. Sized so a morsel's working set (a few numeric
+/// columns) stays L2-resident: 32k rows x 8B ≈ 256 KiB per column.
+inline constexpr size_t kMorselRows = 32768;
+
+/// One morsel of work: rows [begin, end) of the span, morsel index
+/// `morsel` on the fixed grid. Must be safe to run concurrently with
+/// other morsels of the same span (disjoint output slots, read-only
+/// shared input).
+using MorselFn = std::function<Status(size_t morsel, size_t begin, size_t end)>;
+
+/// Something that can run a batch of morsels, possibly in parallel.
+class MorselExecutor {
+ public:
+  virtual ~MorselExecutor() = default;
+
+  /// Runs fn for every morsel of an n-row span on the `morsel_rows` grid.
+  /// The calling thread participates; returns the first morsel error (by
+  /// completion, not index — callers treat any error as fatal for the
+  /// whole span). Must NOT be re-entered from inside a morsel; executors
+  /// clear the thread-local current executor around fn to enforce that.
+  virtual Status Run(size_t n, size_t morsel_rows, const MorselFn& fn) = 0;
+
+  /// Workers potentially available to Run (including the caller). A
+  /// stable per-firing snapshot where the pool can resize.
+  virtual size_t parallelism() const = 0;
+};
+
+/// The executor installed for the current thread (nullptr = run inline).
+MorselExecutor* CurrentMorselExecutor();
+
+/// Installs `exec` as the current thread's executor for the scope,
+/// restoring the previous one on destruction. Installing nullptr forces
+/// inline execution (used inside morsel bodies to prevent nesting).
+class ScopedMorselExecutor {
+ public:
+  explicit ScopedMorselExecutor(MorselExecutor* exec);
+  ~ScopedMorselExecutor();
+
+  ScopedMorselExecutor(const ScopedMorselExecutor&) = delete;
+  ScopedMorselExecutor& operator=(const ScopedMorselExecutor&) = delete;
+
+ private:
+  MorselExecutor* prev_;
+};
+
+/// Morsels in an n-row span on the given grid (0 for an empty span).
+inline size_t NumMorsels(size_t n, size_t morsel_rows = kMorselRows) {
+  return (n + morsel_rows - 1) / morsel_rows;
+}
+
+/// Runs fn over every morsel of [0, n) on the kMorselRows grid — via the
+/// current executor when one is installed and the span has more than one
+/// morsel, inline otherwise. n == 0 returns OK without calling fn.
+Status RunMorsels(size_t n, const MorselFn& fn);
+
+/// Standalone executor over its own persistent thread pool; the calling
+/// thread works too, so parallelism() == threads + 1. Used by
+/// bench_kernel_throughput and the ops tests; engine firings use the
+/// Scheduler's pool instead.
+class PoolMorselExecutor : public MorselExecutor {
+ public:
+  /// Spawns `extra_threads` workers (0 = inline-only, parallelism 1).
+  explicit PoolMorselExecutor(size_t extra_threads);
+  ~PoolMorselExecutor() override;
+
+  Status Run(size_t n, size_t morsel_rows, const MorselFn& fn) override;
+  size_t parallelism() const override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace datacell::ops
+
+#endif  // DATACELL_OPS_MORSEL_H_

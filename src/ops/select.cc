@@ -1,5 +1,7 @@
 #include "ops/select.h"
 
+#include "ops/kernels.h"
+
 namespace datacell::ops {
 
 Result<SelVector> Select(const Table& table, const Expr& predicate,
@@ -11,41 +13,31 @@ Result<SelVector> SelectRange(const Table& table, const std::string& column,
                               const Value& lo, bool lo_inclusive,
                               const Value& hi, bool hi_inclusive) {
   ASSIGN_OR_RETURN(const Column* col, table.GetColumn(column));
-  SelVector out;
-  const size_t n = col->size();
   if (IsIntegerPhysical(col->type())) {
-    int64_t a = lo.is_null() ? INT64_MIN : lo.int_value();
-    int64_t b = hi.is_null() ? INT64_MAX : hi.int_value();
     if (!lo.is_null() && !lo.is_int()) {
       return Status::TypeMismatch("range bound type mismatch");
     }
     if (!hi.is_null() && !hi.is_int()) {
       return Status::TypeMismatch("range bound type mismatch");
     }
-    const auto& v = col->ints();
-    const bool nulls = col->has_nulls();
-    for (size_t i = 0; i < n; ++i) {
-      if (nulls && !col->IsValid(i)) continue;
-      const int64_t x = v[i];
-      const bool lo_ok = lo_inclusive ? x >= a : x > a;
-      const bool hi_ok = hi_inclusive ? x <= b : x < b;
-      if (lo_ok && hi_ok) out.push_back(static_cast<uint32_t>(i));
+    // Normalize to an inclusive [a, b] for the fused range kernel:
+    // x > a  <=>  x >= a+1 (empty if a is already INT64_MAX), same for b.
+    int64_t a = lo.is_null() ? INT64_MIN : lo.int_value();
+    int64_t b = hi.is_null() ? INT64_MAX : hi.int_value();
+    if (!lo_inclusive) {
+      if (a == INT64_MAX) return SelVector{};
+      ++a;
     }
-    return out;
+    if (!hi_inclusive) {
+      if (b == INT64_MIN) return SelVector{};
+      --b;
+    }
+    return kern::SelectRangeI64Col(*col, a, b);
   }
   if (col->type() == DataType::kDouble) {
     ASSIGN_OR_RETURN(double a, lo.is_null() ? Result<double>(-1e308) : lo.AsDouble());
     ASSIGN_OR_RETURN(double b, hi.is_null() ? Result<double>(1e308) : hi.AsDouble());
-    const auto& v = col->doubles();
-    const bool nulls = col->has_nulls();
-    for (size_t i = 0; i < n; ++i) {
-      if (nulls && !col->IsValid(i)) continue;
-      const double x = v[i];
-      const bool lo_ok = lo_inclusive ? x >= a : x > a;
-      const bool hi_ok = hi_inclusive ? x <= b : x < b;
-      if (lo_ok && hi_ok) out.push_back(static_cast<uint32_t>(i));
-    }
-    return out;
+    return kern::SelectRangeF64Col(*col, a, lo_inclusive, b, hi_inclusive);
   }
   return Status::TypeMismatch("SelectRange requires a numeric column");
 }

@@ -1,11 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstring>
+#include <thread>
+
 #include "ops/aggregate.h"
 #include "ops/delete.h"
 #include "ops/join.h"
+#include "ops/kernels.h"
+#include "ops/morsel.h"
 #include "ops/project.h"
 #include "ops/select.h"
 #include "ops/sort.h"
+#include "util/random.h"
+#include "util/simd.h"
 
 namespace datacell {
 namespace {
@@ -471,6 +479,196 @@ TEST(DeleteTest, KeepOnly) {
   ASSERT_TRUE(ops::KeepOnly(&t, {0, 2}).ok());
   ASSERT_EQ(t.num_rows(), 2u);
   EXPECT_EQ(t.GetRow(1)[0], Value(3));
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized kernel layer (DESIGN.md §12). The determinism contract says
+// every backend × dispatch combination produces byte-identical output, so
+// these tests run each input through the forced-scalar path, the active
+// SIMD path and the SIMD+morsel path and compare results bit-for-bit.
+
+Column RandomIntColumn(size_t n, uint32_t mod, uint64_t seed) {
+  Random rng(seed);
+  Column c(DataType::kInt64);
+  c.ints().reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    c.AppendInt(static_cast<int64_t>(rng.Uniform(mod)));
+  }
+  return c;
+}
+
+Column RandomDoubleColumn(size_t n, uint64_t seed) {
+  Random rng(seed);
+  Column c(DataType::kDouble);
+  c.doubles().reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    c.AppendDouble(static_cast<double>(rng.Uniform(1u << 20)) * 0.25);
+  }
+  return c;
+}
+
+// Bitwise equality for FoldState: double fields must match to the bit,
+// not just compare equal (that is the byte-identity guarantee).
+void ExpectFoldBitsEq(const simd::FoldState& a, const simd::FoldState& b) {
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.isum, b.isum);
+  EXPECT_EQ(a.seen, b.seen);
+  EXPECT_EQ(a.imin, b.imin);
+  EXPECT_EQ(a.imax, b.imax);
+  EXPECT_EQ(std::memcmp(&a.dsum, &b.dsum, sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(&a.dmin, &b.dmin, sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(&a.dmax, &b.dmax, sizeof(double)), 0);
+}
+
+TEST(VectorizedKernelTest, EmptyColumn) {
+  Column i(DataType::kInt64);
+  Column d(DataType::kDouble);
+  EXPECT_TRUE(ops::kern::SelectCmpI64Col(i, simd::Cmp::kLt, 5).empty());
+  EXPECT_TRUE(ops::kern::SelectRangeF64Col(d, 0.0, true, 1.0, true).empty());
+  const simd::FoldState f = ops::kern::FoldNumeric(i);
+  EXPECT_EQ(f.count, 0u);
+  EXPECT_FALSE(f.seen);
+}
+
+TEST(VectorizedKernelTest, AllPassAndNonePass) {
+  const size_t n = 2 * ops::kMorselRows + 7;  // spans a morsel boundary
+  Column c = RandomIntColumn(n, 1000, 11);
+  const SelVector all = ops::kern::SelectCmpI64Col(c, simd::Cmp::kLt, 1000);
+  ASSERT_EQ(all.size(), n);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(all[i], static_cast<uint32_t>(i));
+  EXPECT_TRUE(ops::kern::SelectCmpI64Col(c, simd::Cmp::kGe, 1000).empty());
+}
+
+TEST(VectorizedKernelTest, MorselBoundarySizesMatchScalar) {
+  for (const size_t n :
+       {ops::kMorselRows - 1, ops::kMorselRows, ops::kMorselRows + 1,
+        2 * ops::kMorselRows - 1, 2 * ops::kMorselRows,
+        2 * ops::kMorselRows + 1}) {
+    Column ic = RandomIntColumn(n, 10000, n);
+    Column dc = RandomDoubleColumn(n, n + 1);
+
+    simd::SetForceScalar(true);
+    const SelVector sel_s = ops::kern::SelectCmpI64Col(ic, simd::Cmp::kLt, 5000);
+    const SelVector rng_s = ops::kern::SelectRangeF64Col(dc, 100.0, true,
+                                                         200000.0, false);
+    const simd::FoldState fold_s = ops::kern::FoldNumeric(dc);
+    simd::SetForceScalar(false);
+
+    const SelVector sel_v = ops::kern::SelectCmpI64Col(ic, simd::Cmp::kLt, 5000);
+    const SelVector rng_v = ops::kern::SelectRangeF64Col(dc, 100.0, true,
+                                                         200000.0, false);
+    const simd::FoldState fold_v = ops::kern::FoldNumeric(dc);
+
+    EXPECT_EQ(sel_s, sel_v) << "n=" << n;
+    EXPECT_EQ(rng_s, rng_v) << "n=" << n;
+    ExpectFoldBitsEq(fold_s, fold_v);
+  }
+}
+
+TEST(VectorizedKernelTest, UnalignedHeadAfterErasePrefix) {
+  const size_t n = ops::kMorselRows + 513;
+  Column c = RandomIntColumn(n, 10000, 77);
+  // Consuming a prefix advances the logical head: View() now points into
+  // the middle of the allocation, so vector loads see an unaligned base.
+  c.ErasePrefix(3);
+  ASSERT_EQ(c.size(), n - 3);
+
+  simd::SetForceScalar(true);
+  const SelVector sel_s = ops::kern::SelectCmpI64Col(c, simd::Cmp::kGe, 5000);
+  const simd::FoldState fold_s = ops::kern::FoldNumeric(c);
+  simd::SetForceScalar(false);
+  const SelVector sel_v = ops::kern::SelectCmpI64Col(c, simd::Cmp::kGe, 5000);
+  const simd::FoldState fold_v = ops::kern::FoldNumeric(c);
+
+  EXPECT_EQ(sel_s, sel_v);
+  ExpectFoldBitsEq(fold_s, fold_v);
+  // Spot-check against the row-at-a-time view of the same column.
+  SelVector expected;
+  for (size_t i = 0; i < c.size(); ++i) {
+    if (c.ints()[i] >= 5000) expected.push_back(static_cast<uint32_t>(i));
+  }
+  EXPECT_EQ(sel_v, expected);
+}
+
+TEST(VectorizedKernelTest, MorselDispatchIsByteIdentical) {
+  const size_t n = 3 * ops::kMorselRows + 1;
+  Column ic = RandomIntColumn(n, 10000, 5);
+  Column dc = RandomDoubleColumn(n, 6);
+  std::vector<int64_t> keys(ic.ints().data(), ic.ints().data() + n);
+
+  simd::SetForceScalar(true);
+  const SelVector sel_s = ops::kern::SelectCmpI64Col(ic, simd::Cmp::kLt, 5000);
+  const simd::FoldState fold_s = ops::kern::FoldNumeric(dc);
+  const simd::FoldState fsel_s = ops::kern::FoldNumericSel(dc, sel_s);
+  std::vector<uint64_t> hash_s;
+  ops::kern::HashI64Span(keys.data(), n, &hash_s);
+  simd::SetForceScalar(false);
+
+  ops::PoolMorselExecutor pool(2);
+  ops::ScopedMorselExecutor scoped(&pool);
+  const SelVector sel_m = ops::kern::SelectCmpI64Col(ic, simd::Cmp::kLt, 5000);
+  const simd::FoldState fold_m = ops::kern::FoldNumeric(dc);
+  const simd::FoldState fsel_m = ops::kern::FoldNumericSel(dc, sel_m);
+  std::vector<uint64_t> hash_m;
+  ops::kern::HashI64Span(keys.data(), n, &hash_m);
+
+  EXPECT_EQ(sel_s, sel_m);
+  ExpectFoldBitsEq(fold_s, fold_m);
+  ExpectFoldBitsEq(fsel_s, fsel_m);
+  EXPECT_EQ(hash_s, hash_m);
+}
+
+TEST(VectorizedKernelTest, NullsRouteToValidityAwarePath) {
+  Column c(DataType::kInt64);
+  for (int i = 0; i < 100; ++i) {
+    if (i % 7 == 0) {
+      c.AppendNull();
+    } else {
+      c.AppendInt(i);
+    }
+  }
+  const SelVector sel = ops::kern::SelectCmpI64Col(c, simd::Cmp::kGe, 50);
+  for (uint32_t r : sel) {
+    EXPECT_TRUE(c.IsValid(r));
+    EXPECT_GE(c.ints()[r], 50);
+  }
+  const simd::FoldState f = ops::kern::FoldNumeric(c);
+  EXPECT_EQ(f.count, 85u);  // 15 of 100 are null
+}
+
+// A writer keeps appending to the live column while pool workers run
+// morselized kernels over a COW snapshot taken beforehand. The snapshot
+// pins the old buffer, so the readers' results must stay stable and the
+// run must be race-free under TSan.
+TEST(VectorizedKernelTest, ConcurrentMorselReadersVsSnapshotWriter) {
+  const size_t n = 2 * ops::kMorselRows;
+  Column live = RandomIntColumn(n, 10000, 21);
+  Column snapshot = live;  // COW: shares the buffer until the writer detaches
+
+  const SelVector expected =
+      ops::kern::SelectCmpI64Col(snapshot, simd::Cmp::kLt, 5000);
+  const simd::FoldState expected_fold = ops::kern::FoldNumeric(snapshot);
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      live.AppendInt(1);  // first append detaches from the snapshot
+    }
+  });
+
+  {
+    ops::PoolMorselExecutor pool(2);
+    ops::ScopedMorselExecutor scoped(&pool);
+    for (int round = 0; round < 20; ++round) {
+      const SelVector sel =
+          ops::kern::SelectCmpI64Col(snapshot, simd::Cmp::kLt, 5000);
+      EXPECT_EQ(sel, expected);
+      ExpectFoldBitsEq(ops::kern::FoldNumeric(snapshot), expected_fold);
+    }
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_GT(live.size(), n);
 }
 
 }  // namespace

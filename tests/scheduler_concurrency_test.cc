@@ -18,7 +18,10 @@
 #include "core/metronome.h"
 #include "core/receptor.h"
 #include "core/scheduler.h"
+#include "ops/kernels.h"
+#include "ops/morsel.h"
 #include "util/clock.h"
+#include "util/simd.h"
 
 namespace datacell::core {
 namespace {
@@ -367,6 +370,70 @@ TEST(SchedulerConcurrencyTest, StatsReadsDuringFiringsAreClean) {
   sched.Stop();
   EXPECT_EQ(in->size(), 0u);
   EXPECT_GE(f->stats().firings, 1u);
+}
+
+// Live pool resizes racing firings whose bodies dispatch morsels into the
+// pool: every tuple must still arrive exactly once, every morsel must
+// complete (the fold results stay exact), and nothing deadlocks. This is
+// the regression test for set_num_workers while running.
+TEST(SchedulerConcurrencyTest, ResizeWorkersUnderLoadWithMorsels) {
+  SystemClock* clock = SystemClock::Get();
+  Scheduler sched(clock, /*num_workers=*/2);
+  auto in = std::make_shared<Basket>("in", StreamSchema());
+  std::atomic<int64_t> consumed{0};
+  std::atomic<int64_t> fold_mismatches{0};
+
+  // Shared hot column, large enough that the kernels split it into
+  // several morsels and dispatch them to the worker pool on every firing.
+  const size_t kHotRows = 3 * ops::kMorselRows;
+  Column hot(DataType::kInt64);
+  hot.ints().reserve(kHotRows);
+  int64_t hot_sum = 0;
+  for (size_t i = 0; i < kHotRows; ++i) {
+    hot.AppendInt(static_cast<int64_t>(i % 1000));
+    hot_sum += static_cast<int64_t>(i % 1000);
+  }
+
+  auto f = std::make_shared<Factory>(
+      "hot", [&](FactoryContext& ctx) -> Status {
+        Table batch = ctx.input(0).TakeAll();
+        consumed.fetch_add(static_cast<int64_t>(batch.num_rows()));
+        const simd::FoldState fold = ops::kern::FoldNumeric(hot);
+        if (static_cast<int64_t>(fold.isum) != hot_sum ||
+            fold.count != kHotRows) {
+          fold_mismatches.fetch_add(1);
+        }
+        return Status::OK();
+      });
+  f->AddInput(in);
+  sched.Register(f);
+  ASSERT_TRUE(sched.Start().ok());
+
+  std::atomic<bool> stop{false};
+  std::thread resizer([&] {
+    const size_t sizes[] = {1, 4, 2, 3};
+    size_t i = 0;
+    while (!stop.load()) {
+      EXPECT_TRUE(sched.set_num_workers(sizes[i++ % 4]).ok());
+      SystemClock::Get()->SleepFor(200);
+    }
+  });
+
+  for (int b = 0; b < 100; ++b) {
+    ASSERT_TRUE(in->Append(MakeSeqBatch(b * 4, 4), clock->Now()).ok());
+  }
+  for (int i = 0; i < 20000 && consumed.load() < 400; ++i) {
+    clock->SleepFor(500);
+  }
+  stop.store(true);
+  resizer.join();
+  sched.Stop();
+  ASSERT_TRUE(sched.last_error().ok());
+  EXPECT_EQ(consumed.load(), 400);
+  EXPECT_EQ(fold_mismatches.load(), 0);
+  // Resizes while stopped take effect on the next Start().
+  ASSERT_TRUE(sched.set_num_workers(3).ok());
+  EXPECT_EQ(sched.num_workers(), 3u);
 }
 
 }  // namespace

@@ -51,3 +51,17 @@ if [ -e BENCH_ablation_sharing.json ]; then
     fi
   done
 fi
+
+# The vectorized-kernel report must carry all three arms plus the morsel
+# latency percentiles and acceptance summary (DESIGN.md §12).
+if [ -e BENCH_kernel_throughput.json ]; then
+  for field in '"scalar_rows_per_s"' '"simd_rows_per_s"' \
+               '"simd_morsel_rows_per_s"' '"simd_level"' \
+               '"morsel_p50_us"' '"morsel_p95_us"' '"morsel_p99_us"' \
+               '"best_simd_morsel_speedup"' '"simd_morsel_ge_4x"'; do
+    if ! grep -q "$field" BENCH_kernel_throughput.json; then
+      echo "ERROR: BENCH_kernel_throughput.json is missing $field" >&2
+      exit 1
+    fi
+  done
+fi
