@@ -1,0 +1,202 @@
+// Spill-to-disk backpressure: what does the durability tier's overflow
+// path cost, and what does it buy?
+//
+// Three arms, same producer loop (credit-respecting, like the gateway):
+//
+//   in-memory — unbounded basket, eager consumer: the raw append-path
+//               ceiling nothing throttles.
+//   stall     — capacity-bounded basket, deliberately slow consumer, no
+//               spill pool: producer credit closes at the high watermark
+//               and ingest degenerates to the consumer's drain rate (the
+//               old behavior: TCP push-back all the way to the sensors).
+//   spill     — same bound and the same slow consumer, with a BufferPool
+//               attached: overflow past the watermark streams to disk
+//               pages, credit stays open, and the producer keeps running
+//               at disk-serialization speed instead of consumer speed.
+//
+// Acceptance (ROADMAP durability item): spilling must sustain at least
+// half the in-memory ingest rate — the overflow path is a usable valve,
+// not a cliff. Emits BENCH_spill_backpressure.json.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "core/basket.h"
+#include "storage/pager.h"
+#include "util/clock.h"
+
+namespace datacell {
+namespace {
+
+Schema StreamSchema() {
+  return Schema({{"seq", DataType::kInt64},
+                 {"price", DataType::kDouble},
+                 {"tag", DataType::kInt64}});
+}
+
+Table MakeTuples(size_t n) {
+  Table t(StreamSchema());
+  for (size_t i = 0; i < n; ++i) {
+    t.column(0).AppendInt(static_cast<int64_t>(i));
+    t.column(1).AppendDouble(static_cast<double>(i) * 0.25);
+    t.column(2).AppendInt(static_cast<int64_t>(i % 9973));
+  }
+  return t;
+}
+
+constexpr size_t kBatchRows = 1024;
+constexpr size_t kCapacity = 16 * 1024;  // high watermark (resident rows)
+
+struct ArmResult {
+  double tps = 0;           // producer-side tuples/s
+  uint64_t appended = 0;
+  uint64_t spilled = 0;     // rows that went through the disk path
+  uint64_t credit_waits = 0;
+};
+
+// Producer appends `target` rows (or until `deadline_us` elapses),
+// respecting the basket's resident-row credit exactly like the gateway
+// valve does. The consumer drains `drain_rows` every `drain_interval_us`
+// (0 = as fast as it can).
+ArmResult RunArm(core::Basket* b, uint64_t target, Micros deadline_us,
+                 size_t drain_rows, Micros drain_interval_us) {
+  SystemClock* clock = SystemClock::Get();
+  const Table batch = MakeTuples(kBatchRows);
+
+  std::atomic<bool> stop{false};
+  std::thread consumer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const size_t n = std::min(drain_rows, b->size());
+      if (n > 0) {
+        if (!b->ErasePrefix(n).ok()) std::exit(1);
+      }
+      if (drain_interval_us > 0) clock->SleepFor(drain_interval_us);
+    }
+  });
+
+  ArmResult r;
+  const Micros t0 = clock->Now();
+  while (r.appended < target && clock->Now() - t0 < deadline_us) {
+    if (b->CreditRemaining() == 0) {
+      ++r.credit_waits;
+      clock->SleepFor(100);
+      continue;
+    }
+    auto n = b->AppendAligned(batch, clock->Now());
+    if (!n.ok()) std::exit(1);
+    r.appended += *n;
+  }
+  const Micros t1 = clock->Now();
+  stop.store(true, std::memory_order_release);
+  consumer.join();
+
+  r.tps = static_cast<double>(r.appended) /
+          (static_cast<double>(t1 - t0) / 1e6);
+  r.spilled = b->stats().spilled;
+  return r;
+}
+
+}  // namespace
+}  // namespace datacell
+
+int main() {
+  using datacell::core::Basket;
+  namespace storage = datacell::storage;
+
+  const bool quick = std::getenv("DATACELL_QUICK") != nullptr;
+  const uint64_t target = quick ? 2'000'000 : 16'000'000;
+  const datacell::Micros deadline = quick ? 2'000'000 : 8'000'000;
+  // The slow consumer: ~512k rows/s, far below the append-path ceiling.
+  const size_t drain_rows = 1024;
+  const datacell::Micros drain_interval = 2'000;
+
+  std::printf("=== Spill backpressure: bounded ingest with a disk valve "
+              "===\n\n");
+
+  // Arm 1: unbounded basket, eager consumer — the in-memory ceiling.
+  datacell::ArmResult inmemory;
+  {
+    Basket b("bench", datacell::StreamSchema(), /*add_arrival_ts=*/false);
+    inmemory = datacell::RunArm(&b, target, deadline, /*drain_rows=*/1 << 20,
+                                /*drain_interval_us=*/0);
+  }
+  std::printf("in-memory : %12.0f tuples/s  (%llu rows)\n", inmemory.tps,
+              static_cast<unsigned long long>(inmemory.appended));
+
+  // Arm 2: bounded, slow consumer, no spill — credit stalls dominate.
+  datacell::ArmResult stall;
+  {
+    Basket b("bench", datacell::StreamSchema(), /*add_arrival_ts=*/false);
+    b.SetCapacity(datacell::kCapacity);
+    stall = datacell::RunArm(&b, target, deadline, drain_rows, drain_interval);
+  }
+  std::printf("stall     : %12.0f tuples/s  (%llu rows, %llu credit "
+              "waits)\n",
+              stall.tps, static_cast<unsigned long long>(stall.appended),
+              static_cast<unsigned long long>(stall.credit_waits));
+
+  // Arm 3: same bound, same slow consumer, spill pool attached.
+  datacell::ArmResult spill;
+  {
+    auto pager = storage::Pager::Open("bench_spill.pages");
+    if (!pager.ok()) {
+      std::fprintf(stderr, "cannot open spill file: %s\n",
+                   pager.status().ToString().c_str());
+      return 1;
+    }
+    storage::BufferPool pool(std::move(*pager), 64);
+    Basket b("bench", datacell::StreamSchema(), /*add_arrival_ts=*/false);
+    b.SetCapacity(datacell::kCapacity);
+    b.AttachSpill(&pool);
+    spill = datacell::RunArm(&b, target, deadline, drain_rows, drain_interval);
+  }
+  std::printf("spill     : %12.0f tuples/s  (%llu rows, %llu spilled to "
+              "disk)\n",
+              spill.tps, static_cast<unsigned long long>(spill.appended),
+              static_cast<unsigned long long>(spill.spilled));
+
+  const double ratio = inmemory.tps > 0 ? spill.tps / inmemory.tps : 0;
+  const bool ge_half = ratio >= 0.5;
+  const double vs_stall = stall.tps > 0 ? spill.tps / stall.tps : 0;
+  std::printf("\nspill/in-memory ratio: %.2f (acceptance >= 0.50: %s); "
+              "spill vs stall: %.1fx\n",
+              ratio, ge_half ? "yes" : "NO", vs_stall);
+  if (spill.spilled == 0) {
+    std::fprintf(stderr, "ERROR: spill arm never spilled — bench is not "
+                 "exercising the disk path\n");
+    return 1;
+  }
+
+  FILE* out = std::fopen("BENCH_spill_backpressure.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_spill_backpressure.json\n");
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"spill_backpressure\",\n"
+               "  \"batch_rows\": %zu,\n"
+               "  \"capacity_rows\": %zu,\n"
+               "  \"inmemory_tps\": %.0f,\n"
+               "  \"stall_tps\": %.0f,\n"
+               "  \"spill_tps\": %.0f,\n"
+               "  \"spilled_rows\": %llu,\n"
+               "  \"stall_credit_waits\": %llu,\n"
+               "  \"spill_vs_stall_speedup\": %.2f,\n"
+               "  \"spill_ratio\": %.3f,\n"
+               "  \"spill_ge_half\": %s\n"
+               "}\n",
+               datacell::kBatchRows, datacell::kCapacity, inmemory.tps,
+               stall.tps, spill.tps,
+               static_cast<unsigned long long>(spill.spilled),
+               static_cast<unsigned long long>(stall.credit_waits), vs_stall,
+               ratio, ge_half ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote BENCH_spill_backpressure.json\n");
+  return ge_half ? 0 : 1;
+}

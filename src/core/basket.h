@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -17,6 +18,10 @@
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
+
+namespace datacell::storage {
+class BufferPool;
+}  // namespace datacell::storage
 
 namespace datacell::core {
 
@@ -56,6 +61,8 @@ class Basket {
     // Times a credit-respecting producer hit this basket at zero credit
     // (counted by the producer via CountCreditStall).
     uint64_t credit_stalls = 0;
+    uint64_t spilled = 0;  // tuples evicted to the spill tier (cumulative)
+    uint64_t faulted = 0;  // tuples read back from the spill tier
   };
 
   /// Watcher invoked after every content mutation (append/take/erase/clear),
@@ -111,6 +118,30 @@ class Basket {
     if (obs::MetricsRegistry::enabled()) m_credit_stalls_->Increment();
   }
 
+  /// --- Spilling -----------------------------------------------------------
+  /// Attaches a buffer pool as this basket's spill tier. Once attached (and
+  /// while the global SpillEnabled() gate is open), an append that pushes
+  /// the resident row count past the high watermark evicts the cold prefix
+  /// to disk — down to the low watermark — instead of exhausting producer
+  /// credit. Spilled rows still count in size() (factories and CanFire see
+  /// the full stream), but CreditRemaining()/Drained() track resident rows
+  /// only, so spilling is what frees the producer to keep sending. Rows
+  /// fault back transparently on any read or consume. Attach at wiring
+  /// time, before tuples flow; the pool must outlive the basket.
+  void AttachSpill(storage::BufferPool* pool) {
+    spill_pool_.store(pool, std::memory_order_release);
+  }
+  bool spill_attached() const {
+    return spill_pool_.load(std::memory_order_acquire) != nullptr;
+  }
+  /// Rows currently held in memory / evicted to the spill tier.
+  size_t resident_rows() const {
+    return resident_rows_.load(std::memory_order_acquire);
+  }
+  size_t spilled_rows() const {
+    return spilled_rows_now_.load(std::memory_order_acquire);
+  }
+
   /// --- Integrity ----------------------------------------------------------
   /// Adds a constraint predicate over the basket schema. Tuples violating
   /// any constraint are silently dropped on append.
@@ -128,10 +159,10 @@ class Basket {
   Status AppendRow(const Row& row, Micros now);
 
   /// --- Consumer side ------------------------------------------------------
-  /// Lock-free resident-row count (maintained under mu_, read anywhere):
-  /// eligibility checks and firing bodies may probe any basket's size
-  /// without touching its lock, so a probe can never invert the basket
-  /// lock order.
+  /// Lock-free logical row count — resident plus spilled (maintained under
+  /// mu_, read anywhere): eligibility checks and firing bodies may probe
+  /// any basket's size without touching its lock, so a probe can never
+  /// invert the basket lock order.
   size_t size() const { return num_rows_.load(std::memory_order_acquire); }
   bool empty() const { return size() == 0; }
 
@@ -162,13 +193,18 @@ class Basket {
 
   /// Direct access to the backing table for operator evaluation. Callers
   /// must hold the basket lock (BasketLock / Lock()) for the whole
-  /// sequence that uses the reference — enforced by the analysis.
+  /// sequence that uses the reference — enforced by the analysis. Both
+  /// lock entry points fault spilled rows back in first, so under the
+  /// documented discipline this is always the full logical contents.
   const Table& contents() const DC_REQUIRES(mu_) { return data_; }
 
   /// Explicit lock spanning several operations (Algorithm 1's
   /// basket.lock/unlock). Prefer the scoped BasketLock; these exist for
   /// the annotated lock-set acquisition in Factory::Fire.
-  void Lock() const DC_ACQUIRE(mu_) { mu_.Lock(); }
+  void Lock() const DC_ACQUIRE(mu_) {
+    mu_.Lock();
+    EnsureResident();
+  }
   void Unlock() const DC_RELEASE(mu_) { mu_.Unlock(); }
 
   /// --- Change signalling ---------------------------------------------------
@@ -192,11 +228,33 @@ class Basket {
   Result<SelVector> ApplyConstraints(const Table& tuples) const
       DC_REQUIRES(mu_);
 
-  // Refreshes the lock-free row count, bumps the version and notifies
+  // Refreshes the lock-free row counts, bumps the version and notifies
   // listeners.
   void Touch() DC_REQUIRES(mu_);
   // Refreshes peak_rows_ from data_.
   void UpdatePeak() DC_REQUIRES(mu_);
+
+  // One evicted cold-prefix run: a binary chunk (storage/chunk.h) written
+  // across whole buffer-pool pages. Segments are strictly older than
+  // data_, and older segments precede newer ones, preserving FIFO order.
+  struct SpillSegment {
+    std::vector<uint64_t> pages;
+    size_t rows = 0;
+    size_t bytes = 0;  // serialized chunk length
+  };
+
+  // Evicts the cold prefix to the spill tier when the resident count
+  // exceeds the high watermark (pool attached + gate open only). Runs at
+  // the tail of AppendAligned; degrades to keeping rows resident if the
+  // pool is exhausted.
+  Status MaybeSpill() DC_REQUIRES(mu_);
+  // Reads every spilled segment back into data_ (front of the table, in
+  // segment order) and frees its pages. No-op when nothing is spilled.
+  Status FaultAll() DC_REQUIRES(mu_);
+  // FaultAll for paths with no error channel (Peek, Lock). Aborts on
+  // spill-file I/O failure: the spill file is this process's own cache,
+  // so a read failure there is unrecoverable state corruption.
+  void EnsureResident() const DC_REQUIRES(mu_);
 
   // Per-instance atomics stay the exact source of truth for stats(); the
   // process-global registry mirror (`basket.<name>.*`) aggregates
@@ -239,15 +297,31 @@ class Basket {
   obs::Counter* m_consumed_;
   obs::Counter* m_credit_stalls_;
   obs::Gauge* m_rows_;
-  // Resident-row count mirrored from data_ on every mutation (Touch), so
-  // size() — and with it Factory::CanFire, credit accounting, and firing
-  // bodies probing a basket they did not lock — never takes mu_. Taking a
-  // basket lock just to read the size is how the SplitPlan firing path
-  // once inverted the basket lock order.
+  // Logical row count (resident + spilled) mirrored on every mutation
+  // (Touch), so size() — and with it Factory::CanFire, credit accounting,
+  // and firing bodies probing a basket they did not lock — never takes
+  // mu_. Taking a basket lock just to read the size is how the SplitPlan
+  // firing path once inverted the basket lock order.
   std::atomic<size_t> num_rows_{0};
+  // Mirrors of the resident/spilled split (also maintained by Touch).
+  // CreditRemaining()/Drained() read resident_rows_: producer credit is a
+  // memory bound, and evicting to disk is what must replenish it.
+  std::atomic<size_t> resident_rows_{0};
+  std::atomic<size_t> spilled_rows_now_{0};
+  // Spill tier (null = spilling off, the default: every path then behaves
+  // byte-identically to a basket built before the spill tier existed).
+  std::atomic<storage::BufferPool*> spill_pool_{nullptr};
+  std::atomic<uint64_t> spilled_total_{0};
+  std::atomic<uint64_t> faulted_total_{0};
+  // Process-wide spill mirrors (storage.*), resolved at construction.
+  obs::Counter* m_spilled_rows_;
+  obs::Counter* m_spilled_pages_;
+  obs::Counter* m_faulted_rows_;
 
   mutable RecursiveMutex mu_{LockRank::kBasket};
   Table data_ DC_GUARDED_BY(mu_);
+  std::deque<SpillSegment> spilled_ DC_GUARDED_BY(mu_);
+  size_t spilled_count_ DC_GUARDED_BY(mu_) = 0;
   std::vector<ExprPtr> constraints_ DC_GUARDED_BY(mu_);
   size_t next_listener_id_ DC_GUARDED_BY(mu_) = 0;
   std::vector<std::pair<size_t, Listener>> listeners_ DC_GUARDED_BY(mu_);
@@ -262,6 +336,8 @@ class DC_SCOPED_CAPABILITY BasketLock {
   explicit BasketLock(const Basket* basket) DC_ACQUIRE(basket->mu_)
       : basket_(basket), held_(true) {
     basket_->mu_.Lock();
+    // Lock entry implies intent to read contents(); make it whole.
+    basket_->EnsureResident();
   }
 
   ~BasketLock() DC_RELEASE() {

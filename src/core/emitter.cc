@@ -1,5 +1,8 @@
 #include "core/receptor.h"
 
+#include "storage/ingest_log.h"
+#include "util/logging.h"
+
 namespace datacell::core {
 
 Emitter::Emitter(std::string name, Sink sink)
@@ -30,7 +33,20 @@ Result<bool> Emitter::Fire(Micros) {
     const uint64_t n = pending_.num_rows();
     emitted_.fetch_add(n, std::memory_order_relaxed);
     m_tuples_->Increment(n);
-    pending_ = Table();
+    if (staging_log_ != nullptr && staged_last_seq_ > 0) {
+      // The staged batch reached the sink: mark its logged tuples durable
+      // downstream so a later restart does not re-deliver them.
+      if (Status st = staging_log_->Ack(staging_stream_, staged_last_seq_);
+          !st.ok()) {
+        DC_LOG(Warn) << "emitter '" << name_
+                     << "' staging ack failed: " << st.message();
+      }
+      staged_last_seq_ = 0;
+    }
+    // Clear(), not `pending_ = Table()`: a default Table is schema-less,
+    // and the staged slot must keep a valid schema for anything that
+    // inspects it between firings.
+    pending_.Clear();
     pending_rows_.store(0, std::memory_order_relaxed);
     moved = true;
   }
@@ -47,6 +63,19 @@ Result<bool> Emitter::Fire(Micros) {
       m_sink_errors_->Increment();
       pending_ = std::move(batch);
       pending_rows_.store(n, std::memory_order_relaxed);
+      if (staging_log_ != nullptr) {
+        // Log the at-risk batch so a crash while it is staged re-delivers
+        // it after restart (successful batches never touch the log).
+        Result<std::pair<uint64_t, uint64_t>> seqs =
+            staging_log_->AppendBatch(staging_stream_, pending_);
+        if (seqs.ok()) {
+          staged_last_seq_ = seqs->second;
+        } else {
+          DC_LOG(Warn) << "emitter '" << name_
+                       << "' staging log append failed: "
+                       << seqs.status().message();
+        }
+      }
       return st;
     }
     emitted_.fetch_add(n, std::memory_order_relaxed);

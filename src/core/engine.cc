@@ -1,6 +1,39 @@
 #include "core/engine.h"
 
+#include "storage/persist.h"
+#include "util/logging.h"
+
 namespace datacell::core {
+
+Status Engine::RecoverCatalog(const std::string& dir) {
+  Status st = storage::LoadCatalog(&catalog_, dir);
+  if (st.code() == StatusCode::kNotFound) return Status::OK();
+  return st;
+}
+
+Result<storage::ReplayReport> Engine::ReplayIngest(const std::string& path) {
+  return storage::ReplayIngestLog(
+      path, [this](const std::string& stream, const Schema& schema,
+                   uint64_t seq, const Row& row) -> Status {
+        (void)seq;
+        Result<BasketPtr> basket = GetBasket(stream);
+        if (!basket.ok()) {
+          DC_LOG(Warn) << "replay: no basket for stream '" << stream
+                       << "', dropping tuple";
+          return Status::OK();
+        }
+        if (schema == (*basket)->schema()) {
+          // Full-schema stream (e.g. emitter staging): the arrival stamp
+          // the tuple originally carried is part of the row.
+          Table one(schema);
+          RETURN_NOT_OK(one.AppendRow(row));
+          ASSIGN_OR_RETURN(size_t n, (*basket)->AppendAligned(one, Now()));
+          (void)n;
+          return Status::OK();
+        }
+        return (*basket)->AppendRow(row, Now());
+      });
+}
 
 Result<BasketPtr> Engine::CreateBasket(const std::string& name,
                                        const Schema& schema,

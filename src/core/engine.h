@@ -9,6 +9,7 @@
 #include "column/catalog.h"
 #include "core/basket.h"
 #include "core/scheduler.h"
+#include "storage/ingest_log.h"
 #include "util/clock.h"
 #include "util/mutex.h"
 #include "util/status.h"
@@ -51,6 +52,18 @@ class Engine {
   bool HasBasket(const std::string& name) const;
   Status DropBasket(const std::string& name);
   std::vector<std::string> ListBaskets() const;
+
+  /// --- Durability / recovery ----------------------------------------------
+  /// Startup recovery step 1: loads every table persisted under `dir` into
+  /// the catalog. A missing directory is a fresh start, not an error.
+  Status RecoverCatalog(const std::string& dir);
+  /// Startup recovery step 2: replays the ingest log at `path`, appending
+  /// every not-yet-acknowledged tuple to the basket named by its stream
+  /// (full-schema streams append aligned; user-schema streams are stamped
+  /// with the current clock). Streams with no matching basket are dropped
+  /// with a warning — wire the baskets before replaying. A missing log
+  /// file is an empty replay.
+  Result<storage::ReplayReport> ReplayIngest(const std::string& path);
 
   /// --- Session variables (SQL declare/set) --------------------------------
   void SetVariable(const std::string& name, Value value);

@@ -13,6 +13,10 @@
 #include "obs/metrics.h"
 #include "util/status.h"
 
+namespace datacell::storage {
+class IngestLog;
+}  // namespace datacell::storage
+
 namespace datacell::core {
 
 /// A receptor (§3.1): the adapter that picks up incoming events from a
@@ -103,6 +107,17 @@ class Emitter : public Transition {
     return *this;
   }
 
+  /// Makes staging durable: a batch staged by a failed sink call is also
+  /// appended to `log` under `stream` (normally the emitter's input basket
+  /// name, so restart replay re-feeds the basket), and acked once the
+  /// retry succeeds. A crash while a batch is staged then re-delivers it
+  /// after restart instead of losing it. Call at wiring time; the log must
+  /// outlive the emitter.
+  void EnableDurableStaging(storage::IngestLog* log, std::string stream) {
+    staging_log_ = log;
+    staging_stream_ = std::move(stream);
+  }
+
   const std::string& name() const override { return name_; }
   /// True when a staged batch awaits retry or any input holds tuples.
   bool CanFire(Micros now) const override;
@@ -136,6 +151,12 @@ class Emitter : public Transition {
   // mirrored atomically for cross-thread CanFire/tuples_pending reads.
   Table pending_;
   std::atomic<uint64_t> pending_rows_{0};
+  // Durable staging (optional): the log the staged batch was appended to,
+  // the stream it was logged under, and the last sequence number to ack
+  // once the retry succeeds (0 = nothing logged).
+  storage::IngestLog* staging_log_ = nullptr;
+  std::string staging_stream_;
+  uint64_t staged_last_seq_ = 0;
   obs::Counter* m_tuples_;       // emitter.<name>.tuples
   obs::Counter* m_sink_errors_;  // emitter.<name>.sink_errors
 };

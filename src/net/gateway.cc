@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "storage/ingest_log.h"
 #include "util/logging.h"
 
 namespace datacell::net {
@@ -23,6 +24,14 @@ constexpr int kPollPausedMs = 20;
 }  // namespace
 
 TcpIngress::~TcpIngress() { Stop(); }
+
+void TcpIngress::EnableIngestLog(storage::IngestLog* log, std::string stream) {
+  ingest_log_ = log;
+  log_stream_ = std::move(stream);
+  if (log_stream_.empty() && !receptor_->outputs().empty()) {
+    log_stream_ = receptor_->outputs().front()->name();
+  }
+}
 
 Status TcpIngress::Start(uint16_t port) {
   ASSIGN_OR_RETURN(listener_, TcpListener::Bind(port));
@@ -235,6 +244,19 @@ TcpIngress::Drain TcpIngress::DrainBuffered(Conn* conn) {
       DecodeCount(*line, &batch);
     }
     if (batch.num_rows() == 0) return Drain::kIdle;
+    if (ingest_log_ != nullptr) {
+      // Write-ahead: the batch must be in the log before the engine can
+      // observe it, or a crash between the two would lose tuples the
+      // sensor believes were accepted. A log failure drops the connection
+      // rather than silently degrading to non-durable ingest.
+      Result<std::pair<uint64_t, uint64_t>> seqs =
+          ingest_log_->AppendBatch(log_stream_, batch);
+      if (!seqs.ok()) {
+        DC_LOG(Error) << "ingress log append failed: "
+                      << seqs.status().ToString();
+        return Drain::kClose;
+      }
+    }
     Result<size_t> delivered = receptor_->Deliver(batch, clock_->Now());
     if (!delivered.ok()) {
       DC_LOG(Error) << "ingress deliver failed: "
@@ -268,6 +290,18 @@ bool TcpIngress::Handshake(Conn* conn, const std::string& line) {
     if (!st.ok()) DC_LOG(Debug) << "ingress STATS reply: " << st.ToString();
     return false;
   }
+  if (line == "SEQ") {
+    // Resume handshake: tell the sensor the highest sequence number the
+    // ingest log has durably accepted for this stream (0 when logging is
+    // off or nothing arrived yet), then close. Counted like a scrape so a
+    // probe never reads as a completed sensor session.
+    scrapes_.fetch_add(1);
+    const uint64_t seq =
+        ingest_log_ == nullptr ? 0 : ingest_log_->last_seq(log_stream_);
+    Status st = conn->stream.WriteAll("SEQ " + std::to_string(seq) + "\n");
+    if (!st.ok()) DC_LOG(Debug) << "ingress SEQ reply: " << st.ToString();
+    return false;
+  }
   Result<Schema> peer = Codec::DecodeSchemaHeader(line);
   if (!peer.ok() || !(*peer == codec_.schema())) {
     DC_LOG(Warn) << "ingress: schema mismatch, got '" << line << "'";
@@ -288,6 +322,12 @@ std::string TcpIngress::StatsLine() const {
   field("active_connections", active_.load());
   field("backpressure_engagements", bp_engaged_.load());
   field("backpressured", paused_.load() ? 1 : 0);
+  if (ingest_log_ != nullptr) {
+    const storage::IngestLog::Stats ls = ingest_log_->stats();
+    field("log_records", ls.records);
+    field("log_bytes", ls.bytes);
+    field("log_last_seq", ingest_log_->last_seq(log_stream_));
+  }
   for (const core::BasketPtr& b : receptor_->outputs()) {
     const core::Basket::Stats s = b->stats();
     const std::string prefix = "basket." + b->name() + ".";

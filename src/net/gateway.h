@@ -17,6 +17,10 @@
 #include "util/clock.h"
 #include "util/status.h"
 
+namespace datacell::storage {
+class IngestLog;
+}  // namespace datacell::storage
+
 namespace datacell::net {
 
 /// Kernel-side ingress: a single poll-based event loop that accepts and
@@ -42,6 +46,14 @@ namespace datacell::net {
 /// header) receives one key=value line of ingress and basket state and is
 /// closed — `echo STATS | nc host port` monitors a live server without
 /// touching the stream path.
+///
+/// Durability: with EnableIngestLog(), every delivered batch is first
+/// appended (sequence-numbered) to the ingest log, so a crash after the
+/// gateway accepted tuples can replay them on restart. A connection whose
+/// first line is `SEQ` receives `SEQ <last_seq>\n` — the highest sequence
+/// number the log has accepted for this stream — and is closed; a sensor
+/// reconnecting after a server crash uses it to resume from the right
+/// offset instead of re-sending (or skipping) tuples blindly.
 class TcpIngress {
  public:
   TcpIngress(core::ReceptorPtr receptor, Codec codec, Clock* clock,
@@ -61,6 +73,13 @@ class TcpIngress {
 
   TcpIngress(const TcpIngress&) = delete;
   TcpIngress& operator=(const TcpIngress&) = delete;
+
+  /// Installs the ingest log: every batch is appended to `log` under
+  /// `stream` (empty = the first output basket's name) *before* it is
+  /// delivered to the baskets — write-ahead, so nothing the engine saw is
+  /// missing from the log. Call before Start(); the log must outlive the
+  /// ingress.
+  void EnableIngestLog(storage::IngestLog* log, std::string stream = "");
 
   /// Binds (port 0 = ephemeral) and spawns the reactor thread.
   Status Start(uint16_t port = 0);
@@ -123,6 +142,10 @@ class TcpIngress {
   Clock* clock_;
   size_t max_batch_rows_;
   size_t max_connections_;
+  // Optional write-ahead ingest log (null = logging off). Only the reactor
+  // thread appends, so no extra synchronization beyond the log's own.
+  storage::IngestLog* ingest_log_ = nullptr;
+  std::string log_stream_;
 
   TcpListener listener_;
   uint16_t port_ = 0;

@@ -9,6 +9,8 @@
 #include "obs/metrics.h"
 #include "obs/plans.h"
 #include "obs/trace.h"
+#include "storage/ingest_log.h"
+#include "storage/pager.h"
 
 namespace datacell::obs {
 
@@ -142,11 +144,54 @@ Result<Table> TraceTable() {
   return t;
 }
 
+// One row per durability-tier entity. Numeric columns not applicable to a
+// row's kind read as 0 (the table stays flat and filterable on `kind`).
+Result<Table> StorageTable() {
+  Table t(Schema({{"kind", DataType::kString},
+                  {"name", DataType::kString},
+                  {"records", DataType::kInt64},
+                  {"bytes", DataType::kInt64},
+                  {"fsyncs", DataType::kInt64},
+                  {"last_seq", DataType::kInt64},
+                  {"acked", DataType::kInt64},
+                  {"pages_in_use", DataType::kInt64},
+                  {"fetches", DataType::kInt64},
+                  {"hits", DataType::kInt64},
+                  {"misses", DataType::kInt64},
+                  {"evictions", DataType::kInt64},
+                  {"writebacks", DataType::kInt64}}));
+  const auto i64 = [](uint64_t v) { return Value(static_cast<int64_t>(v)); };
+  storage::StorageRegistry& reg = storage::StorageRegistry::Global();
+  for (storage::IngestLog* log : reg.Logs()) {
+    const storage::IngestLog::Stats s = log->stats();
+    RETURN_NOT_OK(t.AppendRow({Value(std::string("log")), Value(log->path()),
+                               i64(s.records), i64(s.bytes), i64(s.fsyncs),
+                               i64(0), i64(0), i64(0), i64(0), i64(0), i64(0),
+                               i64(0), i64(0)}));
+    for (const storage::IngestLog::StreamInfo& si : log->Streams()) {
+      RETURN_NOT_OK(t.AppendRow({Value(std::string("stream")), Value(si.name),
+                                 i64(0), i64(0), i64(0), i64(si.last_seq),
+                                 i64(si.acked), i64(0), i64(0), i64(0), i64(0),
+                                 i64(0), i64(0)}));
+    }
+  }
+  for (storage::BufferPool* pool : reg.Pools()) {
+    const storage::BufferPool::Stats s = pool->stats();
+    RETURN_NOT_OK(t.AppendRow(
+        {Value(std::string("pool")), Value(pool->pager().path()), i64(0),
+         i64(pool->pager().bytes_on_disk()), i64(0), i64(0), i64(0),
+         i64(pool->pager().pages_in_use()), i64(s.fetches), i64(s.hits),
+         i64(s.misses), i64(s.evictions), i64(s.writebacks)}));
+  }
+  return t;
+}
+
 }  // namespace
 
 bool IsVirtualTable(const std::string& name) {
   return name == "dc_metrics" || name == "dc_baskets" ||
-         name == "dc_transitions" || name == "dc_trace" || name == "dc_plans";
+         name == "dc_transitions" || name == "dc_trace" ||
+         name == "dc_plans" || name == "dc_storage";
 }
 
 Result<Table> VirtualTable(core::Engine* engine, const std::string& name) {
@@ -155,6 +200,7 @@ Result<Table> VirtualTable(core::Engine* engine, const std::string& name) {
   if (name == "dc_transitions") return TransitionsTable(engine);
   if (name == "dc_trace") return TraceTable();
   if (name == "dc_plans") return PlansTable();
+  if (name == "dc_storage") return StorageTable();
   return Status::NotFound("unknown virtual table '" + name + "'");
 }
 

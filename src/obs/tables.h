@@ -22,6 +22,10 @@ class Engine;
 ///   dc_plans       — the optimizer's compiled net: one row per pipeline
 ///                    stage per standing query, with sharing fan-out,
 ///                    estimated vs observed cardinalities
+///   dc_storage     — the durability tier: one row per open ingest log
+///                    (kind='log'), per logged stream (kind='stream',
+///                    with last_seq/acked), and per spill buffer pool
+///                    (kind='pool', with page and hit/miss counts)
 ///
 /// Each SELECT materializes a fresh snapshot table; there is no consumption
 /// semantics (these are tables, not baskets).

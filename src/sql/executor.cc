@@ -15,6 +15,8 @@
 #include "ops/sort.h"
 #include "sql/binder.h"
 #include "sql/planner.h"
+#include "storage/ingest_log.h"
+#include "storage/pager.h"
 #include "util/logging.h"
 
 namespace datacell::sql {
@@ -835,6 +837,41 @@ Result<Table> Executor::ExecSet(const SetStmt& stmt, const Subqueries* subs) {
       obs::TraceLog::Global().set_enabled(on);
     } else {
       obs::MetricsRegistry::set_enabled(on);
+    }
+  }
+  // Durability knobs: `SET dc_spill = 0/1` opens/closes the basket spill
+  // gate, `SET dc_fsync = 'none'|'batch'|'always'` retunes every open
+  // ingest log's fsync policy.
+  if (stmt.name == "dc_spill") {
+    bool on = false;
+    if (v.is_int()) {
+      on = v.int_value() != 0;
+    } else if (v.is_bool()) {
+      on = v.bool_value();
+    } else {
+      return Status::InvalidArgument("SET dc_spill expects 0/1 or a boolean");
+    }
+    storage::SetSpillEnabled(on);
+  }
+  if (stmt.name == "dc_fsync") {
+    if (!v.is_string()) {
+      return Status::InvalidArgument(
+          "SET dc_fsync expects 'none', 'batch' or 'always'");
+    }
+    storage::FsyncPolicy policy;
+    const std::string& p = v.string_value();
+    if (p == "none") {
+      policy = storage::FsyncPolicy::kNone;
+    } else if (p == "batch") {
+      policy = storage::FsyncPolicy::kBatch;
+    } else if (p == "always") {
+      policy = storage::FsyncPolicy::kAlways;
+    } else {
+      return Status::InvalidArgument(
+          "SET dc_fsync expects 'none', 'batch' or 'always', got '" + p + "'");
+    }
+    for (storage::IngestLog* log : storage::StorageRegistry::Global().Logs()) {
+      log->set_policy(policy);
     }
   }
   engine_->SetVariable(stmt.name, std::move(v));

@@ -1,0 +1,193 @@
+#include "storage/chunk.h"
+
+#include <cstring>
+
+namespace datacell::storage {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x44434b31;  // "DCK1"
+
+void PutU32(uint32_t v, std::string* out) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+// Bounded little-endian reads over the raw page payload.
+class Reader {
+ public:
+  Reader(const char* data, size_t len) : data_(data), len_(len) {}
+
+  Result<uint32_t> U32() {
+    uint32_t v;
+    RETURN_NOT_OK(Raw(&v, 4));
+    return v;
+  }
+  Result<uint8_t> U8() {
+    uint8_t v;
+    RETURN_NOT_OK(Raw(&v, 1));
+    return v;
+  }
+  Status Raw(void* out, size_t n) {
+    if (pos_ + n > len_) {
+      return Status::ParseError("spill chunk truncated at byte " +
+                                std::to_string(pos_));
+    }
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+  Result<const char*> Span(size_t n) {
+    if (pos_ + n > len_) {
+      return Status::ParseError("spill chunk truncated at byte " +
+                                std::to_string(pos_));
+    }
+    const char* p = data_ + pos_;
+    pos_ += n;
+    return p;
+  }
+
+ private:
+  const char* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+template <typename T>
+void AppendFixed(const ColumnView<T>& view, std::string* out) {
+  out->append(reinterpret_cast<const char*>(view.data()),
+              view.size() * sizeof(T));
+}
+
+}  // namespace
+
+Status SerializeChunk(const Table& rows, std::string* out) {
+  const size_t n = rows.num_rows();
+  PutU32(kMagic, out);
+  PutU32(static_cast<uint32_t>(n), out);
+  PutU32(static_cast<uint32_t>(rows.num_columns()), out);
+  for (size_t c = 0; c < rows.num_columns(); ++c) {
+    const Column& col = rows.column(c);
+    out->push_back(static_cast<char>(col.type()));
+    const uint8_t* valid = col.raw_validity();
+    out->push_back(valid == nullptr ? 0 : 1);
+    if (valid != nullptr) {
+      out->append(reinterpret_cast<const char*>(valid), n);
+    }
+    switch (col.type()) {
+      case DataType::kInt64:
+      case DataType::kTimestamp:
+        AppendFixed(col.ints(), out);
+        break;
+      case DataType::kDouble:
+        AppendFixed(col.doubles(), out);
+        break;
+      case DataType::kBool:
+        AppendFixed(col.bools(), out);
+        break;
+      case DataType::kString:
+        for (const std::string& s : col.strings()) {
+          PutU32(static_cast<uint32_t>(s.size()), out);
+          out->append(s);
+        }
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Result<Table> DeserializeChunk(const Schema& schema, const char* data,
+                               size_t len) {
+  Reader in(data, len);
+  ASSIGN_OR_RETURN(uint32_t magic, in.U32());
+  if (magic != kMagic) return Status::ParseError("bad spill chunk magic");
+  ASSIGN_OR_RETURN(uint32_t rows, in.U32());
+  ASSIGN_OR_RETURN(uint32_t cols, in.U32());
+  if (cols != schema.num_fields()) {
+    return Status::ParseError("spill chunk arity mismatch");
+  }
+  Table table(schema);
+  std::vector<uint8_t> validity;
+  for (uint32_t c = 0; c < cols; ++c) {
+    ASSIGN_OR_RETURN(uint8_t tag, in.U8());
+    if (tag != static_cast<uint8_t>(schema.field(c).type)) {
+      return Status::ParseError("spill chunk type mismatch in column " +
+                                std::to_string(c));
+    }
+    ASSIGN_OR_RETURN(uint8_t has_validity, in.U8());
+    validity.clear();
+    if (has_validity != 0) {
+      validity.resize(rows);
+      RETURN_NOT_OK(in.Raw(validity.data(), rows));
+    }
+    Column& col = table.column(c);
+    switch (schema.field(c).type) {
+      case DataType::kInt64:
+      case DataType::kTimestamp: {
+        ASSIGN_OR_RETURN(const char* p, in.Span(rows * sizeof(int64_t)));
+        if (validity.empty()) {
+          std::vector<int64_t>& v = col.ints();
+          v.resize(rows);
+          std::memcpy(v.data(), p, rows * sizeof(int64_t));
+        } else {
+          for (uint32_t i = 0; i < rows; ++i) {
+            if (validity[i] == 0) {
+              col.AppendNull();
+            } else {
+              int64_t x;
+              std::memcpy(&x, p + i * sizeof(int64_t), sizeof(int64_t));
+              col.AppendInt(x);
+            }
+          }
+        }
+        break;
+      }
+      case DataType::kDouble: {
+        ASSIGN_OR_RETURN(const char* p, in.Span(rows * sizeof(double)));
+        if (validity.empty()) {
+          std::vector<double>& v = col.doubles();
+          v.resize(rows);
+          std::memcpy(v.data(), p, rows * sizeof(double));
+        } else {
+          for (uint32_t i = 0; i < rows; ++i) {
+            if (validity[i] == 0) {
+              col.AppendNull();
+            } else {
+              double x;
+              std::memcpy(&x, p + i * sizeof(double), sizeof(double));
+              col.AppendDouble(x);
+            }
+          }
+        }
+        break;
+      }
+      case DataType::kBool: {
+        ASSIGN_OR_RETURN(const char* p, in.Span(rows));
+        for (uint32_t i = 0; i < rows; ++i) {
+          if (!validity.empty() && validity[i] == 0) {
+            col.AppendNull();
+          } else {
+            col.AppendBool(p[i] != 0);
+          }
+        }
+        break;
+      }
+      case DataType::kString: {
+        for (uint32_t i = 0; i < rows; ++i) {
+          ASSIGN_OR_RETURN(uint32_t slen, in.U32());
+          ASSIGN_OR_RETURN(const char* p, in.Span(slen));
+          if (!validity.empty() && validity[i] == 0) {
+            col.AppendNull();
+          } else {
+            col.AppendString(std::string(p, slen));
+          }
+        }
+        break;
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace datacell::storage

@@ -1,0 +1,37 @@
+#ifndef DATACELL_STORAGE_CHUNK_H_
+#define DATACELL_STORAGE_CHUNK_H_
+
+#include <string>
+
+#include "column/table.h"
+#include "util/status.h"
+
+namespace datacell::storage {
+
+/// Binary column-chunk serialization for the spill path.
+///
+/// The catalog persists as diffable text (persist.h) and the ingest log as
+/// replayable codec lines (ingest_log.h), but spilled basket pages are a
+/// cache of in-memory state that never outlives the process, so they use a
+/// raw little-endian column layout instead: numeric columns round-trip as
+/// one memcpy each, which is what lets the spill path sustain a meaningful
+/// fraction of in-memory ingest throughput (bench_spill_backpressure).
+///
+/// Layout: u32 magic, u32 rows, u32 cols; then per column a u8 type tag,
+/// a u8 has-validity flag, the validity bytes (when present), and the
+/// payload — fixed-width arrays for int64/timestamp/double/bool, u32
+/// length-prefixed bytes per row for strings. Null slots carry their
+/// zero/empty placeholder so the arrays stay rectangular.
+
+/// Appends the serialized form of `rows` to `out`.
+Status SerializeChunk(const Table& rows, std::string* out);
+
+/// Reconstructs a chunk serialized by SerializeChunk. `schema` must be the
+/// schema the chunk was written with (the basket keeps it; pages carry only
+/// type tags, which are verified against it).
+Result<Table> DeserializeChunk(const Schema& schema, const char* data,
+                               size_t len);
+
+}  // namespace datacell::storage
+
+#endif  // DATACELL_STORAGE_CHUNK_H_

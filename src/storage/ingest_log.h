@@ -1,0 +1,168 @@
+#ifndef DATACELL_STORAGE_INGEST_LOG_H_
+#define DATACELL_STORAGE_INGEST_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "column/table.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace datacell::storage {
+
+class BufferPool;
+class IngestLog;
+
+/// When the log file reaches the OS, per AsterixDB's fault-tolerant feed
+/// model: the knob trades ingest latency against the at-most-that-many
+/// tuples a crash can lose.
+///   kNone   — never fsync; the OS flushes when it pleases.
+///   kBatch  — fsync every `batch_records` appended records (default 256).
+///   kAlways — fsync after every append/ack; nothing acknowledged is lost.
+enum class FsyncPolicy { kNone, kBatch, kAlways };
+
+/// Append-only, sequence-numbered ingest log (text, one record per line):
+///
+///   S|<stream>|<schema header>     stream registration (codec header)
+///   T|<stream>|<seq>|<tuple line>  one appended tuple (codec row encoding)
+///   K|<stream>|<seq>               ack: everything <= seq is durable
+///                                  downstream; replay skips it
+///
+/// Sequence numbers are per-stream, contiguous, 1-based, assigned by the
+/// writer. Stream names must not contain '|' or newline. A torn final
+/// line (crash mid-write) is truncated away on Open and tolerated by
+/// replay; any mid-file corruption is a hard ParseError naming the byte
+/// offset — after the crash-atomic save discipline the only legal torn
+/// point is the tail.
+class IngestLog {
+ public:
+  struct Stats {
+    uint64_t records = 0;  // T + K records written by this handle
+    uint64_t bytes = 0;    // bytes written by this handle
+    uint64_t fsyncs = 0;
+    uint64_t streams = 0;  // registered streams (including recovered ones)
+  };
+  struct StreamInfo {
+    std::string name;
+    Schema schema;
+    uint64_t last_seq = 0;  // highest appended sequence number
+    uint64_t acked = 0;     // highest acknowledged sequence number
+  };
+
+  /// Opens (creating if needed) the log, recovering per-stream sequence
+  /// state from the existing records and truncating a torn tail.
+  static Result<std::unique_ptr<IngestLog>> Open(
+      const std::string& path, FsyncPolicy policy = FsyncPolicy::kBatch,
+      size_t batch_records = 256);
+  ~IngestLog();
+
+  IngestLog(const IngestLog&) = delete;
+  IngestLog& operator=(const IngestLog&) = delete;
+
+  /// Declares `stream` with its tuple schema (writes an S record the first
+  /// time). Re-registration with the same schema is a no-op; a different
+  /// schema is an error.
+  Status RegisterStream(const std::string& stream, const Schema& schema);
+
+  /// Appends every row of `batch` as a T record, auto-registering the
+  /// stream with the batch schema if needed. Returns the [first, last]
+  /// sequence numbers assigned (first > last means the batch was empty).
+  Result<std::pair<uint64_t, uint64_t>> AppendBatch(const std::string& stream,
+                                                    const Table& batch);
+
+  /// Records that everything up to and including `seq` is durable
+  /// downstream; replay will skip it. Monotonic per stream.
+  Status Ack(const std::string& stream, uint64_t seq);
+
+  /// Forces an fsync regardless of policy.
+  Status Sync();
+
+  void set_policy(FsyncPolicy p);
+  FsyncPolicy policy() const;
+
+  /// Highest assigned / acknowledged sequence number (0 when none).
+  uint64_t last_seq(const std::string& stream) const;
+  uint64_t acked(const std::string& stream) const;
+
+  std::vector<StreamInfo> Streams() const;
+  Stats stats() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  IngestLog(std::string path, int fd);
+
+  Status WriteRecord(const std::string& record, bool force_sync)
+      DC_REQUIRES(mu_);
+
+  const std::string path_;
+
+  mutable Mutex mu_{LockRank::kStorage};
+  int fd_ DC_GUARDED_BY(mu_);
+  FsyncPolicy policy_ DC_GUARDED_BY(mu_) = FsyncPolicy::kBatch;
+  size_t batch_records_ DC_GUARDED_BY(mu_) = 256;
+  size_t unsynced_records_ DC_GUARDED_BY(mu_) = 0;
+  struct StreamState {
+    Schema schema;
+    uint64_t last_seq = 0;
+    uint64_t acked = 0;
+  };
+  std::map<std::string, StreamState> streams_ DC_GUARDED_BY(mu_);
+  Stats stats_ DC_GUARDED_BY(mu_);
+};
+
+/// One replayed tuple. The row matches the stream's registered schema.
+using ReplayHandler = std::function<Status(
+    const std::string& stream, const Schema& schema, uint64_t seq,
+    const Row& row)>;
+
+struct ReplayReport {
+  uint64_t replayed = 0;      // tuples handed to the handler
+  uint64_t skipped_acked = 0; // seq <= the stream's highest ack
+  uint64_t skipped_dup = 0;   // duplicate/out-of-order seq (delivered once)
+  bool torn_tail = false;     // crash-torn final line was ignored
+  uint64_t torn_offset = 0;   // byte offset of the torn tail
+};
+
+/// Replays `path`: for every stream, tuples with seq greater than the
+/// stream's highest ack are delivered to `handler` exactly once, in
+/// sequence order. Two passes (acks may follow the appends they cover), so
+/// the handler only ever sees tuples that genuinely need redelivery.
+/// A missing file is an empty replay, not an error.
+Result<ReplayReport> ReplayIngestLog(const std::string& path,
+                                     const ReplayHandler& handler);
+
+/// Process-global directory of live storage-tier instances, feeding the
+/// dc_storage virtual table and the SET dc_fsync knob. Instances register
+/// in their constructors. List() copies the pointer set out under the
+/// registry lock; callers then query instances lock-free of the registry
+/// (admin paths only — instances must outlive the query, which the
+/// engine's single-threaded setup/teardown guarantees).
+class StorageRegistry {
+ public:
+  static StorageRegistry& Global();
+
+  void Register(IngestLog* log);
+  void Unregister(IngestLog* log);
+  void Register(BufferPool* pool);
+  void Unregister(BufferPool* pool);
+
+  std::vector<IngestLog*> Logs() const;
+  std::vector<BufferPool*> Pools() const;
+
+ private:
+  StorageRegistry() = default;
+
+  mutable Mutex mu_{LockRank::kStorage};
+  std::vector<IngestLog*> logs_ DC_GUARDED_BY(mu_);
+  std::vector<BufferPool*> pools_ DC_GUARDED_BY(mu_);
+};
+
+}  // namespace datacell::storage
+
+#endif  // DATACELL_STORAGE_INGEST_LOG_H_

@@ -1,0 +1,217 @@
+#include "storage/pager.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "storage/ingest_log.h"
+
+namespace datacell::storage {
+
+namespace {
+std::atomic<bool> g_spill_enabled{true};
+}  // namespace
+
+void SetSpillEnabled(bool on) {
+  g_spill_enabled.store(on, std::memory_order_relaxed);
+}
+bool SpillEnabled() {
+  return g_spill_enabled.load(std::memory_order_relaxed);
+}
+
+Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path) {
+  // O_TRUNC: the spill file is cache, not state — a leftover from a dead
+  // process is garbage by definition.
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open spill file '" + path +
+                           "': " + std::strerror(errno));
+  }
+  return std::unique_ptr<Pager>(new Pager(path, fd));
+}
+
+Pager::~Pager() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    ::unlink(path_.c_str());
+  }
+}
+
+uint64_t Pager::Allocate() {
+  MutexLock lock(&mu_);
+  if (!free_list_.empty()) {
+    uint64_t id = free_list_.back();
+    free_list_.pop_back();
+    return id;
+  }
+  return next_page_++;
+}
+
+void Pager::Free(uint64_t id) {
+  MutexLock lock(&mu_);
+  free_list_.push_back(id);
+}
+
+Status Pager::Write(uint64_t id, const char* page) {
+  size_t done = 0;
+  while (done < kPageSize) {
+    ssize_t n = ::pwrite(fd_, page + done, kPageSize - done,
+                         static_cast<off_t>(id * kPageSize + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("spill pwrite: " + std::string(std::strerror(errno)));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Pager::Read(uint64_t id, char* out) const {
+  size_t done = 0;
+  while (done < kPageSize) {
+    ssize_t n = ::pread(fd_, out + done, kPageSize - done,
+                        static_cast<off_t>(id * kPageSize + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("spill pread: " + std::string(std::strerror(errno)));
+    }
+    if (n == 0) {
+      return Status::IOError("spill pread: short read of page " +
+                             std::to_string(id));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+size_t Pager::pages_in_use() const {
+  MutexLock lock(&mu_);
+  return static_cast<size_t>(next_page_) - free_list_.size();
+}
+
+uint64_t Pager::bytes_on_disk() const {
+  MutexLock lock(&mu_);
+  return next_page_ * kPageSize;
+}
+
+BufferPool::BufferPool(std::unique_ptr<Pager> pager, size_t num_frames)
+    : pager_(std::move(pager)) {
+  // No lock: nothing can reach this pool until the constructor returns
+  // (and taking mu_ here would nest kStorage inside the registry's
+  // kStorage when we register below).
+  frames_.resize(num_frames == 0 ? 1 : num_frames);
+  for (Frame& f : frames_) f.data = std::make_unique<char[]>(kPageSize);
+  StorageRegistry::Global().Register(this);
+}
+
+BufferPool::~BufferPool() { StorageRegistry::Global().Unregister(this); }
+
+Result<size_t> BufferPool::GetVictim() {
+  size_t victim = frames_.size();
+  uint64_t oldest = ~uint64_t{0};
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    const Frame& f = frames_[i];
+    if (f.page == kInvalidPageId) return i;  // free frame
+    if (f.pins == 0 && f.last_use < oldest) {
+      oldest = f.last_use;
+      victim = i;
+    }
+  }
+  if (victim == frames_.size()) {
+    return Status::ResourceExhausted("buffer pool: all frames pinned");
+  }
+  Frame& f = frames_[victim];
+  if (f.dirty) {
+    RETURN_NOT_OK(pager_->Write(f.page, f.data.get()));
+    ++stats_.writebacks;
+  }
+  page_to_frame_.erase(f.page);
+  f.page = kInvalidPageId;
+  f.dirty = false;
+  ++stats_.evictions;
+  return victim;
+}
+
+Result<size_t> BufferPool::PinFrame(uint64_t id, bool fault_in) {
+  ++stats_.fetches;
+  auto it = page_to_frame_.find(id);
+  if (it != page_to_frame_.end()) {
+    ++stats_.hits;
+    ++frames_[it->second].pins;
+    return it->second;
+  }
+  ++stats_.misses;
+  ASSIGN_OR_RETURN(size_t idx, GetVictim());
+  Frame& f = frames_[idx];
+  if (fault_in) RETURN_NOT_OK(pager_->Read(id, f.data.get()));
+  f.page = id;
+  f.pins = 1;
+  f.dirty = false;
+  page_to_frame_[id] = idx;
+  return idx;
+}
+
+Result<char*> BufferPool::NewPage(uint64_t* id) {
+  MutexLock lock(&mu_);
+  *id = pager_->Allocate();
+  Result<size_t> idx = PinFrame(*id, /*fault_in=*/false);
+  if (!idx.ok()) {
+    pager_->Free(*id);
+    return idx.status();
+  }
+  frames_[*idx].dirty = true;
+  return frames_[*idx].data.get();
+}
+
+Result<char*> BufferPool::FetchPage(uint64_t id) {
+  MutexLock lock(&mu_);
+  ASSIGN_OR_RETURN(size_t idx, PinFrame(id, /*fault_in=*/true));
+  return frames_[idx].data.get();
+}
+
+void BufferPool::Unpin(uint64_t id, bool dirty) {
+  MutexLock lock(&mu_);
+  auto it = page_to_frame_.find(id);
+  if (it == page_to_frame_.end()) return;
+  Frame& f = frames_[it->second];
+  if (f.pins > 0) --f.pins;
+  if (dirty) f.dirty = true;
+  if (f.pins == 0) f.last_use = ++lru_clock_;
+}
+
+Status BufferPool::DeletePage(uint64_t id) {
+  MutexLock lock(&mu_);
+  auto it = page_to_frame_.find(id);
+  if (it != page_to_frame_.end()) {
+    Frame& f = frames_[it->second];
+    if (f.pins > 0) {
+      return Status::Internal("DeletePage of pinned page " + std::to_string(id));
+    }
+    f.page = kInvalidPageId;
+    f.dirty = false;
+    page_to_frame_.erase(it);
+  }
+  pager_->Free(id);
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  MutexLock lock(&mu_);
+  for (Frame& f : frames_) {
+    if (f.page != kInvalidPageId && f.dirty) {
+      RETURN_NOT_OK(pager_->Write(f.page, f.data.get()));
+      f.dirty = false;
+      ++stats_.writebacks;
+    }
+  }
+  return Status::OK();
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+}  // namespace datacell::storage

@@ -1,0 +1,136 @@
+#ifndef DATACELL_STORAGE_PAGER_H_
+#define DATACELL_STORAGE_PAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace datacell::storage {
+
+/// Fixed page size of the spill tier. Spilled basket chunks are written as
+/// runs of whole pages; 64 KiB keeps the page table small while still
+/// amortizing the syscall per ~2k spilled rows.
+inline constexpr size_t kPageSize = 64 * 1024;
+inline constexpr uint64_t kInvalidPageId = ~uint64_t{0};
+
+/// Process-wide gate for basket spilling (`SET dc_spill = 0/1`). A basket
+/// spills only when a BufferPool is attached *and* this gate is open, so
+/// flipping it quiesces the spill path without touching basket wiring.
+void SetSpillEnabled(bool on);
+bool SpillEnabled();
+
+/// Disk manager: fixed-size pages in one spill file, with free-list reuse.
+/// Read/Write go straight to pread/pwrite (no lock; the buffer pool
+/// serializes access per frame); only the allocation state is guarded.
+/// The file is transient cache state — it is truncated on Open and never
+/// fsync'd (spilled pages do not outlive the process; durability lives in
+/// the catalog and the ingest log).
+class Pager {
+ public:
+  static Result<std::unique_ptr<Pager>> Open(const std::string& path);
+  ~Pager();
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  /// Grabs a free page id (reusing freed ones before extending the file).
+  uint64_t Allocate();
+  void Free(uint64_t id);
+
+  /// Writes/reads exactly kPageSize bytes at the page's offset.
+  Status Write(uint64_t id, const char* page);
+  Status Read(uint64_t id, char* out) const;
+
+  const std::string& path() const { return path_; }
+  /// Pages currently allocated (live, not on the free list).
+  size_t pages_in_use() const;
+  /// High-water file extent in bytes (freed pages still occupy it).
+  uint64_t bytes_on_disk() const;
+
+ private:
+  Pager(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+  const std::string path_;
+  const int fd_;
+
+  mutable Mutex mu_{LockRank::kStoragePager};
+  std::vector<uint64_t> free_list_ DC_GUARDED_BY(mu_);
+  uint64_t next_page_ DC_GUARDED_BY(mu_) = 0;
+};
+
+/// Buffer pool over a Pager: a fixed set of page-sized frames with
+/// pin/unpin reference counting and least-recently-unpinned eviction —
+/// the BusTub buffer-pool shape, sized down to what the spill path needs.
+///
+/// Contract: FetchPage/NewPage pin the frame (it cannot be evicted) and
+/// return its data pointer, stable until the matching Unpin. A dirty unpin
+/// marks the frame for write-back on eviction. The caller (the basket
+/// spill path) serializes operations on any one page id; distinct pages
+/// may be touched concurrently from different baskets.
+class BufferPool {
+ public:
+  struct Stats {
+    uint64_t fetches = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t writebacks = 0;
+  };
+
+  BufferPool(std::unique_ptr<Pager> pager, size_t num_frames);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Allocates a fresh page and pins it; the frame starts dirty (it only
+  /// exists in memory until eviction or FlushAll writes it back).
+  Result<char*> NewPage(uint64_t* id);
+  /// Pins the page, faulting it in from disk on a miss.
+  Result<char*> FetchPage(uint64_t id);
+  /// Releases one pin. `dirty` marks the in-frame copy newer than disk.
+  void Unpin(uint64_t id, bool dirty);
+  /// Drops the page (must be unpinned) and returns it to the free list.
+  Status DeletePage(uint64_t id);
+  /// Writes every dirty frame back (tests; the spill path never needs it).
+  Status FlushAll();
+
+  Pager& pager() { return *pager_; }
+  const Pager& pager() const { return *pager_; }
+  size_t num_frames() const { return frames_.size(); }
+  Stats stats() const;
+
+ private:
+  struct Frame {
+    uint64_t page = kInvalidPageId;
+    int pins = 0;
+    bool dirty = false;
+    uint64_t last_use = 0;  // LRU stamp, bumped on unpin to zero pins
+    std::unique_ptr<char[]> data;
+  };
+
+  /// Frame holding `id`, faulting/evicting as needed; pins it.
+  Result<size_t> PinFrame(uint64_t id, bool fault_in) DC_REQUIRES(mu_);
+  /// Free frame, or the least-recently-used unpinned one (written back if
+  /// dirty). Errors when every frame is pinned.
+  Result<size_t> GetVictim() DC_REQUIRES(mu_);
+
+  const std::unique_ptr<Pager> pager_;
+
+  mutable Mutex mu_{LockRank::kStorage};
+  std::vector<Frame> frames_ DC_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, size_t> page_to_frame_ DC_GUARDED_BY(mu_);
+  uint64_t lru_clock_ DC_GUARDED_BY(mu_) = 0;
+  Stats stats_ DC_GUARDED_BY(mu_);
+};
+
+}  // namespace datacell::storage
+
+#endif  // DATACELL_STORAGE_PAGER_H_

@@ -35,6 +35,16 @@ enum class LockRank : int {
   /// from firing bodies (basket lock held) and from the scheduler, and
   /// must never call back out into engine state.
   kMetrics = 5,
+  /// Spill-file page allocator (storage::Pager free list). Inner to the
+  /// buffer pool, which allocates/frees pages while holding its frame
+  /// table lock.
+  kStoragePager = 6,
+  /// Storage-tier state: buffer-pool frame table, ingest-log writer,
+  /// storage registry. Acquired from basket spill paths (basket lock
+  /// held), so inner to kBasket — and never while another kStorage lock
+  /// is held (the registry copies instance pointers out before querying
+  /// them).
+  kStorage = 8,
   /// Catalog of persistent tables.
   kCatalog = 10,
   /// Engine registry (baskets map, session variables).

@@ -85,6 +85,54 @@ TEST_F(StorageTest, LoadCorruptFileFails) {
   EXPECT_NE(r.status().message().find("line 3"), std::string::npos);
 }
 
+TEST_F(StorageTest, LoadTruncatedMidHeaderFails) {
+  fs::create_directories(dir_);
+  const std::string path = (dir_ / "torn.dct").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "x:int";  // crash before the header newline reached disk
+  }
+  auto r = LoadTable(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("truncated mid-header"),
+            std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(StorageTest, LoadTruncatedMidTupleFails) {
+  fs::create_directories(dir_);
+  const std::string path = (dir_ / "torn.dct").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "x:int\n1\n2";  // final tuple line lost its newline
+  }
+  auto r = LoadTable(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("truncated mid-tuple at byte 8"),
+            std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(StorageTest, EmptyStringRowRoundTrips) {
+  // A single-string-column row holding "" encodes as an empty line; the
+  // loader must decode it as a row, not skip it as blank.
+  fs::create_directories(dir_);
+  const std::string path = (dir_ / "empty_str.dct").string();
+  Table original(Schema({{"s", DataType::kString}}));
+  ASSERT_TRUE(original.AppendRow({Value("")}).ok());
+  ASSERT_TRUE(original.AppendRow({Value("x")}).ok());
+  ASSERT_TRUE(original.AppendRow({Value("")}).ok());
+  ASSERT_TRUE(SaveTable(original, path).ok());
+  auto loaded = LoadTable(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_rows(), 3u);
+  EXPECT_EQ(loaded->GetRow(0)[0], Value(""));
+  EXPECT_EQ(loaded->GetRow(1)[0], Value("x"));
+  EXPECT_EQ(loaded->GetRow(2)[0], Value(""));
+}
+
 TEST_F(StorageTest, CatalogRoundTrip) {
   Catalog original;
   {

@@ -27,10 +27,26 @@
 // prints per-transition firing counts and latency percentiles from the
 // observability registry (docs/SQL.md describes the same data exposed
 // through SQL as dc_* virtual tables).
+//
+// Durability (all opt-in via environment, unset = exactly the old server):
+//   DATACELL_LOG=<path>        append every ingested batch to a replayable
+//                              ingest log; on startup, tuples past the last
+//                              ack are replayed into the ingress basket, so
+//                              a crash-restart cycle loses nothing the log
+//                              had accepted. `SEQ` on the listen port tells
+//                              a reconnecting sensor where to resume.
+//   DATACELL_FSYNC=none|batch|always   log fsync policy (default batch).
+//   DATACELL_SPILL_PAGES=<n>   attach an <n>-frame (64 KiB each) spill
+//                              buffer pool to the bounded ingress basket:
+//                              overflow past `capacity` evicts cold tuples
+//                              to disk instead of closing the TCP valve.
+//   DATACELL_SPILL_FILE=<path> spill file location (default
+//                              "datacell.spill", removed on exit).
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <thread>
 
 #include "core/basket.h"
@@ -39,6 +55,8 @@
 #include "core/scheduler.h"
 #include "net/gateway.h"
 #include "net/sensor.h"
+#include "storage/ingest_log.h"
+#include "storage/pager.h"
 #include "util/clock.h"
 
 int main(int argc, char** argv) {
@@ -46,6 +64,7 @@ int main(int argc, char** argv) {
   using datacell::Table;
   namespace core = datacell::core;
   namespace net = datacell::net;
+  namespace storage = datacell::storage;
 
   if (argc < 4) {
     std::fprintf(stderr,
@@ -73,6 +92,65 @@ int main(int argc, char** argv) {
   std::vector<core::BasketPtr> baskets;
   baskets.push_back(std::make_shared<core::Basket>("b0", stream));
   if (capacity > 0) baskets[0]->SetCapacity(capacity);
+
+  // Optional spill tier on the bounded ingress basket.
+  std::unique_ptr<storage::BufferPool> spill_pool;
+  const char* spill_pages_env = std::getenv("DATACELL_SPILL_PAGES");
+  if (spill_pages_env != nullptr && std::atol(spill_pages_env) > 0) {
+    const char* spill_file = std::getenv("DATACELL_SPILL_FILE");
+    auto pager = storage::Pager::Open(
+        spill_file != nullptr ? spill_file : "datacell.spill");
+    if (!pager.ok()) {
+      std::fprintf(stderr, "cannot open spill file: %s\n",
+                   pager.status().ToString().c_str());
+      return 1;
+    }
+    spill_pool = std::make_unique<storage::BufferPool>(
+        std::move(*pager), static_cast<size_t>(std::atol(spill_pages_env)));
+    baskets[0]->AttachSpill(spill_pool.get());
+  }
+
+  // Optional replayable ingest log.
+  std::unique_ptr<storage::IngestLog> ingest_log;
+  const char* log_path = std::getenv("DATACELL_LOG");
+  if (log_path != nullptr && *log_path != '\0') {
+    storage::FsyncPolicy policy = storage::FsyncPolicy::kBatch;
+    if (const char* fsync_env = std::getenv("DATACELL_FSYNC")) {
+      if (std::strcmp(fsync_env, "none") == 0) {
+        policy = storage::FsyncPolicy::kNone;
+      } else if (std::strcmp(fsync_env, "always") == 0) {
+        policy = storage::FsyncPolicy::kAlways;
+      }
+    }
+    auto log = storage::IngestLog::Open(log_path, policy);
+    if (!log.ok()) {
+      std::fprintf(stderr, "cannot open ingest log: %s\n",
+                   log.status().ToString().c_str());
+      return 1;
+    }
+    ingest_log = std::move(*log);
+    // Replay before the gateway starts: every tuple past the last ack goes
+    // back into b0 (directly — the replay path must not re-append to the
+    // log) so the query chain re-processes what the crash interrupted.
+    core::BasketPtr b0 = baskets[0];
+    auto replayed = storage::ReplayIngestLog(
+        log_path,
+        [&b0, clock](const std::string& stream_name, const datacell::Schema&,
+                     uint64_t, const datacell::Row& row) -> Status {
+          if (stream_name != b0->name()) return Status::OK();
+          return b0->AppendRow(row, clock->Now());
+        });
+    if (!replayed.ok()) {
+      std::fprintf(stderr, "ingest log replay failed: %s\n",
+                   replayed.status().ToString().c_str());
+      return 1;
+    }
+    if (replayed->replayed > 0 || replayed->torn_tail) {
+      std::printf("datacell: replayed %llu logged tuples%s\n",
+                  static_cast<unsigned long long>(replayed->replayed),
+                  replayed->torn_tail ? " (torn tail truncated)" : "");
+    }
+  }
   core::Scheduler scheduler(clock, workers);
   for (int i = 1; i <= queries; ++i) {
     baskets.push_back(std::make_shared<core::Basket>(
@@ -105,6 +183,7 @@ int main(int argc, char** argv) {
   auto receptor = std::make_shared<core::Receptor>("r");
   receptor->AddOutput(baskets.front());
   net::TcpIngress ingress(receptor, net::Codec(stream), clock);
+  if (ingest_log != nullptr) ingress.EnableIngestLog(ingest_log.get());
   if (Status st = ingress.Start(listen_port); !st.ok()) {
     std::fprintf(stderr, "cannot listen: %s\n", st.ToString().c_str());
     return 1;
@@ -140,6 +219,21 @@ int main(int argc, char** argv) {
   scheduler.Stop();
   if (Status st = (*egress)->Finish(); !st.ok()) {
     std::fprintf(stderr, "egress finish: %s\n", st.ToString().c_str());
+  }
+  if (ingest_log != nullptr) {
+    // Clean shutdown: everything logged was drained through the chain and
+    // flushed to the actuator, so acknowledge it all — the next start
+    // replays nothing.
+    for (const storage::IngestLog::StreamInfo& si : ingest_log->Streams()) {
+      if (si.last_seq > si.acked) {
+        if (Status st = ingest_log->Ack(si.name, si.last_seq); !st.ok()) {
+          std::fprintf(stderr, "log ack: %s\n", st.ToString().c_str());
+        }
+      }
+    }
+    if (Status st = ingest_log->Sync(); !st.ok()) {
+      std::fprintf(stderr, "log sync: %s\n", st.ToString().c_str());
+    }
   }
   std::printf("datacell: done (%llu tuples ingested, %llu malformed dropped, "
               "%llu backpressure engagements)\n",

@@ -52,6 +52,23 @@ if [ -e BENCH_ablation_sharing.json ]; then
   done
 fi
 
+# The spill-backpressure report must carry all three arms and pass its
+# acceptance bar: spilling sustains at least half the in-memory ingest
+# rate (DESIGN.md §13).
+if [ -e BENCH_spill_backpressure.json ]; then
+  for field in '"inmemory_tps"' '"stall_tps"' '"spill_tps"' \
+               '"spill_ratio"' '"spill_ge_half"'; do
+    if ! grep -q "$field" BENCH_spill_backpressure.json; then
+      echo "ERROR: BENCH_spill_backpressure.json is missing $field" >&2
+      exit 1
+    fi
+  done
+  if ! grep -q '"spill_ge_half": true' BENCH_spill_backpressure.json; then
+    echo "ERROR: spill throughput fell below half of in-memory" >&2
+    exit 1
+  fi
+fi
+
 # The vectorized-kernel report must carry all three arms plus the morsel
 # latency percentiles and acceptance summary (DESIGN.md §12).
 if [ -e BENCH_kernel_throughput.json ]; then
