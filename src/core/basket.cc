@@ -265,7 +265,11 @@ Status Basket::ErasePrefix(size_t n) {
       uint64_t id = storage::kInvalidPageId;
       Result<char*> frame = pool->NewPage(&id);
       if (!frame.ok()) {
-        for (uint64_t allocated : fresh.pages) (void)pool->DeletePage(allocated);
+        for (uint64_t allocated : fresh.pages) {
+          // Rollback on a full pool: a failed delete only leaks a spill
+          // page until the pager is rebuilt, never corrupts data.
+          pool->DeletePage(allocated).IgnoreError();
+        }
         wrote = false;
         break;
       }
@@ -335,7 +339,9 @@ Status Basket::MaybeSpill() {
     if (!frame.ok()) {
       // Pool exhausted (every frame pinned): degrade by keeping the rows
       // resident — correctness never depends on an eviction succeeding.
-      for (uint64_t allocated : seg.pages) (void)pool->DeletePage(allocated);
+      for (uint64_t allocated : seg.pages) {
+        pool->DeletePage(allocated).IgnoreError();  // rollback, see above
+      }
       DC_LOG(Warn) << "basket '" << name_
                    << "' spill skipped: " << frame.status().message();
       return Status::OK();

@@ -274,11 +274,13 @@ class Basket {
   }
 
   const std::string name_;
-  Schema schema_;
+  // Written once in the constructor, immutable thereafter — safe to read
+  // from any thread without mu_.
+  Schema schema_ DC_UNGUARDED;
   // schema_ minus the arrival column — cached so single-row appends do not
   // rebuild a Schema (field-vector copy) per tuple.
-  Schema user_schema_;
-  bool has_arrival_ = false;
+  Schema user_schema_ DC_UNGUARDED;       // construction-time, immutable
+  bool has_arrival_ DC_UNGUARDED = false;  // construction-time, immutable
   std::atomic<bool> enabled_{true};
   std::atomic<size_t> capacity_{0};       // 0 = unbounded
   std::atomic<size_t> low_watermark_{0};  // resume point (hysteresis)
@@ -291,12 +293,13 @@ class Basket {
   std::atomic<uint64_t> credit_stalls_{0};
   std::atomic<uint64_t> version_{0};
   std::atomic<uint64_t> peak_rows_{0};
-  // Registry mirrors, resolved once at construction (stable pointers).
-  obs::Counter* m_appended_;
-  obs::Counter* m_dropped_;
-  obs::Counter* m_consumed_;
-  obs::Counter* m_credit_stalls_;
-  obs::Gauge* m_rows_;
+  // Registry mirrors, resolved once at construction. The pointers never
+  // change after that (DC_UNGUARDED); the pointees are internally atomic.
+  obs::Counter* m_appended_ DC_UNGUARDED;
+  obs::Counter* m_dropped_ DC_UNGUARDED;
+  obs::Counter* m_consumed_ DC_UNGUARDED;
+  obs::Counter* m_credit_stalls_ DC_UNGUARDED;
+  obs::Gauge* m_rows_ DC_UNGUARDED;
   // Logical row count (resident + spilled) mirrored on every mutation
   // (Touch), so size() — and with it Factory::CanFire, credit accounting,
   // and firing bodies probing a basket they did not lock — never takes
@@ -313,10 +316,11 @@ class Basket {
   std::atomic<storage::BufferPool*> spill_pool_{nullptr};
   std::atomic<uint64_t> spilled_total_{0};
   std::atomic<uint64_t> faulted_total_{0};
-  // Process-wide spill mirrors (storage.*), resolved at construction.
-  obs::Counter* m_spilled_rows_;
-  obs::Counter* m_spilled_pages_;
-  obs::Counter* m_faulted_rows_;
+  // Process-wide spill mirrors (storage.*), resolved at construction —
+  // stable pointers to internally-atomic counters, like the m_* above.
+  obs::Counter* m_spilled_rows_ DC_UNGUARDED;
+  obs::Counter* m_spilled_pages_ DC_UNGUARDED;
+  obs::Counter* m_faulted_rows_ DC_UNGUARDED;
 
   mutable RecursiveMutex mu_{LockRank::kBasket};
   Table data_ DC_GUARDED_BY(mu_);

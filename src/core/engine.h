@@ -81,8 +81,10 @@ class Engine {
 
  private:
   Clock* clock_;
-  Catalog catalog_;
-  std::unique_ptr<Scheduler> scheduler_;
+  // Catalog serializes itself with its own internal mutex (kCatalog).
+  Catalog catalog_ DC_UNGUARDED;
+  // Set in the constructor, never reseated; Scheduler has its own lock.
+  std::unique_ptr<Scheduler> scheduler_ DC_UNGUARDED;
 
   mutable Mutex mu_{LockRank::kEngine};
   std::map<std::string, BasketPtr> baskets_ DC_GUARDED_BY(mu_);

@@ -214,7 +214,9 @@ class Scheduler {
   // the scheduler lock.
   Result<bool> FireIfEligible(Node* node, bool* fired) DC_EXCLUDES(mu_);
 
-  Clock* clock_;
+  // Set at construction, never reseated; Clock implementations are
+  // internally synchronized.
+  Clock* clock_ DC_UNGUARDED;
 
   mutable Mutex mu_{LockRank::kScheduler};
   CondVar cv_;

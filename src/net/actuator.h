@@ -73,12 +73,16 @@ class Actuator {
  private:
   void ReadLoop();
 
-  Clock* clock_;
-  TcpListener listener_;
-  uint16_t port_ = 0;
-  std::thread thread_;
+  // clock_/listener_/port_/thread_ follow the lifecycle protocol: written
+  // by Start() before the read thread exists, then read-only until the
+  // destructor joins. latency_ is internally synchronized (lock-free
+  // histogram). Only stats_ is shared mutable state, and it has mu_.
+  Clock* clock_ DC_UNGUARDED;
+  TcpListener listener_ DC_UNGUARDED;
+  uint16_t port_ DC_UNGUARDED = 0;
+  std::thread thread_ DC_UNGUARDED;
   std::atomic<bool> finished_{false};
-  obs::Histogram latency_;
+  obs::Histogram latency_ DC_UNGUARDED;
 
   mutable Mutex mu_{LockRank::kActuator};
   Stats stats_ DC_GUARDED_BY(mu_);

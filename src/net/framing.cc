@@ -1,0 +1,57 @@
+#include "net/framing.h"
+
+#include <utility>
+
+#include "net/codec.h"
+
+namespace datacell::net {
+
+void LineFramer::Append(std::string_view data) {
+  buffer_.append(data.data(), data.size());
+}
+
+std::optional<std::string> LineFramer::NextLine() {
+  const size_t pos = buffer_.find('\n', head_);
+  if (pos == std::string::npos) {
+    // No complete line: compact now so a half-received tuple after a large
+    // drained burst does not pin the whole burst buffer.
+    if (head_ > 0) {
+      buffer_.erase(0, head_);
+      head_ = 0;
+    }
+    return std::nullopt;
+  }
+  std::string line = buffer_.substr(head_, pos - head_);
+  head_ = pos + 1;
+  // Amortized compaction: drop the consumed prefix once it is both big and
+  // the majority of the buffer.
+  if (head_ >= 4096 && head_ * 2 >= buffer_.size()) {
+    buffer_.erase(0, head_);
+    head_ = 0;
+  }
+  return line;
+}
+
+std::string LineFramer::TakeRemainder() {
+  std::string out = buffer_.substr(head_);
+  buffer_.clear();
+  head_ = 0;
+  return out;
+}
+
+Result<Hello> ParseHello(const std::string& line) {
+  Hello hello;
+  if (line == "STATS") {
+    hello.kind = HelloKind::kStats;
+    return hello;
+  }
+  if (line == "SEQ") {
+    hello.kind = HelloKind::kSeq;
+    return hello;
+  }
+  ASSIGN_OR_RETURN(hello.schema, Codec::DecodeSchemaHeader(line));
+  hello.kind = HelloKind::kSchema;
+  return hello;
+}
+
+}  // namespace datacell::net

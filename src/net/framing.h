@@ -1,0 +1,61 @@
+#ifndef DATACELL_NET_FRAMING_H_
+#define DATACELL_NET_FRAMING_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "column/table.h"
+#include "util/status.h"
+
+namespace datacell::net {
+
+/// Byte-stream framing for the line protocol (§3.1): accumulates arbitrary
+/// received chunks and yields complete '\n'-terminated lines (newline
+/// stripped). This is the single implementation behind TcpStream's
+/// buffered-line helpers and the gateway reactor, and it is fuzzed directly
+/// (tests/fuzz/fuzz_gateway_framing) — keep it free of socket concerns.
+///
+/// Consumption uses a logical head offset with amortized compaction, so
+/// popping N lines out of a large burst is O(bytes), not O(lines * bytes).
+class LineFramer {
+ public:
+  /// Appends received bytes to the buffer.
+  void Append(std::string_view data);
+
+  /// Extracts the next complete line, or nullopt when none is buffered.
+  std::optional<std::string> NextLine();
+
+  /// Drains whatever trails the last newline — the torn partial line a
+  /// peer leaves behind when it disconnects mid-tuple. Empties the buffer.
+  std::string TakeRemainder();
+
+  /// Bytes buffered but not yet returned.
+  size_t buffered() const { return buffer_.size() - head_; }
+
+ private:
+  std::string buffer_;
+  size_t head_ = 0;  // consumed prefix, compacted once it dominates
+};
+
+/// What the first line of an ingress connection asked for.
+enum class HelloKind {
+  kStats,   // "STATS": answer with one stats line, close
+  kSeq,     // "SEQ": answer with the stream's last logged seq, close
+  kSchema,  // a schema header: validate and start streaming tuples
+};
+
+struct Hello {
+  HelloKind kind = HelloKind::kSchema;
+  Schema schema;  // decoded header; meaningful only for kSchema
+};
+
+/// Classifies and decodes the handshake line of the gateway protocol. A
+/// line that is neither a control word nor a well-formed schema header is a
+/// ParseError (the gateway drops such connections individually).
+Result<Hello> ParseHello(const std::string& line);
+
+}  // namespace datacell::net
+
+#endif  // DATACELL_NET_FRAMING_H_

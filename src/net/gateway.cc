@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "net/framing.h"
 #include "storage/ingest_log.h"
 #include "util/logging.h"
 
@@ -280,30 +281,39 @@ std::optional<std::string> TcpIngress::NextLine(Conn* conn) {
 }
 
 bool TcpIngress::Handshake(Conn* conn, const std::string& line) {
-  if (line == "STATS") {
-    // Scrape request: answer with one line and close. The reply is a few
-    // hundred bytes — far below the socket send buffer — so the single
-    // non-blocking WriteAll cannot short-write in practice; if it ever
-    // does, the scraper just sees a truncated line.
-    scrapes_.fetch_add(1);
-    Status st = conn->stream.WriteAll(StatsLine());
-    if (!st.ok()) DC_LOG(Debug) << "ingress STATS reply: " << st.ToString();
+  Result<Hello> hello = ParseHello(line);
+  if (!hello.ok()) {
+    DC_LOG(Warn) << "ingress: bad handshake line '" << line
+                 << "': " << hello.status().ToString();
     return false;
   }
-  if (line == "SEQ") {
-    // Resume handshake: tell the sensor the highest sequence number the
-    // ingest log has durably accepted for this stream (0 when logging is
-    // off or nothing arrived yet), then close. Counted like a scrape so a
-    // probe never reads as a completed sensor session.
-    scrapes_.fetch_add(1);
-    const uint64_t seq =
-        ingest_log_ == nullptr ? 0 : ingest_log_->last_seq(log_stream_);
-    Status st = conn->stream.WriteAll("SEQ " + std::to_string(seq) + "\n");
-    if (!st.ok()) DC_LOG(Debug) << "ingress SEQ reply: " << st.ToString();
-    return false;
+  switch (hello->kind) {
+    case HelloKind::kStats: {
+      // Scrape request: answer with one line and close. The reply is a few
+      // hundred bytes — far below the socket send buffer — so the single
+      // non-blocking WriteAll cannot short-write in practice; if it ever
+      // does, the scraper just sees a truncated line.
+      scrapes_.fetch_add(1);
+      Status st = conn->stream.WriteAll(StatsLine());
+      if (!st.ok()) DC_LOG(Debug) << "ingress STATS reply: " << st.ToString();
+      return false;
+    }
+    case HelloKind::kSeq: {
+      // Resume handshake: tell the sensor the highest sequence number the
+      // ingest log has durably accepted for this stream (0 when logging is
+      // off or nothing arrived yet), then close. Counted like a scrape so
+      // a probe never reads as a completed sensor session.
+      scrapes_.fetch_add(1);
+      const uint64_t seq =
+          ingest_log_ == nullptr ? 0 : ingest_log_->last_seq(log_stream_);
+      Status st = conn->stream.WriteAll("SEQ " + std::to_string(seq) + "\n");
+      if (!st.ok()) DC_LOG(Debug) << "ingress SEQ reply: " << st.ToString();
+      return false;
+    }
+    case HelloKind::kSchema:
+      break;
   }
-  Result<Schema> peer = Codec::DecodeSchemaHeader(line);
-  if (!peer.ok() || !(*peer == codec_.schema())) {
+  if (!(hello->schema == codec_.schema())) {
     DC_LOG(Warn) << "ingress: schema mismatch, got '" << line << "'";
     return false;
   }

@@ -36,7 +36,7 @@ std::string ErrnoString(int err) {
 TcpStream::~TcpStream() { Close(); }
 
 TcpStream::TcpStream(TcpStream&& other) noexcept
-    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+    : fd_(other.fd_), framer_(std::move(other.framer_)) {
   other.fd_ = -1;
 }
 
@@ -44,7 +44,7 @@ TcpStream& TcpStream::operator=(TcpStream&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = other.fd_;
-    buffer_ = std::move(other.buffer_);
+    framer_ = std::move(other.framer_);
     other.fd_ = -1;
   }
   return *this;
@@ -86,11 +86,8 @@ Status TcpStream::WriteAll(const std::string& data) {
 
 Result<std::string> TcpStream::ReadLine() {
   while (true) {
-    size_t pos = buffer_.find('\n');
-    if (pos != std::string::npos) {
-      std::string line = buffer_.substr(0, pos);
-      buffer_.erase(0, pos + 1);
-      return line;
+    if (std::optional<std::string> line = framer_.NextLine()) {
+      return std::move(*line);
     }
     char chunk[4096];
     ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
@@ -99,24 +96,18 @@ Result<std::string> TcpStream::ReadLine() {
       return Errno("recv");
     }
     if (n == 0) {
-      if (!buffer_.empty()) {
-        std::string line = std::move(buffer_);
-        buffer_.clear();
-        return line;
-      }
+      std::string tail = framer_.TakeRemainder();
+      if (!tail.empty()) return tail;
       return Status::NotFound("eof");
     }
-    buffer_.append(chunk, static_cast<size_t>(n));
+    framer_.Append({chunk, static_cast<size_t>(n)});
   }
 }
 
 Result<std::optional<std::string>> TcpStream::TryReadLine() {
   while (true) {
-    size_t pos = buffer_.find('\n');
-    if (pos != std::string::npos) {
-      std::string line = buffer_.substr(0, pos);
-      buffer_.erase(0, pos + 1);
-      return std::optional<std::string>(std::move(line));
+    if (std::optional<std::string> line = framer_.NextLine()) {
+      return std::optional<std::string>(std::move(*line));
     }
     char chunk[4096];
     ssize_t n = ::recv(fd_, chunk, sizeof(chunk), MSG_DONTWAIT);
@@ -128,14 +119,13 @@ Result<std::optional<std::string>> TcpStream::TryReadLine() {
       return Errno("recv");
     }
     if (n == 0) {
-      if (!buffer_.empty()) {
-        std::string line = std::move(buffer_);
-        buffer_.clear();
-        return std::optional<std::string>(std::move(line));
+      std::string tail = framer_.TakeRemainder();
+      if (!tail.empty()) {
+        return std::optional<std::string>(std::move(tail));
       }
       return Status::NotFound("eof");
     }
-    buffer_.append(chunk, static_cast<size_t>(n));
+    framer_.Append({chunk, static_cast<size_t>(n)});
   }
 }
 
@@ -158,23 +148,17 @@ Result<size_t> TcpStream::FillFromSocket() {
       return Errno("recv");
     }
     if (n == 0) return Status::NotFound("eof");
-    buffer_.append(chunk, static_cast<size_t>(n));
+    framer_.Append({chunk, static_cast<size_t>(n)});
     return static_cast<size_t>(n);
   }
 }
 
 std::optional<std::string> TcpStream::PopBufferedLine() {
-  size_t pos = buffer_.find('\n');
-  if (pos == std::string::npos) return std::nullopt;
-  std::string line = buffer_.substr(0, pos);
-  buffer_.erase(0, pos + 1);
-  return line;
+  return framer_.NextLine();
 }
 
 std::string TcpStream::TakeBufferedRemainder() {
-  std::string out = std::move(buffer_);
-  buffer_.clear();
-  return out;
+  return framer_.TakeRemainder();
 }
 
 Status TcpStream::ShutdownWrite() {

@@ -6,6 +6,7 @@
 #include <optional>
 #include <string>
 
+#include "net/framing.h"
 #include "util/status.h"
 
 namespace datacell::net {
@@ -72,7 +73,7 @@ class TcpStream {
 
  private:
   int fd_ = -1;
-  std::string buffer_;  // read-ahead for ReadLine
+  LineFramer framer_;  // read-ahead line framing (shared with the fuzzers)
 };
 
 /// A listening TCP socket.

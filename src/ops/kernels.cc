@@ -17,10 +17,10 @@ SelVector SelectChunked(size_t n, EmitChunk emit) {
   }
   std::vector<SelVector> chunks(num);
   // The emitters cannot fail; RunMorsels' Status is for kernels that can.
-  (void)RunMorsels(n, [&](size_t m, size_t begin, size_t end) {
+  RunMorsels(n, [&](size_t m, size_t begin, size_t end) {
     emit(begin, end, &chunks[m]);
     return Status::OK();
-  });
+  }).IgnoreError();
   size_t total = 0;
   for (const SelVector& c : chunks) total += c.size();
   SelVector out;
@@ -34,10 +34,10 @@ simd::FoldState FoldChunked(size_t n, FoldChunk fold) {
   const size_t num = NumMorsels(n);
   if (num <= 1) return fold(size_t{0}, n);
   std::vector<simd::FoldState> parts(num);
-  (void)RunMorsels(n, [&](size_t m, size_t begin, size_t end) {
+  RunMorsels(n, [&](size_t m, size_t begin, size_t end) {
     parts[m] = fold(begin, end);
     return Status::OK();
-  });
+  }).IgnoreError();  // infallible callback, see above
   simd::FoldState acc;
   // Merge in morsel order — the determinism contract's combine sequence.
   for (const simd::FoldState& p : parts) acc.MergeFrom(p);
@@ -149,10 +149,10 @@ simd::FoldState FoldNumericSel(const Column& col, const SelVector& sel) {
 
 void HashI64Span(const int64_t* d, size_t n, std::vector<uint64_t>* out) {
   out->resize(n);
-  (void)RunMorsels(n, [&](size_t, size_t begin, size_t end) {
+  RunMorsels(n, [&](size_t, size_t begin, size_t end) {
     simd::HashI64(d + begin, end - begin, out->data() + begin);
     return Status::OK();
-  });
+  }).IgnoreError();  // infallible callback, see above
 }
 
 }  // namespace datacell::ops::kern

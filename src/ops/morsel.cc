@@ -53,7 +53,9 @@ struct PoolMorselExecutor::Impl {
   Mutex mu{LockRank::kActuator};
   CondVar work_cv;  // workers wait for a job or shutdown
   CondVar done_cv;  // Run() waits for the last morsel
-  std::vector<std::thread> threads;
+  // Touched only by the owner thread (constructor spawn, destructor join);
+  // workers never look at the vector that holds them.
+  std::vector<std::thread> threads DC_UNGUARDED;
 
   // Current job; valid while job_fn != nullptr.
   const MorselFn* job_fn DC_GUARDED_BY(mu) = nullptr;

@@ -8,6 +8,7 @@
 #include "expr/eval.h"
 #include "obs/plans.h"
 #include "sql/plan/rewrite.h"
+#include "util/logging.h"
 
 namespace datacell::sql::plan {
 
@@ -15,6 +16,18 @@ namespace {
 
 std::string LeafBasketName(const std::string& query) {
   return "mqo.q." + query;
+}
+
+// Teardown paths unregister factories that this optimizer registered, so a
+// failure (NotFound = already unregistered) is an invariant break worth a
+// log line — but never worth abandoning a rebuild halfway through, which
+// would strand the surviving queries without a net.
+void UnregisterOrWarn(core::Scheduler& scheduler,
+                      const core::FactoryPtr& factory, const char* where) {
+  if (Status st = scheduler.Unregister(factory); !st.ok()) {
+    DC_LOG(Warn) << "optimizer " << where
+                 << ": unregister failed: " << st.ToString();
+  }
 }
 
 std::string ConjunctsText(const std::vector<Conjunct>& cs) {
@@ -95,7 +108,10 @@ Status QuerySetOptimizer::AddShared(const std::string& name, QueryInfo info) {
   Status rebuilt = RebuildSubnet(basket);
   if (!rebuilt.ok()) {
     queries_.erase(name);
-    (void)engine_->DropBasket(LeafBasketName(name));
+    if (Status st = engine_->DropBasket(LeafBasketName(name)); !st.ok()) {
+      DC_LOG(Warn) << "optimizer AddQuery rollback: drop leaf basket failed: "
+                   << st.ToString();
+    }
     return rebuilt;
   }
   return Status::OK();
@@ -110,14 +126,14 @@ Status QuerySetOptimizer::RemoveQuery(const std::string& name) {
   queries_.erase(it);
   obs::PlansRegistry::Global().Retract(name);
   if (info.direct) {
-    engine_->scheduler().Unregister(info.factory);
+    UnregisterOrWarn(engine_->scheduler(), info.factory, "RemoveQuery");
     return Status::OK();
   }
   // Shared subnet: stop this query's leaf factory, then rebuild the trie
   // for the remaining members. The rebuild's drain delivers in-flight
   // tuples to the survivors' leaves, so their output streams are
   // unaffected by the departure.
-  engine_->scheduler().Unregister(info.factory);
+  UnregisterOrWarn(engine_->scheduler(), info.factory, "RemoveQuery");
   RETURN_NOT_OK(RebuildSubnet(info.cq.source_basket));
   peak_retired_ = std::max(peak_retired_, info.leaf->stats().peak_rows);
   return engine_->DropBasket(LeafBasketName(name));
@@ -294,11 +310,12 @@ Status QuerySetOptimizer::RebuildSubnet(const std::string& basket) {
   auto old = subnets_.find(basket);
   if (old != subnets_.end()) {
     for (Stage& s : old->second.stages) {
-      engine_->scheduler().Unregister(s.factory);
+      UnregisterOrWarn(engine_->scheduler(), s.factory, "RebuildSubnet");
     }
     for (const std::string& qname : members) {
       if (queries_[qname].factory != nullptr) {
-        engine_->scheduler().Unregister(queries_[qname].factory);
+        UnregisterOrWarn(engine_->scheduler(), queries_[qname].factory,
+                         "RebuildSubnet");
       }
     }
     RETURN_NOT_OK(DrainSubnet(basket, &old->second));

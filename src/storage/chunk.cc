@@ -30,6 +30,7 @@ class Reader {
     return v;
   }
   Status Raw(void* out, size_t n) {
+    if (n == 0) return Status::OK();  // memcpy's pointers must be nonnull
     if (pos_ + n > len_) {
       return Status::ParseError("spill chunk truncated at byte " +
                                 std::to_string(pos_));
@@ -107,6 +108,14 @@ Result<Table> DeserializeChunk(const Schema& schema, const char* data,
   if (cols != schema.num_fields()) {
     return Status::ParseError("spill chunk arity mismatch");
   }
+  // Every row costs at least one payload byte in every column, so a row
+  // count larger than the page itself is corrupt. Reject it before any
+  // buffer is sized from it — a 12-byte page claiming 4G rows must fail
+  // here, not in a 4 GB validity allocation.
+  if (cols > 0 && rows > len) {
+    return Status::ParseError("spill chunk row count " + std::to_string(rows) +
+                              " exceeds page size " + std::to_string(len));
+  }
   Table table(schema);
   std::vector<uint8_t> validity;
   for (uint32_t c = 0; c < cols; ++c) {
@@ -129,7 +138,9 @@ Result<Table> DeserializeChunk(const Schema& schema, const char* data,
         if (validity.empty()) {
           std::vector<int64_t>& v = col.ints();
           v.resize(rows);
-          std::memcpy(v.data(), p, rows * sizeof(int64_t));
+          // rows == 0 leaves v.data() null, and memcpy's arguments are
+          // declared nonnull even for a zero count (UBSan enforces this).
+          if (rows != 0) std::memcpy(v.data(), p, rows * sizeof(int64_t));
         } else {
           for (uint32_t i = 0; i < rows; ++i) {
             if (validity[i] == 0) {
@@ -148,7 +159,7 @@ Result<Table> DeserializeChunk(const Schema& schema, const char* data,
         if (validity.empty()) {
           std::vector<double>& v = col.doubles();
           v.resize(rows);
-          std::memcpy(v.data(), p, rows * sizeof(double));
+          if (rows != 0) std::memcpy(v.data(), p, rows * sizeof(double));
         } else {
           for (uint32_t i = 0; i < rows; ++i) {
             if (validity[i] == 0) {

@@ -129,6 +129,16 @@ Result<std::unique_ptr<IngestLog>> IngestLog::Open(const std::string& path,
                            "': " + std::strerror(errno));
   }
   std::unique_ptr<IngestLog> log(new IngestLog(path, fd));
+  // Recovery must accept exactly the logs replay accepts. Open used to
+  // skip tuple decoding, so a log with a record replay rejects (wrong
+  // arity, unregistered stream) would still open — and every record
+  // appended through the recovered handle was unreachable after the next
+  // crash. Running the replay validation (no-op handler) first keeps the
+  // two paths agreeing by construction.
+  RETURN_NOT_OK(ReplayIngestLog(path, [](const std::string&, const Schema&,
+                                         uint64_t, const Row&) {
+                  return Status::OK();
+                }).status());
   std::map<std::string, StreamState> streams;
   Result<ScanResult> scan =
       ScanLog(path, [&streams](const Record& r, uint64_t offset) -> Status {

@@ -66,6 +66,19 @@
 /// The function returns a reference to the given capability.
 #define DC_RETURN_CAPABILITY(x) DC_THREAD_ANNOTATION(lock_returned(x))
 
+/// Declares that a mutable field of a Mutex-owning class is deliberately
+/// not guarded by that mutex — set once before threads exist, owned by a
+/// single thread, or synchronized by other means (say which, in a comment
+/// on the field). The datacell-guarded-by-coverage tidy check treats any
+/// mutable field of a Mutex-owning class without DC_GUARDED_BY or this
+/// opt-out as an error, so the annotation is a reviewed decision, not a
+/// default.
+#if defined(__clang__)
+#define DC_UNGUARDED __attribute__((annotate("datacell_unguarded")))
+#else
+#define DC_UNGUARDED
+#endif
+
 /// Escape hatch: turns the analysis off for one function. Reserved for
 /// dynamic lock sets the analysis cannot model (Factory::Fire's canonical
 /// multi-basket acquisition); the runtime lock-rank checker still covers

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -30,6 +31,7 @@
 #include "core/receptor.h"
 #include "net/actuator.h"
 #include "net/sensor.h"
+#include "storage/chunk.h"
 #include "storage/ingest_log.h"
 #include "storage/pager.h"
 #include "storage/persist.h"
@@ -264,6 +266,34 @@ TEST_F(DurabilityTest, IngestLogMidFileCorruptionIsHardError) {
       << report.status().ToString();
 }
 
+// Regression: fuzz_ingest_log found a log that IngestLog::Open accepted
+// but ReplayIngestLog rejects (a tuple whose arity does not match its
+// stream's declared schema). A handle recovered from such a log is a
+// durability hole — everything appended through it sits beyond a record
+// the next recovery refuses to cross. Open must reject exactly what
+// replay rejects. Raw input: tests/fuzz/corpus/ingest_log/
+// crash-open-replay-divergence.log.
+TEST_F(DurabilityTest, IngestLogOpenRejectsWhatReplayRejects) {
+  const std::string path = Path("divergent.log");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "S|s1|ab:string\n"     // one declared field
+        << "T|s1|1|1|hello\n"     // two values — arity mismatch
+        << "T|s1|2|2|\\N\n"
+        << "K|s1|1\n";
+  }
+  auto report = ReplayIngestLog(
+      path,
+      [](const std::string&, const Schema&, uint64_t, const Row&) -> Status {
+        return Status::OK();
+      });
+  ASSERT_FALSE(report.ok());
+  auto log = IngestLog::Open(path, FsyncPolicy::kNone);
+  EXPECT_FALSE(log.ok())
+      << "Open accepted a log that replay rejects; appends through this "
+         "handle would be unreachable after the next crash";
+}
+
 // A child appends one-row batches with fsync-always until SIGKILL'd. The
 // surviving log must replay a contiguous 1..N prefix — no gaps, no dups —
 // for any kill point (at worst a torn final line, which is dropped).
@@ -301,6 +331,66 @@ TEST_F(DurabilityTest, IngestLogWriterSurvivesSigkill) {
   auto log = IngestLog::Open(path, FsyncPolicy::kNone);
   ASSERT_TRUE(log.ok());
   EXPECT_EQ((*log)->last_seq("s"), seqs.size());
+}
+
+// --- Spill chunk decoder hardening ------------------------------------------
+//
+// Regression cases from the fuzz suite (tests/fuzz/fuzz_chunk.cc). The raw
+// reproducer inputs live under tests/fuzz/corpus/chunk/crash-*.bin; these
+// rebuild the same pages by hand so the failure mode stays legible.
+
+namespace {
+
+void AppendU32(uint32_t v, std::string* out) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+constexpr uint32_t kChunkMagic = 0x44434b31;  // "DCK1"
+
+}  // namespace
+
+// A 14-byte page claiming 4G rows must fail the size sanity check, not
+// reach validity.resize(rows) and attempt a 4 GB allocation.
+// Reproducer: crash-rowcount-overalloc.bin.
+TEST(SpillChunkTest, RowCountLargerThanPageRejected) {
+  Schema schema({{"v", DataType::kInt64}});
+  std::string page;
+  AppendU32(kChunkMagic, &page);
+  AppendU32(0xFFFFFFFFu, &page);  // rows
+  AppendU32(1u, &page);           // cols
+  page.push_back(static_cast<char>(DataType::kInt64));
+  page.push_back(1);  // has-validity: sized from `rows` before the fix
+  auto r = storage::DeserializeChunk(schema, page.data(), page.size());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+// rows == 0 leaves vector::data() null, and memcpy's pointer arguments
+// are declared nonnull even for a zero count — UBSan aborts on the call.
+// Both zero-row shapes (with and without a validity header) must decode.
+// Reproducers: crash-zero-rows-memcpy.bin, crash-zero-rows-validity.bin.
+TEST(SpillChunkTest, ZeroRowChunkDecodesCleanly) {
+  Schema schema({{"a", DataType::kInt64}, {"b", DataType::kDouble}});
+  std::string page;
+  AppendU32(kChunkMagic, &page);
+  AppendU32(0u, &page);  // rows
+  AppendU32(2u, &page);  // cols
+  page.push_back(static_cast<char>(DataType::kInt64));
+  page.push_back(1);  // has-validity, zero validity bytes follow
+  page.push_back(static_cast<char>(DataType::kDouble));
+  page.push_back(0);  // no validity
+  auto r = storage::DeserializeChunk(schema, page.data(), page.size());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_rows(), 0u);
+
+  // And the writer's own zero-row output round-trips.
+  std::string out;
+  ASSERT_TRUE(storage::SerializeChunk(Table(schema), &out).ok());
+  auto rt = storage::DeserializeChunk(schema, out.data(), out.size());
+  ASSERT_TRUE(rt.ok()) << rt.status().ToString();
+  EXPECT_EQ(rt->num_rows(), 0u);
 }
 
 // --- Basket spilling --------------------------------------------------------
@@ -662,7 +752,8 @@ TEST_F(DurabilityTest, ServerKillAndRecover) {
       opt.tuples_per_write = 8;
       opt.write_interval = 500;
       // The server dies under it; the resulting socket error is the point.
-      (void)net::Sensor::Run("127.0.0.1", port, opt, clock);
+      // The error is the expected outcome here, hence the explicit drop.
+      net::Sensor::Run("127.0.0.1", port, opt, clock).IgnoreError();
     });
 
     // Wait until the (fsync-always) log holds a healthy number of records,

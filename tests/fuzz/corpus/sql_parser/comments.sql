@@ -1,0 +1,2 @@
+-- line comment
+SELECT /* block */ 1 + 2 * -3, 'it''s' FROM t;

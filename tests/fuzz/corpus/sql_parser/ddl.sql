@@ -1,0 +1,5 @@
+CREATE TABLE t (a int, b string, c double, d timestamp);
+CREATE BASKET s (x int, y bool);
+DROP BASKET s;
+DECLARE n int;
+SET n = (SELECT a FROM t LIMIT 1);

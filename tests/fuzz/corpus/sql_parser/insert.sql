@@ -1,0 +1,2 @@
+INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL);
+INSERT INTO t SELECT a, b FROM u WHERE b <> 'z';

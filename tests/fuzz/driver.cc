@@ -1,0 +1,292 @@
+/// Standalone driver for the DataCell fuzz harnesses.
+///
+/// Every harness defines the libFuzzer entry point
+///
+///   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+///
+/// When the toolchain has libFuzzer (clang, -DDATACELL_FUZZ_LIBFUZZER=ON),
+/// this file is compiled out and libFuzzer provides main(). Everywhere else
+/// (the GCC CI jobs and the default build) this driver supplies a
+/// compatible main() with two modes:
+///
+///   fuzz_x CORPUS_DIR [FILE...]        replay every input once (regression
+///                                      mode — this is what ctest runs)
+///   fuzz_x -max_total_time=60 CORPUS   deterministic mutational fuzzing
+///                                      seeded from the corpus until the
+///                                      time budget expires
+///
+/// Flags (libFuzzer-compatible spellings):
+///   -max_total_time=N  fuzz for N seconds (0 = replay only, the default)
+///   -runs=N            stop after N mutated executions
+///   -seed=N            PRNG seed (default 1; runs are reproducible)
+///   -max_len=N         cap generated inputs at N bytes (default 65536)
+///
+/// On a crash (signal or sanitizer abort) the input being executed is
+/// written to crash-<pid>.bin in the working directory so it can be
+/// minimized and committed to tests/fuzz/corpus/ as a regression input.
+/// Unknown '-' flags are ignored so libFuzzer invocations stay copyable.
+
+#ifndef DATACELL_HAVE_LIBFUZZER
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+// GCC's libsanitizer exports this when ASan/UBSan is linked; the weak
+// declaration keeps plain builds linking.
+extern "C" void __sanitizer_set_death_callback(void (*callback)(void))
+    __attribute__((weak));
+
+namespace {
+
+// The input currently inside LLVMFuzzerTestOneInput, for the crash dump.
+// Plain pointers: the handlers run async-signal context.
+const uint8_t* g_cur_data = nullptr;
+size_t g_cur_size = 0;
+char g_crash_path[256];
+
+void DumpCurrentInput() {
+  if (g_cur_data == nullptr) return;
+  int fd = ::open(g_crash_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return;
+  size_t done = 0;
+  while (done < g_cur_size) {
+    ssize_t n = ::write(fd, g_cur_data + done, g_cur_size - done);
+    if (n <= 0) break;
+    done += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  const char msg[] = "\n== crashing input written to ";
+  ssize_t w = ::write(2, msg, sizeof(msg) - 1);
+  w = ::write(2, g_crash_path, ::strlen(g_crash_path));
+  w = ::write(2, " ==\n", 4);
+  (void)w;
+}
+
+void CrashSignalHandler(int sig) {
+  DumpCurrentInput();
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+void InstallCrashDumper() {
+  ::snprintf(g_crash_path, sizeof(g_crash_path), "crash-%d.bin",
+             static_cast<int>(::getpid()));
+  for (int sig : {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT}) {
+    ::signal(sig, CrashSignalHandler);
+  }
+  if (__sanitizer_set_death_callback != nullptr) {
+    __sanitizer_set_death_callback(DumpCurrentInput);
+  }
+}
+
+int RunOne(const std::vector<uint8_t>& input) {
+  g_cur_data = input.data();
+  g_cur_size = input.size();
+  int rc = LLVMFuzzerTestOneInput(input.data(), input.size());
+  g_cur_data = nullptr;
+  g_cur_size = 0;
+  return rc;
+}
+
+// xorshift128+: fast, deterministic across platforms.
+struct Rng {
+  uint64_t s0, s1;
+  explicit Rng(uint64_t seed) : s0(seed ^ 0x9e3779b97f4a7c15ULL), s1(seed) {
+    for (int i = 0; i < 8; ++i) Next();
+  }
+  uint64_t Next() {
+    uint64_t x = s0;
+    const uint64_t y = s1;
+    s0 = y;
+    x ^= x << 23;
+    s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1 + y;
+  }
+  size_t Below(size_t n) { return n == 0 ? 0 : Next() % n; }
+};
+
+// One random structural edit. The menu mirrors libFuzzer's basic mutators:
+// bit/byte flips, inserts, erases, block duplication, interesting bytes,
+// and cross-seed splicing (structure transfer between corpus inputs).
+void Mutate(std::vector<uint8_t>* input, const std::vector<std::vector<uint8_t>>& corpus,
+            size_t max_len, Rng* rng) {
+  static const uint8_t kInteresting[] = {0,    1,    0x7f, 0x80, 0xff,
+                                         '\n', '|',  '\\', ':',  ';',
+                                         ' ',  '\'', '"',  '0',  '9'};
+  std::vector<uint8_t>& in = *input;
+  switch (rng->Below(8)) {
+    case 0:  // flip a bit
+      if (!in.empty()) in[rng->Below(in.size())] ^= 1u << rng->Below(8);
+      break;
+    case 1:  // random byte
+      if (!in.empty()) {
+        in[rng->Below(in.size())] = static_cast<uint8_t>(rng->Next());
+      }
+      break;
+    case 2:  // interesting byte
+      if (!in.empty()) {
+        in[rng->Below(in.size())] =
+            kInteresting[rng->Below(sizeof(kInteresting))];
+      }
+      break;
+    case 3:  // insert a byte
+      if (in.size() < max_len) {
+        in.insert(in.begin() + static_cast<long>(rng->Below(in.size() + 1)),
+                  static_cast<uint8_t>(rng->Next()));
+      }
+      break;
+    case 4:  // erase a run
+      if (!in.empty()) {
+        size_t at = rng->Below(in.size());
+        size_t n = 1 + rng->Below(in.size() - at);
+        in.erase(in.begin() + static_cast<long>(at),
+                 in.begin() + static_cast<long>(at + n));
+      }
+      break;
+    case 5: {  // duplicate a block
+      if (!in.empty() && in.size() < max_len) {
+        size_t at = rng->Below(in.size());
+        size_t n = 1 + rng->Below(std::min(in.size() - at, max_len - in.size()));
+        std::vector<uint8_t> block(in.begin() + static_cast<long>(at),
+                                   in.begin() + static_cast<long>(at + n));
+        in.insert(in.begin() + static_cast<long>(rng->Below(in.size() + 1)),
+                  block.begin(), block.end());
+      }
+      break;
+    }
+    case 6: {  // splice with another corpus input
+      if (!corpus.empty()) {
+        const std::vector<uint8_t>& other = corpus[rng->Below(corpus.size())];
+        if (!other.empty()) {
+          size_t keep = rng->Below(in.size() + 1);
+          size_t from = rng->Below(other.size());
+          in.resize(keep);
+          in.insert(in.end(), other.begin() + static_cast<long>(from),
+                    other.end());
+          if (in.size() > max_len) in.resize(max_len);
+        }
+      }
+      break;
+    }
+    case 7:  // truncate
+      if (!in.empty()) in.resize(rng->Below(in.size()));
+      break;
+  }
+}
+
+bool ReadFile(const std::string& path, std::vector<uint8_t>* out) {
+  FILE* f = ::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out->clear();
+  uint8_t buf[4096];
+  size_t n = 0;
+  while ((n = ::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->insert(out->end(), buf, buf + n);
+  }
+  ::fclose(f);
+  return true;
+}
+
+void CollectInputs(const std::string& path, std::vector<std::string>* files) {
+  struct stat st {};
+  if (::stat(path.c_str(), &st) != 0) {
+    ::fprintf(stderr, "fuzz driver: cannot stat '%s'\n", path.c_str());
+    return;
+  }
+  if (!S_ISDIR(st.st_mode)) {
+    files->push_back(path);
+    return;
+  }
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return;
+  while (dirent* e = ::readdir(dir)) {
+    if (e->d_name[0] == '.') continue;
+    CollectInputs(path + "/" + e->d_name, files);
+  }
+  ::closedir(dir);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  InstallCrashDumper();
+
+  uint64_t seed = 1;
+  long max_total_time = 0;
+  long runs = -1;
+  size_t max_len = 65536;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("-max_total_time=", 0) == 0 ||
+        arg.rfind("-seconds=", 0) == 0) {
+      max_total_time = ::atol(arg.c_str() + arg.find('=') + 1);
+    } else if (arg.rfind("-runs=", 0) == 0) {
+      runs = ::atol(arg.c_str() + 6);
+    } else if (arg.rfind("-seed=", 0) == 0) {
+      seed = static_cast<uint64_t>(::atoll(arg.c_str() + 6));
+    } else if (arg.rfind("-max_len=", 0) == 0) {
+      max_len = static_cast<size_t>(::atoll(arg.c_str() + 9));
+    } else if (!arg.empty() && arg[0] == '-') {
+      // Unknown libFuzzer flag: ignore, so invocations stay copyable.
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  // Load and replay the corpus. Replay alone is the ctest regression mode:
+  // every committed crash reproducer runs on every build.
+  std::vector<std::string> files;
+  for (const std::string& p : paths) CollectInputs(p, &files);
+  std::vector<std::vector<uint8_t>> corpus;
+  for (const std::string& f : files) {
+    std::vector<uint8_t> bytes;
+    if (!ReadFile(f, &bytes)) {
+      ::fprintf(stderr, "fuzz driver: cannot read '%s'\n", f.c_str());
+      return 2;
+    }
+    ::fprintf(stderr, "replay %s (%zu bytes)\n", f.c_str(), bytes.size());
+    RunOne(bytes);
+    corpus.push_back(std::move(bytes));
+  }
+  ::fprintf(stderr, "fuzz driver: replayed %zu corpus inputs\n",
+            corpus.size());
+  if (max_total_time <= 0 && runs <= 0) return 0;
+
+  if (corpus.empty()) corpus.push_back({});
+  Rng rng(seed);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(max_total_time);
+  long executed = 0;
+  std::vector<uint8_t> input;
+  while (true) {
+    if (runs >= 0 && executed >= runs) break;
+    if (max_total_time > 0 && (executed & 0x3f) == 0 &&
+        std::chrono::steady_clock::now() >= deadline) {
+      break;
+    }
+    if (runs < 0 && max_total_time <= 0) break;
+    input = corpus[rng.Below(corpus.size())];
+    const size_t edits = 1 + rng.Below(8);
+    for (size_t e = 0; e < edits; ++e) Mutate(&input, corpus, max_len, &rng);
+    RunOne(input);
+    ++executed;
+  }
+  ::fprintf(stderr, "fuzz driver: %ld mutated executions, no crashes\n",
+            executed);
+  return 0;
+}
+
+#endif  // !DATACELL_HAVE_LIBFUZZER

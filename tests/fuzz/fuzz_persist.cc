@@ -1,0 +1,76 @@
+/// Fuzz harness: storage/persist LoadTable.
+///
+/// .dct files are read back at startup from whatever is on disk, so
+/// LoadTable must treat the file as untrusted: arbitrary bytes either load
+/// or fail with a Status, and anything that loads must survive a
+/// SaveTable/LoadTable round trip with the same shape.
+
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "column/table.h"
+#include "storage/persist.h"
+
+namespace {
+
+// Writes the fuzz input to a fresh temp file and returns its path, or an
+// empty string on failure (resource exhaustion, not a harness bug).
+std::string WriteTempFile(const uint8_t* data, size_t size) {
+  char path[] = "/tmp/dc_fuzz_persist_XXXXXX";
+  int fd = ::mkstemp(path);
+  if (fd < 0) return {};
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::write(fd, data + done, size - done);
+    if (n <= 0) {
+      ::close(fd);
+      ::unlink(path);
+      return {};
+    }
+    done += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  return path;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > (1 << 16)) return 0;
+  const std::string path = WriteTempFile(data, size);
+  if (path.empty()) return 0;
+
+  datacell::Result<datacell::Table> table =
+      datacell::storage::LoadTable(path);
+  if (!table.ok()) {
+    ::unlink(path.c_str());
+    return 0;
+  }
+
+  // Re-save over the same file and load again: shape must be preserved.
+  if (datacell::Status st = datacell::storage::SaveTable(*table, path);
+      !st.ok()) {
+    std::fprintf(stderr, "fuzz_persist: SaveTable failed on loaded table: %s\n",
+                 st.ToString().c_str());
+    std::abort();
+  }
+  datacell::Result<datacell::Table> again =
+      datacell::storage::LoadTable(path);
+  ::unlink(path.c_str());
+  if (!again.ok()) {
+    std::fprintf(stderr, "fuzz_persist: round trip rejected own output: %s\n",
+                 again.status().ToString().c_str());
+    std::abort();
+  }
+  if (again->num_rows() != table->num_rows() ||
+      again->num_columns() != table->num_columns()) {
+    std::fprintf(stderr, "fuzz_persist: round trip changed table shape\n");
+    std::abort();
+  }
+  return 0;
+}

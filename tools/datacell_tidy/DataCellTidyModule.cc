@@ -1,0 +1,34 @@
+/// Registers the DataCell checks as an out-of-tree clang-tidy module.
+///
+///   clang-tidy -load $BUILD/tools/datacell_tidy/libdatacell_tidy.so \
+///              -checks='datacell-*' ...
+///
+/// run_tidy.sh passes -load automatically when the plugin was built.
+
+#include "DataCellTidyChecks.h"
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+namespace clang::tidy {
+namespace datacell {
+
+class DataCellTidyModule : public ClangTidyModule {
+ public:
+  void addCheckFactories(ClangTidyCheckFactories& Factories) override {
+    Factories.registerCheck<GuardedByCoverageCheck>(
+        "datacell-guarded-by-coverage");
+    Factories.registerCheck<StatusCheckedCheck>("datacell-status-checked");
+    Factories.registerCheck<NoRawSyncCheck>("datacell-no-raw-sync");
+    Factories.registerCheck<LockRankOrderCheck>("datacell-lock-rank-order");
+  }
+};
+
+}  // namespace datacell
+
+static ClangTidyModuleRegistry::Add<datacell::DataCellTidyModule>
+    X("datacell-module", "DataCell project-specific checks.");
+
+// Pulled in by the -load mechanism; keeps the module object file live.
+volatile int DataCellTidyModuleAnchorSource = 0;
+
+}  // namespace clang::tidy

@@ -1,0 +1,80 @@
+#include "DataCellTidyChecks.h"
+#include "clang/AST/Attr.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::datacell {
+
+namespace {
+
+bool IsMutexType(QualType QT) {
+  const CXXRecordDecl* RD = QT.getCanonicalType()->getAsCXXRecordDecl();
+  if (RD == nullptr) return false;
+  const std::string Name = RD->getQualifiedNameAsString();
+  return Name == "datacell::Mutex" || Name == "datacell::RecursiveMutex";
+}
+
+bool HasGuardedByAttr(const FieldDecl* FD) {
+  return FD->hasAttr<GuardedByAttr>() || FD->hasAttr<PtGuardedByAttr>();
+}
+
+bool HasUnguardedAnnotation(const FieldDecl* FD) {
+  for (const auto* A : FD->specific_attrs<AnnotateAttr>()) {
+    if (A->getAnnotation() == "datacell_unguarded") return true;
+  }
+  return false;
+}
+
+// Fields that are immutable after construction need no guard: const
+// members, and reference members (rebinding is impossible).
+bool IsImmutable(const FieldDecl* FD) {
+  QualType QT = FD->getType();
+  return QT.isConstQualified() || QT->isReferenceType();
+}
+
+// std::atomic<T> members synchronize themselves; requiring a mutex guard
+// on them would push people toward double-locking.
+bool IsAtomic(const FieldDecl* FD) {
+  return FD->getType().getCanonicalType()->isAtomicType() ||
+         FD->getType().getAsString().find("std::atomic") != std::string::npos;
+}
+
+}  // namespace
+
+void GuardedByCoverageCheck::registerMatchers(MatchFinder* Finder) {
+  Finder->addMatcher(
+      cxxRecordDecl(isDefinition(),
+                    unless(isExpansionInSystemHeader()),
+                    has(fieldDecl().bind("anyField")))
+          .bind("record"),
+      this);
+}
+
+void GuardedByCoverageCheck::check(const MatchFinder::MatchResult& Result) {
+  const auto* Record = Result.Nodes.getNodeAs<CXXRecordDecl>("record");
+  if (Record == nullptr) return;
+
+  // Only classes that own a mutex are in scope; everything else is
+  // synchronized externally or not at all, which this check cannot judge.
+  const FieldDecl* MutexField = nullptr;
+  for (const FieldDecl* FD : Record->fields()) {
+    if (IsMutexType(FD->getType())) {
+      MutexField = FD;
+      break;
+    }
+  }
+  if (MutexField == nullptr) return;
+
+  for (const FieldDecl* FD : Record->fields()) {
+    if (FD == MutexField || IsMutexType(FD->getType())) continue;
+    if (IsImmutable(FD) || IsAtomic(FD)) continue;
+    if (HasGuardedByAttr(FD) || HasUnguardedAnnotation(FD)) continue;
+    diag(FD->getLocation(),
+         "mutable field %0 of mutex-owning class %1 is neither "
+         "DC_GUARDED_BY a mutex nor marked DC_UNGUARDED")
+        << FD << Record;
+  }
+}
+
+}  // namespace clang::tidy::datacell

@@ -1,0 +1,112 @@
+#include "DataCellTidyChecks.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::datacell {
+
+namespace {
+
+bool IsGuardType(QualType QT) {
+  const CXXRecordDecl* RD = QT.getCanonicalType()->getAsCXXRecordDecl();
+  if (RD == nullptr) return false;
+  const std::string Name = RD->getQualifiedNameAsString();
+  return Name == "datacell::MutexLock" ||
+         Name == "datacell::RecursiveMutexLock";
+}
+
+// Resolves the LockRank of the mutex a guard names, by chasing the guard's
+// constructor argument (&member_ / &var) back to the declaration and
+// reading the `Mutex mu_{LockRank::kX}` initializer. Returns -1 when the
+// rank is not statically visible (mutex passed by pointer parameter,
+// picked from a container, ...): those acquisitions are the runtime
+// checker's job, and guessing here would produce false positives.
+int ResolveRank(const Expr* MutexArg) {
+  const Expr* E = MutexArg->IgnoreParenImpCasts();
+  if (const auto* UO = dyn_cast<UnaryOperator>(E);
+      UO != nullptr && UO->getOpcode() == UO_AddrOf) {
+    E = UO->getSubExpr()->IgnoreParenImpCasts();
+  }
+  const ValueDecl* VD = nullptr;
+  if (const auto* ME = dyn_cast<MemberExpr>(E)) {
+    VD = ME->getMemberDecl();
+  } else if (const auto* DRE = dyn_cast<DeclRefExpr>(E)) {
+    VD = DRE->getDecl();
+  }
+  if (VD == nullptr) return -1;
+  const Expr* Init = nullptr;
+  if (const auto* FD = dyn_cast<FieldDecl>(VD)) {
+    Init = FD->getInClassInitializer();
+  } else if (const auto* Var = dyn_cast<VarDecl>(VD)) {
+    Init = Var->getInit();
+  }
+  if (Init == nullptr) return -1;
+  // The initializer is Mutex{LockRank::kX} / Mutex(LockRank::kX); the rank
+  // is the first constructor argument's enum value.
+  const auto* Ctor = dyn_cast<CXXConstructExpr>(Init->IgnoreParenImpCasts());
+  if (Ctor == nullptr || Ctor->getNumArgs() < 1) return -1;
+  Expr::EvalResult Eval;
+  if (!Ctor->getArg(0)->EvaluateAsInt(Eval, VD->getASTContext())) return -1;
+  return static_cast<int>(Eval.Val.getInt().getExtValue());
+}
+
+// Walks one function body tracking the stack of lexically live guards.
+class GuardNestingVisitor : public RecursiveASTVisitor<GuardNestingVisitor> {
+ public:
+  GuardNestingVisitor(ClangTidyCheck* Check) : Check_(Check) {}
+
+  bool TraverseCompoundStmt(CompoundStmt* CS) {
+    const size_t Depth = Held_.size();
+    const bool Ok =
+        RecursiveASTVisitor<GuardNestingVisitor>::TraverseCompoundStmt(CS);
+    Held_.resize(Depth);  // guards die at the closing brace
+    return Ok;
+  }
+
+  bool VisitVarDecl(VarDecl* VD) {
+    if (!IsGuardType(VD->getType())) return true;
+    const auto* Ctor =
+        dyn_cast_or_null<CXXConstructExpr>(VD->getInit());
+    if (Ctor == nullptr || Ctor->getNumArgs() < 1) return true;
+    const int Rank = ResolveRank(Ctor->getArg(0));
+    for (const auto& [HeldRank, HeldLoc] : Held_) {
+      // The hierarchy runs outermost-first: each nested acquisition must
+      // have *lower* rank than everything already held. Equal rank is the
+      // basket-pair special case, which Factory::Fire orders by address
+      // and DC_NO_THREAD_SAFETY_ANALYSIS already exempts.
+      if (Rank >= 0 && HeldRank >= 0 && Rank > HeldRank) {
+        Check_->diag(VD->getLocation(),
+                     "lock acquired here has rank %0, but a rank-%1 lock "
+                     "is already held in this scope; acquisitions must "
+                     "descend the LockRank hierarchy (util/lock_rank.h)")
+            << Rank << HeldRank;
+      }
+    }
+    if (Rank >= 0) Held_.emplace_back(Rank, VD->getLocation());
+    return true;
+  }
+
+ private:
+  ClangTidyCheck* Check_;
+  std::vector<std::pair<int, SourceLocation>> Held_;
+};
+
+}  // namespace
+
+void LockRankOrderCheck::registerMatchers(MatchFinder* Finder) {
+  Finder->addMatcher(
+      functionDecl(isDefinition(), hasBody(compoundStmt()),
+                   unless(isExpansionInSystemHeader()))
+          .bind("func"),
+      this);
+}
+
+void LockRankOrderCheck::check(const MatchFinder::MatchResult& Result) {
+  const auto* Func = Result.Nodes.getNodeAs<FunctionDecl>("func");
+  if (Func == nullptr || !Func->hasBody()) return;
+  GuardNestingVisitor Visitor(this);
+  Visitor.TraverseStmt(Func->getBody());
+}
+
+}  // namespace clang::tidy::datacell

@@ -1,0 +1,56 @@
+#include "DataCellTidyChecks.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::datacell {
+
+namespace {
+
+// util/mutex.h is the one sanctioned wrapper around the raw primitives;
+// everything under src/util may reach them.
+bool InUtilDir(StringRef File) { return File.contains("/src/util/"); }
+
+}  // namespace
+
+void NoRawSyncCheck::registerMatchers(MatchFinder* Finder) {
+  const auto RawSyncType = hasDeclaration(namedDecl(hasAnyName(
+      "::std::mutex", "::std::recursive_mutex", "::std::shared_mutex",
+      "::std::timed_mutex", "::std::recursive_timed_mutex",
+      "::std::condition_variable", "::std::condition_variable_any",
+      "::std::lock_guard", "::std::unique_lock", "::std::shared_lock",
+      "::std::scoped_lock")));
+  Finder->addMatcher(
+      typeLoc(loc(qualType(RawSyncType)),
+              unless(isExpansionInSystemHeader()))
+          .bind("rawType"),
+      this);
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(
+                   matchesName("^::pthread_(mutex|cond|rwlock|spin)_"))),
+               unless(isExpansionInSystemHeader()))
+          .bind("pthreadCall"),
+      this);
+}
+
+void NoRawSyncCheck::check(const MatchFinder::MatchResult& Result) {
+  const SourceManager& SM = *Result.SourceManager;
+  if (const auto* TL = Result.Nodes.getNodeAs<TypeLoc>("rawType")) {
+    const StringRef File = SM.getFilename(TL->getBeginLoc());
+    if (InUtilDir(File)) return;
+    diag(TL->getBeginLoc(),
+         "raw standard-library synchronization primitive; use "
+         "datacell::Mutex / MutexLock (util/mutex.h) so the LockRank "
+         "checker and thread-safety annotations see the acquisition");
+    return;
+  }
+  if (const auto* Call = Result.Nodes.getNodeAs<CallExpr>("pthreadCall")) {
+    const StringRef File = SM.getFilename(Call->getBeginLoc());
+    if (InUtilDir(File)) return;
+    diag(Call->getBeginLoc(),
+         "direct pthread synchronization call; use datacell::Mutex / "
+         "CondVar (util/mutex.h) instead");
+  }
+}
+
+}  // namespace clang::tidy::datacell

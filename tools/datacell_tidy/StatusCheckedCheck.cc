@@ -1,0 +1,58 @@
+#include "DataCellTidyChecks.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::datacell {
+
+namespace {
+
+bool IsStatusLike(QualType QT) {
+  const CXXRecordDecl* RD = QT.getCanonicalType()->getAsCXXRecordDecl();
+  if (RD == nullptr) return false;
+  const std::string Name = RD->getQualifiedNameAsString();
+  return Name == "datacell::Status" || Name == "datacell::Result";
+}
+
+}  // namespace
+
+void StatusCheckedCheck::registerMatchers(MatchFinder* Finder) {
+  // A call whose full expression is itself a statement: the value had
+  // nowhere to go. exprWithCleanups wraps calls returning non-trivial
+  // types, so match through it.
+  auto DiscardedCall =
+      expr(anyOf(callExpr().bind("call"),
+                 exprWithCleanups(has(callExpr().bind("call")))));
+  Finder->addMatcher(
+      compoundStmt(forEach(stmt(DiscardedCall))), this);
+  // An explicit (void) cast of a Status/Result defeats [[nodiscard]]
+  // silently; in this codebase it is the same bug with extra steps.
+  Finder->addMatcher(
+      cStyleCastExpr(hasDestinationType(voidType()),
+                     hasSourceExpression(callExpr().bind("voidedCall"))),
+      this);
+  Finder->addMatcher(
+      cxxStaticCastExpr(hasDestinationType(voidType()),
+                        hasSourceExpression(callExpr().bind("voidedCall"))),
+      this);
+}
+
+void StatusCheckedCheck::check(const MatchFinder::MatchResult& Result) {
+  if (const auto* Call = Result.Nodes.getNodeAs<CallExpr>("call")) {
+    if (IsStatusLike(Call->getType())) {
+      diag(Call->getBeginLoc(),
+           "Status/Result returned here is discarded; check it, "
+           "RETURN_NOT_OK it, or log why it cannot fail");
+    }
+    return;
+  }
+  if (const auto* Call = Result.Nodes.getNodeAs<CallExpr>("voidedCall")) {
+    if (IsStatusLike(Call->getType())) {
+      diag(Call->getBeginLoc(),
+           "casting a Status/Result to void swallows the error; handle it "
+           "or route it through a logging helper");
+    }
+  }
+}
+
+}  // namespace clang::tidy::datacell

@@ -1,0 +1,491 @@
+#!/usr/bin/env python3
+"""Toolchain-free implementation of the datacell-* tidy checks.
+
+The canonical implementation of these checks is the clang-tidy plugin next
+to this file (DataCellTidyModule.cc), which works on the real AST. This
+script re-implements the same four checks over the raw source text so the
+gate runs in environments without clang — same check names, same
+clang-tidy-style diagnostics, same exit discipline (any finding is a
+failure). run_tidy.sh runs whichever is available; CI runs both.
+
+Checks:
+  datacell-guarded-by-coverage  mutable fields of Mutex-owning classes must
+                                carry DC_GUARDED_BY(...) or DC_UNGUARDED
+  datacell-status-checked       `(void)` / static_cast<void> of a call that
+                                returns Status/Result is an error (plain
+                                discards are caught by [[nodiscard]] +
+                                -Werror; Status::IgnoreError() is the one
+                                sanctioned explicit drop)
+  datacell-no-raw-sync          std::mutex & friends / pthread_* sync
+                                primitives are banned outside src/util/
+  datacell-lock-rank-order      lexically nested MutexLock acquisitions
+                                must descend the LockRank hierarchy
+
+Suppression: a `// NOLINT(datacell-...)` or `// NOLINT` comment on the
+flagged line, or NOLINTNEXTLINE on the line before — same grammar
+clang-tidy uses, so suppressions carry over between implementations.
+
+Usage:
+  datacell_tidy.py [--repo-root DIR] [--checks name,name] [paths...]
+
+With no paths, scans src/, tools/, tests/ and bench/ under the repo root.
+Exit status: 0 clean, 1 findings, 2 usage/environment error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+CHECK_NAMES = (
+    "datacell-guarded-by-coverage",
+    "datacell-status-checked",
+    "datacell-no-raw-sync",
+    "datacell-lock-rank-order",
+)
+
+# ---------------------------------------------------------------------------
+# Source model
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving offsets.
+
+    Every replaced character becomes a space (newlines survive), so line
+    and column numbers computed on the result match the original file.
+    NOLINT comments are honoured separately (see nolint_lines), before
+    this pass erases them.
+    """
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif c == "/" and nxt == "*":
+            out[i] = out[i + 1] = " "
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and
+                                 text[i + 1] == "/"):
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = out[i + 1] = " "
+                i += 2
+        elif c == "'" and i > 0 and (text[i - 1].isalnum() or
+                                     text[i - 1] == "_"):
+            # Digit separator (30'000) or literal prefix (L'a'), not a
+            # char-literal open quote.
+            i += 1
+        elif c in "\"'":
+            quote = c
+            out[i] = " "
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out[i] = " "
+                    i += 1
+                    if i < n and text[i] != "\n":
+                        out[i] = " "
+                    i += 1
+                    continue
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = " "
+                i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+class SourceFile:
+    def __init__(self, path, repo_root):
+        self.path = path
+        self.rel = os.path.relpath(path, repo_root)
+        with open(path, encoding="utf-8", errors="replace") as f:
+            self.text = f.read()
+        self.clean = strip_comments_and_strings(self.text)
+        self.lines = self.text.split("\n")
+        self._nolint = self._collect_nolint()
+
+    def _collect_nolint(self):
+        """line number -> set of suppressed check names ('*' = all)."""
+        suppressed = {}
+        pat = re.compile(r"//\s*NOLINT(NEXTLINE)?(?:\(([^)]*)\))?")
+        for lineno, line in enumerate(self.lines, start=1):
+            m = pat.search(line)
+            if not m:
+                continue
+            target = lineno + 1 if m.group(1) else lineno
+            names = {"*"}
+            if m.group(2):
+                names = {s.strip() for s in m.group(2).split(",")}
+            suppressed.setdefault(target, set()).update(names)
+        return suppressed
+
+    def suppressed(self, lineno, check):
+        names = self._nolint.get(lineno, ())
+        return "*" in names or check in names
+
+    def lineno(self, offset):
+        return self.text.count("\n", 0, offset) + 1
+
+    def col(self, offset):
+        return offset - self.text.rfind("\n", 0, offset)
+
+
+class Diagnostics:
+    def __init__(self):
+        self.items = []
+
+    def report(self, src, offset, check, message):
+        lineno = src.lineno(offset)
+        if src.suppressed(lineno, check):
+            return
+        self.items.append(
+            (src.path, lineno, src.col(offset), message, check))
+
+    def dump(self, out):
+        for path, line, col, message, check in sorted(self.items):
+            out.write(f"{path}:{line}:{col}: warning: {message} [{check}]\n")
+
+
+# ---------------------------------------------------------------------------
+# datacell-guarded-by-coverage
+
+CLASS_RE = re.compile(
+    r"\b(?:class|struct)\s+(?:DC_\w+(?:\([^)]*\))?\s+)*(\w+)"
+    r"(?:\s+final)?\s*(?::[^{;]*)?\{")
+
+FIELD_EXEMPT_TYPES = re.compile(
+    r"std::atomic\b|\batomic<|&\s*$|\bMutex\b|\bRecursiveMutex\b|\bCondVar\b")
+
+
+def find_class_bodies(clean):
+    """Yields (name, body_start, body_end) for every class/struct body."""
+    for m in CLASS_RE.finditer(clean):
+        depth = 0
+        i = m.end() - 1
+        n = len(clean)
+        while i < n:
+            if clean[i] == "{":
+                depth += 1
+            elif clean[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    yield m.group(1), m.end(), i
+                    break
+            i += 1
+
+
+def split_member_decls(body):
+    """Splits a class body into top-level ';'-terminated declarations.
+
+    Returns (offset, decl_text) pairs. Function bodies, nested classes and
+    brace initializers are kept inside their declaration text because the
+    split only happens at depth 0.
+    """
+    decls = []
+    depth = 0
+    start = 0
+    for i, c in enumerate(body):
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+        elif c == ";" and depth == 0:
+            decls.append((start, body[start:i]))
+            start = i + 1
+    return decls
+
+
+ANNOT_RE = re.compile(r"\bDC_(?:PT_)?GUARDED_BY\s*\([^)]*\)|\bDC_UNGUARDED\b")
+FIELD_RE = re.compile(
+    r"^(?P<quals>(?:mutable\s+|const\s+|volatile\s+)*)"
+    r"(?P<type>[\w:]+(?:\s*<[^;()]*>)?(?:\s*::\s*\w+)?[\s*&]+)"
+    r"(?P<name>\w+)"
+    r"(?P<init>\s*(?:\{[^;]*\}|=[^;]*)?)\s*$")
+NON_FIELD_KEYWORDS = re.compile(
+    r"^\s*(?:using\b|typedef\b|friend\b|static\b|enum\b|class\b|struct\b|"
+    r"template\b|public:|private:|protected:|explicit\b|virtual\b|"
+    r"operator\b|~)")
+
+
+def parse_field(decl):
+    """Returns (name, type, quals, annotated, exempt) or None."""
+    stripped = decl
+    # Trailing access-specifier labels glue onto the next declaration after
+    # the depth-0 split ("private:\n  int x_"); peel them off.
+    stripped = re.sub(r"^\s*(?:public|private|protected)\s*:", " ", stripped)
+    if NON_FIELD_KEYWORDS.search(stripped):
+        return None
+    annotated = bool(ANNOT_RE.search(stripped))
+    stripped = ANNOT_RE.sub(" ", stripped)
+    # [[attr]] spellings on the field (e.g. [[maybe_unused]]).
+    stripped = re.sub(r"\[\[[^\]]*\]\]", " ", stripped)
+    flat = " ".join(stripped.split())
+    if not flat or "(" in flat or ")" in flat:
+        return None  # member function, function pointer, std::function, ...
+    m = FIELD_RE.match(flat)
+    if not m:
+        return None
+    quals = m.group("quals")
+    typ = m.group("type").strip()
+    exempt = ("const" in quals.split() or
+              bool(FIELD_EXEMPT_TYPES.search(typ)) or typ.endswith("&"))
+    return m.group("name"), typ, quals, annotated, exempt
+
+
+MUTEX_FIELD_RE = re.compile(r"\b(?:Mutex|RecursiveMutex)\s+\w+\s*[{;=]")
+
+
+def check_guarded_by(src, diags):
+    for _cls, start, end in find_class_bodies(src.clean):
+        body = src.clean[start:end]
+        if not MUTEX_FIELD_RE.search(body):
+            continue
+        for off, decl in split_member_decls(body):
+            parsed = parse_field(decl)
+            if parsed is None:
+                continue
+            name, typ, _quals, annotated, exempt = parsed
+            if annotated or exempt:
+                continue
+            name_off = start + off + decl.rfind(name)
+            diags.report(
+                src, name_off, "datacell-guarded-by-coverage",
+                f"mutable field '{name}' of mutex-owning class is neither "
+                "DC_GUARDED_BY a mutex nor marked DC_UNGUARDED")
+
+
+# ---------------------------------------------------------------------------
+# datacell-status-checked
+
+STATUS_FN_DECL_RE = re.compile(
+    r"\b(?:Status|Result<[^;{}=]{0,80}?>)\s+(?:[\w]+::)*(\w+)\s*\(")
+VOID_CAST_RE = re.compile(
+    r"(?:\(\s*void\s*\)|static_cast<\s*void\s*>\s*\()\s*"
+    r"(?:\w+(?:::\w+)*(?:\s*(?:\.|->)\s*\w+)*)\s*\(")
+CALLEE_RE = re.compile(r"(\w+)\s*\($")
+
+
+def collect_fallible_names(sources):
+    """Names of functions declared to return Status or Result<...>."""
+    names = set()
+    for src in sources:
+        for m in STATUS_FN_DECL_RE.finditer(src.clean):
+            names.add(m.group(1))
+    return names
+
+
+def check_status_checked(src, diags, fallible):
+    for m in VOID_CAST_RE.finditer(src.clean):
+        callee = CALLEE_RE.search(m.group(0).rstrip())
+        if callee is None or callee.group(1) not in fallible:
+            continue
+        diags.report(
+            src, m.start(), "datacell-status-checked",
+            f"void-cast discards the Status/Result of '{callee.group(1)}'; "
+            "handle it or use Status::IgnoreError() with a comment")
+
+
+# ---------------------------------------------------------------------------
+# datacell-no-raw-sync
+
+RAW_SYNC_RE = re.compile(
+    r"\bstd\s*::\s*(?:recursive_)?(?:timed_)?mutex\b|"
+    r"\bstd\s*::\s*shared_(?:timed_)?mutex\b|"
+    r"\bstd\s*::\s*condition_variable(?:_any)?\b|"
+    r"\bstd\s*::\s*(?:lock_guard|unique_lock|shared_lock|scoped_lock)\b|"
+    r"\bpthread_(?:mutex|cond|rwlock|spin)_\w+")
+
+
+def check_no_raw_sync(src, diags):
+    if f"{os.sep}src{os.sep}util{os.sep}" in src.path:
+        return  # util/mutex.h wraps the primitives; it may name them
+    for m in RAW_SYNC_RE.finditer(src.clean):
+        diags.report(
+            src, m.start(), "datacell-no-raw-sync",
+            f"raw synchronization primitive '{m.group(0).strip()}'; use "
+            "datacell::Mutex / MutexLock (util/mutex.h) so the LockRank "
+            "checker and DC_* annotations see the acquisition")
+
+
+# ---------------------------------------------------------------------------
+# datacell-lock-rank-order
+
+RANK_ENUM_RE = re.compile(r"\bk(\w+)\s*=\s*(\d+)")
+MUTEX_DECL_RE = re.compile(
+    r"\b(?:Mutex|RecursiveMutex)\s+(\w+)\s*\{\s*LockRank::k(\w+)\s*\}")
+GUARD_RE = re.compile(
+    r"\b(?:Recursive)?MutexLock\s+\w+\s*\(\s*&\s*"
+    r"(?:[\w]+(?:\.|->))*(\w+)\s*\)")
+
+
+def load_rank_values(repo_root):
+    path = os.path.join(repo_root, "src", "util", "lock_rank.h")
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = strip_comments_and_strings(f.read())
+    except OSError:
+        return {}
+    return {m.group(1): int(m.group(2))
+            for m in RANK_ENUM_RE.finditer(text)}
+
+
+def mutex_ranks_for(src, sources_by_path, ranks):
+    """name -> rank for mutexes visible to this translation unit.
+
+    Statically resolvable means: declared with an inline
+    `{LockRank::kX}` initializer in this file or in the same-stem header
+    (foo.cc -> foo.h), the only places the codebase declares mutexes. A
+    name declared twice with different ranks is dropped as ambiguous.
+    """
+    candidates = [src]
+    stem, ext = os.path.splitext(src.path)
+    if ext == ".cc":
+        header = sources_by_path.get(stem + ".h")
+        if header is not None:
+            candidates.append(header)
+    table = {}
+    for cand in candidates:
+        for m in MUTEX_DECL_RE.finditer(cand.clean):
+            name, rank_name = m.group(1), m.group(2)
+            rank = ranks.get(rank_name)
+            if rank is None:
+                continue
+            if name in table and table[name] != rank:
+                table[name] = None  # ambiguous: never guess
+            else:
+                table.setdefault(name, rank)
+    return {k: v for k, v in table.items() if v is not None}
+
+
+def check_lock_rank_order(src, diags, sources_by_path, ranks):
+    table = mutex_ranks_for(src, sources_by_path, ranks)
+    if not table:
+        return
+    clean = src.clean
+    guards = sorted(
+        (m.start(), m.group(1)) for m in GUARD_RE.finditer(clean))
+    if not guards:
+        return
+    held = []  # (depth_at_acquisition, rank, name)
+    gi = 0
+    depth = 0
+    for i, c in enumerate(clean):
+        while gi < len(guards) and guards[gi][0] == i:
+            name = guards[gi][1]
+            rank = table.get(name)
+            if rank is not None:
+                for _d, held_rank, held_name in held:
+                    # Equal rank is the basket-pair special case (ordered
+                    # by address at runtime); only ascents are static
+                    # violations.
+                    if rank > held_rank:
+                        diags.report(
+                            src, i, "datacell-lock-rank-order",
+                            f"'{name}' (rank {rank}) acquired while "
+                            f"'{held_name}' (rank {held_rank}) is held; "
+                            "acquisitions must descend the LockRank "
+                            "hierarchy (util/lock_rank.h)")
+                held.append((depth, rank, name))
+            gi += 1
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            while held and held[-1][0] >= depth:
+                held.pop()
+    return
+
+
+# ---------------------------------------------------------------------------
+# Driver
+
+DEFAULT_DIRS = ("src", "tools", "tests", "bench")
+SOURCE_EXTS = (".cc", ".h")
+
+
+def collect_sources(repo_root, paths):
+    files = []
+    if not paths:
+        paths = [os.path.join(repo_root, d) for d in DEFAULT_DIRS]
+    for p in paths:
+        if os.path.isfile(p):
+            files.append(p)
+            continue
+        for dirpath, dirnames, filenames in os.walk(p):
+            dirnames[:] = [d for d in dirnames if not d.startswith(".")]
+            for f in filenames:
+                if f.endswith(SOURCE_EXTS):
+                    files.append(os.path.join(dirpath, f))
+    return sorted(set(files))
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--repo-root",
+                    default=os.path.dirname(
+                        os.path.dirname(
+                            os.path.dirname(os.path.abspath(__file__)))))
+    ap.add_argument("--checks", default=",".join(CHECK_NAMES),
+                    help="comma-separated subset of checks to run")
+    ap.add_argument("paths", nargs="*")
+    args = ap.parse_args(argv)
+
+    enabled = {c.strip() for c in args.checks.split(",") if c.strip()}
+    unknown = enabled - set(CHECK_NAMES)
+    if unknown:
+        print(f"error: unknown checks: {', '.join(sorted(unknown))}",
+              file=sys.stderr)
+        return 2
+
+    files = collect_sources(args.repo_root, args.paths)
+    if not files:
+        print("error: no source files found", file=sys.stderr)
+        return 2
+    sources = [SourceFile(f, args.repo_root) for f in files]
+    sources_by_path = {s.path: s for s in sources}
+
+    diags = Diagnostics()
+    # Fallible names come from the whole tree even when only a subset of
+    # paths is scanned, so partial runs do not weaken the status check.
+    all_sources = sources
+    if args.paths:
+        all_files = collect_sources(args.repo_root, [])
+        all_sources = [sources_by_path.get(f) or SourceFile(f, args.repo_root)
+                       for f in all_files]
+    # Union with the explicitly-passed sources: a file outside the default
+    # tree (e.g. a golden-diagnostics input) may declare its own fallible
+    # functions.
+    fallible = collect_fallible_names(list(all_sources) + sources)
+    ranks = load_rank_values(args.repo_root)
+
+    for src in sources:
+        if "datacell-guarded-by-coverage" in enabled:
+            check_guarded_by(src, diags)
+        if "datacell-status-checked" in enabled:
+            check_status_checked(src, diags, fallible)
+        if "datacell-no-raw-sync" in enabled:
+            check_no_raw_sync(src, diags)
+        if "datacell-lock-rank-order" in enabled:
+            check_lock_rank_order(src, diags, sources_by_path, ranks)
+
+    diags.dump(sys.stdout)
+    if diags.items:
+        print(f"datacell-tidy: {len(diags.items)} finding(s) over "
+              f"{len(sources)} files", file=sys.stderr)
+        return 1
+    print(f"datacell-tidy: clean over {len(sources)} files", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

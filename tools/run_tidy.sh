@@ -22,10 +22,39 @@ if [ ! -f "$build_dir/compile_commands.json" ]; then
   exit 2
 fi
 
+# --- datacell-* gate --------------------------------------------------------
+# The project-specific checks (tools/datacell_tidy/) cover tests/ and bench/
+# too — concurrency discipline and Status handling matter as much in test
+# code. The Python fallback needs no clang toolchain, so this gate runs
+# everywhere; the clang-tidy plugin below is the canonical implementation
+# when its build prerequisites exist.
+echo "datacell-tidy gate over src/ tools/ tests/ bench/"
+python3 "$repo_root/tools/datacell_tidy/datacell_tidy.py" \
+  --repo-root "$repo_root"
+
 TIDY="${CLANG_TIDY:-clang-tidy}"
 if ! command -v "$TIDY" > /dev/null; then
   echo "error: $TIDY not on PATH (set CLANG_TIDY to override)." >&2
   exit 2
+fi
+
+# With the plugin built (requires clang-tidy dev headers at configure
+# time), run the same datacell-* checks natively over every directory the
+# Python gate covers — the AST implementation sees through macros and
+# templates that regexes cannot.
+plugin="$build_dir/tools/datacell_tidy/libdatacell_tidy.so"
+if [ -f "$plugin" ]; then
+  mapfile -t gate_sources < <(find "$repo_root/src" "$repo_root/tools" \
+    "$repo_root/tests" "$repo_root/bench" -name '*.cc' | sort)
+  echo "datacell-tidy plugin over ${#gate_sources[@]} files"
+  fail=0
+  for f in "${gate_sources[@]}"; do
+    "$TIDY" -load "$plugin" -checks='-*,datacell-*' \
+      -warnings-as-errors='datacell-*' -p "$build_dir" -quiet "$f" || fail=1
+  done
+  [ "$fail" -eq 0 ]
+else
+  echo "datacell-tidy plugin not built ($plugin missing); python gate only"
 fi
 
 # Library and tool translation units only; tests are exempt (see
