@@ -1,0 +1,84 @@
+#include "core/merge.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace datacell::core {
+
+namespace {
+
+// Canonically-ordered basket lock set, same discipline as Factory::Fire:
+// ascending address order so merges sharing baskets with factories cannot
+// deadlock. The set is dynamic, which the thread-safety analysis cannot
+// model; the debug lock-rank checker validates the discipline at runtime.
+class MergeLockSet {
+ public:
+  explicit MergeLockSet(const std::vector<Basket*>& sorted)
+      DC_NO_THREAD_SAFETY_ANALYSIS : baskets_(sorted) {
+    for (Basket* b : baskets_) b->Lock();
+  }
+
+  ~MergeLockSet() DC_NO_THREAD_SAFETY_ANALYSIS {
+    for (auto it = baskets_.rbegin(); it != baskets_.rend(); ++it) {
+      (*it)->Unlock();
+    }
+  }
+
+  MergeLockSet(const MergeLockSet&) = delete;
+  MergeLockSet& operator=(const MergeLockSet&) = delete;
+
+ private:
+  const std::vector<Basket*>& baskets_;
+};
+
+}  // namespace
+
+MergeTransition::MergeTransition(std::string name,
+                                 std::vector<BasketPtr> partitions,
+                                 BasketPtr output)
+    : name_(std::move(name)),
+      partitions_(std::move(partitions)),
+      output_(std::move(output)) {
+  DC_CHECK(!partitions_.empty());
+  DC_CHECK(output_ != nullptr);
+}
+
+bool MergeTransition::CanFire(Micros) const {
+  for (const BasketPtr& p : partitions_) {
+    if (!p->empty()) return true;
+  }
+  return false;
+}
+
+Result<bool> MergeTransition::Fire(Micros now) {
+  std::vector<Basket*> involved;
+  involved.reserve(partitions_.size() + 1);
+  for (const BasketPtr& p : partitions_) involved.push_back(p.get());
+  involved.push_back(output_.get());
+  std::sort(involved.begin(), involved.end());
+  involved.erase(std::unique(involved.begin(), involved.end()),
+                 involved.end());
+  MergeLockSet locks(involved);
+
+  bool moved = false;
+  for (const BasketPtr& p : partitions_) {  // declared (= shard) order
+    if (p->empty()) continue;
+    Table rows = p->TakeAll();
+    if (rows.num_rows() == 0) continue;
+    RETURN_NOT_OK(output_->AppendAligned(rows, now).status());
+    moved = true;
+  }
+  return moved;
+}
+
+TransitionPtr MakeMergeTransition(std::string name,
+                                  std::vector<BasketPtr> partitions,
+                                  BasketPtr output) {
+  return std::make_shared<MergeTransition>(std::move(name),
+                                           std::move(partitions),
+                                           std::move(output));
+}
+
+}  // namespace datacell::core

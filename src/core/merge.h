@@ -1,0 +1,62 @@
+#ifndef DATACELL_CORE_MERGE_H_
+#define DATACELL_CORE_MERGE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/basket.h"
+#include "core/factory.h"
+
+namespace datacell::core {
+
+/// The explicit cross-partition merge transition: re-joins the per-shard
+/// partitions of a logical stream into one basket so downstream
+/// aggregates/joins see a single place, keeping partitioning an ingress
+/// concern instead of leaking into every consumer (the R-GMA-style
+/// mediation point).
+///
+/// Determinism contract (mirrors the morsel merge discipline): each firing
+/// consumes the partitions in their *declared order* — partition 0's rows
+/// first, then partition 1's, and so on — so for a given sequence of
+/// per-partition arrivals the merged basket's row order is a pure function
+/// of that sequence, never of reactor-thread timing within a firing. The
+/// partition list must therefore be shard order (0..N-1), which is what
+/// plan::BuildPartitionedChain wires.
+///
+/// Firing rule: unlike a Factory (every input non-empty), the merge fires
+/// when *any* partition holds tuples — an idle shard must not dam its
+/// siblings' data.
+class MergeTransition : public Transition {
+ public:
+  MergeTransition(std::string name, std::vector<BasketPtr> partitions,
+                  BasketPtr output);
+
+  const std::string& name() const override { return name_; }
+  bool CanFire(Micros now) const override;
+  /// Takes everything from each non-empty partition, declared order, and
+  /// appends it (schema-aligned, arrival stamps preserved) to the output.
+  /// All involved baskets are locked in canonical address order for the
+  /// whole firing, so the move is atomic.
+  Result<bool> Fire(Micros now) override;
+
+  std::vector<BasketPtr> input_places() const override { return partitions_; }
+  std::vector<BasketPtr> output_places() const override {
+    return {output_};
+  }
+
+ private:
+  const std::string name_;
+  std::vector<BasketPtr> partitions_;
+  BasketPtr output_;
+};
+
+/// Convenience: MergeTransition over `partitions` in the given (shard)
+/// order, named `<name>`, writing into `output`.
+TransitionPtr MakeMergeTransition(std::string name,
+                                  std::vector<BasketPtr> partitions,
+                                  BasketPtr output);
+
+}  // namespace datacell::core
+
+#endif  // DATACELL_CORE_MERGE_H_

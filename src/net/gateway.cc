@@ -1,8 +1,6 @@
 #include "net/gateway.h"
 
-#include <fcntl.h>
 #include <poll.h>
-#include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
@@ -38,23 +36,16 @@ Status TcpIngress::Start(uint16_t port) {
   ASSIGN_OR_RETURN(listener_, TcpListener::Bind(port));
   port_ = listener_.port();
   RETURN_NOT_OK(listener_.SetNonBlocking(true));
-  int pipefd[2];
-  if (::pipe(pipefd) != 0) {
+  if (Status st = wake_.Open(); !st.ok()) {
     listener_.Close();
-    return Status::IOError("pipe: " + ErrnoString(errno));
+    return st;
   }
-  wake_r_ = pipefd[0];
-  wake_w_ = pipefd[1];
-  // Both ends non-blocking: the reactor drains the pipe with a read loop,
-  // and WakeReactor must never park a basket consumer on a full pipe.
-  ::fcntl(wake_r_, F_SETFL, ::fcntl(wake_r_, F_GETFL, 0) | O_NONBLOCK);
-  ::fcntl(wake_w_, F_SETFL, ::fcntl(wake_w_, F_GETFL, 0) | O_NONBLOCK);
   // Backpressure release signal: any mutation on a capacity-bounded output
   // may be the drain that re-opens the valve. The listener runs under the
   // basket lock, so it only flips an atomic and pokes the self-pipe.
   for (const core::BasketPtr& b : receptor_->outputs()) {
     size_t id = b->AddListener([this] {
-      if (paused_.load(std::memory_order_relaxed)) WakeReactor();
+      if (paused_.load(std::memory_order_relaxed)) wake_.Notify();
     });
     subscriptions_.emplace_back(b, id);
   }
@@ -67,21 +58,12 @@ Status TcpIngress::Start(uint16_t port) {
 void TcpIngress::Stop() {
   if (!started_.exchange(false)) return;
   stop_.store(true);
-  WakeReactor();
+  wake_.Notify();
   if (thread_.joinable()) thread_.join();
   for (const auto& [basket, id] : subscriptions_) basket->RemoveListener(id);
   subscriptions_.clear();
   listener_.Close();
-  if (wake_r_ >= 0) ::close(wake_r_);
-  if (wake_w_ >= 0) ::close(wake_w_);
-  wake_r_ = wake_w_ = -1;
-}
-
-void TcpIngress::WakeReactor() {
-  if (wake_pending_.exchange(true)) return;
-  const char byte = 0;
-  ssize_t n = ::write(wake_w_, &byte, 1);
-  (void)n;  // pipe full means a wakeup is already pending
+  wake_.Close();
 }
 
 void TcpIngress::ReactorLoop() {
@@ -113,7 +95,7 @@ void TcpIngress::ReactorLoop() {
 
     pfds.clear();
     pumped.clear();
-    pfds.push_back({wake_r_, POLLIN, 0});
+    pfds.push_back({wake_.read_fd(), POLLIN, 0});
     const bool accepting = conns_.size() < max_connections_;
     if (accepting) pfds.push_back({listener_.fd(), POLLIN, 0});
     const bool paused = paused_.load();
@@ -133,12 +115,7 @@ void TcpIngress::ReactorLoop() {
     }
     if (stop_.load()) break;
 
-    if (pfds[0].revents & POLLIN) {
-      char buf[64];
-      while (::read(wake_r_, buf, sizeof(buf)) > 0) {
-      }
-      wake_pending_.store(false);
-    }
+    if (pfds[0].revents & POLLIN) wake_.Drain();
 
     size_t base = 1;
     if (accepting) {
@@ -289,10 +266,9 @@ bool TcpIngress::Handshake(Conn* conn, const std::string& line) {
   }
   switch (hello->kind) {
     case HelloKind::kStats: {
-      // Scrape request: answer with one line and close. The reply is a few
-      // hundred bytes — far below the socket send buffer — so the single
-      // non-blocking WriteAll cannot short-write in practice; if it ever
-      // does, the scraper just sees a truncated line.
+      // Scrape request: answer with one line and close. WriteAll rides out
+      // a full send buffer (polls for POLLOUT and resumes), so the scraper
+      // always sees the complete line even through a tiny receive window.
       scrapes_.fetch_add(1);
       Status st = conn->stream.WriteAll(StatsLine());
       if (!st.ok()) DC_LOG(Debug) << "ingress STATS reply: " << st.ToString();

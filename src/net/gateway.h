@@ -13,6 +13,7 @@
 #include "core/receptor.h"
 #include "net/codec.h"
 #include "net/socket.h"
+#include "net/wakeup.h"
 #include "obs/metrics.h"
 #include "util/clock.h"
 #include "util/status.h"
@@ -135,7 +136,6 @@ class TcpIngress {
   /// Closes the credit valve; returns false if credit reappeared (raced
   /// with a consumer) and reading may continue.
   bool EngagePause();
-  void WakeReactor();
 
   core::ReceptorPtr receptor_;
   Codec codec_;
@@ -149,8 +149,9 @@ class TcpIngress {
 
   TcpListener listener_;
   uint16_t port_ = 0;
-  int wake_r_ = -1;  // self-pipe: basket listeners / Stop() -> poll loop
-  int wake_w_ = -1;
+  // Self-pipe: basket listeners / Stop() -> poll loop. Owns the
+  // lost-wakeup-free notify/drain ordering (see net/wakeup.h).
+  WakePipe wake_;
   std::thread thread_;
   std::vector<std::unique_ptr<Conn>> conns_;
   // Listener registrations on the receptor's output baskets, undone in
@@ -161,7 +162,6 @@ class TcpIngress {
   std::atomic<bool> started_{false};
   std::atomic<bool> finished_{false};
   std::atomic<bool> paused_{false};
-  std::atomic<bool> wake_pending_{false};
   std::atomic<uint64_t> tuples_{0};
   std::atomic<uint64_t> dropped_{0};
   std::atomic<uint64_t> accepted_{0};

@@ -4,6 +4,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -25,6 +26,12 @@ std::string ErrnoMessage(int ret, const char* buf) {
 Status Errno(const std::string& what) {
   return Status::IOError(what + ": " + ErrnoString(errno));
 }
+
+// How long WriteAll waits for a full send buffer to drain before giving
+// up on the peer. Bounded so a dead-but-not-RST peer cannot wedge a
+// reactor thread forever; generous enough that a merely slow reader (the
+// backpressure case) always gets its bytes.
+constexpr int kWriteStallTimeoutMs = 10'000;
 
 }  // namespace
 
@@ -77,6 +84,21 @@ Status TcpStream::WriteAll(const std::string& data) {
                        MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Non-blocking socket with a full send buffer (the gateway puts
+        // every accepted connection in non-blocking mode): wait for the
+        // peer to drain and resume instead of failing the write.
+        pollfd p{fd_, POLLOUT, 0};
+        int rc = ::poll(&p, 1, kWriteStallTimeoutMs);
+        if (rc < 0) {
+          if (errno == EINTR) continue;
+          return Errno("poll(POLLOUT)");
+        }
+        if (rc == 0) {
+          return Status::IOError("send stalled: peer not draining");
+        }
+        continue;
+      }
       return Errno("send");
     }
     sent += static_cast<size_t>(n);
@@ -203,9 +225,10 @@ Result<TcpListener> TcpListener::Bind(uint16_t port) {
     ::close(fd);
     return Errno("bind");
   }
-  // Deep backlog: the gateway multiplexes many sensors on one port, and a
-  // fleet connecting at once must not see SYN drops.
-  if (::listen(fd, 128) != 0) {
+  // Deep backlog: the sharded gateway multiplexes tens of thousands of
+  // sensors on one port, and a fleet connecting at once must not see SYN
+  // drops (the kernel clamps to net.core.somaxconn).
+  if (::listen(fd, 4096) != 0) {
     ::close(fd);
     return Errno("listen");
   }

@@ -6,6 +6,7 @@
 #include "core/basket.h"
 #include "core/engine.h"
 #include "core/scheduler.h"
+#include "net/shard.h"
 #include "obs/metrics.h"
 #include "obs/plans.h"
 #include "obs/trace.h"
@@ -186,12 +187,38 @@ Result<Table> StorageTable() {
   return t;
 }
 
+// One row per reactor shard of every live sharded ingress (fed by
+// net::ShardRegistry, same pattern as dc_storage's StorageRegistry).
+// `port` distinguishes ingresses when several are up in one process.
+Result<Table> ShardsTable() {
+  Table t(Schema({{"port", DataType::kInt64},
+                  {"shard", DataType::kInt64},
+                  {"connections", DataType::kInt64},
+                  {"active", DataType::kInt64},
+                  {"tuples", DataType::kInt64},
+                  {"dropped", DataType::kInt64},
+                  {"credit_stalls", DataType::kInt64},
+                  {"backpressure_engagements", DataType::kInt64},
+                  {"backpressured", DataType::kBool}}));
+  const auto i64 = [](uint64_t v) { return Value(static_cast<int64_t>(v)); };
+  for (net::ShardedIngress* si : net::ShardRegistry::Global().Ingresses()) {
+    for (size_t k = 0; k < si->num_shards(); ++k) {
+      const net::ShardedIngress::ShardStats s = si->shard_stats(k);
+      RETURN_NOT_OK(t.AppendRow(
+          {i64(si->port()), i64(k), i64(s.connections), i64(s.active),
+           i64(s.tuples), i64(s.dropped), i64(s.credit_stalls),
+           i64(s.backpressure_engagements), Value(s.backpressured)}));
+    }
+  }
+  return t;
+}
+
 }  // namespace
 
 bool IsVirtualTable(const std::string& name) {
   return name == "dc_metrics" || name == "dc_baskets" ||
          name == "dc_transitions" || name == "dc_trace" ||
-         name == "dc_plans" || name == "dc_storage";
+         name == "dc_plans" || name == "dc_storage" || name == "dc_shards";
 }
 
 Result<Table> VirtualTable(core::Engine* engine, const std::string& name) {
@@ -201,6 +228,7 @@ Result<Table> VirtualTable(core::Engine* engine, const std::string& name) {
   if (name == "dc_trace") return TraceTable();
   if (name == "dc_plans") return PlansTable();
   if (name == "dc_storage") return StorageTable();
+  if (name == "dc_shards") return ShardsTable();
   return Status::NotFound("unknown virtual table '" + name + "'");
 }
 

@@ -26,6 +26,9 @@ class Engine;
 ///                    (kind='log'), per logged stream (kind='stream',
 ///                    with last_seq/acked), and per spill buffer pool
 ///                    (kind='pool', with page and hit/miss counts)
+///   dc_shards      — the sharded gateway: one row per reactor shard of
+///                    every live net::ShardedIngress (connections, tuples,
+///                    credit stalls, backpressure state)
 ///
 /// Each SELECT materializes a fresh snapshot table; there is no consumption
 /// semantics (these are tables, not baskets).

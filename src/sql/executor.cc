@@ -874,6 +874,14 @@ Result<Table> Executor::ExecSet(const SetStmt& stmt, const Subqueries* subs) {
       log->set_policy(policy);
     }
   }
+  // Sharding knob: `SET dc_shards = N` records how many ingress partitions
+  // plan::BuildPartitionedChain should instantiate (read at wiring time by
+  // plan::ResolvePartitions; a running gateway keeps its shard count).
+  if (stmt.name == "dc_shards") {
+    if (!v.is_int() || v.int_value() < 1) {
+      return Status::InvalidArgument("SET dc_shards expects an integer >= 1");
+    }
+  }
   engine_->SetVariable(stmt.name, std::move(v));
   return Table();
 }

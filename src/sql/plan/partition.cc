@@ -1,0 +1,59 @@
+#include "sql/plan/partition.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace datacell::sql::plan {
+
+size_t ResolvePartitions(core::Engine* engine) {
+  Result<Value> v = engine->GetVariable("dc_shards");
+  if (!v.ok() || !v->is_int()) return 1;
+  const int64_t n = v->int_value();
+  return n < 1 ? 1 : static_cast<size_t>(n);
+}
+
+Result<PartitionedChain> BuildPartitionedChain(core::Engine* engine,
+                                               const PartitionSpec& spec,
+                                               const Schema& schema,
+                                               const StageBuilder& stage) {
+  if (spec.partitions == 0) {
+    return Status::InvalidArgument("partitions must be >= 1");
+  }
+  PartitionedChain chain;
+  // Split the aggregate resident bound across partitions so the sharded
+  // configuration holds the same total as the unsharded one.
+  const size_t per_partition_cap =
+      spec.capacity == 0
+          ? 0
+          : std::max<size_t>(1, spec.capacity / spec.partitions);
+  for (size_t k = 0; k < spec.partitions; ++k) {
+    const std::string name = spec.base + ".s" + std::to_string(k);
+    core::BasketPtr in;
+    if (per_partition_cap > 0) {
+      ASSIGN_OR_RETURN(in,
+                       engine->CreateBoundedBasket(name, schema,
+                                                   per_partition_cap));
+    } else {
+      ASSIGN_OR_RETURN(in, engine->CreateBasket(name, schema));
+    }
+    chain.inputs.push_back(in);
+    if (stage) {
+      ASSIGN_OR_RETURN(core::BasketPtr out, stage(k, in));
+      chain.outputs.push_back(std::move(out));
+    } else {
+      chain.outputs.push_back(in);
+    }
+  }
+  // The merged basket carries the stage outputs' full schema (arrival
+  // stamps included) so the merge appends aligned, preserving each
+  // tuple's original arrival time across the re-join.
+  ASSIGN_OR_RETURN(chain.merged,
+                   engine->CreateBasket(spec.base + ".merged",
+                                        chain.outputs.front()->schema(),
+                                        /*add_arrival_ts=*/false));
+  chain.merge = engine->Register(core::MakeMergeTransition(
+      spec.base + ".merge", chain.outputs, chain.merged));
+  return chain;
+}
+
+}  // namespace datacell::sql::plan

@@ -14,7 +14,7 @@
 //
 // `workers` sizes the scheduler's worker pool (default: the hardware
 // concurrency); independent query-chain segments fire in parallel.
-// `capacity` (rows, default 0 = unbounded) bounds the ingress basket:
+// `capacity` (rows, default 0 = unbounded) bounds the ingress basket(s):
 // when resident rows reach it the gateway stops reading the sensor
 // sockets (TCP push-back, no drops) and resumes once the query chain
 // drains the basket below the low watermark (capacity/2).
@@ -28,18 +28,32 @@
 // observability registry (docs/SQL.md describes the same data exposed
 // through SQL as dc_* virtual tables).
 //
+// Sharding (DESIGN.md §15, opt-in via environment):
+//   DATACELL_SHARDS=<n>        n >= 2 replaces the single poll(2) reactor
+//                              with n epoll reactor shards behind one
+//                              acceptor: connections are fd-hashed onto
+//                              shards, each shard delivers into its own
+//                              bounded basket b0.s<k> (capacity split n
+//                              ways), the query chain is cloned per shard,
+//                              and a fixed-shard-order merge transition
+//                              re-joins the partitions before the emitter.
+//                              Unset or 1 = exactly the old single-reactor
+//                              server.
+//
 // Durability (all opt-in via environment, unset = exactly the old server):
 //   DATACELL_LOG=<path>        append every ingested batch to a replayable
 //                              ingest log; on startup, tuples past the last
-//                              ack are replayed into the ingress basket, so
-//                              a crash-restart cycle loses nothing the log
-//                              had accepted. `SEQ` on the listen port tells
-//                              a reconnecting sensor where to resume.
+//                              ack are replayed into the ingress basket(s),
+//                              so a crash-restart cycle loses nothing the
+//                              log had accepted. `SEQ` on the listen port
+//                              tells a reconnecting sensor where to resume
+//                              (sharded: the across-shard stream total).
 //   DATACELL_FSYNC=none|batch|always   log fsync policy (default batch).
 //   DATACELL_SPILL_PAGES=<n>   attach an <n>-frame (64 KiB each) spill
-//                              buffer pool to the bounded ingress basket:
-//                              overflow past `capacity` evicts cold tuples
-//                              to disk instead of closing the TCP valve.
+//                              buffer pool to the bounded ingress
+//                              basket(s): overflow past `capacity` evicts
+//                              cold tuples to disk instead of closing the
+//                              TCP valve.
 //   DATACELL_SPILL_FILE=<path> spill file location (default
 //                              "datacell.spill", removed on exit).
 
@@ -47,14 +61,20 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "core/basket.h"
+#include "core/engine.h"
 #include "core/factory.h"
 #include "core/receptor.h"
 #include "core/scheduler.h"
 #include "net/gateway.h"
 #include "net/sensor.h"
+#include "net/shard.h"
+#include "sql/plan/partition.h"
 #include "storage/ingest_log.h"
 #include "storage/pager.h"
 #include "util/clock.h"
@@ -62,8 +82,10 @@
 int main(int argc, char** argv) {
   using datacell::Status;
   using datacell::Table;
+  using datacell::Value;
   namespace core = datacell::core;
   namespace net = datacell::net;
+  namespace plan = datacell::sql::plan;
   namespace storage = datacell::storage;
 
   if (argc < 4) {
@@ -84,16 +106,87 @@ int main(int argc, char** argv) {
   const long capacity_arg = argc > 6 ? std::atol(argv[6]) : 0;
   const size_t capacity =
       capacity_arg > 0 ? static_cast<size_t>(capacity_arg) : 0;
+  size_t shards = 1;
+  if (const char* shards_env = std::getenv("DATACELL_SHARDS")) {
+    const long n = std::atol(shards_env);
+    if (n > 1) shards = static_cast<size_t>(n);
+  }
 
   datacell::SystemClock* clock = datacell::SystemClock::Get();
   const datacell::Schema stream = net::Sensor::StreamSchema();
 
-  // Query chain b0 -> q1 -> b1 -> ... -> bk -> emitter.
-  std::vector<core::BasketPtr> baskets;
-  baskets.push_back(std::make_shared<core::Basket>("b0", stream));
-  if (capacity > 0) baskets[0]->SetCapacity(capacity);
+  core::Engine engine(clock, workers);
+  engine.SetVariable("dc_shards", Value(static_cast<int64_t>(shards)));
 
-  // Optional spill tier on the bounded ingress basket.
+  // Per-shard query chain: b0.s<k> -> q1.s<k> -> ... -> qN.s<k>'s output.
+  // The unsharded server is the shards == 1 instance of the same topology
+  // minus the ".s0"/".merged" suffixes kept for name compatibility; both
+  // run the same cloned-stage builder.
+  const auto make_chain = [&](const std::string& suffix,
+                              const core::BasketPtr& in)
+      -> datacell::Result<core::BasketPtr> {
+    core::BasketPtr prev = in;
+    for (int i = 1; i <= queries; ++i) {
+      ASSIGN_OR_RETURN(
+          core::BasketPtr next,
+          engine.CreateBasket("b" + std::to_string(i) + suffix,
+                              prev->schema(), /*add_arrival_ts=*/false));
+      core::BasketPtr from = prev;
+      auto f = std::make_shared<core::Factory>(
+          "q" + std::to_string(i) + suffix,
+          [from, next](core::FactoryContext& ctx) -> Status {
+            Table batch = from->TakeAll();
+            if (batch.num_rows() == 0) return Status::OK();
+            auto n = next->AppendAligned(batch, ctx.now());
+            return n.status();
+          });
+      f->AddInput(from);
+      f->AddOutput(next);
+      engine.Register(f);
+      prev = next;
+    }
+    return prev;
+  };
+
+  // Ingress baskets + (sharded) merge topology.
+  std::vector<core::BasketPtr> ingress_baskets;
+  core::BasketPtr emit_basket;  // the basket the emitter reads
+  if (shards == 1) {
+    auto b0 = capacity > 0 ? engine.CreateBoundedBasket("b0", stream, capacity)
+                           : engine.CreateBasket("b0", stream);
+    if (!b0.ok()) {
+      std::fprintf(stderr, "cannot create ingress basket: %s\n",
+                   b0.status().ToString().c_str());
+      return 1;
+    }
+    ingress_baskets.push_back(*b0);
+    auto tail = make_chain("", *b0);
+    if (!tail.ok()) {
+      std::fprintf(stderr, "cannot build query chain: %s\n",
+                   tail.status().ToString().c_str());
+      return 1;
+    }
+    emit_basket = *tail;
+  } else {
+    plan::PartitionSpec spec;
+    spec.base = "b0";
+    spec.partitions = shards;
+    spec.capacity = capacity;
+    auto chain = plan::BuildPartitionedChain(
+        &engine, spec, stream,
+        [&](size_t k, const core::BasketPtr& in) {
+          return make_chain(".s" + std::to_string(k), in);
+        });
+    if (!chain.ok()) {
+      std::fprintf(stderr, "cannot build sharded topology: %s\n",
+                   chain.status().ToString().c_str());
+      return 1;
+    }
+    ingress_baskets = chain->inputs;
+    emit_basket = chain->merged;
+  }
+
+  // Optional spill tier on the bounded ingress basket(s), sharing one pool.
   std::unique_ptr<storage::BufferPool> spill_pool;
   const char* spill_pages_env = std::getenv("DATACELL_SPILL_PAGES");
   if (spill_pages_env != nullptr && std::atol(spill_pages_env) > 0) {
@@ -107,7 +200,9 @@ int main(int argc, char** argv) {
     }
     spill_pool = std::make_unique<storage::BufferPool>(
         std::move(*pager), static_cast<size_t>(std::atol(spill_pages_env)));
-    baskets[0]->AttachSpill(spill_pool.get());
+    for (const core::BasketPtr& b : ingress_baskets) {
+      b->AttachSpill(spill_pool.get());
+    }
   }
 
   // Optional replayable ingest log.
@@ -130,16 +225,11 @@ int main(int argc, char** argv) {
     }
     ingest_log = std::move(*log);
     // Replay before the gateway starts: every tuple past the last ack goes
-    // back into b0 (directly — the replay path must not re-append to the
-    // log) so the query chain re-processes what the crash interrupted.
-    core::BasketPtr b0 = baskets[0];
-    auto replayed = storage::ReplayIngestLog(
-        log_path,
-        [&b0, clock](const std::string& stream_name, const datacell::Schema&,
-                     uint64_t, const datacell::Row& row) -> Status {
-          if (stream_name != b0->name()) return Status::OK();
-          return b0->AppendRow(row, clock->Now());
-        });
+    // back into the basket named by its stream (b0 unsharded, b0.s<k> per
+    // shard — the engine resolves either) so the query chain re-processes
+    // what the crash interrupted. Direct appends: the replay path must not
+    // re-append to the log.
+    auto replayed = engine.ReplayIngest(log_path);
     if (!replayed.ok()) {
       std::fprintf(stderr, "ingest log replay failed: %s\n",
                    replayed.status().ToString().c_str());
@@ -151,24 +241,6 @@ int main(int argc, char** argv) {
                   replayed->torn_tail ? " (torn tail truncated)" : "");
     }
   }
-  core::Scheduler scheduler(clock, workers);
-  for (int i = 1; i <= queries; ++i) {
-    baskets.push_back(std::make_shared<core::Basket>(
-        "b" + std::to_string(i), baskets[0]->schema(), false));
-    core::BasketPtr in = baskets[static_cast<size_t>(i - 1)];
-    core::BasketPtr out = baskets[static_cast<size_t>(i)];
-    auto f = std::make_shared<core::Factory>(
-        "q" + std::to_string(i),
-        [in, out](core::FactoryContext& ctx) -> Status {
-          Table batch = in->TakeAll();
-          if (batch.num_rows() == 0) return Status::OK();
-          auto n = out->AppendAligned(batch, ctx.now());
-          return n.status();
-        });
-    f->AddInput(in);
-    f->AddOutput(out);
-    scheduler.Register(f);
-  }
 
   auto egress = net::TcpEgress::Connect(actuator_host, actuator_port);
   if (!egress.ok()) {
@@ -177,46 +249,69 @@ int main(int argc, char** argv) {
     return 1;
   }
   auto emitter = std::make_shared<core::Emitter>("e", (*egress)->MakeSink());
-  emitter->AddInput(baskets.back());
-  scheduler.Register(emitter);
+  emitter->AddInput(emit_basket);
+  engine.Register(emitter);
 
-  auto receptor = std::make_shared<core::Receptor>("r");
-  receptor->AddOutput(baskets.front());
-  net::TcpIngress ingress(receptor, net::Codec(stream), clock);
-  if (ingest_log != nullptr) ingress.EnableIngestLog(ingest_log.get());
-  if (Status st = ingress.Start(listen_port); !st.ok()) {
-    std::fprintf(stderr, "cannot listen: %s\n", st.ToString().c_str());
-    return 1;
+  // One receptor per ingress basket: the single-reactor gateway takes the
+  // lone receptor, the sharded gateway one per shard.
+  std::vector<core::ReceptorPtr> receptors;
+  for (size_t k = 0; k < ingress_baskets.size(); ++k) {
+    auto receptor = std::make_shared<core::Receptor>(
+        shards == 1 ? "r" : "r.s" + std::to_string(k));
+    receptor->AddOutput(ingress_baskets[k]);
+    receptors.push_back(std::move(receptor));
   }
-  if (Status st = scheduler.Start(); !st.ok()) {
+
+  std::unique_ptr<net::TcpIngress> ingress;
+  std::unique_ptr<net::ShardedIngress> sharded;
+  uint16_t bound_port = 0;
+  if (shards == 1) {
+    ingress = std::make_unique<net::TcpIngress>(receptors[0],
+                                                net::Codec(stream), clock);
+    if (ingest_log != nullptr) ingress->EnableIngestLog(ingest_log.get());
+    if (Status st = ingress->Start(listen_port); !st.ok()) {
+      std::fprintf(stderr, "cannot listen: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    bound_port = ingress->port();
+  } else {
+    sharded = std::make_unique<net::ShardedIngress>(
+        receptors, net::Codec(stream), clock);
+    if (ingest_log != nullptr) sharded->EnableIngestLog(ingest_log.get());
+    if (Status st = sharded->Start(listen_port); !st.ok()) {
+      std::fprintf(stderr, "cannot listen: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    bound_port = sharded->port();
+  }
+  if (Status st = engine.scheduler().Start(); !st.ok()) {
     std::fprintf(stderr, "scheduler failed: %s\n", st.ToString().c_str());
     return 1;
   }
-  if (capacity > 0) {
-    std::printf("datacell: listening on %u, %d-query chain, %zu workers, "
-                "basket bound %zu rows, forwarding to %s:%u\n",
-                ingress.port(), queries, workers, capacity, actuator_host,
-                actuator_port);
-  } else {
-    std::printf("datacell: listening on %u, %d-query chain, %zu workers, "
-                "forwarding to %s:%u\n",
-                ingress.port(), queries, workers, actuator_host,
-                actuator_port);
-  }
+  std::printf("datacell: listening on %u, %d-query chain, %zu workers, "
+              "%zu shard(s)%s%s, forwarding to %s:%u\n",
+              bound_port, queries, workers, shards,
+              capacity > 0 ? ", bounded ingress" : "",
+              ingest_log != nullptr ? ", logged" : "", actuator_host,
+              actuator_port);
   std::fflush(stdout);
 
+  const auto finished = [&] {
+    return shards == 1 ? ingress->finished() : sharded->finished();
+  };
   // Serve until every connected sensor has disconnected, drain, and exit.
-  while (!ingress.finished()) clock->SleepFor(10'000);
+  while (!finished()) clock->SleepFor(10'000);
   while (true) {
     bool empty = true;
-    for (const core::BasketPtr& b : baskets) {
-      if (!b->empty()) empty = false;
+    for (const std::string& name : engine.ListBaskets()) {
+      auto b = engine.GetBasket(name);
+      if (b.ok() && !(*b)->empty()) empty = false;
     }
     if (empty) break;
     clock->SleepFor(10'000);
   }
   clock->SleepFor(50'000);  // let the emitter flush
-  scheduler.Stop();
+  engine.scheduler().Stop();
   if (Status st = (*egress)->Finish(); !st.ok()) {
     std::fprintf(stderr, "egress finish: %s\n", st.ToString().c_str());
   }
@@ -235,20 +330,29 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "log sync: %s\n", st.ToString().c_str());
     }
   }
+  const uint64_t total_tuples =
+      shards == 1 ? ingress->tuples_received() : sharded->tuples_received();
+  const uint64_t total_dropped =
+      shards == 1 ? ingress->tuples_dropped() : sharded->tuples_dropped();
+  const uint64_t total_bp = shards == 1
+                                ? ingress->backpressure_engagements()
+                                : sharded->backpressure_engagements();
   std::printf("datacell: done (%llu tuples ingested, %llu malformed dropped, "
               "%llu backpressure engagements)\n",
-              static_cast<unsigned long long>(ingress.tuples_received()),
-              static_cast<unsigned long long>(ingress.tuples_dropped()),
-              static_cast<unsigned long long>(
-                  ingress.backpressure_engagements()));
+              static_cast<unsigned long long>(total_tuples),
+              static_cast<unsigned long long>(total_dropped),
+              static_cast<unsigned long long>(total_bp));
   std::printf("transition      firings      p50us      p95us      p99us"
               "      maxus\n");
   for (const core::Scheduler::TransitionStats& t :
-       scheduler.TransitionStatsSnapshot()) {
+       engine.scheduler().TransitionStatsSnapshot()) {
     std::printf("%-12s %10llu %10.0f %10.0f %10.0f %10lld\n",
                 t.name.c_str(), static_cast<unsigned long long>(t.firings),
                 t.latency.p50(), t.latency.p95(), t.latency.p99(),
                 static_cast<long long>(t.latency.max));
   }
+  // Stop the gateway before the engine (and its baskets) go away.
+  if (ingress != nullptr) ingress->Stop();
+  if (sharded != nullptr) sharded->Stop();
   return 0;
 }

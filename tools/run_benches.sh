@@ -69,6 +69,26 @@ if [ -e BENCH_spill_backpressure.json ]; then
   fi
 fi
 
+# The sharded-gateway report must carry both reactor arms and the
+# backpressure-at-scale acceptance fields (DESIGN.md §15).
+if [ -e BENCH_gateway_sharded.json ]; then
+  for field in '"shards"' '"sensors"' '"tps_per_shard"' '"scaling_ratio"' \
+               '"poll_tuples_per_cpu_s"' '"sharded_tuples_per_cpu_s"' \
+               '"scaling_lossless"' '"bp_lossless"' \
+               '"bp_backpressure_engagements"'; do
+    if ! grep -q "$field" BENCH_gateway_sharded.json; then
+      echo "ERROR: BENCH_gateway_sharded.json is missing $field" >&2
+      exit 1
+    fi
+  done
+  for field in '"scaling_lossless": true' '"bp_lossless": true'; do
+    if ! grep -q "$field" BENCH_gateway_sharded.json; then
+      echo "ERROR: BENCH_gateway_sharded.json failed: $field" >&2
+      exit 1
+    fi
+  done
+fi
+
 # The vectorized-kernel report must carry all three arms plus the morsel
 # latency percentiles and acceptance summary (DESIGN.md §12).
 if [ -e BENCH_kernel_throughput.json ]; then
